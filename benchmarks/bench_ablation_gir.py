@@ -1,0 +1,119 @@
+"""Ablations on GIR's design choices (DESIGN.md ablation index).
+
+Three knobs the paper fixes but never isolates:
+
+* **Domin buffer** on/off — how much of GIR's speed comes from Algorithm
+  1's lines 7-8 versus the grid bounds themselves.
+* **Partition count n** — time and filtering across the Table 5 sweep,
+  confirming n = 32 is a knee rather than a cliff.
+* **Scan chunk size** — an implementation parameter of this reproduction;
+  confirms results are chunk-invariant while time is not.
+"""
+
+import pytest
+
+from repro.core.gir import GridIndexRRQ
+from repro.stats.counters import OpCounter
+from repro.stats.timing import Timer
+
+from bench_common import (
+    DEFAULT_K,
+    banner,
+    make_workload,
+    ms,
+    record_table,
+    sample_queries,
+)
+
+DIM = 6
+
+
+@pytest.fixture(scope="module")
+def workload():
+    P, W = make_workload("UN", "UN", DIM, seed=71)
+    return P, W, sample_queries(P, seed=71)
+
+
+def run_rkr(alg, queries, k=DEFAULT_K):
+    timer = Timer()
+    counter = OpCounter()
+    answers = []
+    for q in queries:
+        with timer.measure():
+            answers.append(alg.reverse_kranks(q, k, counter=counter))
+    return timer.mean, counter, answers
+
+
+def test_ablation_domin(benchmark, workload):
+    P, W, queries = workload
+    with_domin = GridIndexRRQ(P, W, use_domin=True)
+    without = GridIndexRRQ(P, W, use_domin=False)
+    t_on, c_on, a_on = run_rkr(with_domin, queries)
+    t_off, c_off, a_off = run_rkr(without, queries)
+    # Results must be identical — Domin is purely an optimization.
+    assert [r.entries for r in a_on] == [r.entries for r in a_off]
+    banner("Ablation: Domin buffer on/off (RKR, UN d=6)")
+    record_table(
+        "ablation_domin",
+        ["variant", "mean ms", "pairwise", "approx accessed",
+         "dominated skips"],
+        [
+            ["Domin ON", ms(t_on), c_on.pairwise, c_on.approx_accessed,
+             c_on.dominated_skips],
+            ["Domin OFF", ms(t_off), c_off.pairwise, c_off.approx_accessed,
+             c_off.dominated_skips],
+        ],
+        "Domin-buffer ablation",
+    )
+    assert c_on.approx_accessed <= c_off.approx_accessed
+    benchmark(lambda: with_domin.reverse_kranks(queries[0], DEFAULT_K))
+
+
+def test_ablation_partitions(benchmark, workload):
+    P, W, queries = workload
+    rows = []
+    reference = None
+    for n in (4, 8, 16, 32, 64, 128):
+        gir = GridIndexRRQ(P, W, partitions=n)
+        t, c, answers = run_rkr(gir, queries)
+        entries = [r.entries for r in answers]
+        if reference is None:
+            reference = entries
+        assert entries == reference  # n never changes answers
+        rows.append([n, ms(t), c.pairwise,
+                     f"{c.filtering_ratio()*100:.1f}%",
+                     gir.grid.memory_bytes])
+    banner("Ablation: grid partitions n (Table 5 sweep)")
+    record_table(
+        "ablation_partitions",
+        ["n", "mean ms", "pairwise", "bound filtering", "grid bytes"],
+        rows,
+        "Partition-count ablation (RKR, UN d=6)",
+    )
+    # Filtering grows with n; refinement (pairwise) shrinks.
+    assert rows[-1][2] <= rows[0][2]
+    gir32 = GridIndexRRQ(P, W, partitions=32)
+    benchmark(lambda: gir32.reverse_kranks(queries[0], DEFAULT_K))
+
+
+def test_ablation_chunk(benchmark, workload):
+    P, W, queries = workload
+    rows = []
+    reference = None
+    for chunk in (16, 64, 256, 1024):
+        gir = GridIndexRRQ(P, W, chunk=chunk)
+        t, _, answers = run_rkr(gir, queries)
+        entries = [r.entries for r in answers]
+        if reference is None:
+            reference = entries
+        assert entries == reference  # chunking never changes answers
+        rows.append([chunk, ms(t)])
+    banner("Ablation: scan chunk size (implementation parameter)")
+    record_table(
+        "ablation_chunk",
+        ["chunk", "mean ms"],
+        rows,
+        "Chunk-size ablation (RKR, UN d=6)",
+    )
+    gir = GridIndexRRQ(P, W, chunk=256)
+    benchmark(lambda: gir.reverse_kranks(queries[0], DEFAULT_K))

@@ -1,0 +1,63 @@
+"""Extra baseline: RTA (threshold-algorithm reverse top-k) vs BBR vs GIR.
+
+Not a table in the paper — RTA [13] is BBR's predecessor and appears in
+the related work — but comparing the whole lineage on one workload makes
+the evaluation self-contained: RTA (per-weight TA), BBR (dual R-trees),
+SIM (scan) and GIR (grid-filtered scan).
+"""
+
+import pytest
+
+from repro.algorithms.rta import ThresholdRTK
+
+from bench_common import (
+    DEFAULT_K,
+    banner,
+    build_rtk_algorithms,
+    make_workload,
+    ms,
+    per_query_pairwise,
+    record_table,
+    sample_queries,
+    time_rtk,
+)
+
+DIMS = (2, 4, 6, 10)
+
+
+@pytest.fixture(scope="module")
+def rta_rows():
+    rows = []
+    for d in DIMS:
+        P, W = make_workload("UN", "UN", d, seed=d * 7)
+        queries = sample_queries(P, count=2, seed=d)
+        nq = len(queries)
+        algs = build_rtk_algorithms(P, W)
+        algs["RTA"] = ThresholdRTK(P, W)
+        row = [d]
+        for name in ("GIR", "BBR", "RTA", "SIM"):
+            mean_s, counter = time_rtk(algs[name], queries, DEFAULT_K)
+            row.extend([ms(mean_s), per_query_pairwise(counter, nq)])
+        rows.append(row)
+    return rows
+
+
+def test_rta_lineage(benchmark, rta_rows):
+    banner("Extra: the reverse top-k lineage — RTA vs BBR vs GIR vs SIM")
+    record_table(
+        "baseline_rta",
+        ["d",
+         "GIR ms", "GIR pw", "BBR ms", "BBR pw",
+         "RTA ms", "RTA pw", "SIM ms", "SIM pw"],
+        rta_rows,
+        "RTK baselines across the literature lineage (UN data)",
+    )
+    # Shape: GIR needs the fewest score evaluations at d >= 4.
+    for row in rta_rows[1:]:
+        gir_pw = row[2]
+        assert gir_pw <= min(row[4], row[6], row[8])
+
+    P, W = make_workload("UN", "UN", 4, seed=3)
+    rta = ThresholdRTK(P, W)
+    q = sample_queries(P, count=1, seed=3)[0]
+    benchmark(lambda: rta.reverse_topk(q, DEFAULT_K))

@@ -1,0 +1,183 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every ``bench_*.py`` file regenerates one table or figure from the paper's
+evaluation (Section 6) or analysis (Section 5).  The paper runs 100K-5M
+vectors and 1000 query repetitions in C++; this pure-Python reproduction
+scales the workload down (defaults below) while preserving the *shape* of
+every comparison.  Set ``REPRO_SCALE`` to a float to grow workloads, e.g.::
+
+    REPRO_SCALE=4 pytest benchmarks/bench_fig10_lowdim.py --benchmark-only
+
+Timing methodology: the headline numbers come from pytest-benchmark (the
+``benchmark`` fixture); the printed paper-style tables come from one-shot
+:class:`repro.stats.timing.Timer` sweeps so each file prints the same
+rows/series as the paper alongside the benchmark output.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.bbr import BranchBoundRTK
+from repro.algorithms.mpa import MarkedPruningRKR
+from repro.algorithms.naive import NaiveRRQ
+from repro.algorithms.sim import SimpleScan
+from repro.core.gir import GridIndexRRQ
+from repro.data.datasets import ProductSet, WeightSet
+from repro.data.synthetic import generate_products, generate_weights
+from repro.stats.counters import OpCounter
+from repro.stats.timing import Timer
+
+#: Base workload sizes (paper: 100K).  Multiplied by REPRO_SCALE.
+BASE_SIZE = 600
+
+#: Queries per measurement (paper: 1000 repetitions).
+BASE_QUERIES = 3
+
+#: Default k (paper: 100 with |W| = 100K; same 0.1% ratio of our base size).
+DEFAULT_K = 10
+
+#: Grid partitions (paper default).
+PARTITIONS = 32
+
+
+def scale() -> float:
+    """The REPRO_SCALE factor (default 1.0)."""
+    try:
+        return float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def scaled_size(base: int = BASE_SIZE) -> int:
+    """Workload cardinality after scaling."""
+    return max(50, int(base * scale()))
+
+
+def num_queries() -> int:
+    """Number of query repetitions after scaling (grows slowly)."""
+    return max(2, int(BASE_QUERIES * min(scale(), 4.0)))
+
+
+def make_workload(p_dist: str, w_dist: str, d: int,
+                  size_p: Optional[int] = None,
+                  size_w: Optional[int] = None,
+                  seed: int = 7) -> Tuple[ProductSet, WeightSet]:
+    """A (P, W) pair in the paper's distribution taxonomy."""
+    size_p = size_p if size_p is not None else scaled_size()
+    size_w = size_w if size_w is not None else scaled_size()
+    P = generate_products(p_dist, size_p, d, seed=seed)
+    W = generate_weights(w_dist, size_w, d, seed=seed + 1)
+    return P, W
+
+
+def sample_queries(P: ProductSet, count: Optional[int] = None,
+                   seed: int = 13) -> np.ndarray:
+    """Query points drawn from P, as the paper does."""
+    count = count if count is not None else num_queries()
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(P.size, size=min(count, P.size), replace=False)
+    return P.values[idx]
+
+
+# ----------------------------------------------------------------------
+# algorithm registry
+# ----------------------------------------------------------------------
+
+def build_rtk_algorithms(P: ProductSet, W: WeightSet,
+                         partitions: int = PARTITIONS) -> Dict[str, object]:
+    """The RTK contenders of Figures 10-14: GIR vs BBR vs SIM."""
+    return {
+        "GIR": GridIndexRRQ(P, W, partitions=partitions),
+        "SIM": SimpleScan(P, W),
+        "BBR": BranchBoundRTK(P, W),
+    }
+
+
+def build_rkr_algorithms(P: ProductSet, W: WeightSet,
+                         partitions: int = PARTITIONS) -> Dict[str, object]:
+    """The RKR contenders: GIR vs MPA vs SIM."""
+    return {
+        "GIR": GridIndexRRQ(P, W, partitions=partitions),
+        "SIM": SimpleScan(P, W),
+        "MPA": MarkedPruningRKR(P, W),
+    }
+
+
+# ----------------------------------------------------------------------
+# measurement helpers
+# ----------------------------------------------------------------------
+
+def time_rtk(algorithm, queries: np.ndarray, k: int) -> Tuple[float, OpCounter]:
+    """Mean seconds per RTK query plus accumulated op counts."""
+    timer = Timer()
+    counter = OpCounter()
+    for q in queries:
+        with timer.measure():
+            algorithm.reverse_topk(q, k, counter=counter)
+    return timer.mean, counter
+
+
+def time_rkr(algorithm, queries: np.ndarray, k: int) -> Tuple[float, OpCounter]:
+    """Mean seconds per RKR query plus accumulated op counts."""
+    timer = Timer()
+    counter = OpCounter()
+    for q in queries:
+        with timer.measure():
+            algorithm.reverse_kranks(q, k, counter=counter)
+    return timer.mean, counter
+
+
+def compare(algorithms: Dict[str, object], queries: np.ndarray, k: int,
+            kind: str) -> Dict[str, Tuple[float, OpCounter]]:
+    """Run every algorithm over the query batch; returns name -> (mean_s, ops)."""
+    runner = time_rtk if kind == "rtk" else time_rkr
+    return {name: runner(alg, queries, k) for name, alg in algorithms.items()}
+
+
+def ms(seconds: float) -> float:
+    """Seconds to milliseconds, rounded for table display."""
+    return round(seconds * 1000.0, 3)
+
+
+def per_query_pairwise(counter: OpCounter, queries: int) -> int:
+    """Average pairwise computations per query."""
+    return counter.pairwise // max(queries, 1)
+
+
+def banner(title: str) -> None:
+    """Print a section banner so bench output reads like the paper."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+# ----------------------------------------------------------------------
+# result recording
+# ----------------------------------------------------------------------
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_table(name: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]], title: str) -> str:
+    """Render a paper-style table, print it, and save it under results/.
+
+    pytest captures stdout by default, so each bench also persists its
+    table to ``benchmarks/results/<name>.txt`` — that file is the artifact
+    EXPERIMENTS.md points at.  Returns the rendered text.
+    """
+    from repro.stats.report import render_table
+
+    text = render_table(headers, rows, title=title)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+    return text

@@ -1,0 +1,70 @@
+"""Figure 2 — tree-based algorithms (BBR, MPA) versus simple scan, d = 2-20.
+
+The paper's motivating figure: as dimensionality grows, the R-tree based
+methods fall behind a plain scan.  Expected shape: SIM roughly flat-ish in
+d, BBR/MPA climbing steeply once MBR overlap saturates (d > ~6).
+"""
+
+import pytest
+
+from bench_common import (
+    DEFAULT_K,
+    banner,
+    build_rkr_algorithms,
+    build_rtk_algorithms,
+    compare,
+    make_workload,
+    ms,
+    record_table,
+    sample_queries,
+)
+
+DIMS = (2, 4, 6, 9, 12, 16, 20)
+
+
+@pytest.fixture(scope="module")
+def figure2_rows():
+    rows = []
+    for d in DIMS:
+        P, W = make_workload("UN", "UN", d, seed=d)
+        queries = sample_queries(P, seed=d)
+        rtk = compare(
+            {k: v for k, v in build_rtk_algorithms(P, W).items()
+             if k in ("SIM", "BBR")},
+            queries, DEFAULT_K, "rtk",
+        )
+        rkr = compare(
+            {k: v for k, v in build_rkr_algorithms(P, W).items()
+             if k in ("SIM", "MPA")},
+            queries, DEFAULT_K, "rkr",
+        )
+        rows.append([
+            d,
+            ms(rtk["SIM"][0]), ms(rtk["BBR"][0]),
+            ms(rkr["SIM"][0]), ms(rkr["MPA"][0]),
+        ])
+    return rows
+
+
+def test_figure2_table(benchmark, figure2_rows):
+    banner("Figure 2: tree-based (BBR, MPA) vs simple scan (SIM), varying d")
+    record_table(
+        "fig02_motivation",
+        ["d", "SIM RTK (ms)", "BBR RTK (ms)", "SIM RKR (ms)", "MPA RKR (ms)"],
+        figure2_rows,
+        "Figure 2 reproduction — mean query time",
+    )
+    # Shape check: in high dimensions the trees must not beat the scan.
+    # Wall-clock comparisons carry noise; allow generous slack and also
+    # accept the shape over the top-two dimensionalities combined.
+    top = figure2_rows[-2:]
+    assert sum(r[2] for r in top) >= sum(r[1] for r in top) * 0.6, \
+        "BBR should not beat SIM decisively at high d"
+    assert sum(r[4] for r in top) >= sum(r[3] for r in top) * 0.6, \
+        "MPA should not beat SIM decisively at high d"
+
+    # Headline benchmark: SIM RTK at d=20 (the motivating comparison).
+    P, W = make_workload("UN", "UN", 20, seed=99)
+    queries = sample_queries(P, count=1, seed=99)
+    sim = build_rtk_algorithms(P, W)["SIM"]
+    benchmark(lambda: sim.reverse_topk(queries[0], DEFAULT_K))

@@ -1,0 +1,89 @@
+"""Figure 10 — GIR vs BBR (RTK) and GIR vs MPA (RKR) on synthetic data,
+low dimensions (2-8), across the paper's distribution panels.
+
+Expected shape: the tree methods are competitive (or ahead) at d = 2-3 and
+fall behind as d grows; GIR tracks or beats SIM throughout in pairwise
+computations.
+"""
+
+import pytest
+
+from bench_common import (
+    DEFAULT_K,
+    banner,
+    build_rkr_algorithms,
+    build_rtk_algorithms,
+    compare,
+    make_workload,
+    ms,
+    per_query_pairwise,
+    record_table,
+    sample_queries,
+)
+
+DIMS = (2, 4, 6, 8)
+PANELS = (("UN", "UN"), ("AC", "UN"), ("CL", "CL"))
+
+
+@pytest.fixture(scope="module")
+def figure10_results():
+    results = {}
+    for p_dist, w_dist in PANELS:
+        rows_rtk, rows_rkr = [], []
+        for d in DIMS:
+            P, W = make_workload(p_dist, w_dist, d, seed=d * 3)
+            queries = sample_queries(P, seed=d)
+            nq = len(queries)
+            rtk = compare(build_rtk_algorithms(P, W), queries, DEFAULT_K, "rtk")
+            rkr = compare(build_rkr_algorithms(P, W), queries, DEFAULT_K, "rkr")
+            rows_rtk.append([
+                d,
+                ms(rtk["GIR"][0]), ms(rtk["BBR"][0]), ms(rtk["SIM"][0]),
+                per_query_pairwise(rtk["GIR"][1], nq),
+                per_query_pairwise(rtk["BBR"][1], nq),
+                per_query_pairwise(rtk["SIM"][1], nq),
+            ])
+            rows_rkr.append([
+                d,
+                ms(rkr["GIR"][0]), ms(rkr["MPA"][0]), ms(rkr["SIM"][0]),
+                per_query_pairwise(rkr["GIR"][1], nq),
+                per_query_pairwise(rkr["MPA"][1], nq),
+                per_query_pairwise(rkr["SIM"][1], nq),
+            ])
+        results[(p_dist, w_dist)] = (rows_rtk, rows_rkr)
+    return results
+
+
+def test_figure10(benchmark, figure10_results):
+    for (p_dist, w_dist), (rows_rtk, rows_rkr) in figure10_results.items():
+        tag = f"{p_dist}x{w_dist}"
+        banner(f"Figure 10 ({tag}): RTK — GIR vs BBR vs SIM, d=2-8")
+        record_table(
+            f"fig10_rtk_{tag}",
+            ["d", "GIR ms", "BBR ms", "SIM ms",
+             "GIR pairwise", "BBR pairwise", "SIM pairwise"],
+            rows_rtk,
+            f"Figure 10 RTK reproduction — P:{p_dist}, W:{w_dist}",
+        )
+        banner(f"Figure 10 ({tag}): RKR — GIR vs MPA vs SIM, d=2-8")
+        record_table(
+            f"fig10_rkr_{tag}",
+            ["d", "GIR ms", "MPA ms", "SIM ms",
+             "GIR pairwise", "MPA pairwise", "SIM pairwise"],
+            rows_rkr,
+            f"Figure 10 RKR reproduction — P:{p_dist}, W:{w_dist}",
+        )
+
+    # Shape check on the UN x UN panel at d = 8: GIR needs far fewer
+    # pairwise computations than SIM (the paper's core filtering claim).
+    rows_rtk, rows_rkr = figure10_results[("UN", "UN")]
+    d8_rtk = rows_rtk[-1]
+    assert d8_rtk[4] < d8_rtk[6], "GIR must do fewer inner products than SIM"
+    d8_rkr = rows_rkr[-1]
+    assert d8_rkr[4] < d8_rkr[6]
+
+    # Headline benchmark: GIR RTK at d = 6 on UN data.
+    P, W = make_workload("UN", "UN", 6, seed=1)
+    q = sample_queries(P, count=1, seed=1)[0]
+    gir = build_rtk_algorithms(P, W)["GIR"]
+    benchmark(lambda: gir.reverse_topk(q, DEFAULT_K))

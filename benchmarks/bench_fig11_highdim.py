@@ -1,0 +1,85 @@
+"""Figure 11 — high-dimensional behaviour (d = 10-50): query time and
+pairwise computations.
+
+Expected shape: the tree methods' time and computation counts climb
+steeply (MBR overlap saturates, Section 5.2), while the scan-based
+methods stay nearly flat; GIR performs the fewest inner products of all
+(Figure 11b/11d's 'GIR saves what SIM must compute').
+"""
+
+import pytest
+
+from bench_common import (
+    DEFAULT_K,
+    banner,
+    build_rkr_algorithms,
+    build_rtk_algorithms,
+    compare,
+    make_workload,
+    ms,
+    per_query_pairwise,
+    record_table,
+    sample_queries,
+)
+
+DIMS = (10, 20, 30, 50)
+
+
+@pytest.fixture(scope="module")
+def figure11_rows():
+    rows_rtk, rows_rkr = [], []
+    for d in DIMS:
+        P, W = make_workload("UN", "UN", d, seed=d)
+        queries = sample_queries(P, seed=d)
+        nq = len(queries)
+        rtk = compare(build_rtk_algorithms(P, W), queries, DEFAULT_K, "rtk")
+        rkr = compare(build_rkr_algorithms(P, W), queries, DEFAULT_K, "rkr")
+        rows_rtk.append([
+            d, ms(rtk["GIR"][0]), ms(rtk["BBR"][0]), ms(rtk["SIM"][0]),
+            per_query_pairwise(rtk["GIR"][1], nq),
+            per_query_pairwise(rtk["BBR"][1], nq),
+            per_query_pairwise(rtk["SIM"][1], nq),
+        ])
+        rows_rkr.append([
+            d, ms(rkr["GIR"][0]), ms(rkr["MPA"][0]), ms(rkr["SIM"][0]),
+            per_query_pairwise(rkr["GIR"][1], nq),
+            per_query_pairwise(rkr["MPA"][1], nq),
+            per_query_pairwise(rkr["SIM"][1], nq),
+        ])
+    return rows_rtk, rows_rkr
+
+
+def test_figure11(benchmark, figure11_rows):
+    rows_rtk, rows_rkr = figure11_rows
+    banner("Figure 11 (a, b): RTK in high dimensions")
+    record_table(
+        "fig11_rtk_highdim",
+        ["d", "GIR ms", "BBR ms", "SIM ms",
+         "GIR pairwise", "BBR pairwise", "SIM pairwise"],
+        rows_rtk,
+        "Figure 11 RTK reproduction — d = 10-50, UN data",
+    )
+    banner("Figure 11 (c, d): RKR in high dimensions")
+    record_table(
+        "fig11_rkr_highdim",
+        ["d", "GIR ms", "MPA ms", "SIM ms",
+         "GIR pairwise", "MPA pairwise", "SIM pairwise"],
+        rows_rkr,
+        "Figure 11 RKR reproduction — d = 10-50, UN data",
+    )
+
+    # Shape checks.
+    for rows, tree_col in ((rows_rtk, 5), (rows_rkr, 5)):
+        final = rows[-1]
+        # GIR performs fewer inner products than SIM at every d.
+        for row in rows:
+            assert row[4] <= row[6]
+        # The tree method performs at least as many pairwise computations
+        # as the plain scan once d is large (overlap saturation).
+        assert final[tree_col] >= final[6] * 0.5
+
+    # Headline benchmark: GIR RKR at d = 30.
+    P, W = make_workload("UN", "UN", 30, seed=5)
+    q = sample_queries(P, count=1, seed=5)[0]
+    gir = build_rkr_algorithms(P, W)["GIR"]
+    benchmark(lambda: gir.reverse_kranks(q, DEFAULT_K))

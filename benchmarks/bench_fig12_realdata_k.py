@@ -1,0 +1,95 @@
+"""Figure 12 — performance on the real data sets with varying k.
+
+Panels: (a) COLOR with RTK, (b) HOUSE with RKR, (c) DIANPING with RTK,
+(d) DIANPING with RKR.  Real data is replaced by the synthetic stand-ins
+of :mod:`repro.data.real` (see DESIGN.md Section 6).  Expected shape: GIR
+leads on every set; all algorithms are largely insensitive to k because
+k << |W|.
+"""
+
+import pytest
+
+from repro.data.real import color, dianping, house
+from repro.data.synthetic import uniform_weights
+
+from bench_common import (
+    banner,
+    build_rkr_algorithms,
+    build_rtk_algorithms,
+    compare,
+    ms,
+    record_table,
+    sample_queries,
+    scaled_size,
+)
+
+K_VALUES = (5, 10, 20, 30, 50)  # scaled from the paper's 100-500
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    size = max(400, scaled_size(400))
+    color_p = color(size=size, seed=1)
+    color_w = uniform_weights(size, color_p.dim, seed=2)
+    house_p = house(size=size, seed=3)
+    house_w = uniform_weights(size, house_p.dim, seed=4)
+    dp = dianping(num_restaurants=size, num_users=size, seed=5)
+    return {
+        "COLOR": (color_p, color_w),
+        "HOUSE": (house_p, house_w),
+        "DIANPING": (dp.restaurants, dp.users),
+    }
+
+
+def sweep(builder, P, W, kind):
+    queries = sample_queries(P, count=2, seed=9)
+    rows = []
+    for k in K_VALUES:
+        res = compare(builder(P, W), queries, k, kind)
+        names = sorted(res)
+        rows.append([k] + [ms(res[name][0]) for name in names])
+    return sorted(res), rows
+
+
+@pytest.fixture(scope="module")
+def figure12_tables(datasets):
+    tables = {}
+    # (a) COLOR with RTK.
+    names, rows = sweep(build_rtk_algorithms, *datasets["COLOR"], "rtk")
+    tables["color_rtk"] = (names, rows)
+    # (b) HOUSE with RKR.
+    names, rows = sweep(build_rkr_algorithms, *datasets["HOUSE"], "rkr")
+    tables["house_rkr"] = (names, rows)
+    # (c, d) DIANPING with both.
+    names, rows = sweep(build_rtk_algorithms, *datasets["DIANPING"], "rtk")
+    tables["dianping_rtk"] = (names, rows)
+    names, rows = sweep(build_rkr_algorithms, *datasets["DIANPING"], "rkr")
+    tables["dianping_rkr"] = (names, rows)
+    return tables
+
+
+def test_figure12(benchmark, figure12_tables, datasets):
+    titles = {
+        "color_rtk": "Figure 12a: COLOR, RTK",
+        "house_rkr": "Figure 12b: HOUSE, RKR",
+        "dianping_rtk": "Figure 12c: DIANPING, RTK",
+        "dianping_rkr": "Figure 12d: DIANPING, RKR",
+    }
+    for key, (names, rows) in figure12_tables.items():
+        banner(titles[key])
+        record_table(
+            f"fig12_{key}",
+            ["k"] + [f"{n} ms" for n in names],
+            rows,
+            titles[key] + " (real-data stand-ins, varying k)",
+        )
+        # Shape: all algorithms are insensitive to k (within noise, 10x).
+        for col in range(1, len(names) + 1):
+            series = [row[col] for row in rows]
+            assert max(series) <= max(min(series) * 10.0, 1.0)
+
+    # Headline benchmark: DIANPING RKR with GIR.
+    P, W = datasets["DIANPING"]
+    gir = build_rkr_algorithms(P, W)["GIR"]
+    q = sample_queries(P, count=1, seed=10)[0]
+    benchmark(lambda: gir.reverse_kranks(q, 10))

@@ -1,0 +1,77 @@
+"""Figure 13 — scalability with growing |P| (a, b) and growing |W| (c, d).
+
+Expected shape: every algorithm grows roughly linearly in the scaled set;
+GIR's advantage over the tree methods widens with size (its filtering
+ratio is size-independent, the trees' overlap is not).
+"""
+
+import pytest
+
+from bench_common import (
+    DEFAULT_K,
+    banner,
+    build_rkr_algorithms,
+    build_rtk_algorithms,
+    compare,
+    make_workload,
+    ms,
+    record_table,
+    sample_queries,
+    scaled_size,
+)
+
+DIM = 6
+SIZES = (200, 400, 800, 1600)
+
+
+def sweep(vary: str):
+    rows_rtk, rows_rkr = [], []
+    base = max(300, scaled_size(300))
+    for size in SIZES:
+        if vary == "P":
+            size_p, size_w = size, base
+        else:
+            size_p, size_w = base, size
+        P, W = make_workload("UN", "UN", DIM, size_p=size_p, size_w=size_w,
+                             seed=size)
+        queries = sample_queries(P, count=2, seed=size)
+        rtk = compare(build_rtk_algorithms(P, W), queries, DEFAULT_K, "rtk")
+        rkr = compare(build_rkr_algorithms(P, W), queries, DEFAULT_K, "rkr")
+        rows_rtk.append([size, ms(rtk["GIR"][0]), ms(rtk["BBR"][0]),
+                         ms(rtk["SIM"][0]), rtk["SIM"][1].pairwise])
+        rows_rkr.append([size, ms(rkr["GIR"][0]), ms(rkr["MPA"][0]),
+                         ms(rkr["SIM"][0]), rkr["SIM"][1].pairwise])
+    return rows_rtk, rows_rkr
+
+
+@pytest.fixture(scope="module")
+def figure13_tables():
+    return {"P": sweep("P"), "W": sweep("W")}
+
+
+def test_figure13(benchmark, figure13_tables):
+    for vary, (rows_rtk, rows_rkr) in figure13_tables.items():
+        banner(f"Figure 13: scalability, varying |{vary}| (d={DIM})")
+        record_table(
+            f"fig13_rtk_vary{vary}",
+            [f"|{vary}|", "GIR ms", "BBR ms", "SIM ms", "SIM pairwise"],
+            rows_rtk,
+            f"Figure 13 RTK reproduction — varying |{vary}|",
+        )
+        record_table(
+            f"fig13_rkr_vary{vary}",
+            [f"|{vary}|", "GIR ms", "MPA ms", "SIM ms", "SIM pairwise"],
+            rows_rkr,
+            f"Figure 13 RKR reproduction — varying |{vary}|",
+        )
+        # Shape: work grows with cardinality for the scan methods.  Op
+        # counts are deterministic; wall clock is too noisy to assert on.
+        assert rows_rtk[-1][4] > rows_rtk[0][4]
+        assert rows_rkr[-1][4] > rows_rkr[0][4]
+
+    # Headline benchmark: GIR RTK at the largest |P|.
+    P, W = make_workload("UN", "UN", DIM, size_p=SIZES[-1],
+                         size_w=max(300, scaled_size(300)), seed=2)
+    gir = build_rtk_algorithms(P, W)["GIR"]
+    q = sample_queries(P, count=1, seed=2)[0]
+    benchmark(lambda: gir.reverse_topk(q, DEFAULT_K))

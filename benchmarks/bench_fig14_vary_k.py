@@ -1,0 +1,63 @@
+"""Figure 14 — effect of k on UN data (d = 6, n = 32).
+
+Expected shape: all algorithms insensitive to k because k << |P|, |W|
+(the paper's 'Effect on k' paragraph).
+"""
+
+import pytest
+
+from bench_common import (
+    banner,
+    build_rkr_algorithms,
+    build_rtk_algorithms,
+    compare,
+    make_workload,
+    ms,
+    record_table,
+    sample_queries,
+)
+
+DIM = 6
+K_VALUES = (5, 10, 20, 30, 50)
+
+
+@pytest.fixture(scope="module")
+def figure14_rows():
+    P, W = make_workload("UN", "UN", DIM, seed=41)
+    queries = sample_queries(P, seed=41)
+    rows_rtk, rows_rkr = [], []
+    rtk_algs = build_rtk_algorithms(P, W)
+    rkr_algs = build_rkr_algorithms(P, W)
+    for k in K_VALUES:
+        rtk = compare(rtk_algs, queries, k, "rtk")
+        rkr = compare(rkr_algs, queries, k, "rkr")
+        rows_rtk.append([k, ms(rtk["GIR"][0]), ms(rtk["BBR"][0]),
+                         ms(rtk["SIM"][0])])
+        rows_rkr.append([k, ms(rkr["GIR"][0]), ms(rkr["MPA"][0]),
+                         ms(rkr["SIM"][0])])
+    return rows_rtk, rows_rkr, P, W, queries
+
+
+def test_figure14(benchmark, figure14_rows):
+    rows_rtk, rows_rkr, P, W, queries = figure14_rows
+    banner(f"Figure 14: varying k, UN data, d={DIM}")
+    record_table(
+        "fig14_rtk_vary_k",
+        ["k", "GIR ms", "BBR ms", "SIM ms"],
+        rows_rtk,
+        "Figure 14 RTK reproduction — varying k",
+    )
+    record_table(
+        "fig14_rkr_vary_k",
+        ["k", "GIR ms", "MPA ms", "SIM ms"],
+        rows_rkr,
+        "Figure 14 RKR reproduction — varying k",
+    )
+    # Shape: series stay within an order of magnitude across k.
+    for rows in (rows_rtk, rows_rkr):
+        for col in (1, 2, 3):
+            series = [row[col] for row in rows]
+            assert max(series) <= max(min(series) * 10.0, 1.0)
+
+    gir = build_rtk_algorithms(P, W)["GIR"]
+    benchmark(lambda: gir.reverse_topk(queries[0], K_VALUES[-1]))

@@ -1,0 +1,99 @@
+"""Figure 15 — (a) data visited per algorithm vs d; (b) Grid-index
+filtering vs partition count n.
+
+Expected shapes: (a) the R-tree based methods converge to visiting ~all
+points as d grows while GIR visits few original vectors; (b) filtering
+grows monotonically with n (the paper's n = 32 sweet spot).
+"""
+
+import pytest
+
+from repro.core import model
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.stats.counters import OpCounter
+
+from bench_common import (
+    DEFAULT_K,
+    banner,
+    build_rkr_algorithms,
+    build_rtk_algorithms,
+    make_workload,
+    record_table,
+    sample_queries,
+    scaled_size,
+)
+
+DIMS_A = (3, 6, 9, 12, 20)
+PARTITION_SWEEP = (4, 8, 16, 32, 64, 128)
+DIM_B = 20
+
+
+@pytest.fixture(scope="module")
+def figure15a_rows():
+    rows = []
+    for d in DIMS_A:
+        P, W = make_workload("UN", "UN", d, seed=d)
+        queries = sample_queries(P, count=2, seed=d)
+        visited = {}
+        algs = dict(build_rtk_algorithms(P, W))
+        algs["MPA"] = build_rkr_algorithms(P, W)["MPA"]
+        for name, alg in algs.items():
+            counter = OpCounter()
+            for q in queries:
+                if name == "MPA":
+                    alg.reverse_kranks(q, DEFAULT_K, counter=counter)
+                else:
+                    alg.reverse_topk(q, DEFAULT_K, counter=counter)
+            total = len(queries) * P.size * W.size
+            visited[name] = counter.points_accessed / total * 100.0
+        rows.append([d] + [round(visited[n], 2)
+                           for n in ("GIR", "SIM", "BBR", "MPA")])
+    return rows
+
+
+@pytest.fixture(scope="module")
+def figure15b_rows():
+    size = max(300, scaled_size(300))
+    P = uniform_products(size, DIM_B, value_range=1.0, seed=51).values
+    W = uniform_weights(60, DIM_B, seed=52).values
+    rows = []
+    for n in PARTITION_SWEEP:
+        measured = model.measure_filtering(P, W, n, 1.0, P[:2])
+        predicted = model.worst_case_filtering(DIM_B, n)
+        rows.append([n, f"{measured*100:.1f}%", f"{predicted*100:.1f}%"])
+    return rows
+
+
+def test_figure15a(benchmark, figure15a_rows):
+    banner("Figure 15a: % of original data points visited, varying d")
+    record_table(
+        "fig15a_visited_data",
+        ["d", "GIR %", "SIM %", "BBR %", "MPA %"],
+        figure15a_rows,
+        "Figure 15a reproduction — visited original vectors per query",
+    )
+    # Shape: GIR touches fewer original vectors than SIM at every d.
+    for row in figure15a_rows:
+        assert row[1] <= row[2] + 1e-9
+
+    benchmark(lambda: sum(r[1] for r in figure15a_rows))
+
+
+def test_figure15b(benchmark, figure15b_rows):
+    banner(f"Figure 15b: filtering vs n at d={DIM_B} "
+           "(measured vs paper model)")
+    record_table(
+        "fig15b_filtering_vs_n",
+        ["n", "measured filtering", "paper-model prediction"],
+        figure15b_rows,
+        "Figure 15b reproduction — bound-only filtering vs grid resolution",
+    )
+    measured = [float(r[1].rstrip("%")) for r in figure15b_rows]
+    # Shape: monotone growth in n (the paper's headline trend).
+    assert all(a <= b + 1.0 for a, b in zip(measured, measured[1:]))
+    assert measured[-1] > measured[0]
+
+    size = max(200, scaled_size(200))
+    P = uniform_products(size, DIM_B, value_range=1.0, seed=3).values
+    W = uniform_weights(20, DIM_B, seed=4).values
+    benchmark(lambda: model.measure_filtering(P, W, 32, 1.0, P[:1]))

@@ -1,0 +1,71 @@
+"""Section 5.3 model validation — Theorem 1 predictions vs measurement.
+
+Prints, for a grid of (d, n): the worst-case filtering the paper's model
+guarantees, the partition count Theorem 1 recommends for 99%, and the
+empirically measured bound-only filtering.  Documents the systematic gap
+between the idealized model and the literal equal-width grid (see
+EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.core import model
+from repro.data.synthetic import uniform_products, uniform_weights
+
+from bench_common import banner, record_table, scaled_size
+
+GRID = [(4, 16), (4, 32), (6, 32), (10, 32), (20, 32), (20, 64), (20, 128)]
+
+
+@pytest.fixture(scope="module")
+def validation_rows():
+    rows = []
+    size = max(250, scaled_size(250))
+    for d, n in GRID:
+        P = uniform_products(size, d, value_range=1.0, seed=d * n).values
+        W = uniform_weights(40, d, seed=d + n).values
+        measured = model.measure_filtering(P, W, n, 1.0, P[:2])
+        rows.append([
+            d, n,
+            f"{model.worst_case_filtering(d, n)*100:.2f}%",
+            f"{measured*100:.1f}%",
+            model.recommend_partitions(d, 0.01),
+        ])
+    return rows
+
+
+def test_model_validation(benchmark, validation_rows):
+    banner("Section 5.3 model: predicted vs measured filtering")
+    record_table(
+        "model_validation",
+        ["d", "n", "model F_worst", "measured F", "Theorem-1 n for 99%"],
+        validation_rows,
+        "Performance-model validation (UN data)",
+    )
+    # The model is an upper bound on the literal grid's measured filtering,
+    # and both respond to n the same way.
+    for row in validation_rows:
+        predicted = float(row[2].rstrip("%"))
+        measured = float(row[3].rstrip("%"))
+        assert measured <= predicted + 1.0
+
+    benchmark(lambda: [model.recommend_partitions(d, 0.01)
+                       for d in range(2, 51)])
+
+
+def test_dice_vs_normal_agreement(benchmark):
+    """The exact dice pmf and the CLT approximation agree near the mode."""
+    d, n = 6, 4
+    faces = n ** 2
+    mode = (d * (faces + 1)) // 2
+    exact = model.dice_probability(mode, d, faces)
+    # Check the pmf is bell-shaped and symmetric with the mode at the
+    # centre (the property the paper's Figure 8 illustrates).
+    pmf = [model.dice_probability(s, d, faces)
+           for s in range(d, d * faces + 1)]
+    peak = pmf.index(max(pmf))
+    assert abs(peak - (len(pmf) - 1) / 2) <= 1
+    assert exact == pytest.approx(max(pmf))
+
+    benchmark(lambda: [model.dice_probability(s, d, faces)
+                       for s in range(d, d * faces + 1, 5)])

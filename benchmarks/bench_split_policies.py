@@ -1,0 +1,74 @@
+"""Extra: R-tree construction policies vs dimensionality.
+
+Extends the Table 3 study across the index lineage the paper's related
+work discusses: Guttman's quadratic split, the R*-tree split [1], STR
+bulk loading, and the X-tree supernode policy [2].  Expected shape: R*
+and STR reduce leaf overlap in low d; by d ~ 9 every policy's MBRs
+overlap a 1%-volume query almost completely — the paper's core argument
+that no construction policy rescues trees in high dimensions.
+"""
+
+import pytest
+
+from repro.data.synthetic import uniform_products
+from repro.index.rtree import RTree
+
+from bench_common import banner, record_table, scaled_size
+
+DIMS = (2, 4, 6, 9, 12)
+CAPACITY = 16
+
+
+def build(points, policy):
+    if policy == "STR bulk":
+        return RTree(points, capacity=CAPACITY, bulk=True)
+    if policy == "quadratic":
+        return RTree(points, capacity=CAPACITY, bulk=False, split="quadratic")
+    if policy == "R*":
+        return RTree(points, capacity=CAPACITY, bulk=False, split="rstar")
+    return RTree(points, capacity=CAPACITY, bulk=False, split="rstar",
+                 xtree_max_overlap=0.2)
+
+
+POLICIES = ("STR bulk", "quadratic", "R*", "X-tree")
+
+
+@pytest.fixture(scope="module")
+def policy_rows():
+    size = max(500, scaled_size(500))
+    rows = []
+    for d in DIMS:
+        P = uniform_products(size, d, seed=d).values
+        row = [d]
+        for policy in POLICIES:
+            tree = build(P, policy)
+            tree.check_invariants()
+            stats = tree.mbr_statistics(query_fraction=0.01,
+                                        num_queries=20, seed=d)
+            row.append(f"{stats['overlap_fraction'] * 100:.0f}%")
+        rows.append(row)
+    return rows
+
+
+def test_split_policies(benchmark, policy_rows):
+    banner("Extra: 1%-query MBR overlap across construction policies")
+    record_table(
+        "split_policies",
+        ["d"] + [f"{p} overlap" for p in POLICIES],
+        policy_rows,
+        "R-tree lineage vs dimensionality (UN data)",
+    )
+    # Shape: in high d every policy saturates near total overlap.
+    final = policy_rows[-1]
+    for cell in final[1:]:
+        assert float(cell.rstrip("%")) > 80.0
+    # In 2-d at least one refined policy beats the naive quadratic build.
+    first = policy_rows[0]
+    quad = float(first[2].rstrip("%"))
+    best_refined = min(float(first[1].rstrip("%")),
+                       float(first[3].rstrip("%")))
+    assert best_refined <= quad + 5.0
+
+    size = max(300, scaled_size(300))
+    P = uniform_products(size, 6, seed=1).values
+    benchmark(lambda: RTree(P, capacity=CAPACITY, bulk=False, split="rstar"))

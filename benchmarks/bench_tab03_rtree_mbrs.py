@@ -1,0 +1,60 @@
+"""Table 3 — geometry of the R-tree's MBRs as dimensionality grows.
+
+Reproduces the observation table: number of leaf MBRs, average diagonal,
+shape ratio (longest/shortest edge), the fraction of MBRs a 1%-volume
+range query overlaps, and the (log10) MBR volume.  Expected shape:
+diagonal and volume explode with d; overlap saturates at 100% past d ~ 6;
+the shape ratio falls toward 1 (boxes become cubes of noise).
+"""
+
+import pytest
+
+from repro.data.synthetic import uniform_products
+from repro.index.rtree import RTree
+
+from bench_common import banner, record_table, scaled_size
+
+DIMS = (3, 6, 9, 12, 15, 18, 21, 24)
+CAPACITY = 100  # the paper: "each MBR has 100 entries"
+
+
+@pytest.fixture(scope="module")
+def table3_rows():
+    size = max(2000, scaled_size(2000))
+    rows = []
+    for d in DIMS:
+        P = uniform_products(size, d, seed=d)
+        tree = RTree(P.values, capacity=CAPACITY)
+        stats = tree.mbr_statistics(query_fraction=0.01, num_queries=30,
+                                    seed=d)
+        rows.append([
+            d,
+            stats["num_mbrs"],
+            round(stats["avg_diagonal"], 1),
+            round(stats["avg_shape_ratio"], 2),
+            f"{stats['overlap_fraction'] * 100:.1f}%",
+            round(stats["avg_log10_volume"], 1),
+        ])
+    return rows
+
+
+def test_table3(benchmark, table3_rows):
+    banner("Table 3: accessed MBRs of an R-tree vs dimensionality")
+    record_table(
+        "tab03_rtree_mbrs",
+        ["d", "#MBR", "diagonal", "shape", "overlap in 1% query",
+         "log10 volume"],
+        table3_rows,
+        "Table 3 reproduction (100-entry leaves, UN data)",
+    )
+    overlaps = [float(r[4].rstrip("%")) for r in table3_rows]
+    # Shape: overlap saturates in high d (paper: 100% for d >= 9).
+    assert overlaps[-1] > 95.0
+    assert overlaps[0] < overlaps[-1]
+    # Diagonal grows monotonically with d.
+    diagonals = [r[2] for r in table3_rows]
+    assert all(a < b for a, b in zip(diagonals, diagonals[1:]))
+
+    # Headline benchmark: building the d=12 tree.
+    P = uniform_products(scaled_size(), 12, seed=0)
+    benchmark(lambda: RTree(P.values, capacity=CAPACITY))

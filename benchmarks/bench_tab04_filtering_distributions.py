@@ -1,0 +1,96 @@
+"""Table 4 — Grid-index filtering performance across data distributions.
+
+The paper reports 96.5-99.3% of pairs decided by bounds alone for every
+UN/Normal/Exponential combination of P and W (d = 6, n = 32).
+
+Reproduction note (documented in EXPERIMENTS.md): the literal equal-width
+alpha_p x alpha_w grid cannot reach those absolute numbers — the bound gap
+for codes (i, j) is (i+j+1)/n^2 per dimension, not the 1/n^2 the paper's
+model assumes — so measured bound-only filtering sits around 55-80% at
+this (d, n).  The *shape* is preserved: UN data filters best, Normal x
+Normal worst, exactly the ordering of the paper's table.  We therefore
+report both the bound-only rate and the operational rate (points that
+needed no exact score during a real GIR query, where Domin and early
+termination also contribute) — the latter approaches the paper's figures.
+"""
+
+import pytest
+
+from repro.core import model
+from repro.core.gir import GridIndexRRQ
+from repro.data.synthetic import generate_products, generate_weights
+from repro.stats.counters import OpCounter
+
+from bench_common import banner, record_table, sample_queries, scaled_size
+
+P_DISTS = ("UN", "NORMAL", "EXP")
+W_DISTS = ("UN", "NORMAL", "EXP")
+DIM = 6
+PARTITIONS = 32
+
+
+def operational_filtering(P, W, queries, k=10) -> float:
+    """Fraction of per-(w, p) opportunities resolved without a real score
+    during actual GIR query processing (includes early termination)."""
+    gir = GridIndexRRQ(P, W, partitions=PARTITIONS)
+    counter = OpCounter()
+    for q in queries:
+        gir.reverse_kranks(q, k, counter=counter)
+    opportunities = len(queries) * P.size * W.size
+    return 1.0 - counter.refined / opportunities
+
+
+@pytest.fixture(scope="module")
+def table4_rows():
+    size = max(300, scaled_size(300))
+    rows = []
+    for w_dist in W_DISTS:
+        row = [w_dist]
+        for p_dist in P_DISTS:
+            P = generate_products(p_dist, size, DIM, seed=11)
+            # Note: normalized exponential weights are exactly the
+            # Dirichlet(1) (uniform-simplex) distribution, so the EXP and
+            # UN weight rows coincide mathematically; distinct seeds keep
+            # the samples independent.
+            W = generate_weights(w_dist, size, DIM,
+                                 seed=12 + W_DISTS.index(w_dist))
+            queries = sample_queries(P, count=2, seed=13)
+            bound_only = model.measure_filtering(
+                P.values / P.value_range, W.values, PARTITIONS, 1.0,
+                queries / P.value_range,
+            )
+            operational = operational_filtering(P, W, queries)
+            row.append(f"{bound_only*100:.1f}% / {operational*100:.1f}%")
+        rows.append(row)
+    return rows
+
+
+def test_table4(benchmark, table4_rows):
+    banner("Table 4: Grid-index filtering, bound-only / operational "
+           f"(d={DIM}, n={PARTITIONS})")
+    record_table(
+        "tab04_filtering_distributions",
+        ["W \\ P"] + list(P_DISTS),
+        table4_rows,
+        "Table 4 reproduction — % of pairs decided without refinement",
+    )
+    # Shape: every cell filters, and the paper's column ordering holds —
+    # the NORMAL product column is the weakest in every row (paper Table
+    # 4's minimum, 96.5%, also sits in the Normal column).
+    cells = {
+        (row[0], p): float(row[i + 1].split("%")[0])
+        for row in table4_rows for i, p in enumerate(P_DISTS)
+    }
+    for w_dist in W_DISTS:
+        assert cells[(w_dist, "NORMAL")] <= cells[(w_dist, "UN")]
+        assert cells[(w_dist, "NORMAL")] <= cells[(w_dist, "EXP")]
+    for value in cells.values():
+        assert value > 10.0
+
+    # Headline benchmark: the UN x UN filtering measurement.
+    P = generate_products("UN", 200, DIM, seed=1)
+    W = generate_weights("UN", 50, DIM, seed=2)
+    benchmark(lambda: model.measure_filtering(
+        P.values / P.value_range, W.values, PARTITIONS, 1.0,
+        P.values[:1] / P.value_range,
+    ))

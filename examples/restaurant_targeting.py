@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Restaurant targeting on a DIANPING-style review workload.
+
+The paper's flagship real-world scenario (Section 6.1): a business-review
+site averages each user's review scores into a preference vector and each
+restaurant's review scores into an attribute vector over six aspects
+(rate, food flavor, cost, service, environment, waiting time).  A reverse
+k-ranks query then finds, for any restaurant, the users most likely to be
+its audience — including unpopular restaurants, which reverse top-k would
+return nothing for.
+
+Run: ``python examples/restaurant_targeting.py``
+"""
+
+import numpy as np
+
+from repro import RRQEngine
+from repro.data.real import DIANPING_ASPECTS, dianping
+from repro.stats.report import print_table
+
+RESTAURANTS = 1_500
+USERS = 1_200
+
+
+def describe(vector, names) -> str:
+    """The two aspects a vector emphasises most."""
+    order = np.argsort(vector)[::-1]
+    return ", ".join(names[i] for i in order[:2])
+
+
+def main() -> None:
+    print("Simulating the review site (latent quality + user taste + noise)...")
+    data = dianping(num_restaurants=RESTAURANTS, num_users=USERS,
+                    reviews_per_user=8, seed=7)
+    print(f"{data.num_reviews:,} reviews -> {data.restaurants.size} restaurants, "
+          f"{data.users.size} user preferences\n")
+
+    engine = RRQEngine(data.restaurants, data.users, method="gir")
+
+    # --- Campaign 1: a popular restaurant ---------------------------------
+    # Attribute vectors are "smaller is better"; a low row sum = strong.
+    strength = data.restaurants.values.sum(axis=1)
+    star = int(np.argmin(strength))
+    rtk = engine.reverse_topk(data.restaurants[star], k=10)
+    print(f"Restaurant #{star} (the strongest performer) appears in the "
+          f"top-10 of {rtk.size} users — a reverse top-k audience estimate.")
+
+    # --- Campaign 2: a struggling restaurant ------------------------------
+    dog = int(np.argmax(strength))
+    rtk_dog = engine.reverse_topk(data.restaurants[dog], k=10)
+    print(f"Restaurant #{dog} (the weakest) appears in the top-10 of "
+          f"{rtk_dog.size} users — reverse top-k returns "
+          f"{'nothing' if rtk_dog.size == 0 else 'almost nothing'}, the "
+          "limitation reverse k-ranks was designed to fix.")
+
+    rkr = engine.reverse_kranks(data.restaurants[dog], k=5)
+    rows = []
+    for rank, user in rkr.entries:
+        taste = data.users[user]
+        rows.append([user, rank + 1, describe(taste, DIANPING_ASPECTS)])
+    print_table(
+        ["user", "restaurant's position in their ranking", "user cares most about"],
+        rows,
+        title=f"\nReverse 5-ranks for struggling restaurant #{dog} "
+              "(its 5 most receptive users)",
+    )
+
+    # --- Visibility sweep ---------------------------------------------------
+    print("Audience size vs k for the struggling restaurant:")
+    for k in (10, 50, 100, 200):
+        size = engine.reverse_topk(data.restaurants[dog], k=k).size
+        print(f"  top-{k:<4d} -> {size:5d} users")
+
+
+if __name__ == "__main__":
+    main()

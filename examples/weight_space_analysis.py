@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Weight-space analysis with the monochromatic reverse top-k (2-d).
+
+The bichromatic queries need a concrete customer data set; the
+*monochromatic* variant answers a design question instead: **for which
+preference mixes at all** would my product make the top-k?  In two
+dimensions a preference is ``(lam, 1 - lam)``, so the answer is a set of
+exact intervals of ``lam`` — a complete market-segmentation picture with
+no customer data required.
+
+Uses the paper's Figure 1 cell phones (scored on "smart" and "rating",
+smaller = better after inversion) and reports, per phone, the share of
+all possible preferences that would shortlist it.
+
+Run: ``python examples/weight_space_analysis.py``
+"""
+
+import numpy as np
+
+from repro import monochromatic_reverse_topk
+from repro.stats.report import print_table
+
+PHONES = {
+    "p1": [0.6, 0.7],
+    "p2": [0.2, 0.3],
+    "p3": [0.1, 0.6],
+    "p4": [0.7, 0.5],
+    "p5": [0.8, 0.2],
+}
+
+
+def fmt_interval(interval) -> str:
+    lo, hi = interval
+    return f"[{float(lo):.3f}, {float(hi):.3f}]"
+
+
+def main() -> None:
+    P = np.array(list(PHONES.values()))
+    names = list(PHONES)
+    print("Figure 1 cell phones, attributes (smart, rating), smaller = better.")
+    print("lam = weight on 'smart'; preference = (lam, 1 - lam).\n")
+
+    for k in (1, 2):
+        rows = []
+        for idx, name in enumerate(names):
+            result = monochromatic_reverse_topk(P, P[idx], k)
+            coverage = float(result.total_measure())
+            intervals = ", ".join(fmt_interval(iv) for iv in result.intervals)
+            rows.append([name, f"{coverage:.1%}", intervals or "(none)"])
+        print_table(
+            ["phone", f"share of preferences with it in the top-{k}",
+             "qualifying lam intervals"],
+            rows,
+            title=f"Monochromatic reverse top-{k}",
+        )
+
+    # Cross-check one cell against the bichromatic engine on sampled
+    # preferences: interval membership and RTK membership must coincide.
+    from repro import NaiveRRQ, ProductSet, WeightSet
+
+    lams = np.linspace(0.01, 0.99, 25)
+    W = np.column_stack([lams, 1 - lams])
+    naive = NaiveRRQ(ProductSet(P, value_range=1.0), WeightSet(W))
+    mono = monochromatic_reverse_topk(P, P[1], 2)  # p2, the crowd favourite
+    bichromatic = naive.reverse_topk(P[1], 2).weights
+    agree = all(
+        (j in bichromatic) == mono.contains(float(lam))
+        for j, lam in enumerate(lams)
+    )
+    print(f"Cross-check against the bichromatic engine on 25 sampled "
+          f"preferences: {'consistent' if agree else 'MISMATCH'}")
+
+    # A design insight the intervals make obvious:
+    p4 = monochromatic_reverse_topk(P, P[3], 2)
+    print(f"\np4 (mediocre at both attributes) reaches "
+          f"{float(p4.total_measure()):.1%} of the preference space at k=2 "
+          "— Figure 1(b)'s empty RT-2 was not bad luck; no preference mix "
+          "rescues it." if p4.is_empty else "")
+
+
+if __name__ == "__main__":
+    main()

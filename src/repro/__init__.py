@@ -1,0 +1,93 @@
+"""repro — reproduction of "Grid-Index Algorithm for Reverse Rank Queries".
+
+(Dong, Chen, Furuse, Yu, Kitagawa — EDBT 2017.)
+
+Quick start::
+
+    from repro import RRQEngine, uniform_products, uniform_weights
+
+    P = uniform_products(size=1000, dim=6, seed=1)
+    W = uniform_weights(size=1000, dim=6, seed=2)
+    engine = RRQEngine(P, W, method="gir")
+    print(engine.reverse_topk(P[0], k=10).sorted_indices())
+    print(engine.reverse_kranks(P[0], k=5).entries)
+
+The package layout mirrors the paper: :mod:`repro.core` holds the
+Grid-index contribution, :mod:`repro.algorithms` the baselines it is
+compared against, :mod:`repro.index` the spatial substrates those
+baselines need, and :mod:`repro.ext` the future-work extensions.
+"""
+
+from .algorithms import (
+    BranchBoundRTK,
+    MarkedPruningRKR,
+    NaiveRRQ,
+    SimpleScan,
+    ThresholdRTK,
+)
+from .core import GridIndex, GridIndexRRQ, Quantizer
+from .core import model
+from .data import (
+    ProductSet,
+    WeightSet,
+    anticorrelated_products,
+    clustered_products,
+    clustered_weights,
+    color,
+    dianping,
+    generate_products,
+    generate_weights,
+    house,
+    uniform_products,
+    uniform_weights,
+)
+from .errors import (
+    DataValidationError,
+    DimensionMismatchError,
+    EmptyDatasetError,
+    IndexCorruptionError,
+    InvalidParameterError,
+    ReproError,
+)
+from .ext import (
+    AdaptiveGridIndexRRQ,
+    AggregateGridIndexRKR,
+    DynamicRRQEngine,
+    SparseGridIndexRRQ,
+    aggregate_reverse_kranks_naive,
+    sparsify_weights,
+)
+from .queries import (
+    MonochromaticResult,
+    RKRResult,
+    RRQEngine,
+    RTKResult,
+    available_methods,
+    monochromatic_reverse_topk,
+)
+from .stats import OpCounter
+from .vectorized import BatchOracle
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # facade
+    "RRQEngine", "available_methods", "RTKResult", "RKRResult", "OpCounter",
+    "monochromatic_reverse_topk", "MonochromaticResult",
+    # core
+    "GridIndex", "GridIndexRRQ", "Quantizer", "model",
+    # algorithms
+    "NaiveRRQ", "SimpleScan", "BranchBoundRTK", "MarkedPruningRKR",
+    "ThresholdRTK",
+    "BatchOracle", "AdaptiveGridIndexRRQ", "SparseGridIndexRRQ",
+    "sparsify_weights", "AggregateGridIndexRKR",
+    "aggregate_reverse_kranks_naive", "DynamicRRQEngine",
+    # data
+    "ProductSet", "WeightSet", "uniform_products", "clustered_products",
+    "anticorrelated_products", "uniform_weights", "clustered_weights",
+    "generate_products", "generate_weights", "house", "color", "dianping",
+    # errors
+    "ReproError", "DataValidationError", "DimensionMismatchError",
+    "EmptyDatasetError", "InvalidParameterError", "IndexCorruptionError",
+]

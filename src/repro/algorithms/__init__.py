@@ -1,0 +1,13 @@
+"""RRQ algorithms: oracle, scan and tree baselines."""
+
+from .base import RRQAlgorithm, strictly_dominates
+from .bbr import BranchBoundRTK
+from .mpa import MarkedPruningRKR
+from .naive import NaiveRRQ
+from .rta import ThresholdRTK
+from .sim import SimpleScan
+
+__all__ = [
+    "RRQAlgorithm", "strictly_dominates", "NaiveRRQ", "SimpleScan",
+    "BranchBoundRTK", "MarkedPruningRKR", "ThresholdRTK",
+]

@@ -1,0 +1,128 @@
+"""Common interface for reverse-rank-query algorithms.
+
+Every algorithm (naive, SIM, BBR, MPA, GIR, and the vectorized engines)
+subclasses :class:`RRQAlgorithm`: construction performs whatever indexing
+the method needs (R-trees, histograms, the Grid-index), and the two query
+methods answer RTK and RKR for arbitrary query points against the fixed
+``(P, W)`` pair.
+
+Splitting build from query matches the paper's experimental protocol — all
+indexes are built (and "pre-read into memory") before timing starts, and
+reported numbers are query CPU time only.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+
+from ..data.datasets import (
+    ProductSet,
+    WeightSet,
+    check_compatible,
+    check_query_point,
+)
+from ..errors import InvalidParameterError
+from ..queries.types import RKRResult, RTKResult
+from ..stats.counters import OpCounter
+
+
+class RRQAlgorithm(abc.ABC):
+    """Base class wiring validation and counters around the two query kinds."""
+
+    #: Short name used in benchmark tables ("GIR", "BBR", ...).
+    name: str = "?"
+
+    #: Whether the algorithm supports each query type.  BBR is RTK-only and
+    #: MPA is RKR-only in the paper; attempting the other raises.
+    supports_rtk: bool = True
+    supports_rkr: bool = True
+
+    def __init__(self, products: ProductSet, weights: WeightSet):
+        check_compatible(products, weights)
+        self.products = products
+        self.weights = weights
+        #: Raw arrays, the things hot loops touch.
+        self.P = products.values
+        self.W = weights.values
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Data dimensionality ``d``."""
+        return self.P.shape[1]
+
+    def _check_query(self, q: Union[np.ndarray, list], k: int) -> np.ndarray:
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        return check_query_point(q, self.dim)
+
+    # ------------------------------------------------------------------
+
+    def reverse_topk(self, q: Union[np.ndarray, list], k: int,
+                     counter: Optional[OpCounter] = None) -> RTKResult:
+        """Answer the reverse top-k query (Definition 2)."""
+        if not self.supports_rtk:
+            raise InvalidParameterError(
+                f"{self.name} does not support reverse top-k queries"
+            )
+        q_arr = self._check_query(q, k)
+        if counter is None:
+            counter = OpCounter()
+        return self._reverse_topk(q_arr, k, counter)
+
+    def reverse_kranks(self, q: Union[np.ndarray, list], k: int,
+                       counter: Optional[OpCounter] = None) -> RKRResult:
+        """Answer the reverse k-ranks query (Definition 3)."""
+        if not self.supports_rkr:
+            raise InvalidParameterError(
+                f"{self.name} does not support reverse k-ranks queries"
+            )
+        q_arr = self._check_query(q, k)
+        if counter is None:
+            counter = OpCounter()
+        return self._reverse_kranks(q_arr, k, counter)
+
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _reverse_topk(self, q: np.ndarray, k: int,
+                      counter: OpCounter) -> RTKResult:
+        """Algorithm-specific RTK implementation (inputs already validated)."""
+
+    @abc.abstractmethod
+    def _reverse_kranks(self, q: np.ndarray, k: int,
+                        counter: OpCounter) -> RKRResult:
+        """Algorithm-specific RKR implementation (inputs already validated)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}(|P|={self.P.shape[0]}, "
+                f"|W|={self.W.shape[0]}, d={self.dim})")
+
+
+def duplicate_mask(P: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Boolean mask of rows of ``P`` bit-identical to ``q``.
+
+    A duplicate of the query scores *exactly* ``f_w(q)`` for every weight,
+    so under strict-rank semantics it never counts toward ``rank(w, q)``.
+    Algorithms must exclude these rows from scoring rather than compare
+    scores: evaluating the same mathematical value through different BLAS
+    kernels (dgemm vs dgemv vs dot) can round differently and flip the
+    strict comparison, which would make results non-deterministic across
+    implementations.  The paper draws queries from ``P`` itself, so the
+    case is the norm, not the exception.
+    """
+    return np.all(P == q, axis=1)
+
+
+def strictly_dominates(p: np.ndarray, q: np.ndarray) -> bool:
+    """True when ``p[i] < q[i]`` in every dimension.
+
+    A strictly dominating product out-ranks ``q`` under *every* weight
+    vector on the simplex (at least one component of ``w`` is positive),
+    which is what the Domin buffer of Algorithms 1-3 exploits.
+    """
+    return bool(np.all(p < q))

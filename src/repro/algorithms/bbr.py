@@ -1,0 +1,189 @@
+"""BBR — branch-and-bound reverse top-k (Vlachou et al., SIGMOD 2013).
+
+The state-of-the-art tree method for RTK that the paper compares against.
+Both data sets are indexed in R-trees.  Processing a query ``(q, k)``
+traverses the W-tree; for each W-entry (an MBR ``[w_lo, w_hi]`` of weight
+vectors) it bounds the rank of ``q`` simultaneously for *all* weights in
+the entry by walking the P-tree:
+
+* a P-subtree whose maximal score ``<w_hi, p_hi>`` is below ``q``'s minimal
+  score ``<w_lo, q>`` beats ``q`` under every weight in the entry — its
+  whole count adds to the *guaranteed* rank (lower bound);
+* a P-subtree whose minimal score ``<w_lo, p_lo>`` is at least ``q``'s
+  maximal score ``<w_hi, q>`` can never beat ``q`` — pruned;
+* anything else contributes to the *possible* rank (upper bound) and is
+  expanded.
+
+If the guaranteed rank reaches ``k`` the whole W-entry is discarded; if the
+possible rank stays below ``k`` the whole W-entry qualifies; otherwise the
+entry is expanded, down to exact per-weight verification at the leaves.
+
+Every corner inner product costs the same ``d`` multiplications as a real
+score, so it increments the ``pairwise`` counter — this is why Figure 11
+shows the tree methods performing *more* pairwise computations than a scan
+once the MBRs stop being selective.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..data.datasets import ProductSet, WeightSet
+from ..core.ties import count_strictly_better, tie_tolerance
+from ..index.rtree import Node, RTree
+from ..queries.types import RKRResult, RTKResult
+from ..stats.counters import OpCounter
+from .base import RRQAlgorithm, duplicate_mask
+
+#: Fanout used for both trees; smaller than the Table 3 default because BBR
+#: benefits from finer-grained weight groups.
+DEFAULT_CAPACITY = 32
+
+
+class BranchBoundRTK(RRQAlgorithm):
+    """Branch-and-bound reverse top-k over two R-trees."""
+
+    name = "BBR"
+    supports_rkr = False
+
+    def __init__(self, products: ProductSet, weights: WeightSet,
+                 capacity: int = DEFAULT_CAPACITY):
+        super().__init__(products, weights)
+        self.p_tree = RTree(self.P, capacity=capacity)
+        self.w_tree = RTree(self.W, capacity=capacity)
+
+    # ------------------------------------------------------------------
+
+    def _rank_bounds(self, w_lo: np.ndarray, w_hi: np.ndarray,
+                     q: np.ndarray, k: int, dup: np.ndarray,
+                     counter: OpCounter) -> Tuple[int, int]:
+        """(guaranteed, possible) rank of ``q`` for all weights in the entry.
+
+        Stops early (returning ``(k, k)``) once the guaranteed rank reaches
+        ``k`` — the caller prunes the entry either way.
+        """
+        q_lo = float(np.dot(w_lo, q))
+        q_hi = float(np.dot(w_hi, q))
+        # Near-tie band: bound-based decisions must clear the query's
+        # score interval by this margin (see repro.core.ties).
+        tol = tie_tolerance(q_hi)
+        counter.pairwise += 2
+        guaranteed = 0
+        possible = 0
+        stack: List[Node] = [self.p_tree.root]
+        while stack:
+            node = stack.pop()
+            counter.nodes_accessed += 1
+            counter.pairwise += 2
+            node_hi = float(np.dot(w_hi, node.mbr.hi))
+            node_lo = float(np.dot(w_lo, node.mbr.lo))
+            if node_hi < q_lo - tol:
+                guaranteed += node.count
+                possible += node.count
+                counter.filtered_case1 += node.count
+                if guaranteed >= k:
+                    counter.early_terminations += 1
+                    return k, max(possible, k)
+                continue
+            if node_lo > q_hi + tol:
+                counter.filtered_case2 += node.count
+                continue
+            if node.is_leaf:
+                entries = np.asarray(node.entries)
+                entries = entries[~dup[entries]]
+                block = self.P[entries]
+                counter.pairwise += 2 * len(entries)
+                counter.points_accessed += len(entries)
+                upper = block @ w_hi
+                lower = block @ w_lo
+                sure = int(np.count_nonzero(upper < q_lo - tol))
+                maybe = int(np.count_nonzero(lower < q_hi + tol))
+                guaranteed += sure
+                possible += maybe
+                counter.filtered_case1 += sure
+                counter.refined += maybe - sure
+                if guaranteed >= k:
+                    counter.early_terminations += 1
+                    return k, max(possible, k)
+            else:
+                stack.extend(node.children)
+        return guaranteed, possible
+
+    def _exact_rank(self, w: np.ndarray, q: np.ndarray, limit: int,
+                    dup: np.ndarray, counter: OpCounter) -> int:
+        """Exact ``rank(w, q)`` using the P-tree, aborting at ``limit``."""
+        fq = float(np.dot(w, q))
+        tol = tie_tolerance(fq)
+        counter.pairwise += 1
+        rnk = 0
+        stack: List[Node] = [self.p_tree.root]
+        while stack:
+            node = stack.pop()
+            counter.nodes_accessed += 1
+            counter.pairwise += 2
+            node_lo = float(np.dot(w, node.mbr.lo))
+            if node_lo > fq + tol:
+                counter.filtered_case2 += node.count
+                continue
+            node_hi = float(np.dot(w, node.mbr.hi))
+            if node_hi < fq - tol:
+                rnk += node.count
+                counter.filtered_case1 += node.count
+            elif node.is_leaf:
+                entries = np.asarray(node.entries)
+                entries = entries[~dup[entries]]
+                block = self.P[entries]
+                counter.pairwise += len(entries)
+                counter.points_accessed += len(entries)
+                rnk += count_strictly_better(block @ w, block, w, q, fq, tol)
+                counter.refined += len(entries)
+            else:
+                stack.extend(node.children)
+            if rnk >= limit:
+                counter.early_terminations += 1
+                return limit
+        return rnk
+
+    # ------------------------------------------------------------------
+
+    def _collect_weights(self, node: Node, out: List[int]) -> None:
+        """Append every weight index under ``node`` to ``out``."""
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                out.extend(current.entries)
+            else:
+                stack.extend(current.children)
+
+    def _reverse_topk(self, q: np.ndarray, k: int,
+                      counter: OpCounter) -> RTKResult:
+        result: List[int] = []
+        dup = duplicate_mask(self.P, q)
+        stack: List[Node] = [self.w_tree.root]
+        while stack:
+            node = stack.pop()
+            counter.nodes_accessed += 1
+            guaranteed, possible = self._rank_bounds(
+                node.mbr.lo, node.mbr.hi, q, k, dup, counter
+            )
+            if guaranteed >= k:
+                continue  # no weight in this entry can rank q in its top-k
+            if possible < k:
+                self._collect_weights(node, result)  # all of them qualify
+                continue
+            if node.is_leaf:
+                for j in node.entries:
+                    counter.approx_accessed += 1
+                    rnk = self._exact_rank(self.W[j], q, k, dup, counter)
+                    if rnk < k:
+                        result.append(j)
+            else:
+                stack.extend(node.children)
+        return RTKResult(weights=frozenset(result), k=k, counter=counter)
+
+    def _reverse_kranks(self, q: np.ndarray, k: int,
+                        counter: OpCounter) -> RKRResult:
+        raise NotImplementedError("BBR answers reverse top-k only")

@@ -1,0 +1,162 @@
+"""MPA — the marked pruning approach for reverse k-ranks (Zhang et al., 2014).
+
+The tree baseline for RKR queries.  MPA groups the weight vectors into a
+``c``-per-dimension equi-width histogram (:class:`WeightHistogram`) and
+indexes the products in an R-tree.  Query processing:
+
+1. For every occupied bucket, compute an optimistic lower bound on the rank
+   any member weight can give ``q`` — products whose maximal score over the
+   bucket beats ``q``'s minimal score count toward every member's rank.
+   (Node-level bounds only; leaves are not opened in this phase.)
+2. Visit buckets in ascending lower-bound order.  Once the k-best heap is
+   full and the next bucket's bound is no better than the current k-th
+   rank, all remaining buckets are pruned ("marked").
+3. Surviving buckets are refined per weight with an exact, early-aborting
+   rank computation against the P-tree.
+
+Section 5.1 explains why this collapses in high dimensions: with ``c = 5``
+and ``d = 10`` there are ~9M cells, so occupancy approaches one vector per
+bucket and phase 1 degenerates into a per-weight pre-scan.  The
+implementation keeps that behaviour — it's what Figures 10-11 measure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+import numpy as np
+
+from ..data.datasets import ProductSet, WeightSet
+from ..core.ties import count_strictly_better, tie_tolerance
+from ..index.histogram import DEFAULT_RESOLUTION, WeightHistogram
+from ..index.rtree import Node, RTree
+from ..queries.types import RKRResult, RTKResult, make_rkr_result
+from ..stats.counters import OpCounter
+from .base import RRQAlgorithm, duplicate_mask
+
+#: P-tree fanout (same as BBR's so tree costs are comparable).
+DEFAULT_CAPACITY = 32
+
+
+class MarkedPruningRKR(RRQAlgorithm):
+    """Histogram-over-W + R-tree-over-P reverse k-ranks."""
+
+    name = "MPA"
+    supports_rtk = False
+
+    def __init__(self, products: ProductSet, weights: WeightSet,
+                 resolution: int = DEFAULT_RESOLUTION,
+                 capacity: int = DEFAULT_CAPACITY):
+        super().__init__(products, weights)
+        self.p_tree = RTree(self.P, capacity=capacity)
+        self.histogram = WeightHistogram(self.W, resolution=resolution)
+
+    # ------------------------------------------------------------------
+
+    def _bucket_lower_bound(self, w_lo: np.ndarray, w_hi: np.ndarray,
+                            q: np.ndarray, counter: OpCounter) -> int:
+        """Products guaranteed to out-rank ``q`` for every weight in the bucket."""
+        q_lo = float(np.dot(w_lo, q))
+        q_hi = float(np.dot(w_hi, q))
+        tol = tie_tolerance(q_hi)
+        counter.pairwise += 2
+        guaranteed = 0
+        stack: List[Node] = [self.p_tree.root]
+        while stack:
+            node = stack.pop()
+            counter.nodes_accessed += 1
+            counter.pairwise += 2
+            node_hi = float(np.dot(w_hi, node.mbr.hi))
+            if node_hi < q_lo - tol:
+                guaranteed += node.count
+                counter.filtered_case1 += node.count
+                continue
+            node_lo = float(np.dot(w_lo, node.mbr.lo))
+            if node_lo > q_hi + tol:
+                counter.filtered_case2 += node.count
+                continue
+            if not node.is_leaf:
+                stack.extend(node.children)
+            # Leaves are not opened in the bound phase: the bound stays
+            # optimistic (lower) and cheap.
+        return guaranteed
+
+    def _exact_rank(self, w: np.ndarray, q: np.ndarray, limit: float,
+                    dup: np.ndarray, counter: OpCounter) -> int:
+        """Exact ``rank(w, q)`` via the P-tree, aborting once ``>= limit``."""
+        fq = float(np.dot(w, q))
+        tol = tie_tolerance(fq)
+        counter.pairwise += 1
+        rnk = 0
+        stack: List[Node] = [self.p_tree.root]
+        while stack:
+            node = stack.pop()
+            counter.nodes_accessed += 1
+            counter.pairwise += 2
+            node_lo = float(np.dot(w, node.mbr.lo))
+            if node_lo > fq + tol:
+                counter.filtered_case2 += node.count
+                continue
+            node_hi = float(np.dot(w, node.mbr.hi))
+            if node_hi < fq - tol:
+                rnk += node.count
+                counter.filtered_case1 += node.count
+            elif node.is_leaf:
+                entries = np.asarray(node.entries)
+                entries = entries[~dup[entries]]
+                block = self.P[entries]
+                counter.pairwise += len(entries)
+                counter.points_accessed += len(entries)
+                rnk += count_strictly_better(block @ w, block, w, q, fq, tol)
+                counter.refined += len(entries)
+            else:
+                stack.extend(node.children)
+            if rnk >= limit:
+                counter.early_terminations += 1
+                return int(limit) if limit != float("inf") else rnk
+        return rnk
+
+    # ------------------------------------------------------------------
+
+    def _reverse_kranks(self, q: np.ndarray, k: int,
+                        counter: OpCounter) -> RKRResult:
+        dup = duplicate_mask(self.P, q)
+        # Phase 1: bucket-level optimistic bounds.
+        bounded: List[Tuple[int, int, "object"]] = []
+        for order, bucket in enumerate(self.histogram.buckets()):
+            lb = self._bucket_lower_bound(bucket.lo, bucket.hi, q, counter)
+            bounded.append((lb, order, bucket))
+        heapq.heapify(bounded)
+
+        # Phase 2+3: ascending-bound refinement with a k-best max-heap.
+        # Heap entries are (-rank, -index): the root is the *worst* answer
+        # under the library tie-break (largest rank; largest index on ties).
+        best: List[Tuple[int, int]] = []
+        while bounded:
+            lb, _, bucket = heapq.heappop(bounded)
+            if len(best) >= k and lb > -best[0][0]:
+                counter.early_terminations += 1
+                break  # every remaining bucket is at least this bad: marked
+            for j in sorted(bucket.members):
+                counter.approx_accessed += 1
+                if len(best) < k:
+                    limit = float("inf")
+                else:
+                    worst_rank, worst_j = -best[0][0], -best[0][1]
+                    # A rank equal to the worst can still win when our index
+                    # is smaller, so only then must the scan go one further.
+                    limit = float(worst_rank + (1 if j < worst_j else 0))
+                rnk = self._exact_rank(self.W[j], q, limit, dup, counter)
+                if len(best) < k:
+                    heapq.heappush(best, (-rnk, -j))
+                else:
+                    worst_rank, worst_j = -best[0][0], -best[0][1]
+                    if (rnk, j) < (worst_rank, worst_j):
+                        heapq.heapreplace(best, (-rnk, -j))
+        pairs = [(-neg_rank, -neg_idx) for neg_rank, neg_idx in best]
+        return make_rkr_result(pairs, k, counter)
+
+    def _reverse_topk(self, q: np.ndarray, k: int,
+                      counter: OpCounter) -> RTKResult:
+        raise NotImplementedError("MPA answers reverse k-ranks only")

@@ -1,0 +1,62 @@
+"""The exact brute-force oracle.
+
+Computes every ``rank(w, q)`` by full score evaluation — ``O(|P| * |W|)``
+pairwise computations, no filtering, no early termination.  This is the
+correctness reference all other algorithms are tested against, and the
+"100M computations for 10K x 10K" cost the paper's introduction motivates
+away from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.ties import count_strictly_better_matrix
+from ..queries.types import RKRResult, RTKResult, make_rkr_result
+from ..stats.counters import OpCounter
+from .base import RRQAlgorithm, duplicate_mask
+
+
+class NaiveRRQ(RRQAlgorithm):
+    """Exhaustive reference implementation (vectorized via BLAS).
+
+    The counter still reports the nominal pairwise-computation count
+    (``|P| * |W|`` plus one ``f_w(q)`` per weight) so op-count comparisons
+    against the scan algorithms are meaningful.
+    """
+
+    name = "NAIVE"
+
+    def _all_ranks(self, q: np.ndarray, counter: OpCounter) -> np.ndarray:
+        # Rows identical to q tie with it exactly and must never count
+        # (see base.duplicate_mask for the numerical rationale).
+        P = self.P[~duplicate_mask(self.P, q)]
+        m_p, m_w = P.shape[0], self.W.shape[0]
+        counter.pairwise += m_p * m_w + m_w
+        counter.points_accessed += m_p * m_w
+        fq = self.W @ q
+        ranks = np.empty(m_w, dtype=np.int64)
+        chunk = max(1, min(512, m_w))
+        for start in range(0, m_w, chunk):
+            block = self.W[start:start + chunk]
+            s = P @ block.T
+            ranks[start:start + chunk] = count_strictly_better_matrix(
+                s, P, block, q, fq[start:start + chunk]
+            )
+        return ranks
+
+    def _reverse_topk(self, q: np.ndarray, k: int,
+                      counter: OpCounter) -> RTKResult:
+        ranks = self._all_ranks(q, counter)
+        qualifying = frozenset(int(i) for i in np.nonzero(ranks < k)[0])
+        return RTKResult(weights=qualifying, k=k, counter=counter)
+
+    def _reverse_kranks(self, q: np.ndarray, k: int,
+                        counter: OpCounter) -> RKRResult:
+        ranks = self._all_ranks(q, counter)
+        pairs: List[Tuple[int, int]] = [
+            (int(rank), int(idx)) for idx, rank in enumerate(ranks)
+        ]
+        return make_rkr_result(pairs, k, counter)

@@ -1,0 +1,78 @@
+"""RTA — the reverse top-k threshold algorithm (Vlachou et al., ICDE 2010).
+
+The original bichromatic reverse top-k method [13] and BBR's predecessor;
+included for completeness of the paper's related-work lineage (Section 2).
+For each weight vector the k-th best product score is computed with
+Fagin's Threshold Algorithm over per-dimension sorted lists
+(:mod:`repro.queries.ta`); ``w`` belongs to the answer exactly when
+``f_w(q)`` does not exceed that k-th score:
+
+    rank(w, q) < k   <=>   f_w(q) <= kth_score(w)
+
+(the k-th smallest score bounds how many products can beat ``q``).  Two
+RTA optimizations from [13] are kept:
+
+* the per-dimension sorted lists are built once and reused by every query;
+* consecutive weight vectors are processed in a locality-preserving order
+  (sorted by their first component) so TA's early-stopping depth is warm
+  across similar weights.
+
+Near-ties between ``f_w(q)`` and the k-th score are re-decided by an
+exact strict-rank count (:mod:`repro.core.ties`), keeping RTA's answers
+bit-identical to every other algorithm in the library.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.ties import count_strictly_better, tie_tolerance
+from ..data.datasets import ProductSet, WeightSet
+from ..queries.ta import SortedAccessIndex, ta_kth_score
+from ..queries.types import RKRResult, RTKResult
+from ..stats.counters import OpCounter
+from .base import RRQAlgorithm, duplicate_mask
+
+
+class ThresholdRTK(RRQAlgorithm):
+    """Reverse top-k via per-weight Threshold-Algorithm top-k evaluation."""
+
+    name = "RTA"
+    supports_rkr = False
+
+    def __init__(self, products: ProductSet, weights: WeightSet):
+        super().__init__(products, weights)
+        self.sorted_index = SortedAccessIndex(self.P)
+        # Locality-preserving processing order (see module docstring).
+        self._order = np.argsort(self.W[:, 0], kind="stable")
+
+    def _reverse_topk(self, q: np.ndarray, k: int,
+                      counter: OpCounter) -> RTKResult:
+        dup = duplicate_mask(self.P, q)
+        result: List[int] = []
+        for j in self._order:
+            w = self.W[j]
+            fq = float(np.dot(w, q))
+            counter.pairwise += 1
+            kth = ta_kth_score(self.sorted_index, w, k, counter)
+            tol = tie_tolerance(fq)
+            if abs(fq - kth) <= tol:
+                # Boundary case: decide by the exact strict rank.
+                live = ~dup
+                scores = self.P[live] @ w
+                counter.pairwise += int(live.sum())
+                rank = count_strictly_better(
+                    scores, self.P[live], w, q, fq, tol
+                )
+                qualifies = rank < k
+            else:
+                qualifies = fq < kth
+            if qualifies:
+                result.append(int(j))
+        return RTKResult(weights=frozenset(result), k=k, counter=counter)
+
+    def _reverse_kranks(self, q: np.ndarray, k: int,
+                        counter: OpCounter) -> RKRResult:
+        raise NotImplementedError("RTA answers reverse top-k only")

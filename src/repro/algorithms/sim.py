@@ -1,0 +1,143 @@
+"""SIM — the simple scan baseline (paper Section 6.1).
+
+For each weight vector ``w``, SIM scans ``P`` and computes real scores,
+counting how many products beat the query.  Two optimizations from the
+paper are kept:
+
+* a **Domin buffer** shared across the per-``w`` scans: any product found to
+  strictly dominate ``q`` out-ranks it under every weight, so later scans
+  start with ``rnk = |Domin|`` and skip those products entirely;
+* **early termination**: the scan for one ``w`` stops as soon as the rank
+  can no longer satisfy the query condition (``rnk >= k`` for RTK,
+  ``rnk >= current k-th best`` for RKR).
+
+The scan is processed in chunks (numpy inner products per chunk) so Python
+overhead does not drown the comparison; ``chunk=1`` degenerates to the
+textbook per-pair loop and is used by tests that need pair-exact early
+termination.  Operation counts are exact with respect to the pairs actually
+evaluated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..data.datasets import ProductSet, WeightSet
+from ..core.ties import count_strictly_better, tie_tolerance
+from ..queries.types import RKRResult, RTKResult, make_rkr_result
+from ..stats.counters import OpCounter
+from .base import RRQAlgorithm, duplicate_mask
+
+#: Default number of products scored per numpy call.
+DEFAULT_CHUNK = 128
+
+#: Sentinel rank meaning "scan aborted, w cannot qualify".
+ABORTED = -1
+
+
+class SimpleScan(RRQAlgorithm):
+    """Linear scan with Domin buffer and early termination."""
+
+    name = "SIM"
+
+    def __init__(self, products: ProductSet, weights: WeightSet,
+                 chunk: int = DEFAULT_CHUNK):
+        super().__init__(products, weights)
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.chunk = chunk
+
+    # ------------------------------------------------------------------
+
+    def _scan_rank(self, w: np.ndarray, q: np.ndarray, limit: float,
+                   domin: np.ndarray, counter: OpCounter,
+                   skip: np.ndarray = None) -> int:
+        """Rank of ``q`` under ``w``, aborting once ``rnk >= limit``.
+
+        ``domin`` is the boolean Domin mask over ``P``; it may gain new
+        entries during the scan.  ``skip`` marks rows excluded from rank
+        counting (exact duplicates of ``q``).  Returns :data:`ABORTED`
+        when the scan stopped early.
+        """
+        P = self.P
+        if skip is None:
+            skip = duplicate_mask(P, q)
+        fq = float(np.dot(w, q))
+        tol = tie_tolerance(fq)
+        counter.pairwise += 1
+        rnk = int(domin.sum())
+        counter.dominated_skips += rnk
+        if rnk >= limit:
+            counter.early_terminations += 1
+            return ABORTED
+        m = P.shape[0]
+        for start in range(0, m, self.chunk):
+            stop = min(start + self.chunk, m)
+            live = ~(domin[start:stop] | skip[start:stop])
+            if not live.any():
+                continue
+            block = P[start:stop][live]
+            s = block @ w
+            n_eval = block.shape[0]
+            counter.pairwise += n_eval
+            counter.points_accessed += n_eval
+            n_better = count_strictly_better(s, block, w, q, fq, tol)
+            if n_better:
+                rnk += n_better
+                # Lazily discover dominators among the better products
+                # (Algorithm 1, lines 7-8 do the same inside Case 1).
+                # Dominance is checked on raw coordinates, so the float
+                # score mask is safe to use as a pre-filter.
+                better = s < fq + tol
+                dom_rows = np.all(block[better] < q, axis=1)
+                if dom_rows.any():
+                    local = np.flatnonzero(live)[np.flatnonzero(better)[dom_rows]]
+                    domin[start + local] = True
+            if rnk >= limit:
+                counter.early_terminations += 1
+                return ABORTED
+        return rnk
+
+    # ------------------------------------------------------------------
+
+    def _reverse_topk(self, q: np.ndarray, k: int,
+                      counter: OpCounter) -> RTKResult:
+        domin = np.zeros(self.P.shape[0], dtype=bool)
+        skip = duplicate_mask(self.P, q)
+        result: List[int] = []
+        for j in range(self.W.shape[0]):
+            rnk = self._scan_rank(self.W[j], q, k, domin, counter, skip)
+            if rnk != ABORTED:
+                result.append(j)
+            if int(domin.sum()) >= k:
+                # k dominators out-rank q under every weight: the true
+                # answer is empty (Algorithm 2, lines 7-8).
+                return RTKResult(weights=frozenset(), k=k, counter=counter)
+        return RTKResult(weights=frozenset(result), k=k, counter=counter)
+
+    def _reverse_kranks(self, q: np.ndarray, k: int,
+                        counter: OpCounter) -> RKRResult:
+        import heapq
+
+        domin = np.zeros(self.P.shape[0], dtype=bool)
+        skip = duplicate_mask(self.P, q)
+        # Max-heap (negated ranks) of the current k best (rank, index) pairs.
+        heap: List[Tuple[int, int]] = []
+        for j in range(self.W.shape[0]):
+            if len(heap) < k:
+                limit: float = float("inf")
+            else:
+                # Ties keep the earlier index, so a rank equal to the
+                # current worst can never enter the heap: abort at it.
+                limit = -heap[0][0]
+            rnk = self._scan_rank(self.W[j], q, limit, domin, counter, skip)
+            if rnk == ABORTED:
+                continue
+            if len(heap) < k:
+                heapq.heappush(heap, (-rnk, -j))
+            elif rnk < -heap[0][0]:
+                heapq.heapreplace(heap, (-rnk, -j))
+        pairs = [(-neg_rank, -neg_idx) for neg_rank, neg_idx in heap]
+        return make_rkr_result(pairs, k, counter)

@@ -1,0 +1,14 @@
+"""Analytical models of the baselines' behaviour (paper Section 5.1-5.2)."""
+
+from .rtree_model import (
+    filtering_collapse_table,
+    histogram_bucket_count,
+    histogram_expected_occupancy,
+    max_filtered_fraction,
+    tetra_volume,
+)
+
+__all__ = [
+    "histogram_bucket_count", "histogram_expected_occupancy",
+    "tetra_volume", "max_filtered_fraction", "filtering_collapse_table",
+]

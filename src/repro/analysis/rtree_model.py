@@ -1,0 +1,67 @@
+"""Analytical models of the tree-based methods' weaknesses (Section 5.1-5.2).
+
+Two small models the paper uses to argue trees cannot win in high
+dimensions:
+
+* the **histogram explosion** of MPA — ``c^d`` buckets versus ``|W|``
+  vectors (Section 5.1), and
+* the **filterable-volume bound** of an R-tree under an RRQ — the gray
+  region of Figure 7 is at best a hyper-tetra times a hyper-prism, whose
+  volume collapses factorially with the number of 'triangular' dimensions
+  ``g`` (Equations 5-10).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidParameterError
+
+
+def histogram_bucket_count(resolution: int, d: int) -> int:
+    """``c ** d`` — MPA's theoretical bucket count (Section 5.1)."""
+    if resolution <= 0 or d <= 0:
+        raise InvalidParameterError("resolution and d must be positive")
+    return resolution ** d
+
+
+def histogram_expected_occupancy(num_weights: int, resolution: int, d: int) -> float:
+    """Expected vectors per bucket if weights spread evenly (Section 5.1).
+
+    Below 1, bucket-level pruning cannot beat a plain scan — the paper's
+    ``|W| = 100K, d = 10`` example gives ``100K / 9.8M ~ 0.01``.
+    """
+    if num_weights <= 0:
+        raise InvalidParameterError("num_weights must be positive")
+    return num_weights / histogram_bucket_count(resolution, d)
+
+
+def tetra_volume(g: int, gamma: float = 0.0) -> float:
+    """Volume of the hyper-tetra part: ``(1 - gamma)^g / g!`` (Equation 7)."""
+    if g <= 0:
+        raise InvalidParameterError("g must be positive")
+    if not 0.0 <= gamma < 1.0:
+        raise InvalidParameterError("gamma must be in [0, 1)")
+    return (1.0 - gamma) ** g / math.factorial(g)
+
+
+def max_filtered_fraction(d: int, gamma: float = 0.0, g: int = None) -> float:
+    """Upper bound on the space an R-tree can filter for an RRQ (Equation 10).
+
+    ``Vol_max = (1 - gamma)^g / g!`` with the hyper-prism factor bounded by
+    ``1/2`` and the two symmetric filtering regions summed.  By default
+    half the dimensions are assumed triangular (``g = d // 2``), the
+    assumption the paper uses for its ``d = 10 -> 0.8%`` example.
+    """
+    if d <= 0:
+        raise InvalidParameterError("d must be positive")
+    if g is None:
+        g = max(1, d // 2)
+    if g > d:
+        raise InvalidParameterError("g cannot exceed d")
+    return tetra_volume(g, gamma)
+
+
+def filtering_collapse_table(dims, gamma: float = 0.0):
+    """Rows of ``(d, g, max filtered fraction)`` for a dimension sweep."""
+    return [(d, max(1, d // 2), max_filtered_fraction(d, gamma)) for d in dims]

@@ -1,0 +1,245 @@
+"""Command-line interface for the reverse-rank-query engine.
+
+Installed as ``repro-rrq``.  Subcommands cover the full life cycle:
+
+* ``generate`` — create a synthetic (or real-stand-in) data set on disk;
+* ``build`` — pre-process a data set into a persisted Grid-index;
+* ``query`` — answer a reverse top-k / reverse k-ranks query;
+* ``compare`` — run all applicable algorithms on one query and report
+  agreement and timings;
+* ``model`` — Theorem-1 partition recommendations for a dimensionality;
+* ``info`` — size report of a persisted index.
+
+Examples::
+
+    repro-rrq generate --dist UN --size 5000 --dim 6 --out data/
+    repro-rrq build data/ --index idx/ --partitions 32
+    repro-rrq query idx/ --product 17 --kind rtk -k 10
+    repro-rrq compare data/ --product 17 -k 10
+    repro-rrq model --dim 20 --epsilon 0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .data import io
+    from .data.real import color, dianping, house
+    from .data.synthetic import generate_products, generate_weights
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    dist = args.dist.upper()
+    if dist == "DIANPING":
+        data = dianping(num_restaurants=args.size, num_users=args.size,
+                        seed=args.seed)
+        products, weights = data.restaurants, data.users
+    elif dist in ("HOUSE", "COLOR"):
+        products = (house if dist == "HOUSE" else color)(
+            size=args.size, seed=args.seed
+        )
+        weights = generate_weights("UN", args.size, products.dim,
+                                   seed=args.seed + 1)
+    else:
+        products = generate_products(dist, args.size, args.dim, seed=args.seed)
+        weights = generate_weights(args.weight_dist, args.size, args.dim,
+                                   seed=args.seed + 1)
+    io.save_products(out / "products.rrq", products)
+    io.save_weights(out / "weights.rrq", weights)
+    print(f"wrote {products.size} products (d={products.dim}) and "
+          f"{weights.size} weights to {out}/")
+    return 0
+
+
+def _load_data(directory: str):
+    from .data import io
+
+    path = Path(directory)
+    return (io.load_products(path / "products.rrq"),
+            io.load_weights(path / "weights.rrq"))
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from .core.gir import GridIndexRRQ
+    from .core.storage import save_index
+
+    products, weights = _load_data(args.data)
+    start = time.perf_counter()
+    gir = GridIndexRRQ(products, weights, partitions=args.partitions)
+    built = time.perf_counter() - start
+    manifest = save_index(args.index, gir)
+    total = sum(manifest.values())
+    print(f"built n={args.partitions} Grid-index over "
+          f"{products.size}x{weights.size} in {built*1000:.1f} ms; "
+          f"persisted {total:,} bytes to {args.index}/")
+    return 0
+
+
+def _resolve_query(args, products) -> np.ndarray:
+    if args.product is not None:
+        if not 0 <= args.product < products.size:
+            print(f"error: --product must be in [0, {products.size})",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        return products[args.product]
+    if args.vector:
+        return np.array([float(x) for x in args.vector.split(",")])
+    print("error: provide --product INDEX or --vector v1,v2,...",
+          file=sys.stderr)
+    raise SystemExit(2)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .core.storage import load_index
+
+    target = Path(args.index)
+    if (target / "grid.meta").exists():
+        engine = load_index(target)
+        products = engine.products
+    else:
+        from .queries.engine import make_algorithm
+
+        products, weights = _load_data(args.index)
+        engine = make_algorithm(args.method, products, weights)
+    q = _resolve_query(args, products)
+    start = time.perf_counter()
+    if args.kind == "rtk":
+        result = engine.reverse_topk(q, args.k)
+        elapsed = (time.perf_counter() - start) * 1000
+        print(f"reverse top-{args.k}: {result.size} matching preferences "
+              f"({elapsed:.1f} ms)")
+        shown = result.sorted_indices()[:args.limit]
+        print(" ".join(map(str, shown)) + (" ..." if result.size > args.limit else ""))
+    else:
+        result = engine.reverse_kranks(q, args.k)
+        elapsed = (time.perf_counter() - start) * 1000
+        print(f"reverse {args.k}-ranks ({elapsed:.1f} ms):")
+        for rank, idx in result.entries:
+            print(f"  preference {idx}: rank {rank}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .queries.engine import available_methods, make_algorithm
+
+    products, weights = _load_data(args.data)
+    q = _resolve_query(args, products)
+    reference = None
+    print(f"{'method':14s} {'time':>10s}   answer")
+    for method in available_methods():
+        alg = make_algorithm(method, products, weights)
+        supported = (alg.supports_rtk if args.kind == "rtk"
+                     else alg.supports_rkr)
+        if not supported:
+            continue
+        start = time.perf_counter()
+        if args.kind == "rtk":
+            answer = alg.reverse_topk(q, args.k).weights
+        else:
+            answer = alg.reverse_kranks(q, args.k).entries
+        elapsed = (time.perf_counter() - start) * 1000
+        if reference is None:
+            reference = answer
+        status = "OK" if answer == reference else "MISMATCH"
+        size = len(answer)
+        print(f"{method:14s} {elapsed:8.1f}ms   size={size}  {status}")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from .core import model
+
+    n = model.recommend_partitions(args.dim, args.epsilon)
+    bound = model.required_partitions(args.dim, args.epsilon)
+    print(f"d={args.dim}, target filtering {1 - args.epsilon:.2%}:")
+    print(f"  Theorem 1 bound : n > {bound:.2f}")
+    print(f"  recommended n   : {n} (next power of two)")
+    print(f"  grid memory     : {model.grid_memory_bytes(n)/1024:.1f} KiB")
+    print(f"  model guarantee : F > {model.worst_case_filtering(args.dim, n):.4%}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .core.storage import index_size_report
+
+    report = index_size_report(args.index)
+    for name, size in report.items():
+        if name == "approx_over_raw":
+            print(f"{name:18s} {size:.3%}")
+        else:
+            print(f"{name:18s} {size:>12,} bytes")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-rrq`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-rrq",
+        description="Reverse rank queries with the Grid-index (EDBT 2017 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a data set")
+    gen.add_argument("--dist", default="UN",
+                     help="UN|CL|AC|NORMAL|EXP|HOUSE|COLOR|DIANPING")
+    gen.add_argument("--weight-dist", default="UN", help="UN|CL|NORMAL|EXP")
+    gen.add_argument("--size", type=int, default=2000)
+    gen.add_argument("--dim", type=int, default=6)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    build = sub.add_parser("build", help="build + persist a Grid-index")
+    build.add_argument("data", help="directory from 'generate'")
+    build.add_argument("--index", required=True)
+    build.add_argument("--partitions", type=int, default=32)
+    build.set_defaults(func=_cmd_build)
+
+    query = sub.add_parser("query", help="answer one query")
+    query.add_argument("index", help="index directory (or raw data directory)")
+    query.add_argument("--method", default="gir",
+                       help="algorithm when querying raw data")
+    query.add_argument("--kind", choices=("rtk", "rkr"), default="rtk")
+    query.add_argument("-k", type=int, default=10)
+    query.add_argument("--product", type=int)
+    query.add_argument("--vector")
+    query.add_argument("--limit", type=int, default=20)
+    query.set_defaults(func=_cmd_query)
+
+    cmp_ = sub.add_parser("compare", help="run all algorithms on one query")
+    cmp_.add_argument("data")
+    cmp_.add_argument("--kind", choices=("rtk", "rkr"), default="rtk")
+    cmp_.add_argument("-k", type=int, default=10)
+    cmp_.add_argument("--product", type=int)
+    cmp_.add_argument("--vector")
+    cmp_.set_defaults(func=_cmd_compare)
+
+    model_p = sub.add_parser("model", help="Theorem-1 recommendation")
+    model_p.add_argument("--dim", type=int, required=True)
+    model_p.add_argument("--epsilon", type=float, default=0.01)
+    model_p.set_defaults(func=_cmd_model)
+
+    info = sub.add_parser("info", help="index size report")
+    info.add_argument("index")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

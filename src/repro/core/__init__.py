@@ -1,0 +1,23 @@
+"""The paper's contribution: Grid-index, GInTop-k, GIR, performance model."""
+
+from .approx import Quantizer, bits_needed, code_dtype, quantize_dataset
+from .approximate import (
+    ApproxRKRResult,
+    ApproxRTKResult,
+    reverse_kranks_bounds,
+    reverse_topk_bounds,
+)
+from .bounds import Case, classify, classify_batch, sandwich_holds
+from .gin import ABORTED, GinContext, gin_topk
+from .gir import GridIndexRRQ
+from .grid import DEFAULT_PARTITIONS, GridIndex
+from . import bitstring, model
+
+__all__ = [
+    "GridIndex", "DEFAULT_PARTITIONS", "Quantizer", "quantize_dataset",
+    "bits_needed", "code_dtype", "Case", "classify", "classify_batch",
+    "sandwich_holds", "GinContext", "gin_topk", "ABORTED", "GridIndexRRQ",
+    "bitstring", "model",
+    "reverse_topk_bounds", "reverse_kranks_bounds",
+    "ApproxRTKResult", "ApproxRKRResult",
+]

@@ -1,0 +1,117 @@
+"""Quantizers producing the approximate vectors ``P^(A)`` and ``W^(A)``.
+
+Section 3.1: the approximate vector of a point is
+``p_a[i] = floor(p[i] * n / r)`` — the index of the partition each
+component falls into.  The same recipe with ``r = 1`` covers weights.
+:class:`Quantizer` generalizes this to arbitrary strictly increasing
+boundary vectors (needed by the adaptive-grid extension) via binary search;
+the equal-width case uses the closed-form floor division.
+
+Quantized codes are stored as the smallest unsigned integer dtype that fits
+``n`` values, which is what makes the approximate files small (Section 3.2;
+the bit-exact packing lives in :mod:`repro.core.bitstring`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataValidationError, InvalidParameterError
+
+
+def code_dtype(partitions: int) -> np.dtype:
+    """Smallest unsigned dtype able to hold codes in ``[0, partitions)``."""
+    if partitions <= 0:
+        raise InvalidParameterError("partitions must be positive")
+    if partitions <= 2 ** 8:
+        return np.dtype(np.uint8)
+    if partitions <= 2 ** 16:
+        return np.dtype(np.uint16)
+    return np.dtype(np.uint32)
+
+
+def bits_needed(partitions: int) -> int:
+    """Bits per component for ``partitions`` intervals (``b`` with ``n = 2^b``)."""
+    if partitions <= 0:
+        raise InvalidParameterError("partitions must be positive")
+    return max(1, int(np.ceil(np.log2(partitions))))
+
+
+class Quantizer:
+    """Maps real values to partition codes for one boundary vector.
+
+    Parameters
+    ----------
+    boundaries:
+        ``n + 1`` strictly increasing partition boundaries.  Values must lie
+        in ``[boundaries[0], boundaries[-1]]``; the top boundary is mapped
+        into the last partition (the paper's range is half-open, but real
+        data can sit exactly on the maximum).
+    equal_width:
+        When True (auto-detected by :meth:`equal_width`), use the closed
+        form instead of binary search.
+    """
+
+    def __init__(self, boundaries: np.ndarray):
+        arr = np.asarray(boundaries, dtype=np.float64).reshape(-1)
+        if arr.shape[0] < 2 or np.any(np.diff(arr) <= 0):
+            raise InvalidParameterError(
+                "boundaries must be strictly increasing with length >= 2"
+            )
+        self.boundaries = arr
+        self.partitions = arr.shape[0] - 1
+        self._dtype = code_dtype(self.partitions)
+        widths = np.diff(arr)
+        self._equal_width = bool(np.allclose(widths, widths[0]))
+        self._lo = float(arr[0])
+        self._hi = float(arr[-1])
+        self._width = float(widths[0])
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def equal_width(cls, partitions: int, value_range: float = 1.0,
+                    low: float = 0.0) -> "Quantizer":
+        """The paper's quantizer: ``n`` equal partitions of ``[low, low + r)``."""
+        if value_range <= 0:
+            raise InvalidParameterError("value_range must be positive")
+        return cls(np.linspace(low, low + value_range, partitions + 1))
+
+    # ------------------------------------------------------------------
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Partition code of every element of ``values`` (any shape)."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size and (arr.min() < self._lo - 1e-12
+                         or arr.max() > self._hi + 1e-12):
+            raise DataValidationError(
+                f"values outside quantizer range [{self._lo}, {self._hi}]"
+            )
+        if self._equal_width:
+            codes = np.floor((arr - self._lo) / self._width).astype(np.int64)
+        else:
+            codes = np.searchsorted(self.boundaries, arr, side="right") - 1
+        # Values equal to the top boundary belong to the last partition.
+        codes = np.clip(codes, 0, self.partitions - 1)
+        return codes.astype(self._dtype)
+
+    def cell_low(self, codes: np.ndarray) -> np.ndarray:
+        """Lower boundary of each code's partition."""
+        return self.boundaries[np.asarray(codes, dtype=np.int64)]
+
+    def cell_high(self, codes: np.ndarray) -> np.ndarray:
+        """Upper boundary of each code's partition."""
+        return self.boundaries[np.asarray(codes, dtype=np.int64) + 1]
+
+    def reconstruct(self, codes: np.ndarray) -> np.ndarray:
+        """Mid-point de-quantization (used by compression-loss tests)."""
+        idx = np.asarray(codes, dtype=np.int64)
+        return (self.boundaries[idx] + self.boundaries[idx + 1]) / 2.0
+
+
+def quantize_dataset(values: np.ndarray, quantizer: Quantizer) -> np.ndarray:
+    """Approximate vectors of a whole ``(m, d)`` matrix (``P^(A)`` / ``W^(A)``)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 2:
+        raise InvalidParameterError("quantize_dataset expects a (m, d) matrix")
+    return quantizer.quantize(arr)

@@ -1,0 +1,170 @@
+"""Bounds-only (anytime) reverse rank queries.
+
+The Grid-index classifies most pairs without any real score computation;
+if an application tolerates a little uncertainty it can skip refinement
+entirely and read the answer straight off the bounds:
+
+* for each preference ``w``, counting Case-1 pairs gives a **certain**
+  lower bound on ``rank(w, q)`` and Case-1 + Case-3 pairs an upper bound;
+* ``upper < k``  → ``w`` certainly qualifies;
+  ``lower >= k`` → certainly not;
+  otherwise ``w`` is *undecided*.
+
+:func:`reverse_topk_bounds` returns the certain and undecided sets —
+sandwiching the exact answer — plus per-weight rank intervals, in one
+refinement-free pass.  :func:`reverse_kranks_bounds` does the analogous
+thing for reverse k-ranks: preferences whose rank interval cannot be
+beaten by ``k`` others are certain members.
+
+Typical uses: interactive dashboards that show the certain audience
+immediately and refine the undecided sliver in the background, or
+cardinality estimation for query planning.  The exact algorithms remain
+the source of truth; tests enforce ``certain <= exact <= certain |
+undecided`` on every instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+import numpy as np
+
+from ..algorithms.base import duplicate_mask
+from ..errors import InvalidParameterError
+from ..stats.counters import OpCounter
+from .gir import GridIndexRRQ
+
+
+@dataclass(frozen=True)
+class ApproxRTKResult:
+    """Bounds-only reverse top-k answer.
+
+    ``certain`` preferences definitely contain ``q`` in their top-k;
+    ``undecided`` might.  The exact answer lies between ``certain`` and
+    ``certain | undecided``.
+    """
+
+    certain: FrozenSet[int]
+    undecided: FrozenSet[int]
+    k: int
+    rank_intervals: Tuple[Tuple[int, int], ...] = field(compare=False,
+                                                        default=())
+    counter: OpCounter = field(compare=False, default_factory=OpCounter)
+
+    @property
+    def possible(self) -> FrozenSet[int]:
+        """Upper envelope: every preference that might qualify."""
+        return self.certain | self.undecided
+
+    def uncertainty(self) -> float:
+        """Fraction of preferences left undecided."""
+        total = len(self.rank_intervals)
+        return len(self.undecided) / total if total else 0.0
+
+
+def _rank_intervals(gir: GridIndexRRQ, q: np.ndarray,
+                    counter: OpCounter) -> np.ndarray:
+    """(lower, upper) strict-rank interval per preference, bounds only."""
+    P = gir.P
+    skip = duplicate_mask(P, q)
+    live = ~skip
+    pa_low = gir.grid.alpha_p[gir.PA.astype(np.intp, copy=False)][live]
+    pa_high = gir.grid.alpha_p[gir.PA.astype(np.intp, copy=False) + 1][live]
+    alpha_w = gir.grid.alpha_w
+    out = np.empty((gir.W.shape[0], 2), dtype=np.int64)
+    d = P.shape[1]
+    for j in range(gir.W.shape[0]):
+        w = gir.W[j]
+        fq = float(np.dot(w, q))
+        counter.pairwise += 1
+        codes = gir.WA[j].astype(np.intp, copy=False)
+        w_lo = alpha_w[codes]
+        w_hi = alpha_w[codes + 1]
+        upper_bounds = pa_high @ w_hi
+        lower_bounds = pa_low @ w_lo
+        counter.grid_lookups += 2 * pa_low.shape[0] * d
+        counter.additions += 2 * pa_low.shape[0] * d
+        certainly_better = int(np.count_nonzero(upper_bounds < fq))
+        possibly_better = int(np.count_nonzero(lower_bounds < fq))
+        counter.filtered_case1 += certainly_better
+        counter.filtered_case2 += pa_low.shape[0] - possibly_better
+        out[j, 0] = certainly_better
+        out[j, 1] = possibly_better
+    return out
+
+
+def reverse_topk_bounds(gir: GridIndexRRQ, q, k: int) -> ApproxRTKResult:
+    """Refinement-free RTK: certain members, undecided members, intervals."""
+    if k <= 0:
+        raise InvalidParameterError("k must be positive")
+    q_arr = gir._check_query(q, k)
+    counter = OpCounter()
+    intervals = _rank_intervals(gir, q_arr, counter)
+    certain = frozenset(int(j) for j in np.flatnonzero(intervals[:, 1] < k))
+    certainly_out = intervals[:, 0] >= k
+    undecided = frozenset(
+        int(j) for j in np.flatnonzero(~certainly_out)
+    ) - certain
+    return ApproxRTKResult(
+        certain=certain,
+        undecided=undecided,
+        k=k,
+        rank_intervals=tuple((int(lo), int(hi)) for lo, hi in intervals),
+        counter=counter,
+    )
+
+
+@dataclass(frozen=True)
+class ApproxRKRResult:
+    """Bounds-only reverse k-ranks answer.
+
+    ``certain`` preferences are in every consistent exact answer;
+    ``candidates`` is the smallest superset the bounds can prove contains
+    the exact answer set.
+    """
+
+    certain: FrozenSet[int]
+    candidates: FrozenSet[int]
+    k: int
+    counter: OpCounter = field(compare=False, default_factory=OpCounter)
+
+
+def reverse_kranks_bounds(gir: GridIndexRRQ, q, k: int) -> ApproxRKRResult:
+    """Refinement-free RKR envelope from per-preference rank intervals.
+
+    A preference is *certainly* in the answer when fewer than ``k``
+    others could possibly rank ``q`` better or equal (their lower bound
+    does not exceed its upper bound); it remains a *candidate* when fewer
+    than ``k`` others are certainly strictly better.
+    """
+    if k <= 0:
+        raise InvalidParameterError("k must be positive")
+    q_arr = gir._check_query(q, k)
+    counter = OpCounter()
+    intervals = _rank_intervals(gir, q_arr, counter)
+    lowers = intervals[:, 0]
+    uppers = intervals[:, 1]
+    m = lowers.shape[0]
+    certain = []
+    candidates = []
+    sorted_lowers = np.sort(lowers)
+    sorted_uppers = np.sort(uppers)
+    for j in range(m):
+        # Others certainly at-least-as-good: upper_i < lower_j  (strictly
+        # better in every consistent world).  Use sorted uppers.
+        strictly_better = int(np.searchsorted(sorted_uppers, lowers[j],
+                                              side="left"))
+        if strictly_better < k:
+            candidates.append(j)
+        # Others possibly better-or-tied: lower_i <= upper_j.
+        possibly_better = int(np.searchsorted(sorted_lowers, uppers[j],
+                                              side="right")) - 1  # minus self
+        if possibly_better < k:
+            certain.append(j)
+    return ApproxRKRResult(
+        certain=frozenset(certain),
+        candidates=frozenset(candidates),
+        k=k,
+        counter=counter,
+    )

@@ -1,0 +1,65 @@
+"""Score-bound classification — the three cases of Section 3.1.
+
+Given the Grid-index bounds ``L[f_w(p)]`` and ``U[f_w(p)]`` and the real
+query score ``f_w(q)``, every product falls into one of three cases:
+
+* Case 1 (``p`` precedes ``q``): ``U < f_w(q)`` — ``p`` definitely ranks
+  better; count it, never score it.
+* Case 2 (``q`` precedes ``p``): ``L > f_w(q)`` — ``p`` definitely ranks
+  worse; drop it, never score it.
+* Case 3 (incomparable): otherwise — refine with a real inner product.
+
+The paper's Case 1 text uses a strict inequality while Algorithm 1 line 5
+uses ``<=``; this implementation keeps the *strict* form for both cases so
+the classification stays conservative under the library's strict-rank
+semantics (a pair with ``U == f_w(q)`` could be a tie, which must not be
+counted as strictly better).  Exactness against the naive oracle is
+enforced by the integration tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+import numpy as np
+
+
+class Case(enum.IntEnum):
+    """Classification outcome for one ``(p, w)`` pair against ``q``."""
+
+    PRECEDES = 1       # Case 1: p ranks strictly better than q
+    PRECEDED = 2       # Case 2: q ranks strictly better (or ties) — drop
+    INCOMPARABLE = 3   # Case 3: bounds straddle f_w(q); needs refinement
+
+
+def classify(lower: float, upper: float, query_score: float) -> Case:
+    """Classify one pair from its score bounds (scalar form)."""
+    if upper < query_score:
+        return Case.PRECEDES
+    if lower > query_score:
+        return Case.PRECEDED
+    return Case.INCOMPARABLE
+
+
+def classify_batch(lower: np.ndarray, upper: np.ndarray,
+                   query_score: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Boolean masks ``(case1, case2, case3)`` for bound arrays.
+
+    The masks partition the input: every element is True in exactly one.
+    """
+    case1 = upper < query_score
+    case2 = lower > query_score
+    case3 = ~(case1 | case2)
+    return case1, case2, case3
+
+
+def sandwich_holds(lower: np.ndarray, scores: np.ndarray,
+                   upper: np.ndarray, atol: float = 1e-9) -> bool:
+    """Check the bound invariant ``L <= f_w(p) <= U`` (Equation 2).
+
+    Used by property tests; ``atol`` absorbs float round-off in the sums.
+    """
+    lo_ok = np.all(lower <= scores + atol)
+    hi_ok = np.all(scores <= upper + atol)
+    return bool(lo_ok and hi_ok)

@@ -1,0 +1,158 @@
+"""GIR — the Grid-index algorithms for RTK and RKR (Algorithms 2 and 3).
+
+:class:`GridIndexRRQ` builds the Grid-index and both approximate-vector
+sets once at construction (the paper's pre-processing step), then answers
+any number of queries:
+
+* ``reverse_topk`` — Algorithm 2 (GIRTop-k): one GInTop-k call per weight,
+  with a global abort once the Domin buffer proves the answer empty.
+* ``reverse_kranks`` — Algorithm 3 (GIRk-Rank): a size-k heap whose worst
+  rank (``minRank``) feeds back into GInTop-k as the abort threshold.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.base import RRQAlgorithm, duplicate_mask
+from ..data.datasets import ProductSet, WeightSet
+from ..queries.types import RKRResult, RTKResult, make_rkr_result
+from ..stats.counters import OpCounter
+from .approx import Quantizer, quantize_dataset
+from .gin import ABORTED, DEFAULT_CHUNK, GinContext, gin_topk
+from .grid import DEFAULT_PARTITIONS, GridIndex
+
+
+class GridIndexRRQ(RRQAlgorithm):
+    """The paper's contribution: Grid-index filtered scan for RTK and RKR.
+
+    Parameters
+    ----------
+    products, weights:
+        The data sets.
+    partitions:
+        Number of value-range partitions ``n`` (paper default 32;
+        :func:`repro.core.model.recommend_partitions` picks one from a
+        target filtering performance).
+    grid:
+        Optionally, a pre-built (possibly non-equal-width) grid; overrides
+        ``partitions``.  The adaptive extension passes one in.
+    p_quantizer, w_quantizer:
+        Override quantizers; must match ``grid``'s boundaries.
+    chunk:
+        Scan block size for the chunk-vectorized inner loop.
+    use_domin:
+        Ablation switch: when False the Domin buffer is never populated
+        (Algorithm 1 lines 7-8 disabled).  Results are unchanged; only the
+        work differs.  Used by ``bench_ablation_domin``.
+    """
+
+    name = "GIR"
+
+    def __init__(self, products: ProductSet, weights: WeightSet,
+                 partitions: int = DEFAULT_PARTITIONS,
+                 grid: Optional[GridIndex] = None,
+                 p_quantizer: Optional[Quantizer] = None,
+                 w_quantizer: Optional[Quantizer] = None,
+                 chunk: int = DEFAULT_CHUNK,
+                 use_domin: bool = True):
+        super().__init__(products, weights)
+        if grid is None:
+            # Section 3.1 quantizes by "the range of the attribute value".
+            # For weights on the simplex the observed component range is
+            # far below 1.0 once d grows (w_i ~ 1/d), so spanning [0, 1]
+            # would waste nearly all of the grid's weight-axis resolution.
+            w_range = float(self.W.max())
+            alpha_p = np.linspace(0.0, products.value_range, partitions + 1)
+            alpha_w = np.linspace(0.0, w_range, partitions + 1)
+            grid = GridIndex(alpha_p, alpha_w)
+        self.grid = grid
+        self.p_quantizer = p_quantizer or Quantizer(grid.alpha_p)
+        self.w_quantizer = w_quantizer or Quantizer(grid.alpha_w)
+        #: Pre-computed approximate vectors (the paper's P^(A) and W^(A)).
+        self.PA = quantize_dataset(self.P, self.p_quantizer)
+        self.WA = quantize_dataset(self.W, self.w_quantizer)
+        self.chunk = chunk
+        self.use_domin = use_domin
+
+    # ------------------------------------------------------------------
+
+    @property
+    def partitions(self) -> int:
+        """Grid resolution ``n``."""
+        return self.grid.partitions
+
+    def _context(self, q: np.ndarray) -> GinContext:
+        return GinContext(
+            P=self.P,
+            PA=self.PA,
+            grid=self.grid,
+            q=q,
+            domin=np.zeros(self.P.shape[0], dtype=bool),
+            skip=duplicate_mask(self.P, q),
+            chunk=self.chunk,
+            track_domin=self.use_domin,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _reverse_topk(self, q: np.ndarray, k: int,
+                      counter: OpCounter) -> RTKResult:
+        """Algorithm 2 (GIRTop-k)."""
+        ctx = self._context(q)
+        result: List[int] = []
+        for j in range(self.W.shape[0]):
+            rnk = gin_topk(ctx, self.W[j], self.WA[j], k, counter)
+            if rnk != ABORTED:
+                result.append(j)
+            if ctx.domin_count >= k:
+                # k dominating products out-rank q under *every* weight
+                # vector, so the true answer is empty (lines 7-8).
+                return RTKResult(weights=frozenset(), k=k, counter=counter)
+        return RTKResult(weights=frozenset(result), k=k, counter=counter)
+
+    def _reverse_kranks(self, q: np.ndarray, k: int,
+                        counter: OpCounter) -> RKRResult:
+        """Algorithm 3 (GIRk-Rank)."""
+        ctx = self._context(q)
+        # Max-heap of the current k best: entries (-rank, -index).  Weights
+        # are scanned in index order, so on rank ties the incumbent always
+        # has the smaller index and correctly survives.
+        heap: List[Tuple[int, int]] = []
+        for j in range(self.W.shape[0]):
+            min_rank = float("inf") if len(heap) < k else float(-heap[0][0])
+            rnk = gin_topk(ctx, self.W[j], self.WA[j], min_rank, counter)
+            if rnk == ABORTED:
+                continue
+            if len(heap) < k:
+                heapq.heappush(heap, (-rnk, -j))
+            elif rnk < -heap[0][0]:
+                heapq.heapreplace(heap, (-rnk, -j))
+        pairs = [(-neg_rank, -neg_idx) for neg_rank, neg_idx in heap]
+        return make_rkr_result(pairs, k, counter)
+
+    # ------------------------------------------------------------------
+
+    def exact_rank(self, q_like, j: int,
+                   counter: Optional[OpCounter] = None) -> int:
+        """Exact ``rank(w_j, q)`` through the Grid-index machinery.
+
+        Exposed for tests and examples; runs GInTop-k with no abort limit.
+        """
+        q = self._check_query(q_like, 1)
+        if counter is None:
+            counter = OpCounter()
+        ctx = self._context(q)
+        return gin_topk(ctx, self.W[j], self.WA[j], float("inf"), counter)
+
+    def memory_report(self) -> dict:
+        """Bytes used by the grid and the approximate vectors (Section 5.3)."""
+        return {
+            "grid_bytes": self.grid.memory_bytes,
+            "pa_bytes": self.PA.nbytes,
+            "wa_bytes": self.WA.nbytes,
+            "original_bytes": self.P.nbytes + self.W.nbytes,
+        }

@@ -1,0 +1,129 @@
+"""The Grid-index (paper Section 3).
+
+The Grid-index is a tiny ``(n+1) x (n+1)`` array of pre-multiplied partition
+boundaries: ``Grid[i][j] = alpha_p[i] * alpha_w[j]`` (Equation 1), where
+``alpha_p`` partitions the product value range ``[0, r)`` and ``alpha_w``
+partitions the weight range ``[0, 1]``.  Looking up the cell of a quantized
+pair ``(p_a[i], w_a[i])`` yields a lower bound on ``p[i] * w[i]``; the
+diagonally adjacent cell yields an upper bound.  Summing over dimensions
+gives the score bounds of Equations 3-4 *without any multiplication*.
+
+The class supports arbitrary monotone boundary vectors so the non-equal-
+width extension (paper Section 7, implemented in
+:mod:`repro.ext.adaptive_grid`) can reuse all of the bound machinery; the
+paper's equal-width grid is the :meth:`GridIndex.equal_width` constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+#: Default number of partitions; Section 5.3 shows n = 32 filters > 99 %
+#: of the data for every dimensionality the paper evaluates.
+DEFAULT_PARTITIONS = 32
+
+
+def _check_boundaries(alpha: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(alpha, dtype=np.float64).reshape(-1)
+    if arr.shape[0] < 2:
+        raise InvalidParameterError(f"{name} needs at least 2 boundaries")
+    if np.any(np.diff(arr) <= 0):
+        raise InvalidParameterError(f"{name} must be strictly increasing")
+    if arr[0] < 0:
+        raise InvalidParameterError(f"{name} must start at a non-negative value")
+    return arr
+
+
+class GridIndex:
+    """Pre-computed approximate multiplication table.
+
+    Parameters
+    ----------
+    alpha_p:
+        ``n + 1`` strictly increasing boundaries of the product value range.
+    alpha_w:
+        ``n + 1`` strictly increasing boundaries of the weight value range.
+    """
+
+    def __init__(self, alpha_p: np.ndarray, alpha_w: np.ndarray):
+        self.alpha_p = _check_boundaries(alpha_p, "alpha_p")
+        self.alpha_w = _check_boundaries(alpha_w, "alpha_w")
+        if self.alpha_p.shape != self.alpha_w.shape:
+            raise InvalidParameterError(
+                "alpha_p and alpha_w must have the same number of boundaries"
+            )
+        #: Equation 1: all boundary products.
+        self.grid = np.outer(self.alpha_p, self.alpha_w)
+        self.grid.setflags(write=False)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def equal_width(cls, partitions: int = DEFAULT_PARTITIONS,
+                    value_range: float = 1.0) -> "GridIndex":
+        """The paper's grid: ``n`` equal partitions of ``[0, r)`` and ``[0, 1]``."""
+        if partitions < 1:
+            raise InvalidParameterError("partitions must be positive")
+        if value_range <= 0:
+            raise InvalidParameterError("value_range must be positive")
+        alpha_p = np.linspace(0.0, value_range, partitions + 1)
+        alpha_w = np.linspace(0.0, 1.0, partitions + 1)
+        return cls(alpha_p, alpha_w)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def partitions(self) -> int:
+        """Number of partitions ``n``."""
+        return self.alpha_p.shape[0] - 1
+
+    @property
+    def value_range(self) -> float:
+        """Upper end of the product boundary vector (``r`` for equal width)."""
+        return float(self.alpha_p[-1])
+
+    @property
+    def memory_bytes(self) -> int:
+        """Size of the grid array — the 'negligible memory cost' of Section 5.3."""
+        return self.grid.nbytes
+
+    # ------------------------------------------------------------------
+
+    def cell_bounds(self, p_code: int, w_code: int) -> Tuple[float, float]:
+        """Lower and upper bound of ``p[i] * w[i]`` for one quantized pair."""
+        n = self.partitions
+        if not (0 <= p_code < n and 0 <= w_code < n):
+            raise InvalidParameterError(
+                f"codes must lie in [0, {n}); got ({p_code}, {w_code})"
+            )
+        return (
+            float(self.grid[p_code, w_code]),
+            float(self.grid[p_code + 1, w_code + 1]),
+        )
+
+    def lower_bounds(self, p_codes: np.ndarray, w_codes: np.ndarray) -> np.ndarray:
+        """Equation 3 for a batch: ``L[f_w(p)]`` per row of ``p_codes``.
+
+        ``p_codes`` has shape ``(m, d)``; ``w_codes`` has shape ``(d,)``.
+        """
+        return self.grid[p_codes, w_codes].sum(axis=-1)
+
+    def upper_bounds(self, p_codes: np.ndarray, w_codes: np.ndarray) -> np.ndarray:
+        """Equation 4 for a batch: ``U[f_w(p)]`` per row of ``p_codes``."""
+        return self.grid[p_codes + 1, w_codes + 1].sum(axis=-1)
+
+    def score_bounds(self, p_codes: np.ndarray,
+                     w_codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Both bounds at once (Equations 3 and 4)."""
+        return self.lower_bounds(p_codes, w_codes), self.upper_bounds(
+            p_codes, w_codes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"GridIndex(n={self.partitions}, "
+                f"value_range={self.value_range}, "
+                f"memory={self.memory_bytes}B)")

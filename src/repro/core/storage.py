@@ -1,0 +1,124 @@
+"""Persistence for a built Grid-index (Section 3.2's storage story).
+
+A deployed reverse-rank-query service pre-computes the approximate vector
+sets ``P^(A)`` / ``W^(A)`` once and ships them alongside the raw data; at
+query time only the small grid has to be rebuilt (it is an outer product
+of two boundary vectors).  This module serializes everything a
+:class:`~repro.core.gir.GridIndexRRQ` needs into one directory:
+
+* ``products.rrq`` / ``weights.rrq`` — the raw data (``repro.data.io``);
+* ``pa.rrqa`` / ``wa.rrqa`` — the bit-packed approximate vectors
+  (``b = ceil(log2 n)`` bits per component, the Section 3.2 encoding);
+* ``grid.meta`` — boundary vectors and parameters, as JSON.
+
+Loading verifies that the decoded approximate vectors match a fresh
+quantization of the raw data, so a stale or corrupted index directory is
+rejected instead of silently returning wrong bounds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..data.io import (
+    load_approx,
+    load_products,
+    load_weights,
+    save_approx,
+    save_products,
+    save_weights,
+)
+from ..errors import DataValidationError
+from .approx import bits_needed
+from .gir import GridIndexRRQ
+from .grid import GridIndex
+
+PathLike = Union[str, Path]
+
+_META_NAME = "grid.meta"
+_FORMAT_VERSION = 1
+
+
+def save_index(directory: PathLike, gir: GridIndexRRQ) -> dict:
+    """Persist a built GIR index; returns a manifest of bytes written."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    bits = bits_needed(gir.partitions)
+    manifest = {
+        "products_bytes": save_products(path / "products.rrq", gir.products),
+        "weights_bytes": save_weights(path / "weights.rrq", gir.weights),
+        "pa_bytes": save_approx(path / "pa.rrqa",
+                                gir.PA.astype(np.int64), bits),
+        "wa_bytes": save_approx(path / "wa.rrqa",
+                                gir.WA.astype(np.int64), bits),
+    }
+    meta = {
+        "version": _FORMAT_VERSION,
+        "partitions": gir.partitions,
+        "bits": bits,
+        "chunk": gir.chunk,
+        "use_domin": gir.use_domin,
+        "alpha_p": gir.grid.alpha_p.tolist(),
+        "alpha_w": gir.grid.alpha_w.tolist(),
+    }
+    (path / _META_NAME).write_text(json.dumps(meta, indent=2))
+    manifest["meta_bytes"] = (path / _META_NAME).stat().st_size
+    return manifest
+
+
+def load_index(directory: PathLike) -> GridIndexRRQ:
+    """Load a GIR index saved by :func:`save_index`, with integrity checks."""
+    path = Path(directory)
+    meta_path = path / _META_NAME
+    if not meta_path.exists():
+        raise DataValidationError(f"{directory}: not an index directory "
+                                  f"(missing {_META_NAME})")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("version") != _FORMAT_VERSION:
+        raise DataValidationError(
+            f"{directory}: unsupported index version {meta.get('version')}"
+        )
+
+    products = load_products(path / "products.rrq")
+    weights = load_weights(path / "weights.rrq")
+    grid = GridIndex(np.asarray(meta["alpha_p"]), np.asarray(meta["alpha_w"]))
+    gir = GridIndexRRQ(
+        products,
+        weights,
+        partitions=meta["partitions"],
+        grid=grid,
+        chunk=int(meta["chunk"]),
+        use_domin=bool(meta["use_domin"]),
+    )
+
+    pa, _ = load_approx(path / "pa.rrqa")
+    wa, _ = load_approx(path / "wa.rrqa")
+    if not np.array_equal(pa, gir.PA.astype(np.int64)):
+        raise DataValidationError(
+            f"{directory}: stored P^(A) does not match the raw products "
+            "(stale or corrupted index)"
+        )
+    if not np.array_equal(wa, gir.WA.astype(np.int64)):
+        raise DataValidationError(
+            f"{directory}: stored W^(A) does not match the raw weights "
+            "(stale or corrupted index)"
+        )
+    return gir
+
+
+def index_size_report(directory: PathLike) -> dict:
+    """Byte sizes of each index component (the Section 3.2 overhead story)."""
+    path = Path(directory)
+    report = {}
+    for name in ("products.rrq", "weights.rrq", "pa.rrqa", "wa.rrqa",
+                 _META_NAME):
+        target = path / name
+        report[name] = target.stat().st_size if target.exists() else 0
+    raw = report["products.rrq"] + report["weights.rrq"]
+    approx = report["pa.rrqa"] + report["wa.rrqa"]
+    report["approx_over_raw"] = approx / raw if raw else 0.0
+    return report

@@ -1,0 +1,26 @@
+"""Data sets: containers, synthetic generators, real-data stand-ins, I/O."""
+
+from .datasets import ProductSet, WeightSet, check_compatible, check_query_point, score
+from .synthetic import (
+    anticorrelated_products,
+    clustered_products,
+    clustered_weights,
+    exponential_products,
+    exponential_weights,
+    generate_products,
+    generate_weights,
+    normal_products,
+    normal_weights,
+    uniform_products,
+    uniform_weights,
+)
+from .real import DianpingData, color, dianping, house
+
+__all__ = [
+    "ProductSet", "WeightSet", "check_compatible", "check_query_point", "score",
+    "uniform_products", "clustered_products", "anticorrelated_products",
+    "normal_products", "exponential_products", "uniform_weights",
+    "clustered_weights", "normal_weights", "exponential_weights",
+    "generate_products", "generate_weights",
+    "house", "color", "dianping", "DianpingData",
+]

@@ -1,0 +1,130 @@
+"""Binary persistence for data sets and approximate-vector files.
+
+Table 2 of the paper measures how cheap reading the data is compared to the
+CPU cost of processing a reverse rank query; Section 3.2 argues that the
+compressed approximate-vector file is less than a tenth of the original data
+size.  This module provides both file formats so the Table 2 experiment can
+be reproduced:
+
+* ``.rrq`` — raw 64-bit float matrices with a small self-describing header.
+* ``.rrqa`` — bit-packed approximate vectors (``b`` bits per component),
+  written via :mod:`repro.core.bitstring`.
+
+The format is deliberately simple (magic, version, shape, payload) — the
+experiments need a faithful byte count and read path, not a database file
+format.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..errors import DataValidationError
+from .datasets import ProductSet, WeightSet
+
+_MAGIC_RAW = b"RRQF"
+_MAGIC_APPROX = b"RRQA"
+_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def save_matrix(path: PathLike, values: np.ndarray) -> int:
+    """Write a float64 matrix to ``path`` in ``.rrq`` format; return byte count."""
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DataValidationError("save_matrix expects a 2-D array")
+    header = _MAGIC_RAW + struct.pack("<HII", _VERSION, arr.shape[0], arr.shape[1])
+    payload = arr.tobytes()
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(payload)
+    return len(header) + len(payload)
+
+
+def load_matrix(path: PathLike) -> np.ndarray:
+    """Read a ``.rrq`` float64 matrix written by :func:`save_matrix`."""
+    with open(path, "rb") as handle:
+        header = handle.read(len(_MAGIC_RAW) + struct.calcsize("<HII"))
+        if header[:4] != _MAGIC_RAW:
+            raise DataValidationError(f"{path}: not an RRQ raw matrix file")
+        version, rows, cols = struct.unpack("<HII", header[4:])
+        if version != _VERSION:
+            raise DataValidationError(f"{path}: unsupported version {version}")
+        payload = handle.read(rows * cols * 8)
+    if len(payload) != rows * cols * 8:
+        raise DataValidationError(f"{path}: truncated payload")
+    return np.frombuffer(payload, dtype=np.float64).reshape(rows, cols).copy()
+
+
+def save_products(path: PathLike, products: ProductSet) -> int:
+    """Persist a :class:`ProductSet` (value range is stored in a trailer)."""
+    written = save_matrix(path, products.values)
+    with open(path, "ab") as handle:
+        trailer = struct.pack("<d", products.value_range)
+        handle.write(trailer)
+    return written + 8
+
+
+def load_products(path: PathLike) -> ProductSet:
+    """Load a :class:`ProductSet` written by :func:`save_products`."""
+    values = load_matrix(path)
+    with open(path, "rb") as handle:
+        handle.seek(-8, 2)
+        (value_range,) = struct.unpack("<d", handle.read(8))
+    return ProductSet(values, value_range=value_range)
+
+
+def save_weights(path: PathLike, weights: WeightSet) -> int:
+    """Persist a :class:`WeightSet`."""
+    return save_matrix(path, weights.values)
+
+
+def load_weights(path: PathLike) -> WeightSet:
+    """Load a :class:`WeightSet` written by :func:`save_weights`."""
+    return WeightSet(load_matrix(path))
+
+
+def save_approx(path: PathLike, codes: np.ndarray, bits: int) -> int:
+    """Write quantized vectors (integers in ``[0, 2**bits)``) bit-packed.
+
+    Returns the number of bytes written.  The payload packs each component
+    into ``bits`` bits via :func:`repro.core.bitstring.pack_matrix`.
+    """
+    from ..core.bitstring import pack_matrix  # deferred: avoids an import cycle
+
+    arr = np.ascontiguousarray(codes)
+    if arr.ndim != 2:
+        raise DataValidationError("save_approx expects a 2-D code array")
+    payload = pack_matrix(arr, bits)
+    header = _MAGIC_APPROX + struct.pack(
+        "<HHII", _VERSION, bits, arr.shape[0], arr.shape[1]
+    )
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(payload)
+    return len(header) + len(payload)
+
+
+def load_approx(path: PathLike) -> Tuple[np.ndarray, int]:
+    """Read a bit-packed approximate-vector file; returns ``(codes, bits)``."""
+    from ..core.bitstring import unpack_matrix  # deferred: avoids an import cycle
+
+    with open(path, "rb") as handle:
+        header = handle.read(len(_MAGIC_APPROX) + struct.calcsize("<HHII"))
+        if header[:4] != _MAGIC_APPROX:
+            raise DataValidationError(f"{path}: not an RRQ approx-vector file")
+        version, bits, rows, cols = struct.unpack("<HHII", header[4:])
+        if version != _VERSION:
+            raise DataValidationError(f"{path}: unsupported version {version}")
+        payload = handle.read()
+    return unpack_matrix(payload, rows, cols, bits), bits
+
+
+def file_size(path: PathLike) -> int:
+    """Size of ``path`` in bytes (helper for the Table 2 / Section 3.2 benches)."""
+    return Path(path).stat().st_size

@@ -1,0 +1,253 @@
+"""Synthetic data generators used throughout the paper's evaluation.
+
+Section 6.1 uses three synthetic product distributions — uniform (UN),
+clustered (CL) and anti-correlated (AC) — with an attribute value range of
+``[0, 10K)``, plus UN and CL weight-vector sets.  The generation recipes
+follow the descriptions in the reverse top-k literature the paper cites
+([13, 17]):
+
+* **UN** — attribute values drawn independently and uniformly.
+* **CL** — ``sqrt[3]{m}`` cluster centroids drawn uniformly; points are
+  centroids plus Gaussian noise with variance ``0.1^2`` (relative to the
+  value range), clipped into range.
+* **AC** — points concentrated around the anti-diagonal plane: a point's
+  coordinates sum to roughly the same total, so products good in one
+  attribute are bad in others.  We use the standard recipe: draw the plane
+  offset from a Gaussian centred mid-range, then spread it across dimensions
+  with a Dirichlet-like split.
+
+Weight vectors are generated on the standard simplex (they must sum to 1);
+the uniform case uses a symmetric Dirichlet(1), which is the uniform
+distribution on the simplex, and the clustered case blends cluster centroids
+on the simplex with Gaussian jitter followed by renormalization.
+
+Table 4 additionally needs per-component Normal and Exponential value
+distributions; :func:`generate_products` accepts those too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .datasets import ProductSet, WeightSet
+
+#: Default attribute value range used by the paper for synthetic P.
+DEFAULT_VALUE_RANGE = 10_000.0
+
+#: Relative standard deviation of cluster noise (paper Table 5: sigma^2 = 0.1^2).
+CLUSTER_SIGMA = 0.1
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def _rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _check_size_dim(size: int, dim: int) -> None:
+    if size <= 0:
+        raise InvalidParameterError(f"size must be positive, got {size}")
+    if dim <= 0:
+        raise InvalidParameterError(f"dim must be positive, got {dim}")
+
+
+def _num_clusters(size: int) -> int:
+    """Paper Table 5: the number of clusters is the cube root of the cardinality."""
+    return max(1, round(size ** (1.0 / 3.0)))
+
+
+def uniform_products(
+    size: int,
+    dim: int,
+    value_range: float = DEFAULT_VALUE_RANGE,
+    seed: RngLike = None,
+) -> ProductSet:
+    """Generate a UN product set: i.i.d. uniform attributes in ``[0, r)``."""
+    _check_size_dim(size, dim)
+    rng = _rng(seed)
+    values = rng.random((size, dim)) * value_range
+    return ProductSet(values, value_range=value_range)
+
+
+def clustered_products(
+    size: int,
+    dim: int,
+    value_range: float = DEFAULT_VALUE_RANGE,
+    num_clusters: Optional[int] = None,
+    sigma: float = CLUSTER_SIGMA,
+    seed: RngLike = None,
+) -> ProductSet:
+    """Generate a CL product set: Gaussian blobs around uniform centroids."""
+    _check_size_dim(size, dim)
+    rng = _rng(seed)
+    k = num_clusters if num_clusters is not None else _num_clusters(size)
+    if k <= 0:
+        raise InvalidParameterError("num_clusters must be positive")
+    centroids = rng.random((k, dim))
+    assignment = rng.integers(0, k, size=size)
+    noise = rng.normal(0.0, sigma, size=(size, dim))
+    unit = np.clip(centroids[assignment] + noise, 0.0, 1.0 - 1e-12)
+    return ProductSet(unit * value_range, value_range=value_range)
+
+
+def anticorrelated_products(
+    size: int,
+    dim: int,
+    value_range: float = DEFAULT_VALUE_RANGE,
+    seed: RngLike = None,
+) -> ProductSet:
+    """Generate an AC product set: coordinates anti-correlated across dimensions.
+
+    Each point's coordinate total is drawn from a Gaussian centred at
+    ``d/2`` (in unit space) and then split across dimensions with a flat
+    Dirichlet, so a large value in one attribute forces small values in the
+    others — the classic anti-correlated benchmark shape.
+    """
+    _check_size_dim(size, dim)
+    rng = _rng(seed)
+    totals = np.clip(
+        rng.normal(loc=dim / 2.0, scale=max(dim / 8.0, 0.05), size=size),
+        0.05 * dim,
+        0.95 * dim,
+    )
+    split = rng.dirichlet(np.ones(dim), size=size)
+    unit = split * totals[:, None]
+    # A Dirichlet split can push a single coordinate above 1; fold the excess
+    # back uniformly to keep the anti-correlation while staying in range.
+    unit = np.minimum(unit, 1.0 - 1e-12)
+    return ProductSet(unit * value_range, value_range=value_range)
+
+
+def normal_products(
+    size: int,
+    dim: int,
+    value_range: float = DEFAULT_VALUE_RANGE,
+    sigma: float = CLUSTER_SIGMA,
+    seed: RngLike = None,
+) -> ProductSet:
+    """Per-attribute Normal(0.5, sigma) values, clipped to range (Table 4)."""
+    _check_size_dim(size, dim)
+    rng = _rng(seed)
+    unit = np.clip(rng.normal(0.5, sigma, size=(size, dim)), 0.0, 1.0 - 1e-12)
+    return ProductSet(unit * value_range, value_range=value_range)
+
+
+def exponential_products(
+    size: int,
+    dim: int,
+    value_range: float = DEFAULT_VALUE_RANGE,
+    lam: float = 2.0,
+    seed: RngLike = None,
+) -> ProductSet:
+    """Per-attribute Exponential(lambda) values, clipped to range (Table 4)."""
+    _check_size_dim(size, dim)
+    if lam <= 0:
+        raise InvalidParameterError("lam must be positive")
+    rng = _rng(seed)
+    unit = np.clip(rng.exponential(1.0 / lam, size=(size, dim)), 0.0, 1.0 - 1e-12)
+    return ProductSet(unit * value_range, value_range=value_range)
+
+
+def uniform_weights(size: int, dim: int, seed: RngLike = None) -> WeightSet:
+    """Generate a UN weight set: uniform on the standard simplex (Dirichlet(1))."""
+    _check_size_dim(size, dim)
+    rng = _rng(seed)
+    values = rng.dirichlet(np.ones(dim), size=size)
+    return WeightSet(values, renormalize=True)
+
+
+def clustered_weights(
+    size: int,
+    dim: int,
+    num_clusters: Optional[int] = None,
+    sigma: float = CLUSTER_SIGMA,
+    seed: RngLike = None,
+) -> WeightSet:
+    """Generate a CL weight set: jittered simplex centroids, renormalized."""
+    _check_size_dim(size, dim)
+    rng = _rng(seed)
+    k = num_clusters if num_clusters is not None else _num_clusters(size)
+    if k <= 0:
+        raise InvalidParameterError("num_clusters must be positive")
+    centroids = rng.dirichlet(np.ones(dim), size=k)
+    assignment = rng.integers(0, k, size=size)
+    noise = rng.normal(0.0, sigma / max(dim, 1), size=(size, dim))
+    values = np.clip(centroids[assignment] + noise, 1e-9, None)
+    return WeightSet(values, renormalize=True)
+
+
+def normal_weights(size: int, dim: int, sigma: float = CLUSTER_SIGMA,
+                   seed: RngLike = None) -> WeightSet:
+    """Normal-perturbed weights around the uniform preference (Table 4)."""
+    _check_size_dim(size, dim)
+    rng = _rng(seed)
+    values = np.clip(rng.normal(1.0 / dim, sigma / dim, size=(size, dim)), 1e-9, None)
+    return WeightSet(values, renormalize=True)
+
+
+def exponential_weights(size: int, dim: int, lam: float = 2.0,
+                        seed: RngLike = None) -> WeightSet:
+    """Exponentially distributed raw weights, renormalized (Table 4)."""
+    _check_size_dim(size, dim)
+    if lam <= 0:
+        raise InvalidParameterError("lam must be positive")
+    rng = _rng(seed)
+    values = np.clip(rng.exponential(1.0 / lam, size=(size, dim)), 1e-9, None)
+    return WeightSet(values, renormalize=True)
+
+
+#: Distribution codes used by the paper's parameter table (Table 5).
+PRODUCT_DISTRIBUTIONS = ("UN", "CL", "AC", "NORMAL", "EXP")
+WEIGHT_DISTRIBUTIONS = ("UN", "CL", "NORMAL", "EXP")
+
+
+def generate_products(
+    distribution: str,
+    size: int,
+    dim: int,
+    value_range: float = DEFAULT_VALUE_RANGE,
+    seed: RngLike = None,
+) -> ProductSet:
+    """Dispatch on a paper distribution code (``UN``/``CL``/``AC``/``NORMAL``/``EXP``)."""
+    code = distribution.upper()
+    if code == "UN":
+        return uniform_products(size, dim, value_range, seed)
+    if code == "CL":
+        return clustered_products(size, dim, value_range, seed=seed)
+    if code == "AC":
+        return anticorrelated_products(size, dim, value_range, seed)
+    if code == "NORMAL":
+        return normal_products(size, dim, value_range, seed=seed)
+    if code == "EXP":
+        return exponential_products(size, dim, value_range, seed=seed)
+    raise InvalidParameterError(
+        f"unknown product distribution {distribution!r}; "
+        f"expected one of {PRODUCT_DISTRIBUTIONS}"
+    )
+
+
+def generate_weights(
+    distribution: str,
+    size: int,
+    dim: int,
+    seed: RngLike = None,
+) -> WeightSet:
+    """Dispatch on a paper weight distribution code (``UN``/``CL``/``NORMAL``/``EXP``)."""
+    code = distribution.upper()
+    if code == "UN":
+        return uniform_weights(size, dim, seed)
+    if code == "CL":
+        return clustered_weights(size, dim, seed=seed)
+    if code == "NORMAL":
+        return normal_weights(size, dim, seed=seed)
+    if code == "EXP":
+        return exponential_weights(size, dim, seed=seed)
+    raise InvalidParameterError(
+        f"unknown weight distribution {distribution!r}; "
+        f"expected one of {WEIGHT_DISTRIBUTIONS}"
+    )

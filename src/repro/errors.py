@@ -1,0 +1,45 @@
+"""Typed exceptions raised by the :mod:`repro` library.
+
+Every invalid input detected by the library raises one of these classes so
+callers can distinguish user errors from genuine bugs.  All of them derive
+from :class:`ReproError`, which itself derives from :class:`ValueError` to
+stay friendly to generic exception handling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(ValueError):
+    """Base class for all errors raised by the repro library."""
+
+
+class DataValidationError(ReproError):
+    """A data set (products or weights) failed validation.
+
+    Raised for negative values, NaN/inf entries, wrong shapes, or weight
+    vectors that do not sum to one.
+    """
+
+
+class DimensionMismatchError(ReproError):
+    """Two objects that must share dimensionality do not."""
+
+
+class EmptyDatasetError(ReproError):
+    """An operation requires a non-empty data set."""
+
+
+class InvalidParameterError(ReproError):
+    """A query or index parameter is out of its valid domain.
+
+    Examples: ``k <= 0``, a partition count that is not positive, or a
+    histogram resolution of zero.
+    """
+
+
+class IndexCorruptionError(ReproError):
+    """An index structure violated one of its own invariants.
+
+    This is never expected during normal operation; it indicates a bug and
+    is raised by the self-check routines (e.g. :meth:`RTree.check_invariants`).
+    """

@@ -1,0 +1,92 @@
+"""Non-equal-width Grid-index (paper Section 7, first future-work item).
+
+The equal-width grid wastes resolution where the data is sparse: with a
+clustered or exponential distribution most values share a handful of
+partitions, so most pairs land in the same cells and Case 3 balloons.  The
+fix the paper sketches — "merging and splitting some grids ... based on the
+distributions of the given P and W" — is realized here with *quantile
+boundaries*: each partition holds an (approximately) equal share of the
+observed component values, for products and weights independently.
+
+Because :class:`repro.core.grid.GridIndex` and
+:class:`repro.core.approx.Quantizer` both accept arbitrary strictly
+increasing boundary vectors, the entire GIR machinery (GInTop-k, Domin
+buffer, early termination) is reused unchanged; only the boundaries differ.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.approx import Quantizer
+from ..core.gir import GridIndexRRQ
+from ..core.grid import DEFAULT_PARTITIONS, GridIndex
+from ..data.datasets import ProductSet, WeightSet
+from ..errors import InvalidParameterError
+
+
+def quantile_boundaries(values: np.ndarray, partitions: int,
+                        low: float, high: float) -> np.ndarray:
+    """Strictly increasing quantile boundaries covering ``[low, high]``.
+
+    Interior boundaries are the empirical quantiles of the flattened
+    ``values``; duplicates (heavy ties in the data) are resolved by nudging
+    toward an equal-width fallback so the result stays strictly monotone
+    with exactly ``partitions + 1`` entries.
+    """
+    if partitions < 1:
+        raise InvalidParameterError("partitions must be positive")
+    if high <= low:
+        raise InvalidParameterError("high must exceed low")
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    qs = np.linspace(0.0, 1.0, partitions + 1)
+    bounds = np.quantile(flat, qs)
+    bounds[0] = low
+    bounds[-1] = high
+    # Enforce strict monotonicity: blend any flat run with equal width.
+    fallback = np.linspace(low, high, partitions + 1)
+    for i in range(1, partitions + 1):
+        if bounds[i] <= bounds[i - 1]:
+            bounds[i] = min(
+                high,
+                max(bounds[i - 1] + (high - low) * 1e-9, fallback[i] * 0.5
+                    + bounds[i - 1] * 0.5),
+            )
+    if np.any(np.diff(bounds) <= 0):  # extremely degenerate data
+        bounds = fallback
+    return bounds
+
+
+def build_adaptive_grid(products: ProductSet, weights: WeightSet,
+                        partitions: int = DEFAULT_PARTITIONS
+                        ) -> Tuple[GridIndex, Quantizer, Quantizer]:
+    """Quantile-boundary grid plus matching quantizers for ``(P, W)``."""
+    alpha_p = quantile_boundaries(
+        products.values, partitions, 0.0, products.value_range
+    )
+    alpha_w = quantile_boundaries(weights.values, partitions, 0.0, 1.0)
+    grid = GridIndex(alpha_p, alpha_w)
+    return grid, Quantizer(alpha_p), Quantizer(alpha_w)
+
+
+class AdaptiveGridIndexRRQ(GridIndexRRQ):
+    """GIR with distribution-adapted (quantile) grid boundaries."""
+
+    name = "GIR-ADAPT"
+
+    def __init__(self, products: ProductSet, weights: WeightSet,
+                 partitions: int = DEFAULT_PARTITIONS, chunk: int = 256):
+        grid, p_quant, w_quant = build_adaptive_grid(
+            products, weights, partitions
+        )
+        super().__init__(
+            products,
+            weights,
+            partitions=partitions,
+            grid=grid,
+            p_quantizer=p_quant,
+            w_quantizer=w_quant,
+            chunk=chunk,
+        )

@@ -1,0 +1,327 @@
+"""Dynamic reverse-rank-query engine: incremental inserts and deletes.
+
+The paper treats ``P`` and ``W`` as static (indexes are built once before
+the experiment).  A deployed catalogue is not: products launch and
+retire, users appear and churn.  This module keeps the Grid-index
+machinery incremental:
+
+* **inserts** append to capacity-doubling arrays and quantize just the new
+  row (``O(d)``);
+* **deletes** are tombstones — a boolean mask the scan already knows how
+  to skip (it reuses the same mechanism as the Domin/duplicate masks);
+* the product-axis boundaries are fixed by ``value_range`` (inserts
+  outside it are rejected, as in the static containers); the weight-axis
+  boundaries start at the observed range and are **rebuilt automatically**
+  (with re-quantization of ``W^(A)``, ``O(|W| d)``) when an insert exceeds
+  them — rare in practice, amortized away;
+* ``compact()`` physically drops tombstoned rows when fragmentation gets
+  high.
+
+Queries return exactly what a fresh :class:`GridIndexRRQ` over the live
+rows would return — with the original, stable indices — which the tests
+enforce after every mutation pattern.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.base import duplicate_mask
+from ..core.approx import Quantizer
+from ..core.gin import ABORTED, GinContext, gin_topk
+from ..core.grid import GridIndex
+from ..data.datasets import check_query_point
+from ..errors import DataValidationError, InvalidParameterError
+from ..queries.types import RKRResult, RTKResult, make_rkr_result
+from ..stats.counters import OpCounter
+
+#: Initial capacity when starting from empty.
+MIN_CAPACITY = 16
+
+
+class _GrowableMatrix:
+    """A float64 matrix with amortized O(1) row appends and tombstones."""
+
+    def __init__(self, dim: int):
+        self.dim = dim
+        self._data = np.empty((MIN_CAPACITY, dim))
+        self._alive = np.zeros(MIN_CAPACITY, dtype=bool)
+        self._used = 0
+
+    def append(self, row: np.ndarray) -> int:
+        if self._used == self._data.shape[0]:
+            new_cap = self._data.shape[0] * 2
+            data = np.empty((new_cap, self.dim))
+            data[: self._used] = self._data[: self._used]
+            alive = np.zeros(new_cap, dtype=bool)
+            alive[: self._used] = self._alive[: self._used]
+            self._data, self._alive = data, alive
+        idx = self._used
+        self._data[idx] = row
+        self._alive[idx] = True
+        self._used += 1
+        return idx
+
+    def kill(self, idx: int) -> None:
+        if not (0 <= idx < self._used) or not self._alive[idx]:
+            raise InvalidParameterError(f"no live row {idx}")
+        self._alive[idx] = False
+
+    @property
+    def view(self) -> np.ndarray:
+        """All appended rows (including tombstones)."""
+        return self._data[: self._used]
+
+    @property
+    def alive(self) -> np.ndarray:
+        """Liveness mask over :attr:`view`."""
+        return self._alive[: self._used]
+
+    @property
+    def live_count(self) -> int:
+        return int(self.alive.sum())
+
+    @property
+    def total_count(self) -> int:
+        return self._used
+
+
+class DynamicRRQEngine:
+    """Updatable Grid-index engine over growing product/preference sets.
+
+    Parameters
+    ----------
+    dim:
+        Data dimensionality.
+    value_range:
+        Product attribute range ``[0, value_range)``; inserts outside it
+        are rejected.
+    partitions:
+        Grid resolution ``n``.
+    """
+
+    def __init__(self, dim: int, value_range: float = 1.0,
+                 partitions: int = 32, chunk: int = 256):
+        if dim <= 0:
+            raise InvalidParameterError("dim must be positive")
+        if value_range <= 0:
+            raise InvalidParameterError("value_range must be positive")
+        self.dim = dim
+        self.value_range = float(value_range)
+        self.partitions = partitions
+        self.chunk = chunk
+
+        self._products = _GrowableMatrix(dim)
+        self._weights = _GrowableMatrix(dim)
+        self._pa = np.empty((MIN_CAPACITY, dim), dtype=np.int64)
+        self._wa = np.empty((MIN_CAPACITY, dim), dtype=np.int64)
+
+        self._p_quantizer = Quantizer.equal_width(partitions, value_range)
+        self._w_range = 0.0
+        self._rebuild_weight_axis(initial=True)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def _ensure_code_capacity(self) -> None:
+        for name, source in (("_pa", self._products), ("_wa", self._weights)):
+            codes = getattr(self, name)
+            if source.total_count > codes.shape[0]:
+                grown = np.empty((codes.shape[0] * 2, self.dim),
+                                 dtype=np.int64)
+                grown[: codes.shape[0]] = codes
+                setattr(self, name, grown)
+
+    def _rebuild_weight_axis(self, initial: bool = False) -> None:
+        """Re-span the weight boundaries and re-quantize ``W^(A)``."""
+        observed = 0.0
+        if self._weights.total_count:
+            observed = float(self._weights.view.max())
+        self._w_range = max(observed, 1e-9)
+        alpha_p = np.linspace(0.0, self.value_range, self.partitions + 1)
+        alpha_w = np.linspace(0.0, self._w_range, self.partitions + 1)
+        self.grid = GridIndex(alpha_p, alpha_w)
+        self._w_quantizer = Quantizer(self.grid.alpha_w)
+        if not initial and self._weights.total_count:
+            self._wa[: self._weights.total_count] = self._w_quantizer.quantize(
+                self._weights.view
+            ).astype(np.int64)
+        # Pre-gathered product boundaries must track the (fixed) alpha_p;
+        # rebuild lazily at query time.
+        self._pa_low: Optional[np.ndarray] = None
+
+    def insert_product(self, vector) -> int:
+        """Add a product; returns its stable index."""
+        row = check_query_point(vector, self.dim)
+        if row.max(initial=0.0) >= self.value_range:
+            raise DataValidationError(
+                "product values must lie in [0, value_range)"
+            )
+        idx = self._products.append(row)
+        self._ensure_code_capacity()
+        self._pa[idx] = self._p_quantizer.quantize(row).astype(np.int64)
+        self._pa_low = None
+        return idx
+
+    def remove_product(self, idx: int) -> None:
+        """Tombstone a product."""
+        self._products.kill(idx)
+
+    def insert_weight(self, vector, renormalize: bool = False) -> int:
+        """Add a preference vector (must sum to 1 unless renormalizing)."""
+        row = check_query_point(vector, self.dim)
+        total = float(row.sum())
+        if renormalize:
+            if total <= 0:
+                raise DataValidationError("weight vector sums to zero")
+            row = row / total
+        elif abs(total - 1.0) > 1e-6:
+            raise DataValidationError(
+                f"weight vector sums to {total:.6f}, expected 1.0"
+            )
+        idx = self._weights.append(row)
+        self._ensure_code_capacity()
+        if float(row.max()) > self._w_range:
+            self._rebuild_weight_axis()
+        self._wa[idx] = self._w_quantizer.quantize(row).astype(np.int64)
+        return idx
+
+    def remove_weight(self, idx: int) -> None:
+        """Tombstone a preference."""
+        self._weights.kill(idx)
+
+    def compact(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Drop tombstones physically; returns (product map, weight map).
+
+        Each map gives, per old index, the new index or -1 if removed.
+        """
+        maps = []
+        for source, codes_name in ((self._products, "_pa"),
+                                   (self._weights, "_wa")):
+            alive = source.alive
+            mapping = np.full(source.total_count, -1, dtype=np.int64)
+            mapping[alive] = np.arange(int(alive.sum()))
+            live_rows = source.view[alive]
+            codes = getattr(self, codes_name)[: source.total_count][alive]
+            fresh = _GrowableMatrix(self.dim)
+            for row in live_rows:
+                fresh.append(row)
+            source_is_products = source is self._products
+            if source_is_products:
+                self._products = fresh
+            else:
+                self._weights = fresh
+            grown = np.empty((max(MIN_CAPACITY, len(live_rows)), self.dim),
+                             dtype=np.int64)
+            grown[: len(live_rows)] = codes
+            setattr(self, codes_name, grown)
+            maps.append(mapping)
+        self._pa_low = None
+        return maps[0], maps[1]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_products(self) -> int:
+        """Live products."""
+        return self._products.live_count
+
+    @property
+    def num_weights(self) -> int:
+        """Live preferences."""
+        return self._weights.live_count
+
+    def fragmentation(self) -> float:
+        """Fraction of stored rows that are tombstones."""
+        total = self._products.total_count + self._weights.total_count
+        if total == 0:
+            return 0.0
+        live = self.num_products + self.num_weights
+        return 1.0 - live / total
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _context(self, q: np.ndarray) -> GinContext:
+        used = self._products.total_count
+        P = self._products.view
+        PA = self._pa[:used]
+        if self._pa_low is None or self._pa_low.shape[0] != used:
+            self._pa_low = self.grid.alpha_p[PA]
+            self._pa_high = self.grid.alpha_p[PA + 1]
+        dead = ~self._products.alive
+        return GinContext(
+            P=P, PA=PA, grid=self.grid, q=q,
+            domin=np.zeros(used, dtype=bool),
+            skip=duplicate_mask(P, q) | dead,
+            chunk=self.chunk,
+            pa_low=self._pa_low,
+            pa_high=self._pa_high,
+        )
+
+    def _check(self, q, k: int) -> np.ndarray:
+        if k <= 0:
+            raise InvalidParameterError("k must be positive")
+        if self.num_products == 0 or self.num_weights == 0:
+            raise InvalidParameterError(
+                "both products and weights must be non-empty to query"
+            )
+        return check_query_point(q, self.dim)
+
+    def reverse_topk(self, q, k: int,
+                     counter: Optional[OpCounter] = None) -> RTKResult:
+        """Reverse top-k over the live rows (stable indices)."""
+        q_arr = self._check(q, k)
+        counter = counter or OpCounter()
+        ctx = self._context(q_arr)
+        W = self._weights.view
+        alive_w = self._weights.alive
+        result: List[int] = []
+        for j in np.flatnonzero(alive_w):
+            rnk = gin_topk(ctx, W[j], self._wa[j], k, counter)
+            if rnk != ABORTED:
+                result.append(int(j))
+            if ctx.domin_count >= k:
+                return RTKResult(weights=frozenset(), k=k, counter=counter)
+        return RTKResult(weights=frozenset(result), k=k, counter=counter)
+
+    def reverse_kranks(self, q, k: int,
+                       counter: Optional[OpCounter] = None) -> RKRResult:
+        """Reverse k-ranks over the live rows (stable indices)."""
+        q_arr = self._check(q, k)
+        counter = counter or OpCounter()
+        ctx = self._context(q_arr)
+        W = self._weights.view
+        heap: List[Tuple[int, int]] = []
+        for j in np.flatnonzero(self._weights.alive):
+            limit = float("inf") if len(heap) < k else float(-heap[0][0])
+            rnk = gin_topk(ctx, W[j], self._wa[j], limit, counter)
+            if rnk == ABORTED:
+                continue
+            if len(heap) < k:
+                heapq.heappush(heap, (-rnk, -int(j)))
+            elif rnk < -heap[0][0]:
+                heapq.heapreplace(heap, (-rnk, -int(j)))
+        pairs = [(-nr, -nj) for nr, nj in heap]
+        return make_rkr_result(pairs, k, counter)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_datasets(cls, products, weights, partitions: int = 32,
+                      chunk: int = 256) -> "DynamicRRQEngine":
+        """Bootstrap a dynamic engine from static containers."""
+        engine = cls(products.dim, products.value_range,
+                     partitions=partitions, chunk=chunk)
+        for row in products.values:
+            engine.insert_product(row)
+        for row in weights.values:
+            engine.insert_weight(row)
+        return engine

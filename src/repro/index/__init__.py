@@ -1,0 +1,12 @@
+"""Spatial substrates: MBR geometry, R-tree (with R*/X-tree split
+policies), weight histogram."""
+
+from .histogram import Bucket, WeightHistogram
+from .mbr import MBR
+from .rstar import XTreeSplitPolicy, rstar_split, split_quality
+from .rtree import Node, RTree
+
+__all__ = [
+    "MBR", "RTree", "Node", "WeightHistogram", "Bucket",
+    "rstar_split", "XTreeSplitPolicy", "split_quality",
+]

@@ -1,0 +1,162 @@
+"""Minimum bounding rectangle (MBR) geometry.
+
+The R-tree substrate (and the Table 3 analysis of MBR shapes) needs the
+classic MBR toolbox: area, margin, enlargement, intersection tests, plus the
+paper-specific quantities — diagonal length, shape ratio (longest edge over
+shortest edge, Table 3), and the score interval of an MBR under a weight
+interval (the pruning primitive of BBR/MPA, Section 5.2).
+
+All coordinates are non-negative in this library, which makes score
+intervals exact: the minimum of ``w . p`` over ``w in [wlo, whi]`` and
+``p in [plo, phi]`` is ``wlo . plo`` and the maximum is ``whi . phi``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..errors import DimensionMismatchError, InvalidParameterError
+
+
+@dataclass
+class MBR:
+    """An axis-aligned box ``[lo, hi]`` (inclusive on both ends)."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __init__(self, lo: Iterable[float], hi: Iterable[float]):
+        lo_arr = np.asarray(lo, dtype=np.float64).reshape(-1)
+        hi_arr = np.asarray(hi, dtype=np.float64).reshape(-1)
+        if lo_arr.shape != hi_arr.shape:
+            raise DimensionMismatchError("MBR lo/hi must share shape")
+        if np.any(lo_arr > hi_arr):
+            raise InvalidParameterError("MBR requires lo <= hi in every dimension")
+        self.lo = lo_arr
+        self.hi = hi_arr
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def of_points(points: np.ndarray) -> "MBR":
+        """Tight MBR of a non-empty ``(m, d)`` point array."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise InvalidParameterError("of_points needs a non-empty (m, d) array")
+        return MBR(pts.min(axis=0), pts.max(axis=0))
+
+    @staticmethod
+    def of_point(point: np.ndarray) -> "MBR":
+        """Degenerate MBR covering a single point."""
+        arr = np.asarray(point, dtype=np.float64).reshape(-1)
+        return MBR(arr, arr.copy())
+
+    # -- basic geometry ----------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the box."""
+        return self.lo.shape[0]
+
+    @property
+    def extents(self) -> np.ndarray:
+        """Edge lengths per dimension."""
+        return self.hi - self.lo
+
+    def area(self) -> float:
+        """Volume (product of edge lengths)."""
+        return float(np.prod(self.extents))
+
+    def log_area(self) -> float:
+        """``log10`` of the volume, safe for the huge volumes of Table 3."""
+        ext = self.extents
+        if np.any(ext <= 0):
+            return -math.inf
+        return float(np.log10(ext).sum())
+
+    def margin(self) -> float:
+        """Sum of edge lengths (the R*-tree margin criterion)."""
+        return float(self.extents.sum())
+
+    def diagonal(self) -> float:
+        """Euclidean diagonal length (Table 3 row 'diagonal length')."""
+        return float(np.linalg.norm(self.extents))
+
+    def shape_ratio(self) -> float:
+        """Longest edge divided by shortest edge (Table 3 row 'Shape')."""
+        ext = self.extents
+        shortest = float(ext.min())
+        longest = float(ext.max())
+        if shortest <= 0:
+            return math.inf if longest > 0 else 1.0
+        return longest / shortest
+
+    def center(self) -> np.ndarray:
+        """Box centre point."""
+        return (self.lo + self.hi) / 2.0
+
+    # -- relations ----------------------------------------------------------
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """True when ``point`` lies inside the closed box."""
+        arr = np.asarray(point, dtype=np.float64).reshape(-1)
+        return bool(np.all(arr >= self.lo) and np.all(arr <= self.hi))
+
+    def contains(self, other: "MBR") -> bool:
+        """True when ``other`` lies entirely inside this box."""
+        return bool(np.all(other.lo >= self.lo) and np.all(other.hi <= self.hi))
+
+    def intersects(self, other: "MBR") -> bool:
+        """True when the two closed boxes overlap."""
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    def intersection_area(self, other: "MBR") -> float:
+        """Volume of the overlap region (0 when disjoint)."""
+        lo = np.maximum(self.lo, other.lo)
+        hi = np.minimum(self.hi, other.hi)
+        ext = hi - lo
+        if np.any(ext < 0):
+            return 0.0
+        return float(np.prod(ext))
+
+    # -- mutation-style helpers (return new boxes) ---------------------------
+
+    def union(self, other: "MBR") -> "MBR":
+        """Smallest box covering both."""
+        return MBR(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def extended(self, point: np.ndarray) -> "MBR":
+        """Smallest box covering this box and ``point``."""
+        arr = np.asarray(point, dtype=np.float64).reshape(-1)
+        return MBR(np.minimum(self.lo, arr), np.maximum(self.hi, arr))
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase needed to absorb ``other`` (R-tree insert heuristic)."""
+        return self.union(other).area() - self.area()
+
+    # -- scoring (the RRQ pruning primitive) ---------------------------------
+
+    def score_interval(self, w_lo: np.ndarray, w_hi: np.ndarray) -> Tuple[float, float]:
+        """Exact ``[min, max]`` of ``w . p`` for ``w in [w_lo, w_hi]``, ``p`` here.
+
+        Valid because all coordinates are non-negative, so the inner product
+        is monotone in every coordinate of both arguments.
+        """
+        return float(np.dot(w_lo, self.lo)), float(np.dot(w_hi, self.hi))
+
+    def score_interval_fixed_w(self, w: np.ndarray) -> Tuple[float, float]:
+        """``[min, max]`` of ``w . p`` over ``p`` in this box for one weight ``w``."""
+        return float(np.dot(w, self.lo)), float(np.dot(w, self.hi))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MBR):
+            return NotImplemented
+        return bool(np.array_equal(self.lo, other.lo)
+                    and np.array_equal(self.hi, other.hi))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MBR(lo={self.lo.tolist()}, hi={self.hi.tolist()})"

@@ -1,0 +1,132 @@
+"""R*-tree split and X-tree-style supernodes (paper Section 2 lineage).
+
+The paper's related work walks the evolution of spatial indexes:
+R-tree → R*-tree [1] (splits chosen to minimize margin then overlap)
+→ X-tree [2] (when no split avoids heavy overlap, keep an oversized
+*supernode* and scan it linearly).  This module implements both ideas as
+pluggable split policies for :class:`repro.index.rtree.RTree`:
+
+* :func:`rstar_split` — the R*-tree topological split: pick the axis with
+  the smallest total margin over all distributions, then the distribution
+  with the least overlap (ties: least area).
+* :class:`XTreeSplitPolicy` — attempts the R*-split; if the best
+  achievable overlap ratio still exceeds ``max_overlap``, refuses to
+  split, which makes the node a supernode (its capacity grows).
+
+The Table 3 phenomenon can then be studied across construction policies:
+in low dimensions R* splits reduce overlap markedly; in high dimensions
+every policy converges to total overlap — X-tree degenerates into one big
+supernode, i.e. a linear scan, exactly as the paper argues.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import InvalidParameterError
+from .mbr import MBR
+
+#: Minimum fraction of entries on each side of an R* distribution.
+RSTAR_MIN_FILL = 0.4
+
+
+def _union(boxes: Sequence[MBR]) -> MBR:
+    out = boxes[0]
+    for box in boxes[1:]:
+        out = out.union(box)
+    return out
+
+
+def _distributions(order: List[int], min_fill: int):
+    """All (left, right) index splits honouring the minimum fill."""
+    n = len(order)
+    for split_at in range(min_fill, n - min_fill + 1):
+        yield order[:split_at], order[split_at:]
+
+
+def rstar_split(boxes: List[MBR]) -> Tuple[List[int], List[int], float]:
+    """R*-tree split of entry MBRs.
+
+    Returns ``(left indices, right indices, overlap)`` where ``overlap``
+    is the intersection volume of the two resulting boxes (the quantity
+    the X-tree policy thresholds on).
+    """
+    n = len(boxes)
+    if n < 2:
+        raise InvalidParameterError("cannot split fewer than 2 entries")
+    d = boxes[0].dim
+    min_fill = max(1, int(n * RSTAR_MIN_FILL))
+
+    # 1. Choose the split axis: smallest sum of margins over all
+    # distributions of entries sorted by lower then by upper value.
+    best_axis = 0
+    best_margin = math.inf
+    axis_orders = {}
+    for axis in range(d):
+        by_lower = sorted(range(n), key=lambda i: (boxes[i].lo[axis],
+                                                   boxes[i].hi[axis]))
+        by_upper = sorted(range(n), key=lambda i: (boxes[i].hi[axis],
+                                                   boxes[i].lo[axis]))
+        margin_sum = 0.0
+        for order in (by_lower, by_upper):
+            for left, right in _distributions(order, min_fill):
+                margin_sum += (_union([boxes[i] for i in left]).margin()
+                               + _union([boxes[i] for i in right]).margin())
+        axis_orders[axis] = (by_lower, by_upper)
+        if margin_sum < best_margin:
+            best_margin = margin_sum
+            best_axis = axis
+
+    # 2. On that axis, choose the distribution with the least overlap
+    # (ties resolved by least combined area).
+    best: Optional[Tuple[float, float, List[int], List[int]]] = None
+    for order in axis_orders[best_axis]:
+        for left, right in _distributions(order, min_fill):
+            left_box = _union([boxes[i] for i in left])
+            right_box = _union([boxes[i] for i in right])
+            overlap = left_box.intersection_area(right_box)
+            area = left_box.area() + right_box.area()
+            key = (overlap, area)
+            if best is None or key < (best[0], best[1]):
+                best = (overlap, area, list(left), list(right))
+    assert best is not None
+    return best[2], best[3], best[0]
+
+
+class XTreeSplitPolicy:
+    """Split policy with X-tree supernodes.
+
+    ``try_split`` returns ``None`` when the best split's overlap ratio
+    (overlap volume over combined volume) exceeds ``max_overlap`` — the
+    X-tree's signal to keep a supernode instead.
+    """
+
+    def __init__(self, max_overlap: float = 0.2):
+        if not 0.0 <= max_overlap <= 1.0:
+            raise InvalidParameterError("max_overlap must be in [0, 1]")
+        self.max_overlap = max_overlap
+        #: Number of refused splits (supernodes created), for inspection.
+        self.supernodes = 0
+
+    def try_split(self, boxes: List[MBR]) -> Optional[Tuple[List[int],
+                                                            List[int]]]:
+        left, right, overlap = rstar_split(boxes)
+        combined = _union(boxes).area()
+        ratio = overlap / combined if combined > 0 else 0.0
+        if ratio > self.max_overlap:
+            self.supernodes += 1
+            return None
+        return left, right
+
+
+def split_quality(boxes: List[MBR],
+                  groups: Tuple[List[int], List[int]]) -> dict:
+    """Diagnostics for a split: overlap, margin and area of the halves."""
+    left_box = _union([boxes[i] for i in groups[0]])
+    right_box = _union([boxes[i] for i in groups[1]])
+    return {
+        "overlap": left_box.intersection_area(right_box),
+        "total_margin": left_box.margin() + right_box.margin(),
+        "total_area": left_box.area() + right_box.area(),
+    }

@@ -1,0 +1,459 @@
+"""An in-memory R-tree over point data.
+
+This is the substrate for the paper's tree-based baselines: BBR indexes both
+``P`` and ``W`` in R-trees [17], MPA indexes ``P`` [22], and Table 3 studies
+the geometry of the accessed MBRs.  Two construction paths are provided:
+
+* **STR bulk loading** (Sort-Tile-Recursive) — the default for experiments;
+  builds a packed tree bottom-up in ``O(m log m)``.
+* **Dynamic insertion** with the classic quadratic split — used by tests and
+  by the Table 3 study, which is sensitive to the overlap produced by
+  incremental construction.
+
+Leaves store *indices into the point array* rather than coordinates, so the
+algorithms can recover original vectors (and the tree stays small).
+Every node caches ``count`` (points in its subtree), which the RRQ pruning
+rules need to add whole subtrees to a rank in O(1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import IndexCorruptionError, InvalidParameterError
+from ..stats.counters import NULL_COUNTER, OpCounter
+from .mbr import MBR
+
+#: Leaf/internal fanout used by the paper's Table 3 ("each MBR has 100 entries").
+DEFAULT_CAPACITY = 100
+
+#: Minimum fill fraction for quadratic split (standard R-tree 40%).
+MIN_FILL_FRACTION = 0.4
+
+
+@dataclass
+class Node:
+    """One R-tree node.
+
+    A leaf keeps point indices in ``entries``; an internal node keeps child
+    nodes in ``children``.  ``mbr`` always tightly covers the subtree and
+    ``count`` is the number of points below.
+    """
+
+    mbr: MBR
+    is_leaf: bool
+    entries: List[int] = field(default_factory=list)
+    children: List["Node"] = field(default_factory=list)
+    count: int = 0
+
+    def recompute(self, points: np.ndarray) -> None:
+        """Rebuild ``mbr`` and ``count`` from the node's direct contents."""
+        if self.is_leaf:
+            self.mbr = MBR.of_points(points[self.entries])
+            self.count = len(self.entries)
+        else:
+            mbr = self.children[0].mbr
+            count = 0
+            for child in self.children:
+                mbr = mbr.union(child.mbr)
+                count += child.count
+            self.mbr = mbr
+            self.count = count
+
+
+class RTree:
+    """R-tree over a fixed ``(m, d)`` point array.
+
+    Parameters
+    ----------
+    points:
+        The point array to index.  The tree stores indices into this array.
+    capacity:
+        Maximum entries per node (leaf and internal alike).
+    bulk:
+        Build with STR bulk loading (default) or one-at-a-time insertion.
+    """
+
+    def __init__(self, points: np.ndarray, capacity: int = DEFAULT_CAPACITY,
+                 bulk: bool = True, split: str = "quadratic",
+                 xtree_max_overlap: float = None):
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise InvalidParameterError("RTree needs a non-empty (m, d) array")
+        if capacity < 2:
+            raise InvalidParameterError("capacity must be at least 2")
+        if split not in ("quadratic", "rstar"):
+            raise InvalidParameterError("split must be 'quadratic' or 'rstar'")
+        self.points = pts
+        self.capacity = capacity
+        self.min_fill = max(1, int(capacity * MIN_FILL_FRACTION))
+        self.split = split
+        #: X-tree mode: refuse splits whose overlap ratio exceeds this,
+        #: keeping an oversized supernode instead (None disables).
+        self.xtree_policy = None
+        if xtree_max_overlap is not None:
+            from .rstar import XTreeSplitPolicy
+
+            self.xtree_policy = XTreeSplitPolicy(xtree_max_overlap)
+        if bulk:
+            self.root = self._bulk_load(np.arange(pts.shape[0]))
+        else:
+            self.root = Node(MBR.of_point(pts[0]), is_leaf=True,
+                             entries=[0], count=1)
+            for idx in range(1, pts.shape[0]):
+                self.insert(idx)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _bulk_load(self, indices: np.ndarray) -> Node:
+        """Sort-Tile-Recursive packing of ``indices`` into a balanced tree."""
+        leaves = self._str_pack_leaves(indices)
+        level: List[Node] = leaves
+        while len(level) > 1:
+            level = self._str_pack_internal(level)
+        return level[0]
+
+    def _str_pack_leaves(self, indices: np.ndarray) -> List[Node]:
+        m = len(indices)
+        cap = self.capacity
+        num_leaves = math.ceil(m / cap)
+        order = self._str_order(self.points[indices], cap)
+        sorted_idx = indices[order]
+        leaves = []
+        for start in range(0, m, cap):
+            chunk = sorted_idx[start:start + cap].tolist()
+            node = Node(MBR.of_points(self.points[chunk]), is_leaf=True,
+                        entries=chunk, count=len(chunk))
+            leaves.append(node)
+        if len(leaves) != num_leaves:  # defensive; cannot happen
+            raise IndexCorruptionError("STR leaf packing miscounted")
+        return leaves
+
+    def _str_pack_internal(self, nodes: List[Node]) -> List[Node]:
+        centers = np.array([node.mbr.center() for node in nodes])
+        order = self._str_order(centers, self.capacity)
+        packed: List[Node] = []
+        cap = self.capacity
+        for start in range(0, len(nodes), cap):
+            group = [nodes[order[i]] for i in range(start, min(start + cap, len(nodes)))]
+            parent = Node(group[0].mbr, is_leaf=False, children=group)
+            parent.recompute(self.points)
+            packed.append(parent)
+        return packed
+
+    @staticmethod
+    def _str_order(coords: np.ndarray, cap: int) -> np.ndarray:
+        """Sort-Tile-Recursive ordering of ``coords`` for groups of ``cap``.
+
+        The classic STR recursion: with ``L = ceil(m / cap)`` tiles needed
+        and ``r`` dimensions left, cut the current slab into
+        ``ceil(L ** (1/r))`` sub-slabs along the current dimension.  Slab
+        sizes are rounded up to a multiple of ``cap`` so that the final
+        sequential chunking never produces a group straddling two slabs
+        (which would create tall-and-wide, heavily overlapping boxes).
+        """
+        m, d = coords.shape
+
+        def tile(idx: np.ndarray, dim: int) -> np.ndarray:
+            order = idx[np.argsort(coords[idx, dim], kind="stable")]
+            if dim >= d - 1 or len(idx) <= cap:
+                return order
+            remaining = d - dim
+            tiles_needed = math.ceil(len(idx) / cap)
+            slabs = max(1, math.ceil(tiles_needed ** (1.0 / remaining)))
+            slab_size = math.ceil(len(idx) / slabs / cap) * cap
+            pieces = [
+                tile(order[s:s + slab_size], dim + 1)
+                for s in range(0, len(order), slab_size)
+            ]
+            return np.concatenate(pieces)
+
+        return tile(np.arange(m), 0)
+
+    # ------------------------------------------------------------------
+    # dynamic insertion (quadratic split)
+    # ------------------------------------------------------------------
+
+    def insert(self, idx: int) -> None:
+        """Insert point ``idx`` (already present in ``self.points``)."""
+        split = self._insert_into(self.root, idx)
+        if split is not None:
+            left, right = split
+            self.root = Node(left.mbr.union(right.mbr), is_leaf=False,
+                             children=[left, right])
+            self.root.recompute(self.points)
+
+    def _insert_into(self, node: Node, idx: int) -> Optional[Tuple[Node, Node]]:
+        point = self.points[idx]
+        node.mbr = node.mbr.extended(point)
+        node.count += 1
+        if node.is_leaf:
+            node.entries.append(idx)
+            if len(node.entries) > self.capacity:
+                return self._split_leaf(node)
+            return None
+        child = self._choose_subtree(node, point)
+        split = self._insert_into(child, idx)
+        if split is not None:
+            left, right = split
+            node.children.remove(child)
+            node.children.extend([left, right])
+            if len(node.children) > self.capacity:
+                return self._split_internal(node)
+            node.recompute(self.points)
+        return None
+
+    def _choose_subtree(self, node: Node, point: np.ndarray) -> Node:
+        """Least-enlargement child, ties broken by smaller area."""
+        target = MBR.of_point(point)
+        best = None
+        best_key = None
+        for child in node.children:
+            key = (child.mbr.enlargement(target), child.mbr.area())
+            if best_key is None or key < best_key:
+                best, best_key = child, key
+        assert best is not None
+        return best
+
+    def _choose_groups(self, boxes: List[MBR]):
+        """Pick the split distribution per the configured policy.
+
+        Returns ``None`` when the X-tree policy vetoes the split (the node
+        becomes a supernode and is allowed to exceed ``capacity``).
+        """
+        if self.xtree_policy is not None:
+            return self.xtree_policy.try_split(boxes)
+        if self.split == "rstar":
+            from .rstar import rstar_split
+
+            left, right, _ = rstar_split(boxes)
+            return left, right
+        return self._quadratic_split(boxes)
+
+    def _split_leaf(self, node: Node) -> Optional[Tuple[Node, Node]]:
+        groups = self._choose_groups(
+            [MBR.of_point(self.points[i]) for i in node.entries]
+        )
+        if groups is None:
+            return None  # supernode: stays oversized
+        left_entries = [node.entries[i] for i in groups[0]]
+        right_entries = [node.entries[i] for i in groups[1]]
+        left = Node(MBR.of_points(self.points[left_entries]), is_leaf=True,
+                    entries=left_entries, count=len(left_entries))
+        right = Node(MBR.of_points(self.points[right_entries]), is_leaf=True,
+                     entries=right_entries, count=len(right_entries))
+        return left, right
+
+    def _split_internal(self, node: Node) -> Optional[Tuple[Node, Node]]:
+        groups = self._choose_groups([child.mbr for child in node.children])
+        if groups is None:
+            return None  # supernode
+        left_children = [node.children[i] for i in groups[0]]
+        right_children = [node.children[i] for i in groups[1]]
+        left = Node(left_children[0].mbr, is_leaf=False, children=left_children)
+        right = Node(right_children[0].mbr, is_leaf=False, children=right_children)
+        left.recompute(self.points)
+        right.recompute(self.points)
+        return left, right
+
+    def _quadratic_split(self, boxes: List[MBR]) -> Tuple[List[int], List[int]]:
+        """Guttman's quadratic split over entry MBRs; returns index groups."""
+        n = len(boxes)
+        # Pick seeds: the pair wasting the most area if grouped.
+        worst = (-1.0, 0, 1)
+        for i in range(n):
+            for j in range(i + 1, n):
+                waste = (boxes[i].union(boxes[j]).area()
+                         - boxes[i].area() - boxes[j].area())
+                if waste > worst[0]:
+                    worst = (waste, i, j)
+        seed_a, seed_b = worst[1], worst[2]
+        group_a, group_b = [seed_a], [seed_b]
+        mbr_a, mbr_b = boxes[seed_a], boxes[seed_b]
+        rest = [i for i in range(n) if i not in (seed_a, seed_b)]
+        while rest:
+            # Force assignment if one group must take everything left.
+            if len(group_a) + len(rest) <= self.min_fill:
+                for i in rest:
+                    group_a.append(i)
+                    mbr_a = mbr_a.union(boxes[i])
+                break
+            if len(group_b) + len(rest) <= self.min_fill:
+                for i in rest:
+                    group_b.append(i)
+                    mbr_b = mbr_b.union(boxes[i])
+                break
+            # Pick the entry with the strongest preference.
+            best = None
+            best_key = None
+            for i in rest:
+                inc_a = mbr_a.enlargement(boxes[i])
+                inc_b = mbr_b.enlargement(boxes[i])
+                key = abs(inc_a - inc_b)
+                if best_key is None or key > best_key:
+                    best, best_key = i, key
+            assert best is not None
+            rest.remove(best)
+            inc_a = mbr_a.enlargement(boxes[best])
+            inc_b = mbr_b.enlargement(boxes[best])
+            if inc_a < inc_b or (inc_a == inc_b and len(group_a) <= len(group_b)):
+                group_a.append(best)
+                mbr_a = mbr_a.union(boxes[best])
+            else:
+                group_b.append(best)
+                mbr_b = mbr_b.union(boxes[best])
+        return group_a, group_b
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def range_query(self, box: MBR, counter: OpCounter = NULL_COUNTER) -> List[int]:
+        """Indices of all points inside the closed box ``box``."""
+        result: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            counter.nodes_accessed += 1
+            if not node.mbr.intersects(box):
+                continue
+            if node.is_leaf:
+                for idx in node.entries:
+                    counter.points_accessed += 1
+                    if box.contains_point(self.points[idx]):
+                        result.append(idx)
+            else:
+                stack.extend(node.children)
+        return result
+
+    def all_point_indices(self) -> List[int]:
+        """Every indexed point index (used by invariant checks)."""
+        out: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.extend(node.entries)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Yield every node (pre-order)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(node.children)
+
+    def leaves(self) -> List[Node]:
+        """All leaf nodes."""
+        return [node for node in self.iter_nodes() if node.is_leaf]
+
+    @property
+    def height(self) -> int:
+        """Tree height (a lone leaf has height 1)."""
+        h = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    @property
+    def size(self) -> int:
+        """Number of indexed points."""
+        return self.root.count
+
+    # ------------------------------------------------------------------
+    # invariants & statistics
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants, raising :class:`IndexCorruptionError`.
+
+        Checks: MBR tightness/containment, subtree counts, fanout bounds,
+        uniform leaf depth, and that every point index appears exactly once.
+        """
+        seen: List[int] = []
+
+        def visit(node: Node, depth: int) -> Tuple[int, int]:
+            if node.is_leaf:
+                if not node.entries:
+                    raise IndexCorruptionError("empty leaf")
+                if (len(node.entries) > self.capacity
+                        and self.xtree_policy is None):
+                    raise IndexCorruptionError("leaf over capacity")
+                tight = MBR.of_points(self.points[node.entries])
+                if not node.mbr.contains(tight):
+                    raise IndexCorruptionError("leaf MBR does not cover entries")
+                if node.count != len(node.entries):
+                    raise IndexCorruptionError("leaf count mismatch")
+                seen.extend(node.entries)
+                return depth, len(node.entries)
+            if not node.children:
+                raise IndexCorruptionError("empty internal node")
+            if (len(node.children) > self.capacity
+                    and self.xtree_policy is None):
+                raise IndexCorruptionError("internal node over capacity")
+            depths = set()
+            total = 0
+            for child in node.children:
+                if not node.mbr.contains(child.mbr):
+                    raise IndexCorruptionError("child MBR escapes parent")
+                child_depth, child_count = visit(child, depth + 1)
+                depths.add(child_depth)
+                total += child_count
+            if len(depths) != 1:
+                raise IndexCorruptionError("leaves at unequal depth")
+            if node.count != total:
+                raise IndexCorruptionError("internal count mismatch")
+            return depths.pop(), total
+
+        visit(self.root, 0)
+        if sorted(seen) != list(range(self.points.shape[0])):
+            raise IndexCorruptionError("point indices not partitioned by leaves")
+
+    def mbr_statistics(self, query_fraction: float = 0.01,
+                       num_queries: int = 50,
+                       seed: Optional[int] = None) -> dict:
+        """Reproduce the Table 3 observation row for this tree.
+
+        Returns the number of leaf MBRs, their average diagonal, average
+        shape ratio, average volume (as log10), and the fraction of leaf
+        MBRs overlapping a random range query covering ``query_fraction`` of
+        the data space.
+        """
+        leaf_nodes = self.leaves()
+        diagonals = [leaf.mbr.diagonal() for leaf in leaf_nodes]
+        shapes = [leaf.mbr.shape_ratio() for leaf in leaf_nodes]
+        log_volumes = [leaf.mbr.log_area() for leaf in leaf_nodes]
+        finite_logs = [v for v in log_volumes if math.isfinite(v)]
+
+        rng = np.random.default_rng(seed)
+        d = self.points.shape[1]
+        space_lo = self.points.min(axis=0)
+        space_hi = self.points.max(axis=0)
+        side = (space_hi - space_lo) * (query_fraction ** (1.0 / d))
+        overlap_fractions = []
+        for _ in range(num_queries):
+            origin = space_lo + rng.random(d) * np.maximum(
+                space_hi - space_lo - side, 0.0
+            )
+            box = MBR(origin, origin + side)
+            hits = sum(1 for leaf in leaf_nodes if leaf.mbr.intersects(box))
+            overlap_fractions.append(hits / len(leaf_nodes))
+        return {
+            "num_mbrs": len(leaf_nodes),
+            "avg_diagonal": float(np.mean(diagonals)),
+            "avg_shape_ratio": float(np.mean(shapes)),
+            "avg_log10_volume": float(np.mean(finite_logs)) if finite_logs else -math.inf,
+            "overlap_fraction": float(np.mean(overlap_fractions)),
+        }

@@ -1,0 +1,31 @@
+"""Query definitions, result types and the engine facade.
+
+The engine facade imports every algorithm, and the algorithms import the
+result types from this package — so :mod:`.engine` is loaded lazily to keep
+the import graph acyclic.
+"""
+
+from .monochromatic import MonochromaticResult, monochromatic_reverse_topk
+from .planner import AutoEngine, Plan, plan
+from .ta import SortedAccessIndex, ta_kth_score, ta_top_k
+from .topk import all_ranks, in_top_k, kth_best_score, rank_of_point, top_k
+from .types import RKRResult, RTKResult
+
+__all__ = [
+    "RRQEngine", "available_methods", "make_algorithm",
+    "top_k", "rank_of_point", "in_top_k", "kth_best_score", "all_ranks",
+    "RTKResult", "RKRResult",
+    "monochromatic_reverse_topk", "MonochromaticResult",
+    "SortedAccessIndex", "ta_top_k", "ta_kth_score",
+    "plan", "Plan", "AutoEngine",
+]
+
+_ENGINE_EXPORTS = ("RRQEngine", "available_methods", "make_algorithm")
+
+
+def __getattr__(name):
+    if name in _ENGINE_EXPORTS:
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,190 @@
+"""Monochromatic reverse top-k in two dimensions.
+
+The bichromatic query (the paper's focus) takes a concrete preference set
+``W``; the *monochromatic* variant [13, 14] asks instead for **every
+possible preference** that would rank ``q`` in its top-k.  In two
+dimensions a preference is ``w = (lam, 1 - lam)`` with ``lam in [0, 1]``,
+so the answer is a set of intervals of ``lam``.
+
+Geometry: the score of a product ``p`` is a linear function of ``lam``::
+
+    f_p(lam) = lam * p[0] + (1 - lam) * p[1]
+             = p[1] + lam * (p[0] - p[1])
+
+For each product, ``f_p(lam) < f_q(lam)`` holds on one side of the single
+crossing point of the two lines (or everywhere/nowhere when they do not
+cross in ``[0, 1]``).  The rank of ``q`` is therefore a piecewise-constant
+function of ``lam`` whose breakpoints are those crossings; a single sweep
+over the sorted breakpoints yields the exact intervals where
+``rank(lam) < k`` in ``O(m log m)``.
+
+This implementation resolves crossings in exact rational arithmetic
+(:class:`fractions.Fraction`), so interval endpoints are exact and the
+result agrees bit-for-bit with brute-force evaluation at any rational
+``lam``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DimensionMismatchError, InvalidParameterError
+
+#: An interval of lambda values, inclusive of both endpoints.
+Interval = Tuple[Fraction, Fraction]
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+@dataclass(frozen=True)
+class MonochromaticResult:
+    """Answer of a 2-d monochromatic reverse top-k query.
+
+    ``intervals`` are disjoint, sorted, closed intervals of ``lam`` (the
+    weight of the first attribute) for which ``q`` ranks in the top-k.
+    """
+
+    intervals: Tuple[Interval, ...]
+    k: int
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no preference ranks ``q`` in its top-k."""
+        return not self.intervals
+
+    def total_measure(self) -> Fraction:
+        """Total length of the qualifying lambda range (in ``[0, 1]``)."""
+        return sum((hi - lo for lo, hi in self.intervals), ZERO)
+
+    def contains(self, lam: float) -> bool:
+        """Does the preference ``(lam, 1 - lam)`` rank ``q`` in its top-k?"""
+        frac = Fraction(lam)
+        return any(lo <= frac <= hi for lo, hi in self.intervals)
+
+
+def _rank_at(P: np.ndarray, q: np.ndarray, lam: Fraction) -> int:
+    """Exact strict rank of ``q`` at one rational ``lam`` (oracle helper)."""
+    q0, q1 = Fraction(float(q[0])), Fraction(float(q[1]))
+    fq = q1 + lam * (q0 - q1)
+    rank = 0
+    for p in P:
+        p0, p1 = Fraction(float(p[0])), Fraction(float(p[1]))
+        if p1 + lam * (p0 - p1) < fq:
+            rank += 1
+    return rank
+
+
+def monochromatic_reverse_topk(P: np.ndarray, q: np.ndarray,
+                               k: int) -> MonochromaticResult:
+    """All ``lam in [0, 1]`` whose preference ranks ``q`` in the top-k.
+
+    Parameters
+    ----------
+    P:
+        ``(m, 2)`` product array (exact duplicates of ``q`` are ignored —
+        they tie and can never out-rank it).
+    q:
+        The 2-d query product.
+    k:
+        Top-k threshold, positive.
+    """
+    P = np.asarray(P, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64).reshape(-1)
+    if P.ndim != 2 or P.shape[1] != 2 or q.shape[0] != 2:
+        raise DimensionMismatchError(
+            "monochromatic reverse top-k is defined for d = 2"
+        )
+    if k <= 0:
+        raise InvalidParameterError("k must be positive")
+
+    q0, q1 = Fraction(float(q[0])), Fraction(float(q[1]))
+
+    # For each product, f_p(lam) - f_q(lam) = intercept + lam * slope.
+    # Classify its "strictly better than q" region within [0, 1]:
+    #   rank0        — better exactly at lam = 0,
+    #   rank1        — better exactly at lam = 1,
+    #   rank_open    — better on the first open segment (0, b1),
+    #   events       — interior crossings where better-ness flips.
+    rank0 = 0
+    rank1 = 0
+    rank_open = 0
+    events: List[Tuple[Fraction, int]] = []
+    for p in P:
+        p0, p1 = Fraction(float(p[0])), Fraction(float(p[1]))
+        if p0 == q0 and p1 == q1:
+            continue  # exact tie at every lam: never strictly better
+        intercept = p1 - q1
+        slope = (p0 - q0) - (p1 - q1)
+        at_zero = intercept < 0
+        at_one = intercept + slope < 0
+        if at_zero:
+            rank0 += 1
+        if at_one:
+            rank1 += 1
+        if slope == 0:
+            if at_zero:
+                rank_open += 1  # constant sign across all of [0, 1]
+            continue
+        crossing = -intercept / slope
+        # Sign just after 0 (the first open segment): the intercept decides
+        # unless it is exactly 0, where the slope takes over.
+        just_after_zero = at_zero or (intercept == 0 and slope < 0)
+        if just_after_zero:
+            rank_open += 1
+        if crossing <= ZERO or crossing >= ONE:
+            continue  # no flip strictly inside (0, 1)
+        events.append((crossing, -1 if just_after_zero else +1))
+
+    events.sort()
+
+    # Sweep.  Rank at a breakpoint never exceeds the rank on either side
+    # (products crossing there tie q), so the qualifying set is a union of
+    # CLOSED intervals, possibly degenerate points.
+    intervals: List[List[Fraction]] = []
+    open_start: Optional[Fraction] = None
+
+    def visit_point(lam: Fraction, rank_at: int, rank_after: int) -> None:
+        nonlocal open_start
+        if rank_at < k and open_start is None:
+            open_start = lam
+        if rank_after >= k and open_start is not None:
+            intervals.append([open_start, lam])
+            open_start = None
+
+    visit_point(ZERO, rank0, rank_open)
+    rank = rank_open
+    i = 0
+    while i < len(events):
+        lam = events[i][0]
+        ending = 0
+        starting = 0
+        while i < len(events) and events[i][0] == lam:
+            if events[i][1] == -1:
+                ending += 1
+            else:
+                starting += 1
+            i += 1
+        rank_at = rank - ending
+        rank_after = rank - ending + starting
+        visit_point(lam, rank_at, rank_after)
+        rank = rank_after
+    # lam = 1: nothing follows, so "after" is the point itself.
+    visit_point(ONE, rank1, rank1)
+    if open_start is not None:
+        intervals.append([open_start, ONE])
+
+    # Merge touching intervals.
+    merged: List[List[Fraction]] = []
+    for lo, hi in intervals:
+        if merged and lo <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+    return MonochromaticResult(
+        intervals=tuple((lo, hi) for lo, hi in merged), k=k
+    )

@@ -1,0 +1,119 @@
+"""Heuristic query planner: pick the algorithm from the workload shape.
+
+EXPERIMENTS.md distills where each method wins in this implementation:
+
+* very low dimensions (d <= 3) — the R-tree methods prune geometrically
+  and win outright (paper Figure 10, reproduced);
+* everywhere else — the Grid-index scan dominates on work, and SIM's
+  single-matvec scan is the wall-clock safe bet for tiny workloads where
+  index build time would never amortize;
+* sparse preferences — the support-restricted GIR variant.
+
+:func:`plan` encodes those rules and returns a method name accepted by
+:class:`repro.queries.engine.RRQEngine`; passing ``method="auto"`` to the
+engine applies it.  The planner is intentionally simple and transparent —
+the returned :class:`Plan` carries its reasoning, and every rule is
+unit-tested so changes to the heuristics are deliberate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..data.datasets import ProductSet, WeightSet, check_compatible
+
+#: Below this dimensionality the tree methods win (paper Figure 10).
+TREE_DIMENSION_LIMIT = 3
+
+#: Below this many stored vectors, building any index never amortizes.
+TINY_WORKLOAD = 64
+
+#: Average support share below which the sparse engine pays off.
+SPARSE_SUPPORT_SHARE = 0.5
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A planner decision with its reasoning."""
+
+    rtk_method: str
+    rkr_method: str
+    reason: str
+
+
+def _sparsity(weights: WeightSet) -> float:
+    """Average share of non-zero components per preference."""
+    W = weights.values
+    return float((W > 0).sum() / W.size)
+
+
+def plan(products: ProductSet, weights: WeightSet,
+         skew_hint: Optional[str] = None) -> Plan:
+    """Choose methods for the workload; see module docstring for rules.
+
+    ``skew_hint`` may be ``"skewed"`` to request the quantile grid
+    (recommended when P is clustered/exponential and known to be so).
+    """
+    check_compatible(products, weights)
+    d = products.dim
+    size = max(products.size, weights.size)
+
+    if size < TINY_WORKLOAD:
+        return Plan("sim", "sim",
+                    f"workload of {size} vectors is below the index "
+                    f"amortization threshold ({TINY_WORKLOAD}); plain scan")
+    if d <= TREE_DIMENSION_LIMIT:
+        return Plan("bbr", "mpa",
+                    f"d={d} <= {TREE_DIMENSION_LIMIT}: R-tree pruning wins "
+                    "in very low dimensions (Figure 10)")
+    if _sparsity(weights) < SPARSE_SUPPORT_SHARE:
+        return Plan("gir-sparse", "gir-sparse",
+                    "preferences are sparse: support-restricted bounds "
+                    "cut per-pair work proportionally")
+    if skew_hint == "skewed":
+        return Plan("gir-adaptive", "gir-adaptive",
+                    "caller marked the data skewed: quantile boundaries "
+                    "filter better at equal n")
+    return Plan("gir", "gir",
+                f"d={d}, {size} vectors: the Grid-index scan is the "
+                "general-purpose winner")
+
+
+class AutoEngine:
+    """An engine that routes RTK and RKR to the planned methods.
+
+    Constructed by ``RRQEngine(P, W, method="auto")``; exposed directly
+    for callers who want the :class:`Plan` too.
+    """
+
+    name = "AUTO"
+    supports_rtk = True
+    supports_rkr = True
+
+    def __init__(self, products: ProductSet, weights: WeightSet,
+                 skew_hint: Optional[str] = None, **kwargs):
+        from .engine import make_algorithm
+
+        self.plan = plan(products, weights, skew_hint=skew_hint)
+        self.products = products
+        self.weights = weights
+        self._rtk = make_algorithm(self.plan.rtk_method, products, weights,
+                                   **kwargs)
+        if self.plan.rkr_method == self.plan.rtk_method:
+            self._rkr = self._rtk
+        else:
+            self._rkr = make_algorithm(self.plan.rkr_method, products,
+                                       weights, **kwargs)
+
+    def reverse_topk(self, q, k: int, counter=None):
+        """RTK via the planned method."""
+        return self._rtk.reverse_topk(q, k, counter=counter)
+
+    def reverse_kranks(self, q, k: int, counter=None):
+        """RKR via the planned method."""
+        return self._rkr.reverse_kranks(q, k, counter=counter)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"AutoEngine(rtk={self.plan.rtk_method!r}, "
+                f"rkr={self.plan.rkr_method!r})")

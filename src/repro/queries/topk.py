@@ -1,0 +1,88 @@
+"""Top-k queries and rank primitives (paper Definition 1).
+
+These are the forward-direction building blocks: given one preference
+``w``, find the ``k`` best products, or the rank a query product would
+hold.  The reverse queries are defined in terms of these, and the naive
+oracle uses them directly.
+
+Scoring convention (library-wide): smaller scores are better, and
+``rank(w, q)`` counts products with a *strictly* smaller score than ``q``
+(DESIGN.md Section 2), so ``rank == 0`` means "q ties for the best".
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+
+def scores(products: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Vector of ``f_w(p)`` for every row of ``products``."""
+    return products @ w
+
+
+def top_k(products: np.ndarray, w: np.ndarray, k: int) -> List[int]:
+    """Indices of the ``k`` smallest-scoring products under ``w``.
+
+    Ties are broken by smaller index, matching the deterministic tie-break
+    used everywhere in this library.  Uses a bounded heap, so the cost is
+    ``O(m log k)``.
+    """
+    if k <= 0:
+        raise InvalidParameterError("k must be positive")
+    score_vec = scores(products, w)
+    k = min(k, len(score_vec))
+    # heapq.nsmallest on (score, index) gives the stable tie-break for free.
+    best = heapq.nsmallest(k, zip(score_vec.tolist(), range(len(score_vec))))
+    return [idx for _, idx in best]
+
+
+def rank_of_score(score_vec: Sequence[float], query_score: float) -> int:
+    """Number of scores strictly below ``query_score``."""
+    arr = np.asarray(score_vec)
+    return int(np.count_nonzero(arr < query_score))
+
+
+def rank_of_point(products: np.ndarray, w: np.ndarray, q: np.ndarray) -> int:
+    """``rank(w, q)``: products scoring strictly better than ``q`` under ``w``."""
+    return rank_of_score(scores(products, w), float(np.dot(w, q)))
+
+
+def kth_best_score(products: np.ndarray, w: np.ndarray, k: int) -> float:
+    """The ``k``-th smallest score under ``w`` (1-based ``k``)."""
+    if k <= 0:
+        raise InvalidParameterError("k must be positive")
+    score_vec = scores(products, w)
+    k = min(k, len(score_vec))
+    return float(np.partition(score_vec, k - 1)[k - 1])
+
+
+def in_top_k(products: np.ndarray, w: np.ndarray, q: np.ndarray, k: int) -> bool:
+    """Would ``q`` rank within the top-k of ``w``?  (Definition 2 membership.)
+
+    True exactly when fewer than ``k`` products strictly beat ``q`` — i.e.
+    ``f_w(q) <= f_w(p)`` holds for some ``p`` in ``TOP_k(w)``.
+    """
+    return rank_of_point(products, w, q) < k
+
+
+def all_ranks(products: np.ndarray, weights: np.ndarray,
+              q: np.ndarray, chunk: int = 256) -> np.ndarray:
+    """``rank(w, q)`` for every ``w`` (vectorized, chunked over W).
+
+    The work is ``O(|P| * |W|)`` but runs at BLAS speed; this is the
+    reference used by the naive oracle and by correctness tests.
+    """
+    m = weights.shape[0]
+    out = np.empty(m, dtype=np.int64)
+    fq = weights @ q
+    for start in range(0, m, chunk):
+        block = weights[start:start + chunk]
+        # (|P|, chunk) score matrix; count per column.
+        s = products @ block.T
+        out[start:start + chunk] = (s < fq[start:start + chunk]).sum(axis=0)
+    return out

@@ -1,0 +1,89 @@
+"""Result types shared by every reverse-rank-query algorithm.
+
+All algorithms return the same structures so the test suite can compare
+them for equality and the benchmarks can report uniformly:
+
+* :class:`RTKResult` — the set of qualifying weight indices plus stats.
+* :class:`RKRResult` — the ordered top-k ``(rank, weight index)`` pairs.
+
+Tie-breaking for RKR is deterministic across the library: among equal
+ranks, the weight with the smaller index wins (see DESIGN.md Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from ..stats.counters import OpCounter
+
+
+@dataclass(frozen=True)
+class RTKResult:
+    """Answer of a reverse top-k query.
+
+    Attributes
+    ----------
+    weights:
+        Indices into ``W`` of the qualifying preferences, as a frozenset
+        (RTK answers are sets; Definition 2).
+    k:
+        The query parameter.
+    counter:
+        Work tallies accumulated while answering.
+    """
+
+    weights: FrozenSet[int]
+    k: int
+    counter: OpCounter = field(compare=False, default_factory=OpCounter)
+
+    @property
+    def size(self) -> int:
+        """Number of qualifying weight vectors."""
+        return len(self.weights)
+
+    def sorted_indices(self) -> List[int]:
+        """Qualifying indices in ascending order (handy for printing)."""
+        return sorted(self.weights)
+
+
+@dataclass(frozen=True)
+class RKRResult:
+    """Answer of a reverse k-ranks query.
+
+    Attributes
+    ----------
+    entries:
+        ``(rank, weight index)`` pairs sorted ascending by ``(rank, index)``;
+        exactly ``min(k, |W|)`` of them.
+    k:
+        The query parameter.
+    counter:
+        Work tallies accumulated while answering.
+    """
+
+    entries: Tuple[Tuple[int, int], ...]
+    k: int
+    counter: OpCounter = field(compare=False, default_factory=OpCounter)
+
+    @property
+    def weights(self) -> FrozenSet[int]:
+        """The answer's weight indices as a set."""
+        return frozenset(idx for _, idx in self.entries)
+
+    @property
+    def ranks(self) -> Tuple[int, ...]:
+        """Just the ranks, in answer order."""
+        return tuple(rank for rank, _ in self.entries)
+
+    @property
+    def best_rank(self) -> int:
+        """Smallest rank in the answer (how well q can possibly place)."""
+        return self.entries[0][0] if self.entries else -1
+
+
+def make_rkr_result(pairs: List[Tuple[int, int]], k: int,
+                    counter: OpCounter) -> RKRResult:
+    """Sort ``(rank, index)`` pairs with the library tie-break and truncate to k."""
+    ordered = tuple(sorted(pairs)[:k])
+    return RKRResult(entries=ordered, k=k, counter=counter)

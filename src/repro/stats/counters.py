@@ -1,0 +1,100 @@
+"""Operation counters shared by every algorithm implementation.
+
+The paper's headline metric besides wall-clock time is the number of
+*pairwise computations* — full ``d``-multiplication inner products — plus
+the fraction of data points an algorithm has to visit (Figures 11b/11d and
+15a).  Each algorithm takes an :class:`OpCounter` and increments the fields
+it exercises; the benchmark harness reads them back.
+
+The counter deliberately has no behaviour besides accumulation so that the
+instrumentation overhead inside the hot loops stays tiny and identical
+across algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class OpCounter:
+    """Mutable accumulator of algorithm work.
+
+    Attributes
+    ----------
+    pairwise:
+        Full inner products evaluated (``d`` multiplications each).  This is
+        the paper's "pairwise computations" metric; MBR-corner products in
+        the tree methods count too, since they cost the same multiplications.
+    additions:
+        Scalar additions performed outside full inner products — chiefly the
+        Grid-index bound assemblies, which replace multiplications with
+        additions (Section 4.1 cost discussion).
+    grid_lookups:
+        Grid-index cell reads.
+    points_accessed:
+        Data points touched (original vectors, not approximate ones).
+    approx_accessed:
+        Approximate vectors touched.
+    nodes_accessed:
+        Tree nodes (or histogram buckets) visited.
+    filtered_case1:
+        Pairs resolved by the upper bound (``p`` definitely precedes ``q``).
+    filtered_case2:
+        Pairs resolved by the lower bound (``q`` definitely precedes ``p``).
+    refined:
+        Case-3 pairs that required an exact score.
+    dominated_skips:
+        Points skipped because they were already in the Domin buffer.
+    early_terminations:
+        Scans aborted early because the rank bound was exceeded.
+    """
+
+    pairwise: int = 0
+    additions: int = 0
+    grid_lookups: int = 0
+    points_accessed: int = 0
+    approx_accessed: int = 0
+    nodes_accessed: int = 0
+    filtered_case1: int = 0
+    filtered_case2: int = 0
+    refined: int = 0
+    dominated_skips: int = 0
+    early_terminations: int = 0
+
+    def reset(self) -> None:
+        """Zero every field in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def merge(self, other: "OpCounter") -> "OpCounter":
+        """Add ``other``'s tallies into this counter and return ``self``."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def snapshot(self) -> dict:
+        """Return the current tallies as a plain dict (for reports)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def filtered_total(self) -> int:
+        """Pairs decided by bounds alone (Case 1 + Case 2)."""
+        return self.filtered_case1 + self.filtered_case2
+
+    def filtering_ratio(self) -> float:
+        """Fraction of bound-checked pairs that never needed an exact score."""
+        checked = self.filtered_total + self.refined
+        if checked == 0:
+            return 0.0
+        return self.filtered_total / checked
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{name}={value}" for name, value in self.snapshot().items() if value
+        )
+        return f"OpCounter({parts})"
+
+
+#: A shared throwaway counter for callers that do not care about stats.
+NULL_COUNTER = OpCounter()

@@ -1,0 +1,6 @@
+"""Batch vectorized engines and process-parallel batch execution."""
+
+from .batch import BatchOracle, all_ranks_multi
+from .parallel import answer_batch
+
+__all__ = ["BatchOracle", "all_ranks_multi", "answer_batch"]

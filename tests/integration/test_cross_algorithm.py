@@ -1,0 +1,149 @@
+"""Cross-algorithm agreement: every implementation must produce the exact
+answer of the naive oracle, on every distribution combination the paper
+evaluates and across dimensionalities, k values and query choices.
+
+This is the load-bearing correctness test of the reproduction: BBR, MPA,
+SIM and GIR use wildly different pruning machinery, so agreement on
+randomized instances is strong evidence each one is right.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bbr import BranchBoundRTK
+from repro.algorithms.mpa import MarkedPruningRKR
+from repro.algorithms.naive import NaiveRRQ
+from repro.algorithms.rta import ThresholdRTK
+from repro.algorithms.sim import SimpleScan
+from repro.core.gir import GridIndexRRQ
+from repro.data.synthetic import generate_products, generate_weights
+from repro.ext.adaptive_grid import AdaptiveGridIndexRRQ
+from repro.ext.sparse import SparseGridIndexRRQ
+from repro.vectorized.batch import BatchOracle
+
+SIZE_P = 140
+SIZE_W = 120
+
+RTK_ALGORITHMS = [SimpleScan, GridIndexRRQ, AdaptiveGridIndexRRQ,
+                  SparseGridIndexRRQ, BranchBoundRTK, ThresholdRTK]
+RKR_ALGORITHMS = [SimpleScan, GridIndexRRQ, AdaptiveGridIndexRRQ,
+                  SparseGridIndexRRQ, MarkedPruningRKR]
+
+
+def make_instance(p_dist, w_dist, d, seed):
+    P = generate_products(p_dist, SIZE_P, d, seed=seed)
+    W = generate_weights(w_dist, SIZE_W, d, seed=seed + 1000)
+    return P, W
+
+
+@pytest.mark.parametrize("p_dist,w_dist", [
+    ("UN", "UN"), ("CL", "UN"), ("AC", "UN"),
+    ("UN", "CL"), ("CL", "CL"), ("AC", "CL"),
+    ("NORMAL", "UN"), ("EXP", "EXP"),
+])
+def test_distribution_matrix(p_dist, w_dist):
+    """Paper Figure 10's data-set grid, plus the Table 4 distributions."""
+    d, k = 4, 9
+    P, W = make_instance(p_dist, w_dist, d, seed=hash((p_dist, w_dist)) % 1000)
+    naive = NaiveRRQ(P, W)
+    q = P[7]
+    expected_rtk = naive.reverse_topk(q, k).weights
+    expected_rkr = naive.reverse_kranks(q, k).entries
+    for cls in RTK_ALGORITHMS:
+        assert cls(P, W).reverse_topk(q, k).weights == expected_rtk, cls.__name__
+    for cls in RKR_ALGORITHMS:
+        assert cls(P, W).reverse_kranks(q, k).entries == expected_rkr, cls.__name__
+
+
+@pytest.mark.parametrize("d", [1, 2, 3, 5, 8, 12])
+def test_dimensionality_sweep(d):
+    """d = 1 (degenerate) through high-d; weights collapse to w=(1,) at d=1."""
+    P, W = make_instance("UN", "UN", d, seed=d)
+    naive = NaiveRRQ(P, W)
+    q = P[0]
+    k = 6
+    expected_rtk = naive.reverse_topk(q, k).weights
+    expected_rkr = naive.reverse_kranks(q, k).entries
+    for cls in RTK_ALGORITHMS:
+        assert cls(P, W).reverse_topk(q, k).weights == expected_rtk, cls.__name__
+    for cls in RKR_ALGORITHMS:
+        assert cls(P, W).reverse_kranks(q, k).entries == expected_rkr, cls.__name__
+
+
+@pytest.mark.parametrize("k", [1, 2, 10, SIZE_W, SIZE_W + 5])
+def test_k_sweep(k):
+    P, W = make_instance("UN", "UN", 5, seed=77)
+    naive = NaiveRRQ(P, W)
+    q = P[33]
+    expected_rtk = naive.reverse_topk(q, k).weights
+    expected_rkr = naive.reverse_kranks(q, k).entries
+    for cls in RTK_ALGORITHMS:
+        assert cls(P, W).reverse_topk(q, k).weights == expected_rtk, cls.__name__
+    for cls in RKR_ALGORITHMS:
+        assert cls(P, W).reverse_kranks(q, k).entries == expected_rkr, cls.__name__
+
+
+def test_queries_not_in_p():
+    """External query points (not drawn from P) work identically."""
+    P, W = make_instance("UN", "UN", 4, seed=5)
+    naive = NaiveRRQ(P, W)
+    rng = np.random.default_rng(9)
+    for _ in range(3):
+        q = rng.random(4) * 9_000
+        expected_rtk = naive.reverse_topk(q, 8).weights
+        expected_rkr = naive.reverse_kranks(q, 8).entries
+        for cls in RTK_ALGORITHMS:
+            assert cls(P, W).reverse_topk(q, 8).weights == expected_rtk
+        for cls in RKR_ALGORITHMS:
+            assert cls(P, W).reverse_kranks(q, 8).entries == expected_rkr
+
+
+def test_duplicated_points_and_query():
+    """Heavy duplication: many copies of the query inside P, plus ties."""
+    rng = np.random.default_rng(13)
+    base = rng.random((40, 3)) * 100
+    P_values = np.vstack([base, np.tile(base[0], (10, 1)), base[:5]])
+    from repro.data.datasets import ProductSet, WeightSet
+
+    P = ProductSet(P_values, value_range=1000.0)
+    W = WeightSet(rng.dirichlet(np.ones(3), size=60))
+    naive = NaiveRRQ(P, W)
+    q = base[0]  # 11 exact duplicates in P
+    expected_rtk = naive.reverse_topk(q, 5).weights
+    expected_rkr = naive.reverse_kranks(q, 5).entries
+    for cls in RTK_ALGORITHMS:
+        assert cls(P, W).reverse_topk(q, 5).weights == expected_rtk, cls.__name__
+    for cls in RKR_ALGORITHMS:
+        assert cls(P, W).reverse_kranks(q, 5).entries == expected_rkr, cls.__name__
+
+
+def test_batch_oracle_agrees_on_everything():
+    P, W = make_instance("CL", "UN", 6, seed=21)
+    naive = NaiveRRQ(P, W)
+    oracle = BatchOracle(P, W)
+    rng = np.random.default_rng(3)
+    for _ in range(5):
+        q = P[int(rng.integers(0, SIZE_P))]
+        k = int(rng.integers(1, 40))
+        assert oracle.reverse_topk(q, k).weights == naive.reverse_topk(q, k).weights
+        assert (oracle.reverse_kranks(q, k).entries
+                == naive.reverse_kranks(q, k).entries)
+
+
+def test_many_random_trials_smallscale():
+    """Dense randomized sweep at small scale — the shotgun test."""
+    rng = np.random.default_rng(1234)
+    for trial in range(8):
+        d = int(rng.integers(2, 7))
+        P, W = make_instance("UN", "UN", d, seed=trial + 500)
+        q = P[int(rng.integers(0, SIZE_P))]
+        k = int(rng.integers(1, 25))
+        naive = NaiveRRQ(P, W)
+        expected_rtk = naive.reverse_topk(q, k).weights
+        expected_rkr = naive.reverse_kranks(q, k).entries
+        gir = GridIndexRRQ(P, W, partitions=int(rng.choice([4, 16, 32])))
+        sim = SimpleScan(P, W, chunk=int(rng.choice([1, 16, 256])))
+        assert gir.reverse_topk(q, k).weights == expected_rtk
+        assert gir.reverse_kranks(q, k).entries == expected_rkr
+        assert sim.reverse_topk(q, k).weights == expected_rtk
+        assert sim.reverse_kranks(q, k).entries == expected_rkr

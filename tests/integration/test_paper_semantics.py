@@ -1,0 +1,118 @@
+"""Integration tests pinning the paper's query semantics end to end."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import ProductSet, WeightSet
+from repro.data.real import dianping
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.queries.engine import RRQEngine
+from repro.queries.topk import in_top_k, top_k
+
+
+@pytest.fixture
+def engine_pair():
+    P = uniform_products(150, 5, seed=91)
+    W = uniform_weights(130, 5, seed=92)
+    return P, W, RRQEngine(P, W, method="gir")
+
+
+class TestDefinitionConsistency:
+    def test_rtk_membership_iff_topk_membership(self, engine_pair):
+        """Definition 2: w in RTK(q) iff q would be in w's top-k."""
+        P, W, engine = engine_pair
+        q = P[10]
+        k = 12
+        result = engine.reverse_topk(q, k)
+        for j in range(W.size):
+            expected = in_top_k(P.values, W[j], q, k)
+            assert (j in result.weights) == expected
+
+    def test_rkr_returns_globally_best_ranks(self, engine_pair):
+        """Definition 3: no excluded weight ranks q better than an included one."""
+        P, W, engine = engine_pair
+        q = P[42]
+        k = 9
+        result = engine.reverse_kranks(q, k)
+        included = result.weights
+        all_ranks = {
+            j: int(np.sum(
+                P.values[~np.all(P.values == q, axis=1)] @ W[j]
+                < np.dot(W[j], q)
+            ))
+            for j in range(W.size)
+        }
+        worst_included = max(all_ranks[j] for j in included)
+        for j in range(W.size):
+            if j not in included:
+                assert all_ranks[j] >= worst_included
+
+    def test_rtk_monotone_in_k(self, engine_pair):
+        """Growing k can only grow the RTK answer set."""
+        P, W, engine = engine_pair
+        q = P[3]
+        previous = frozenset()
+        for k in (1, 2, 5, 10, 50, 130):
+            current = engine.reverse_topk(q, k).weights
+            assert previous <= current
+            previous = current
+
+    def test_rkr_prefix_property(self, engine_pair):
+        """RKR(k) answers are a prefix of RKR(k+5) answers."""
+        P, W, engine = engine_pair
+        q = P[99]
+        small = engine.reverse_kranks(q, 5).entries
+        large = engine.reverse_kranks(q, 10).entries
+        assert large[:5] == small
+
+    def test_rkr_never_empty_even_for_awful_products(self, engine_pair):
+        """The motivation for RKR (paper Section 1): unlike RTK, every
+        product finds its k best-matching customers."""
+        P, W, engine = engine_pair
+        q = P.values.max(axis=0) * 0.999  # unpopular product
+        assert engine.reverse_topk(q, 5).size == 0
+        assert len(engine.reverse_kranks(q, 5).entries) == 5
+
+
+class TestFigure1EndToEnd:
+    def test_full_story(self, figure1_data):
+        """Run the complete Figure 1 narrative through the public engine."""
+        Pv, Wv = figure1_data
+        P = ProductSet(Pv, value_range=1.0)
+        W = WeightSet(Wv)
+        engine = RRQEngine(P, W, method="gir", partitions=8)
+
+        # (a) top-2 lists per user.
+        assert set(top_k(Pv, Wv[0], 2)) == {2, 1}       # Tom: p3, p2
+        assert set(top_k(Pv, Wv[1], 2)) == {1, 4}       # Jerry: p2, p5
+        assert set(top_k(Pv, Wv[2], 2)) == {1, 2}       # Spike: p2, p3
+
+        # (b) RT-2 per phone.
+        expected_rt2 = {
+            0: frozenset(),            # p1: null
+            1: frozenset({0, 1, 2}),   # p2: everyone
+            2: frozenset({0, 2}),      # p3: Tom, Spike
+            3: frozenset(),            # p4: null
+            4: frozenset({1}),         # p5: Jerry
+        }
+        for idx, expected in expected_rt2.items():
+            assert engine.reverse_topk(Pv[idx], 2).weights == expected
+
+        # (c) R-1R per phone (Tom=0, Jerry=1, Spike=2).
+        expected_r1r = {0: 0, 1: 1, 2: 0, 3: 0, 4: 1}
+        for idx, expected in expected_r1r.items():
+            winner = engine.reverse_kranks(Pv[idx], 1).entries[0][1]
+            assert winner == expected
+
+
+class TestRealWorldPipeline:
+    def test_dianping_restaurant_targeting(self):
+        """The paper's DIANPING use case: find target users for restaurants."""
+        data = dianping(num_restaurants=120, num_users=100, seed=17)
+        engine = RRQEngine(data.restaurants, data.users, method="gir")
+        q = data.restaurants[0]
+        rkr = engine.reverse_kranks(q, 10)
+        assert len(rkr.entries) == 10
+        # The answer must agree with a naive engine on the same data.
+        naive = RRQEngine(data.restaurants, data.users, method="naive")
+        assert rkr.entries == naive.reverse_kranks(q, 10).entries

@@ -1,0 +1,72 @@
+"""End-to-end pipeline tests: generate -> persist -> reload -> quantize ->
+compress -> query.  Exercises the full Table 2 / Section 3.2 data path."""
+
+import numpy as np
+
+from repro.core.approx import Quantizer, bits_needed, quantize_dataset
+from repro.core.gir import GridIndexRRQ
+from repro.data.io import (
+    load_approx,
+    load_products,
+    load_weights,
+    save_approx,
+    save_products,
+    save_weights,
+)
+from repro.data.synthetic import clustered_products, uniform_weights
+from repro.queries.engine import RRQEngine
+
+
+def test_full_pipeline_roundtrip(tmp_path):
+    # 1. Generate and persist raw data sets.
+    P = clustered_products(200, 6, seed=101)
+    W = uniform_weights(150, 6, seed=102)
+    p_path, w_path = tmp_path / "p.rrq", tmp_path / "w.rrq"
+    save_products(p_path, P)
+    save_weights(w_path, W)
+
+    # 2. Reload and verify nothing was lost.
+    P2 = load_products(p_path)
+    W2 = load_weights(w_path)
+    assert np.array_equal(P2.values, P.values)
+    assert np.array_equal(W2.values, W.values)
+
+    # 3. Quantize to approximate vectors and persist bit-packed.
+    n = 32
+    bits = bits_needed(n)
+    pq = Quantizer.equal_width(n, value_range=P.value_range)
+    # GIR spans the weight axis with the observed component range.
+    wq = Quantizer.equal_width(n, value_range=float(W.values.max()))
+    PA = quantize_dataset(P2.values, pq)
+    WA = quantize_dataset(W2.values, wq)
+    pa_path, wa_path = tmp_path / "p.rrqa", tmp_path / "w.rrqa"
+    save_approx(pa_path, PA, bits)
+    save_approx(wa_path, WA, bits)
+
+    # 4. Reload the compressed approximations bit-exactly.
+    PA2, pa_bits = load_approx(pa_path)
+    WA2, wa_bits = load_approx(wa_path)
+    assert pa_bits == wa_bits == bits
+    assert np.array_equal(PA2, PA)
+    assert np.array_equal(WA2, WA)
+
+    # 5. Query with GIR built on the reloaded data and cross-check.
+    gir = GridIndexRRQ(P2, W2, partitions=n)
+    assert np.array_equal(gir.PA, PA)
+    assert np.array_equal(gir.WA, WA)
+    naive = RRQEngine(P2, W2, method="naive")
+    q = P2[13]
+    assert gir.reverse_topk(q, 10).weights == naive.reverse_topk(q, 10).weights
+    assert (gir.reverse_kranks(q, 6).entries
+            == naive.reverse_kranks(q, 6).entries)
+
+
+def test_compression_overhead_claim(tmp_path):
+    """Section 3.2: approximate files are < 1/10 of the originals."""
+    P = clustered_products(500, 6, seed=103)
+    raw = tmp_path / "raw.rrq"
+    approx = tmp_path / "ap.rrqa"
+    save_products(raw, P)
+    pq = Quantizer.equal_width(64, value_range=P.value_range)
+    save_approx(approx, quantize_dataset(P.values, pq), bits=6)
+    assert approx.stat().st_size < raw.stat().st_size / 9

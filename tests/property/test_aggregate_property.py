@@ -1,0 +1,65 @@
+"""Property tests for aggregate (bundle) reverse rank queries."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.datasets import ProductSet, WeightSet
+from repro.ext.aggregate import (
+    AggregateGridIndexRKR,
+    aggregate_reverse_kranks_naive,
+)
+
+
+@st.composite
+def bundle_instances(draw):
+    m_p = draw(st.integers(3, 40))
+    m_w = draw(st.integers(1, 25))
+    d = draw(st.integers(1, 5))
+    P = draw(hnp.arrays(np.float64, (m_p, d),
+                        elements=st.floats(0.0, 1.0 - 1e-9)))
+    raw = draw(hnp.arrays(np.float64, (m_w, d),
+                          elements=st.floats(1e-6, 1.0)))
+    W = raw / raw.sum(axis=1, keepdims=True)
+    bundle_idx = draw(st.lists(st.integers(0, m_p - 1), min_size=1,
+                               max_size=4))
+    k = draw(st.integers(1, m_w + 1))
+    agg = draw(st.sampled_from(["sum", "max"]))
+    n = draw(st.sampled_from([2, 16]))
+    return (ProductSet(P, value_range=1.0), WeightSet(W, renormalize=True),
+            [P[i] for i in bundle_idx], k, agg, n)
+
+
+@given(bundle_instances())
+@settings(max_examples=40, deadline=None)
+def test_grid_solver_equals_oracle(instance):
+    P, W, bundle, k, agg, n = instance
+    fast = AggregateGridIndexRKR(P, W, partitions=n).query(bundle, k, agg)
+    slow = aggregate_reverse_kranks_naive(P, W, bundle, k, agg)
+    assert fast.entries == slow.entries
+
+
+@given(bundle_instances())
+@settings(max_examples=30, deadline=None)
+def test_sum_dominates_max(instance):
+    """For any weight, sum-aggregate >= max-aggregate (ranks are >= 0)."""
+    P, W, bundle, k, _, n = instance
+    by_sum = aggregate_reverse_kranks_naive(P, W, bundle, W.size, "sum")
+    by_max = aggregate_reverse_kranks_naive(P, W, bundle, W.size, "max")
+    sums = {j: rank for rank, j in by_sum.entries}
+    maxes = {j: rank for rank, j in by_max.entries}
+    for j in sums:
+        assert sums[j] >= maxes[j]
+
+
+@given(bundle_instances())
+@settings(max_examples=30, deadline=None)
+def test_singleton_bundle_is_plain_rkr(instance):
+    P, W, bundle, k, agg, n = instance
+    from repro.algorithms.naive import NaiveRRQ
+
+    single = [bundle[0]]
+    agg_result = aggregate_reverse_kranks_naive(P, W, single, k, agg)
+    plain = NaiveRRQ(P, W).reverse_kranks(single[0], k)
+    assert agg_result.entries == plain.entries

@@ -1,0 +1,80 @@
+"""Property tests for the Grid-index bound machinery (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.approx import Quantizer, quantize_dataset
+from repro.core.bounds import classify_batch, sandwich_holds
+from repro.core.grid import GridIndex
+
+PARTITIONS = st.sampled_from([2, 4, 8, 16, 32, 64])
+
+unit_matrix = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 30), st.integers(1, 8)),
+    elements=st.floats(0.0, 1.0 - 1e-9, allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def matrix_and_weight(draw):
+    mat = draw(unit_matrix)
+    d = mat.shape[1]
+    raw = draw(hnp.arrays(np.float64, (d,),
+                          elements=st.floats(1e-6, 1.0)))
+    return mat, raw / raw.sum()
+
+
+@given(matrix_and_weight(), PARTITIONS)
+@settings(max_examples=120, deadline=None)
+def test_bound_sandwich_equation2(data, n):
+    """Equation 2: L[f_w(p)] <= f_w(p) <= U[f_w(p)] for every p."""
+    P, w = data
+    grid = GridIndex.equal_width(n, 1.0)
+    pq, wq = Quantizer(grid.alpha_p), Quantizer(grid.alpha_w)
+    p_codes = quantize_dataset(P, pq)
+    w_codes = wq.quantize(w)
+    lower, upper = grid.score_bounds(p_codes.astype(np.intp),
+                                     w_codes.astype(np.intp))
+    scores = P @ w
+    assert sandwich_holds(lower, scores, upper)
+
+
+@given(matrix_and_weight(), PARTITIONS)
+@settings(max_examples=60, deadline=None)
+def test_classification_never_lies(data, n):
+    """Case 1 implies truly better; Case 2 implies truly not-better."""
+    P, w = data
+    grid = GridIndex.equal_width(n, 1.0)
+    pq, wq = Quantizer(grid.alpha_p), Quantizer(grid.alpha_w)
+    p_codes = quantize_dataset(P, pq).astype(np.intp)
+    w_codes = wq.quantize(w).astype(np.intp)
+    lower, upper = grid.score_bounds(p_codes, w_codes)
+    scores = P @ w
+    fq = float(np.median(scores))
+    case1, case2, _ = classify_batch(lower, upper, fq)
+    assert np.all(scores[case1] < fq + 1e-12)
+    assert np.all(scores[case2] > fq - 1e-12)
+
+
+@given(matrix_and_weight(), st.sampled_from([2, 4, 8, 16]))
+@settings(max_examples=40, deadline=None)
+def test_finer_grid_never_loosens_bounds(data, n):
+    """Doubling n tightens (or keeps) every bound."""
+    P, w = data
+    coarse = GridIndex.equal_width(n, 1.0)
+    fine = GridIndex.equal_width(2 * n, 1.0)
+
+    def bounds(grid):
+        pq, wq = Quantizer(grid.alpha_p), Quantizer(grid.alpha_w)
+        return grid.score_bounds(
+            quantize_dataset(P, pq).astype(np.intp),
+            wq.quantize(w).astype(np.intp),
+        )
+
+    lo_c, hi_c = bounds(coarse)
+    lo_f, hi_f = bounds(fine)
+    assert np.all(lo_f >= lo_c - 1e-12)
+    assert np.all(hi_f <= hi_c + 1e-12)

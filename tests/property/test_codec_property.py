@@ -1,0 +1,67 @@
+"""Property tests for quantization and bit-string compression."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.approx import Quantizer, bits_needed
+from repro.core.bitstring import pack_matrix, packed_size_bytes, unpack_matrix
+
+
+@given(
+    st.integers(1, 16),
+    hnp.arrays(np.float64, st.tuples(st.integers(1, 40), st.integers(1, 10)),
+               elements=st.floats(0.0, 1.0 - 1e-9)),
+)
+@settings(max_examples=80, deadline=None)
+def test_quantizer_cell_membership(n, values):
+    """Every value lands in the cell its code names."""
+    quant = Quantizer.equal_width(n, 1.0)
+    codes = quant.quantize(values)
+    assert codes.min() >= 0 and codes.max() < n
+    lows = quant.cell_low(codes)
+    highs = quant.cell_high(codes)
+    assert np.all(lows <= values + 1e-12)
+    assert np.all(values <= highs + 1e-12)
+
+
+@given(
+    st.integers(1, 12),
+    st.integers(1, 25),
+    st.integers(1, 9),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_pack_unpack_identity(bits, rows, cols, seed):
+    """pack . unpack is the identity for any shape and bit width."""
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 2 ** bits, size=(rows, cols))
+    payload = pack_matrix(codes, bits)
+    assert len(payload) == packed_size_bytes(rows, cols, bits)
+    assert np.array_equal(unpack_matrix(payload, rows, cols, bits), codes)
+
+
+@given(st.integers(1, 1000))
+@settings(max_examples=50, deadline=None)
+def test_bits_needed_is_minimal(n):
+    """2^(b-1) < n <= 2^b (except the degenerate n=1 which needs 1 bit)."""
+    b = bits_needed(n)
+    assert n <= 2 ** b
+    if n > 1:
+        assert n > 2 ** (b - 1)
+
+
+@given(
+    st.integers(2, 64),
+    hnp.arrays(np.float64, st.integers(1, 50),
+               elements=st.floats(0.0, 1.0 - 1e-9)),
+)
+@settings(max_examples=60, deadline=None)
+def test_quantize_roundtrip_through_bitstring(n, values):
+    """quantize -> pack -> unpack -> same codes (the storage pipeline)."""
+    quant = Quantizer.equal_width(n, 1.0)
+    codes = quant.quantize(values).reshape(1, -1).astype(np.int64)
+    bits = bits_needed(n)
+    back = unpack_matrix(pack_matrix(codes, bits), 1, values.shape[0], bits)
+    assert np.array_equal(back, codes)

@@ -1,0 +1,67 @@
+"""Property tests for the dynamic engine: random mutation sequences must
+never desynchronize it from a freshly built oracle over the live rows."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.data.datasets import ProductSet, WeightSet
+from repro.ext.dynamic import DynamicRRQEngine
+
+OPS = st.lists(
+    st.tuples(st.sampled_from(["ip", "iw", "rp", "rw"]),
+              st.integers(0, 2**31 - 1)),
+    min_size=0, max_size=25,
+)
+
+
+def apply_ops(engine, ops, rng):
+    for op, seed in ops:
+        local = np.random.default_rng(seed)
+        if op == "ip":
+            engine.insert_product(local.random(engine.dim) * 0.999)
+        elif op == "iw":
+            engine.insert_weight(local.dirichlet(np.ones(engine.dim)))
+        elif op == "rp":
+            live = np.flatnonzero(engine._products.alive)
+            if live.size > 3:  # keep enough rows to query
+                engine.remove_product(int(local.choice(live)))
+        elif op == "rw":
+            live = np.flatnonzero(engine._weights.alive)
+            if live.size > 3:
+                engine.remove_weight(int(local.choice(live)))
+
+
+def live_oracle(engine):
+    P = engine._products.view[engine._products.alive]
+    W = engine._weights.view[engine._weights.alive]
+    w_map = np.flatnonzero(engine._weights.alive)
+    return NaiveRRQ(
+        ProductSet(P, value_range=engine.value_range), WeightSet(W)
+    ), w_map
+
+
+@given(OPS, st.integers(0, 2**31 - 1), st.integers(1, 12),
+       st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_mutations_preserve_agreement(ops, seed, k, compact):
+    rng = np.random.default_rng(seed)
+    base_P = ProductSet(rng.random((30, 3)) * 0.999, value_range=1.0)
+    base_W = WeightSet(rng.dirichlet(np.ones(3), size=25))
+    engine = DynamicRRQEngine.from_datasets(base_P, base_W, partitions=8)
+    apply_ops(engine, ops, rng)
+    if compact:
+        engine.compact()
+    q = engine._products.view[int(
+        np.flatnonzero(engine._products.alive)[0]
+    )]
+    naive, w_map = live_oracle(engine)
+    expected_rtk = frozenset(
+        int(w_map[j]) for j in naive.reverse_topk(q, k).weights
+    )
+    assert engine.reverse_topk(q, k).weights == expected_rtk
+    expected_rkr = tuple(sorted(
+        (rank, int(w_map[j])) for rank, j in naive.reverse_kranks(q, k).entries
+    ))
+    assert engine.reverse_kranks(q, k).entries == expected_rkr

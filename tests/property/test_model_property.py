@@ -1,0 +1,62 @@
+"""Property tests for the Section 5.3 performance model."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import model
+
+
+@given(st.integers(1, 6), st.integers(1, 12))
+@settings(max_examples=60, deadline=None)
+def test_dice_distribution_sums_to_one(dice, faces):
+    total = sum(
+        model.dice_probability(s, dice, faces)
+        for s in range(dice, dice * faces + 1)
+    )
+    assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+
+@given(st.integers(1, 5), st.integers(2, 10))
+@settings(max_examples=40, deadline=None)
+def test_dice_distribution_symmetric(dice, faces):
+    """Ways(s) == Ways(d*(faces+1) - s): the dice distribution is symmetric."""
+    for s in range(dice, dice * faces + 1):
+        mirror = dice * (faces + 1) - s
+        assert model.dice_ways(s, dice, faces) == model.dice_ways(
+            mirror, dice, faces
+        )
+
+
+@given(st.integers(1, 64), st.integers(2, 256))
+@settings(max_examples=80, deadline=None)
+def test_worst_case_filtering_in_unit_interval(d, n):
+    f = model.worst_case_filtering(d, n)
+    assert 0.0 <= f <= 1.0
+
+
+@given(st.integers(1, 64), st.sampled_from([0.001, 0.01, 0.05, 0.2]))
+@settings(max_examples=60, deadline=None)
+def test_recommendation_meets_its_own_target(d, eps):
+    """Theorem 1 self-consistency: the recommended n achieves F > 1 - eps
+    under the model's assumptions."""
+    n = model.recommend_partitions(d, eps)
+    assert model.worst_case_filtering(d, n) > 1.0 - eps
+
+
+@given(st.integers(1, 40))
+@settings(max_examples=40, deadline=None)
+def test_tighter_epsilon_needs_more_partitions(d):
+    loose = model.required_partitions(d, 0.1)
+    tight = model.required_partitions(d, 0.001)
+    assert tight > loose
+
+
+@given(st.integers(1, 64), st.integers(1, 9))
+@settings(max_examples=40, deadline=None)
+def test_power_of_two_rounding(d, eps_tenths):
+    eps = eps_tenths / 100.0
+    n = model.recommend_partitions(d, eps, power_of_two=True)
+    assert n & (n - 1) == 0  # power of two
+    assert n >= model.required_partitions(d, eps) - 1

@@ -1,0 +1,79 @@
+"""Property tests for the 2-d monochromatic reverse top-k."""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.queries.monochromatic import _rank_at, monochromatic_reverse_topk
+
+coarse_floats = st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False,
+                          width=16)
+
+instances = st.tuples(
+    hnp.arrays(np.float64, st.tuples(st.integers(1, 25), st.just(2)),
+               elements=coarse_floats),
+    hnp.arrays(np.float64, (2,), elements=coarse_floats),
+    st.integers(1, 10),
+)
+
+
+@given(instances, st.integers(0, 40))
+@settings(max_examples=80, deadline=None)
+def test_membership_matches_exact_rank(instance, numerator):
+    """At any rational lambda, interval membership == exact rank < k."""
+    P, q, k = instance
+    lam = Fraction(numerator, 40)
+    result = monochromatic_reverse_topk(P, q, k)
+    expected = _rank_at(P, q, lam) < k
+    got = any(lo <= lam <= hi for lo, hi in result.intervals)
+    assert got == expected
+
+
+@given(instances)
+@settings(max_examples=60, deadline=None)
+def test_endpoints_qualify(instance):
+    """Interval endpoints themselves must qualify (intervals are closed)."""
+    P, q, k = instance
+    result = monochromatic_reverse_topk(P, q, k)
+    for lo, hi in result.intervals:
+        assert _rank_at(P, q, lo) < k
+        assert _rank_at(P, q, hi) < k
+
+
+@given(instances)
+@settings(max_examples=40, deadline=None)
+def test_just_outside_endpoints_do_not_qualify(instance):
+    """A point slightly outside any interval must fail the rank test."""
+    P, q, k = instance
+    result = monochromatic_reverse_topk(P, q, k)
+    eps = Fraction(1, 10**9)
+    covered = result.intervals
+    for lo, hi in covered:
+        for probe in (lo - eps, hi + eps):
+            if probe < 0 or probe > 1:
+                continue
+            inside_other = any(l2 <= probe <= h2 for l2, h2 in covered)
+            if not inside_other:
+                assert _rank_at(P, q, probe) >= k
+
+
+@given(instances)
+@settings(max_examples=40, deadline=None)
+def test_k_monotonicity(instance):
+    P, q, k = instance
+    small = monochromatic_reverse_topk(P, q, k)
+    large = monochromatic_reverse_topk(P, q, k + 3)
+    # Every qualifying lambda for k also qualifies for k + 3.
+    for lo, hi in small.intervals:
+        assert any(l2 <= lo and hi <= h2 for l2, h2 in large.intervals)
+
+
+@given(instances)
+@settings(max_examples=40, deadline=None)
+def test_full_k_covers_everything(instance):
+    P, q, _ = instance
+    result = monochromatic_reverse_topk(P, q, P.shape[0] + 1)
+    assert result.total_measure() == 1

@@ -1,0 +1,93 @@
+"""Property tests on reverse-rank-query semantics (hypothesis).
+
+These generate whole problem instances and check the invariants every
+correct RRQ implementation must satisfy, using GIR (the paper's algorithm)
+against the naive oracle.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.algorithms.sim import SimpleScan
+from repro.core.gir import GridIndexRRQ
+from repro.data.datasets import ProductSet, WeightSet
+
+
+@st.composite
+def instances(draw):
+    m_p = draw(st.integers(2, 60))
+    m_w = draw(st.integers(1, 40))
+    d = draw(st.integers(1, 6))
+    P = draw(hnp.arrays(np.float64, (m_p, d),
+                        elements=st.floats(0.0, 1.0 - 1e-9)))
+    raw_w = draw(hnp.arrays(np.float64, (m_w, d),
+                            elements=st.floats(1e-6, 1.0)))
+    W = raw_w / raw_w.sum(axis=1, keepdims=True)
+    q_idx = draw(st.integers(0, m_p - 1))
+    k = draw(st.integers(1, m_w + 2))
+    n = draw(st.sampled_from([2, 8, 32]))
+    return (ProductSet(P, value_range=1.0), WeightSet(W, renormalize=True),
+            P[q_idx], k, n)
+
+
+@given(instances())
+@settings(max_examples=60, deadline=None)
+def test_gir_equals_oracle(instance):
+    P, W, q, k, n = instance
+    gir = GridIndexRRQ(P, W, partitions=n)
+    naive = NaiveRRQ(P, W)
+    assert gir.reverse_topk(q, k).weights == naive.reverse_topk(q, k).weights
+    assert gir.reverse_kranks(q, k).entries == naive.reverse_kranks(q, k).entries
+
+
+@given(instances())
+@settings(max_examples=40, deadline=None)
+def test_sim_equals_oracle(instance):
+    P, W, q, k, _ = instance
+    sim = SimpleScan(P, W, chunk=16)
+    naive = NaiveRRQ(P, W)
+    assert sim.reverse_topk(q, k).weights == naive.reverse_topk(q, k).weights
+    assert sim.reverse_kranks(q, k).entries == naive.reverse_kranks(q, k).entries
+
+
+@given(instances())
+@settings(max_examples=40, deadline=None)
+def test_rkr_entries_are_true_ranks(instance):
+    """Each returned (rank, index) pair is the weight's true rank.
+
+    The reference rank is computed in exact rational arithmetic, matching
+    the library's strict semantics even when distinct vectors tie.
+    """
+    from repro.core.ties import exact_strictly_less
+
+    P, W, q, k, n = instance
+    gir = GridIndexRRQ(P, W, partitions=n)
+    result = gir.reverse_kranks(q, k)
+    live = P.values[~np.all(P.values == q, axis=1)]
+    for rank, idx in result.entries:
+        w = W[idx]
+        expected = sum(exact_strictly_less(w, p, q) for p in live)
+        assert rank == expected
+
+
+@given(instances())
+@settings(max_examples=40, deadline=None)
+def test_rtk_empty_iff_k_dominators(instance):
+    """If at least k products strictly dominate q, RTK must be empty."""
+    P, W, q, k, n = instance
+    dominators = int(np.sum(np.all(P.values < q, axis=1)))
+    gir = GridIndexRRQ(P, W, partitions=n)
+    result = gir.reverse_topk(q, k)
+    if dominators >= k:
+        assert result.weights == frozenset()
+
+
+@given(instances())
+@settings(max_examples=30, deadline=None)
+def test_rkr_size_is_min_k_w(instance):
+    P, W, q, k, n = instance
+    gir = GridIndexRRQ(P, W, partitions=n)
+    assert len(gir.reverse_kranks(q, k).entries) == min(k, W.size)

@@ -1,0 +1,55 @@
+"""Property tests for the R-tree substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.index.mbr import MBR
+from repro.index.rtree import RTree
+
+point_clouds = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 120), st.integers(1, 6)),
+    elements=st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+)
+
+
+@given(point_clouds, st.integers(2, 20), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_invariants_hold_for_any_input(points, capacity, bulk):
+    tree = RTree(points, capacity=capacity, bulk=bulk)
+    tree.check_invariants()
+    assert tree.size == points.shape[0]
+
+
+@given(point_clouds, st.integers(2, 16), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_range_query_equals_bruteforce(points, capacity, seed):
+    tree = RTree(points, capacity=capacity)
+    rng = np.random.default_rng(seed)
+    d = points.shape[1]
+    lo = rng.random(d) * 100
+    hi = lo + rng.random(d) * 50
+    box = MBR(lo, hi)
+    expected = {
+        i for i, p in enumerate(points)
+        if np.all(p >= lo) and np.all(p <= hi)
+    }
+    assert set(tree.range_query(box)) == expected
+
+
+@given(point_clouds, st.integers(2, 16))
+@settings(max_examples=40, deadline=None)
+def test_root_mbr_covers_everything(points, capacity):
+    tree = RTree(points, capacity=capacity)
+    for p in points:
+        assert tree.root.mbr.contains_point(p)
+
+
+@given(point_clouds)
+@settings(max_examples=40, deadline=None)
+def test_mbr_of_points_is_tight(points):
+    box = MBR.of_points(points)
+    assert np.array_equal(box.lo, points.min(axis=0))
+    assert np.array_equal(box.hi, points.max(axis=0))

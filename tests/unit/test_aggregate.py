@@ -1,0 +1,117 @@
+"""Unit tests for aggregate reverse rank queries (repro.ext.aggregate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gir import GridIndexRRQ
+from repro.data.synthetic import clustered_products, uniform_products, uniform_weights
+from repro.errors import InvalidParameterError
+from repro.ext.aggregate import (
+    AGGREGATIONS,
+    AggregateGridIndexRKR,
+    aggregate_reverse_kranks_naive,
+)
+from repro.stats.counters import OpCounter
+
+
+@pytest.fixture
+def data():
+    P = uniform_products(180, 4, seed=401)
+    W = uniform_weights(150, 4, seed=402)
+    return P, W
+
+
+class TestNaiveOracle:
+    def test_single_member_equals_plain_rkr(self, data):
+        """A bundle of one product is exactly the ordinary RKR query."""
+        from repro.algorithms.naive import NaiveRRQ
+
+        P, W = data
+        q = P[5]
+        agg = aggregate_reverse_kranks_naive(P, W, [q], 8)
+        plain = NaiveRRQ(P, W).reverse_kranks(q, 8)
+        assert agg.entries == plain.entries
+
+    def test_sum_is_the_sum_of_member_ranks(self, data):
+        P, W = data
+        from repro.vectorized.batch import BatchOracle
+
+        oracle = BatchOracle(P, W)
+        bundle = [P[1], P[2]]
+        result = aggregate_reverse_kranks_naive(P, W, bundle, 5, "sum")
+        r1 = oracle.ranks(P[1])
+        r2 = oracle.ranks(P[2])
+        for agg_rank, j in result.entries:
+            assert agg_rank == int(r1[j] + r2[j])
+
+    def test_max_aggregation(self, data):
+        P, W = data
+        from repro.vectorized.batch import BatchOracle
+
+        oracle = BatchOracle(P, W)
+        bundle = [P[1], P[2], P[3]]
+        result = aggregate_reverse_kranks_naive(P, W, bundle, 5, "max")
+        ranks = np.vstack([oracle.ranks(q) for q in bundle])
+        for agg_rank, j in result.entries:
+            assert agg_rank == int(ranks[:, j].max())
+
+    def test_validation(self, data):
+        P, W = data
+        with pytest.raises(InvalidParameterError):
+            aggregate_reverse_kranks_naive(P, W, [], 5)
+        with pytest.raises(InvalidParameterError):
+            aggregate_reverse_kranks_naive(P, W, [P[0]], 0)
+        with pytest.raises(InvalidParameterError):
+            aggregate_reverse_kranks_naive(P, W, [P[0]], 5, "median")
+
+
+class TestGridAccelerated:
+    @pytest.mark.parametrize("aggregation", AGGREGATIONS)
+    def test_matches_oracle(self, data, aggregation):
+        P, W = data
+        bundle = [P[0], P[42], P[99], P[150]]
+        for k in (1, 6, 30):
+            expected = aggregate_reverse_kranks_naive(
+                P, W, bundle, k, aggregation
+            )
+            got = AggregateGridIndexRKR(P, W).query(bundle, k, aggregation)
+            assert got.entries == expected.entries
+
+    def test_matches_oracle_clustered(self):
+        P = clustered_products(150, 5, seed=403)
+        W = uniform_weights(120, 5, seed=404)
+        bundle = [P[3], P[77]]
+        expected = aggregate_reverse_kranks_naive(P, W, bundle, 9)
+        got = AggregateGridIndexRKR(P, W).query(bundle, 9)
+        assert got.entries == expected.entries
+
+    def test_reuses_existing_gir(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16)
+        agg = AggregateGridIndexRKR(P, W, gir=gir)
+        assert agg.gir is gir
+        result = agg.query([P[0]], 5)
+        assert result.entries == gir.reverse_kranks(P[0], 5).entries
+
+    def test_budget_pruning_saves_work(self, data):
+        """The k-th-best threshold must reduce refinement vs k=|W|."""
+        P, W = data
+        bundle = [P[0], P[1], P[2]]
+        solver = AggregateGridIndexRKR(P, W)
+        c_small, c_all = OpCounter(), OpCounter()
+        solver.query(bundle, 1, counter=c_small)
+        solver.query(bundle, W.size, counter=c_all)
+        assert c_small.pairwise < c_all.pairwise
+
+    def test_external_bundle_points(self, data):
+        P, W = data
+        rng = np.random.default_rng(405)
+        bundle = [rng.random(4) * 9000 for _ in range(3)]
+        expected = aggregate_reverse_kranks_naive(P, W, bundle, 7)
+        got = AggregateGridIndexRKR(P, W).query(bundle, 7)
+        assert got.entries == expected.entries
+
+    def test_k_exceeding_w(self, data):
+        P, W = data
+        result = AggregateGridIndexRKR(P, W).query([P[0]], W.size + 10)
+        assert len(result.entries) == W.size

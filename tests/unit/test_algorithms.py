@@ -1,0 +1,187 @@
+"""Unit tests for the baseline algorithms (naive, SIM, BBR, MPA)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import duplicate_mask, strictly_dominates
+from repro.algorithms.bbr import BranchBoundRTK
+from repro.algorithms.mpa import MarkedPruningRKR
+from repro.algorithms.naive import NaiveRRQ
+from repro.algorithms.sim import SimpleScan
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.stats.counters import OpCounter
+
+
+@pytest.fixture
+def data():
+    P = uniform_products(160, 4, seed=41)
+    W = uniform_weights(140, 4, seed=42)
+    return P, W
+
+
+class TestBaseHelpers:
+    def test_strictly_dominates(self):
+        assert strictly_dominates(np.array([1.0, 2.0]), np.array([2.0, 3.0]))
+        assert not strictly_dominates(np.array([1.0, 3.0]), np.array([2.0, 3.0]))
+        assert not strictly_dominates(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_duplicate_mask(self):
+        P = np.array([[1.0, 2.0], [3.0, 4.0], [1.0, 2.0]])
+        mask = duplicate_mask(P, np.array([1.0, 2.0]))
+        assert mask.tolist() == [True, False, True]
+
+    def test_dimension_checked(self, data):
+        P, W = data
+        alg = NaiveRRQ(P, W)
+        with pytest.raises(DimensionMismatchError):
+            alg.reverse_topk(np.zeros(7), 3)
+
+    def test_k_checked(self, data):
+        P, W = data
+        alg = NaiveRRQ(P, W)
+        with pytest.raises(InvalidParameterError):
+            alg.reverse_topk(P[0], -1)
+
+    def test_incompatible_sets_rejected(self):
+        P = uniform_products(10, 3, seed=1)
+        W = uniform_weights(10, 5, seed=2)
+        with pytest.raises(DimensionMismatchError):
+            NaiveRRQ(P, W)
+
+
+class TestNaive:
+    def test_figure1_rkr(self, figure1_data):
+        """Figure 1(c): ranks of each phone per user, and the R-1R winner."""
+        Pv, Wv = figure1_data
+        from repro.data.datasets import ProductSet, WeightSet
+
+        P = ProductSet(Pv, value_range=1.0)
+        W = WeightSet(Wv)
+        naive = NaiveRRQ(P, W)
+        # p1 is ranked 3rd by Tom, 5th by Jerry, 3rd by Spike -> strict
+        # ranks (count of better) are 2, 4, 2.  R-1R winner: Tom (index 0).
+        result = naive.reverse_kranks(Pv[0], 1)
+        assert result.entries == ((2, 0),)
+        # p5: ranked 5/2/5 -> strict 4/1/4 -> Jerry.
+        result = naive.reverse_kranks(Pv[4], 1)
+        assert result.entries == ((1, 1),)
+
+    def test_figure1_rtk(self, figure1_data):
+        """Figure 1(b): RT-2 of p2 = all users, of p1 and p4 = empty."""
+        Pv, Wv = figure1_data
+        from repro.data.datasets import ProductSet, WeightSet
+
+        P = ProductSet(Pv, value_range=1.0)
+        W = WeightSet(Wv)
+        naive = NaiveRRQ(P, W)
+        assert naive.reverse_topk(Pv[1], 2).weights == frozenset({0, 1, 2})
+        assert naive.reverse_topk(Pv[0], 2).weights == frozenset()
+        assert naive.reverse_topk(Pv[3], 2).weights == frozenset()
+        assert naive.reverse_topk(Pv[2], 2).weights == frozenset({0, 2})
+        assert naive.reverse_topk(Pv[4], 2).weights == frozenset({1})
+
+    def test_pairwise_counter(self, data):
+        P, W = data
+        c = OpCounter()
+        NaiveRRQ(P, W).reverse_topk(np.full(4, 0.5) * 100, 5, counter=c)
+        assert c.pairwise == P.size * W.size + W.size
+
+
+class TestSimpleScan:
+    def test_chunk_one_matches_default(self, data):
+        P, W = data
+        q = P[9]
+        a = SimpleScan(P, W, chunk=1)
+        b = SimpleScan(P, W)
+        assert a.reverse_topk(q, 8).weights == b.reverse_topk(q, 8).weights
+        assert a.reverse_kranks(q, 8).entries == b.reverse_kranks(q, 8).entries
+
+    def test_early_termination_saves_work(self, data):
+        P, W = data
+        q = P.values.max(axis=0) * 0.999  # a terrible product
+        c_small = OpCounter()
+        c_exact = OpCounter()
+        sim = SimpleScan(P, W)
+        sim.reverse_topk(q, 1, counter=c_small)
+        sim.reverse_kranks(q, W.size, counter=c_exact)
+        assert c_small.pairwise < c_exact.pairwise
+
+    def test_domin_buffer_shrinks_scans(self, data):
+        P, W = data
+        sim = SimpleScan(P, W)
+        q = np.percentile(P.values, 90, axis=0)  # many dominators exist
+        c = OpCounter()
+        sim.reverse_kranks(q, 3, counter=c)
+        assert c.dominated_skips > 0
+
+    def test_rejects_bad_chunk(self, data):
+        P, W = data
+        with pytest.raises(ValueError):
+            SimpleScan(P, W, chunk=0)
+
+
+class TestBBR:
+    def test_supports_rtk_only(self, data):
+        P, W = data
+        bbr = BranchBoundRTK(P, W)
+        with pytest.raises(InvalidParameterError):
+            bbr.reverse_kranks(P[0], 3)
+
+    def test_matches_naive_various_k(self, data):
+        P, W = data
+        bbr = BranchBoundRTK(P, W)
+        naive = NaiveRRQ(P, W)
+        for k in (1, 10, 100):
+            for qi in (0, 80):
+                q = P[qi]
+                assert (bbr.reverse_topk(q, k).weights
+                        == naive.reverse_topk(q, k).weights)
+
+    def test_group_level_acceptance(self, data):
+        """A query that everything must accept exercises the possible<k path."""
+        P, W = data
+        bbr = BranchBoundRTK(P, W)
+        q = np.zeros(4)
+        assert bbr.reverse_topk(q, 1).size == W.size
+
+    def test_group_level_rejection(self, data):
+        P, W = data
+        bbr = BranchBoundRTK(P, W)
+        q = P.values.max(axis=0) * 0.9999
+        assert bbr.reverse_topk(q, 1).size == 0
+
+
+class TestMPA:
+    def test_supports_rkr_only(self, data):
+        P, W = data
+        mpa = MarkedPruningRKR(P, W)
+        with pytest.raises(InvalidParameterError):
+            mpa.reverse_topk(P[0], 3)
+
+    def test_matches_naive_various_k(self, data):
+        P, W = data
+        mpa = MarkedPruningRKR(P, W)
+        naive = NaiveRRQ(P, W)
+        for k in (1, 6, 30):
+            for qi in (5, 120):
+                q = P[qi]
+                assert (mpa.reverse_kranks(q, k).entries
+                        == naive.reverse_kranks(q, k).entries)
+
+    def test_resolution_variants_agree(self, data):
+        P, W = data
+        naive = NaiveRRQ(P, W)
+        q = P[33]
+        expected = naive.reverse_kranks(q, 9).entries
+        for c in (2, 5, 8):
+            mpa = MarkedPruningRKR(P, W, resolution=c)
+            assert mpa.reverse_kranks(q, 9).entries == expected
+
+    def test_bucket_pruning_happens(self, data):
+        P, W = data
+        mpa = MarkedPruningRKR(P, W)
+        c = OpCounter()
+        mpa.reverse_kranks(P[0], 1, counter=c)
+        # With k=1 most buckets should be marked (never refined per-w).
+        assert c.approx_accessed < W.size

@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.approx (quantizers / approximate vectors)."""
+
+import numpy as np
+import pytest
+
+from repro.core.approx import Quantizer, bits_needed, code_dtype, quantize_dataset
+from repro.errors import DataValidationError, InvalidParameterError
+
+
+class TestHelpers:
+    def test_code_dtype_sizes(self):
+        assert code_dtype(4) == np.uint8
+        assert code_dtype(256) == np.uint8
+        assert code_dtype(257) == np.uint16
+        assert code_dtype(70_000) == np.uint32
+
+    def test_code_dtype_rejects_bad(self):
+        with pytest.raises(InvalidParameterError):
+            code_dtype(0)
+
+    def test_bits_needed(self):
+        assert bits_needed(2) == 1
+        assert bits_needed(4) == 2
+        assert bits_needed(32) == 5
+        assert bits_needed(33) == 6
+        assert bits_needed(1) == 1
+        with pytest.raises(InvalidParameterError):
+            bits_needed(-1)
+
+
+class TestEqualWidthQuantizer:
+    def test_paper_example(self):
+        """Figure 4: p = (0.62, 0.15, 0.73) -> (2, 0, 2) with n = 4."""
+        quant = Quantizer.equal_width(4, value_range=1.0)
+        codes = quant.quantize(np.array([0.62, 0.15, 0.73]))
+        assert codes.tolist() == [2, 0, 2]
+
+    def test_paper_example_weights(self):
+        """Figure 4: w = (0.12, 0.66, 0.22)... -> codes (0, 2, 0)."""
+        quant = Quantizer.equal_width(4, value_range=1.0)
+        codes = quant.quantize(np.array([0.12, 0.66, 0.30]))
+        assert codes.tolist() == [0, 2, 1]
+
+    def test_boundary_values(self):
+        quant = Quantizer.equal_width(4, value_range=1.0)
+        assert quant.quantize(np.array([0.0]))[0] == 0
+        assert quant.quantize(np.array([0.25]))[0] == 1
+        assert quant.quantize(np.array([1.0]))[0] == 3  # top clipped in
+
+    def test_scaled_range(self):
+        quant = Quantizer.equal_width(10, value_range=10_000.0)
+        codes = quant.quantize(np.array([999.0, 1000.0, 9999.9]))
+        assert codes.tolist() == [0, 1, 9]
+
+    def test_out_of_range_raises(self):
+        quant = Quantizer.equal_width(4, value_range=1.0)
+        with pytest.raises(DataValidationError):
+            quant.quantize(np.array([1.5]))
+        with pytest.raises(DataValidationError):
+            quant.quantize(np.array([-0.1]))
+
+    def test_dtype_compact(self):
+        quant = Quantizer.equal_width(32, value_range=1.0)
+        codes = quant.quantize(np.linspace(0, 0.99, 100))
+        assert codes.dtype == np.uint8
+
+
+class TestGeneralQuantizer:
+    def test_nonuniform_boundaries(self):
+        quant = Quantizer(np.array([0.0, 0.1, 0.5, 1.0]))
+        codes = quant.quantize(np.array([0.05, 0.3, 0.9]))
+        assert codes.tolist() == [0, 1, 2]
+
+    def test_rejects_bad_boundaries(self):
+        with pytest.raises(InvalidParameterError):
+            Quantizer(np.array([0.0, 0.0, 1.0]))
+        with pytest.raises(InvalidParameterError):
+            Quantizer(np.array([0.5]))
+
+    def test_cell_bounds_cover_values(self):
+        quant = Quantizer(np.array([0.0, 0.3, 0.6, 1.0]))
+        vals = np.array([0.1, 0.45, 0.99])
+        codes = quant.quantize(vals)
+        assert np.all(quant.cell_low(codes) <= vals)
+        assert np.all(vals <= quant.cell_high(codes))
+
+    def test_reconstruct_midpoint(self):
+        quant = Quantizer(np.array([0.0, 0.5, 1.0]))
+        rec = quant.reconstruct(np.array([0, 1]))
+        assert np.allclose(rec, [0.25, 0.75])
+
+    def test_reconstruction_error_bounded_by_cell(self):
+        rng = np.random.default_rng(2)
+        quant = Quantizer.equal_width(32, value_range=1.0)
+        vals = rng.random(500)
+        rec = quant.reconstruct(quant.quantize(vals))
+        assert np.max(np.abs(rec - vals)) <= 0.5 / 32 + 1e-12
+
+
+class TestQuantizeDataset:
+    def test_matrix_shape_preserved(self):
+        rng = np.random.default_rng(3)
+        data = rng.random((20, 7))
+        quant = Quantizer.equal_width(16, value_range=1.0)
+        codes = quantize_dataset(data, quant)
+        assert codes.shape == (20, 7)
+
+    def test_rejects_non_matrix(self):
+        quant = Quantizer.equal_width(4, value_range=1.0)
+        with pytest.raises(InvalidParameterError):
+            quantize_dataset(np.zeros(5), quant)

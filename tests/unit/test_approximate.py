@@ -1,0 +1,108 @@
+"""Unit tests for bounds-only queries (repro.core.approximate)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.core.approximate import (
+    ApproxRKRResult,
+    ApproxRTKResult,
+    reverse_kranks_bounds,
+    reverse_topk_bounds,
+)
+from repro.core.gir import GridIndexRRQ
+from repro.data.synthetic import (
+    clustered_products,
+    uniform_products,
+    uniform_weights,
+)
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture
+def setup():
+    P = uniform_products(200, 5, seed=601)
+    W = uniform_weights(160, 5, seed=602)
+    return GridIndexRRQ(P, W, partitions=32), NaiveRRQ(P, W), P
+
+
+class TestRTKEnvelope:
+    def test_sandwiches_exact_answer(self, setup):
+        gir, naive, P = setup
+        for qi in (0, 50, 150):
+            for k in (1, 10, 50):
+                q = P[qi]
+                exact = naive.reverse_topk(q, k).weights
+                approx = reverse_topk_bounds(gir, q, k)
+                assert approx.certain <= exact
+                assert exact <= approx.possible
+
+    def test_rank_intervals_contain_true_ranks(self, setup):
+        gir, naive, P = setup
+        q = P[3]
+        approx = reverse_topk_bounds(gir, q, 5)
+        from repro.vectorized.batch import BatchOracle
+
+        true_ranks = BatchOracle(gir.products, gir.weights).ranks(q)
+        for j, (lo, hi) in enumerate(approx.rank_intervals):
+            assert lo <= true_ranks[j] <= hi
+
+    def test_certain_and_undecided_disjoint(self, setup):
+        gir, _, P = setup
+        approx = reverse_topk_bounds(gir, P[9], 20)
+        assert not (approx.certain & approx.undecided)
+        assert 0.0 <= approx.uncertainty() <= 1.0
+
+    def test_finer_grid_shrinks_uncertainty(self, setup):
+        _, _, P = setup
+        W = uniform_weights(160, 5, seed=602)
+        coarse = GridIndexRRQ(P, W, partitions=4)
+        fine = GridIndexRRQ(P, W, partitions=64)
+        q = P[120]
+        u_coarse = reverse_topk_bounds(coarse, q, 20).uncertainty()
+        u_fine = reverse_topk_bounds(fine, q, 20).uncertainty()
+        assert u_fine <= u_coarse
+
+    def test_no_refinement_performed(self, setup):
+        gir, _, P = setup
+        approx = reverse_topk_bounds(gir, P[0], 10)
+        assert approx.counter.refined == 0
+        # Only the |W| query-score products are computed.
+        assert approx.counter.pairwise == gir.W.shape[0]
+
+    def test_k_validation(self, setup):
+        gir, _, P = setup
+        with pytest.raises(InvalidParameterError):
+            reverse_topk_bounds(gir, P[0], 0)
+
+
+class TestRKREnvelope:
+    def test_sandwiches_exact_answer(self, setup):
+        gir, naive, P = setup
+        for qi in (5, 100):
+            for k in (1, 8, 40):
+                q = P[qi]
+                exact = naive.reverse_kranks(q, k).weights
+                approx = reverse_kranks_bounds(gir, q, k)
+                assert approx.certain <= exact
+                assert exact <= approx.candidates
+
+    def test_clustered_data(self):
+        P = clustered_products(150, 4, seed=603)
+        W = uniform_weights(130, 4, seed=604)
+        gir = GridIndexRRQ(P, W, partitions=16)
+        naive = NaiveRRQ(P, W)
+        q = P[7]
+        exact = naive.reverse_kranks(q, 10).weights
+        approx = reverse_kranks_bounds(gir, q, 10)
+        assert approx.certain <= exact <= approx.candidates
+
+    def test_candidates_at_least_k(self, setup):
+        gir, _, P = setup
+        approx = reverse_kranks_bounds(gir, P[2], 12)
+        assert len(approx.candidates) >= 12
+
+    def test_k_validation(self, setup):
+        gir, _, P = setup
+        with pytest.raises(InvalidParameterError):
+            reverse_kranks_bounds(gir, P[0], -3)

@@ -1,0 +1,74 @@
+"""Unit tests for repro.vectorized.batch."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.vectorized.batch import BatchOracle, all_ranks_multi
+
+
+@pytest.fixture
+def data():
+    P = uniform_products(130, 4, seed=51)
+    W = uniform_weights(110, 4, seed=52)
+    return P, W
+
+
+class TestAllRanksMulti:
+    def test_matches_per_query_naive(self, data):
+        P, W = data
+        naive = NaiveRRQ(P, W)
+        Q = P.values[[0, 5, 9]]
+        ranks = all_ranks_multi(P.values, W.values, Q)
+        for qi, q in enumerate(Q):
+            expected = naive._all_ranks(q, naive.reverse_topk(q, 1).counter)
+            assert np.array_equal(ranks[qi], expected)
+
+    def test_single_query_1d_input(self, data):
+        P, W = data
+        q = P.values[3]
+        ranks = all_ranks_multi(P.values, W.values, q)
+        assert ranks.shape == (1, W.size)
+
+    def test_chunking_invariance(self, data):
+        P, W = data
+        Q = P.values[:4]
+        full = all_ranks_multi(P.values, W.values, Q)
+        tiny = all_ranks_multi(P.values, W.values, Q, chunk_budget=200)
+        assert np.array_equal(full, tiny)
+
+    def test_dimension_mismatch(self, data):
+        P, W = data
+        with pytest.raises(InvalidParameterError):
+            all_ranks_multi(P.values, W.values, np.zeros((1, 7)))
+
+
+class TestBatchOracle:
+    def test_matches_naive(self, data):
+        P, W = data
+        oracle = BatchOracle(P, W)
+        naive = NaiveRRQ(P, W)
+        q = P[17]
+        assert oracle.reverse_topk(q, 9).weights == naive.reverse_topk(q, 9).weights
+        assert (oracle.reverse_kranks(q, 9).entries
+                == naive.reverse_kranks(q, 9).entries)
+
+    def test_many_variants_match_single(self, data):
+        P, W = data
+        oracle = BatchOracle(P, W)
+        queries = [P[i] for i in (2, 40, 99)]
+        many_rtk = oracle.reverse_topk_many(queries, 5)
+        many_rkr = oracle.reverse_kranks_many(queries, 5)
+        for q, rtk, rkr in zip(queries, many_rtk, many_rkr):
+            assert rtk.weights == oracle.reverse_topk(q, 5).weights
+            assert rkr.entries == oracle.reverse_kranks(q, 5).entries
+
+    def test_validation(self, data):
+        P, W = data
+        oracle = BatchOracle(P, W)
+        with pytest.raises(InvalidParameterError):
+            oracle.reverse_topk(P[0], 0)
+        with pytest.raises(DimensionMismatchError):
+            oracle.ranks(np.zeros(9))

@@ -1,0 +1,75 @@
+"""Unit tests for repro.core.bitstring (Section 3.2 compression)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitstring import (
+    compression_ratio,
+    pack_matrix,
+    packed_size_bytes,
+    unpack_matrix,
+)
+from repro.errors import DataValidationError, InvalidParameterError
+
+
+class TestPackUnpack:
+    def test_figure6_example(self):
+        """Figure 6: p_a = (2, 0, 2) with b = 2 packs to bits 100010."""
+        payload = pack_matrix(np.array([[2, 0, 2]]), bits=2)
+        # 100010 padded to a byte: 10001000 = 0x88.
+        assert payload == bytes([0b10001000])
+        back = unpack_matrix(payload, 1, 3, 2)
+        assert back.tolist() == [[2, 0, 2]]
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 5, 6, 8, 12, 16])
+    def test_roundtrip_random(self, bits):
+        rng = np.random.default_rng(bits)
+        codes = rng.integers(0, 2 ** bits, size=(23, 7))
+        payload = pack_matrix(codes, bits)
+        assert len(payload) == packed_size_bytes(23, 7, bits)
+        back = unpack_matrix(payload, 23, 7, bits)
+        assert np.array_equal(back, codes)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DataValidationError):
+            pack_matrix(np.array([[4]]), bits=2)
+        with pytest.raises(DataValidationError):
+            pack_matrix(np.array([[-1]]), bits=2)
+
+    def test_rejects_float_codes(self):
+        with pytest.raises(DataValidationError):
+            pack_matrix(np.array([[1.5]]), bits=2)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(InvalidParameterError):
+            pack_matrix(np.array([[1]]), bits=0)
+        with pytest.raises(InvalidParameterError):
+            unpack_matrix(b"\x00", 1, 1, 33)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(InvalidParameterError):
+            pack_matrix(np.zeros(4, dtype=int), bits=2)
+
+    def test_unpack_rejects_short_payload(self):
+        with pytest.raises(DataValidationError):
+            unpack_matrix(b"\x00", 10, 10, 8)
+
+    def test_unpack_negative_shape(self):
+        with pytest.raises(InvalidParameterError):
+            unpack_matrix(b"", -1, 2, 4)
+
+
+class TestSizes:
+    def test_packed_size_formula(self):
+        assert packed_size_bytes(1, 3, 2) == 1      # 6 bits -> 1 byte
+        assert packed_size_bytes(100, 6, 6) == 450  # 3600 bits
+        assert packed_size_bytes(0, 5, 8) == 0
+
+    def test_compression_ratio_section32(self):
+        """b = 6 on 64-bit floats: overhead under 1/10 of the original."""
+        ratio = compression_ratio(10_000, 6, bits=6)
+        assert ratio < 0.1
+        assert ratio == pytest.approx(6 / 64, rel=0.01)
+
+    def test_compression_ratio_empty(self):
+        assert compression_ratio(0, 0, bits=4) == 0.0

@@ -1,0 +1,60 @@
+"""Unit tests for repro.core.bounds (the three cases of Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import Case, classify, classify_batch, sandwich_holds
+
+
+class TestClassifyScalar:
+    def test_case1_precedes(self):
+        assert classify(0.1, 0.2, 0.5) is Case.PRECEDES
+
+    def test_case2_preceded(self):
+        assert classify(0.6, 0.9, 0.5) is Case.PRECEDED
+
+    def test_case3_straddling(self):
+        assert classify(0.3, 0.7, 0.5) is Case.INCOMPARABLE
+
+    def test_boundaries_are_case3(self):
+        # Conservative classification: equality never decides the pair.
+        assert classify(0.5, 0.8, 0.5) is Case.INCOMPARABLE
+        assert classify(0.2, 0.5, 0.5) is Case.INCOMPARABLE
+
+    def test_degenerate_bounds(self):
+        assert classify(0.5, 0.5, 0.5) is Case.INCOMPARABLE
+
+
+class TestClassifyBatch:
+    def test_masks_partition(self):
+        rng = np.random.default_rng(1)
+        lower = rng.random(100)
+        upper = lower + rng.random(100)
+        c1, c2, c3 = classify_batch(lower, upper, 0.8)
+        combined = c1.astype(int) + c2.astype(int) + c3.astype(int)
+        assert np.all(combined == 1)
+
+    def test_matches_scalar(self):
+        lower = np.array([0.1, 0.6, 0.3, 0.5])
+        upper = np.array([0.2, 0.9, 0.7, 0.8])
+        c1, c2, c3 = classify_batch(lower, upper, 0.5)
+        for i in range(4):
+            expected = classify(lower[i], upper[i], 0.5)
+            got = (Case.PRECEDES if c1[i]
+                   else Case.PRECEDED if c2[i] else Case.INCOMPARABLE)
+            assert got == expected
+
+
+class TestSandwich:
+    def test_valid_sandwich(self):
+        scores = np.array([0.2, 0.5])
+        assert sandwich_holds(scores - 0.1, scores, scores + 0.1)
+
+    def test_tolerates_roundoff(self):
+        scores = np.array([0.5])
+        assert sandwich_holds(scores + 1e-12, scores, scores - 1e-12)
+
+    def test_detects_violation(self):
+        scores = np.array([0.5])
+        assert not sandwich_holds(np.array([0.6]), scores, np.array([0.9]))
+        assert not sandwich_holds(np.array([0.1]), scores, np.array([0.4]))

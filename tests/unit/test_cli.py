@@ -1,0 +1,98 @@
+"""Unit tests for the repro-rrq command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    rc = main(["generate", "--dist", "UN", "--size", "120", "--dim", "4",
+               "--seed", "3", "--out", str(tmp_path / "data")])
+    assert rc == 0
+    return tmp_path / "data"
+
+
+class TestGenerate:
+    def test_creates_files(self, data_dir):
+        assert (data_dir / "products.rrq").exists()
+        assert (data_dir / "weights.rrq").exists()
+
+    @pytest.mark.parametrize("dist", ["CL", "HOUSE", "DIANPING"])
+    def test_other_distributions(self, tmp_path, dist, capsys):
+        rc = main(["generate", "--dist", dist, "--size", "60",
+                   "--out", str(tmp_path / dist)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestBuildAndInfo:
+    def test_build_then_info(self, data_dir, tmp_path, capsys):
+        rc = main(["build", str(data_dir), "--index", str(tmp_path / "idx"),
+                   "--partitions", "16"])
+        assert rc == 0
+        rc = main(["info", str(tmp_path / "idx")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "approx_over_raw" in out
+
+
+class TestQuery:
+    def test_rtk_on_index(self, data_dir, tmp_path, capsys):
+        main(["build", str(data_dir), "--index", str(tmp_path / "idx")])
+        rc = main(["query", str(tmp_path / "idx"), "--product", "5",
+                   "--kind", "rtk", "-k", "10"])
+        assert rc == 0
+        assert "reverse top-10" in capsys.readouterr().out
+
+    def test_rkr_on_raw_data(self, data_dir, capsys):
+        rc = main(["query", str(data_dir), "--method", "sim",
+                   "--product", "5", "--kind", "rkr", "-k", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("preference") == 3
+
+    def test_vector_query(self, data_dir, capsys):
+        rc = main(["query", str(data_dir), "--vector", "10,20,30,40",
+                   "--kind", "rtk", "-k", "5"])
+        assert rc == 0
+
+    def test_missing_query_point_errors(self, data_dir):
+        with pytest.raises(SystemExit):
+            main(["query", str(data_dir), "--kind", "rtk"])
+
+    def test_out_of_range_product_errors(self, data_dir):
+        with pytest.raises(SystemExit):
+            main(["query", str(data_dir), "--product", "9999"])
+
+
+class TestCompare:
+    def test_all_methods_agree(self, data_dir, capsys):
+        rc = main(["compare", str(data_dir), "--product", "5", "-k", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MISMATCH" not in out
+        assert "gir" in out and "naive" in out
+
+    def test_rkr_compare(self, data_dir, capsys):
+        rc = main(["compare", str(data_dir), "--product", "5",
+                   "--kind", "rkr", "-k", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MISMATCH" not in out
+        assert "bbr" not in out  # RTK-only methods skipped
+
+
+class TestModel:
+    def test_worked_example(self, capsys):
+        rc = main(["model", "--dim", "20", "--epsilon", "0.01"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recommended n   : 32" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

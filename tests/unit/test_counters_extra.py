@@ -1,0 +1,62 @@
+"""Additional coverage for counter plumbing across the query stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.gir import GridIndexRRQ
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.stats.counters import OpCounter
+
+
+@pytest.fixture
+def setup():
+    P = uniform_products(120, 4, seed=951)
+    W = uniform_weights(100, 4, seed=952)
+    return GridIndexRRQ(P, W, partitions=16), P, W
+
+
+class TestCounterPlumbing:
+    def test_counter_str_includes_nonzero_fields(self):
+        c = OpCounter(pairwise=3, refined=1)
+        text = str(c)
+        assert "pairwise=3" in text
+        assert "refined=1" in text
+        assert "additions" not in text  # zero fields omitted
+
+    def test_exact_rank_accepts_counter(self, setup):
+        gir, P, _ = setup
+        c = OpCounter()
+        rank = gir.exact_rank(P[4], 0, counter=c)
+        assert rank >= 0
+        assert c.pairwise >= 1
+
+    def test_counters_accumulate_across_queries(self, setup):
+        gir, P, _ = setup
+        c = OpCounter()
+        gir.reverse_topk(P[0], 5, counter=c)
+        first = c.pairwise
+        gir.reverse_topk(P[1], 5, counter=c)
+        assert c.pairwise > first
+
+    def test_internal_counter_when_none_passed(self, setup):
+        gir, P, _ = setup
+        result = gir.reverse_topk(P[0], 5)
+        assert result.counter.grid_lookups > 0
+
+    def test_work_conservation(self, setup):
+        """Every live pair is either bound-decided or refined — exactly once
+        per (w, p) opportunity when there is no early termination."""
+        gir, P, W = setup
+        q = np.zeros(4)  # rank 0 for every w: no early aborts possible
+        c = OpCounter()
+        gir.reverse_kranks(q, W.size, counter=c)
+        live_per_w = P.size  # q is not in P (all-zero point)
+        assert (c.filtered_case1 + c.filtered_case2 + c.refined
+                == live_per_w * W.size)
+
+    def test_dominated_skips_counted(self, setup):
+        gir, P, _ = setup
+        q = P.values.max(axis=0) * 0.999
+        c = OpCounter()
+        gir.reverse_kranks(q, 3, counter=c)
+        assert c.dominated_skips > 0

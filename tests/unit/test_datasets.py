@@ -1,0 +1,160 @@
+"""Unit tests for repro.data.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    ProductSet,
+    WeightSet,
+    check_compatible,
+    check_query_point,
+    score,
+)
+from repro.errors import (
+    DataValidationError,
+    DimensionMismatchError,
+    EmptyDatasetError,
+)
+
+
+class TestProductSet:
+    def test_basic_construction(self):
+        ps = ProductSet([[1.0, 2.0], [3.0, 4.0]], value_range=10.0)
+        assert ps.size == 2
+        assert ps.dim == 2
+        assert ps.value_range == 10.0
+
+    def test_single_vector_promoted_to_matrix(self):
+        ps = ProductSet([1.0, 2.0, 3.0], value_range=5.0)
+        assert ps.size == 1
+        assert ps.dim == 3
+
+    def test_auto_value_range_power_of_ten(self):
+        assert ProductSet([[0.5, 0.7]]).value_range == 1.0
+        assert ProductSet([[5.0, 7.0]]).value_range == 10.0
+        assert ProductSet([[55.0, 7.0]]).value_range == 100.0
+        assert ProductSet([[5500.0, 7.0]]).value_range == 10000.0
+
+    def test_values_are_read_only(self):
+        ps = ProductSet([[1.0, 2.0]], value_range=10.0)
+        with pytest.raises(ValueError):
+            ps.values[0, 0] = 9.0
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(DataValidationError):
+            ProductSet([[1.0, -0.5]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataValidationError):
+            ProductSet([[1.0, float("nan")]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataValidationError):
+            ProductSet([[1.0, float("inf")]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(EmptyDatasetError):
+            ProductSet(np.empty((0, 3)))
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(DataValidationError):
+            ProductSet(np.empty((3, 0)))
+
+    def test_rejects_3d_array(self):
+        with pytest.raises(DataValidationError):
+            ProductSet(np.zeros((2, 2, 2)))
+
+    def test_rejects_value_at_or_above_range(self):
+        with pytest.raises(DataValidationError):
+            ProductSet([[1.0, 2.0]], value_range=2.0)
+
+    def test_rejects_nonpositive_range(self):
+        with pytest.raises(DataValidationError):
+            ProductSet([[0.1]], value_range=0.0)
+
+    def test_iteration_and_indexing(self):
+        ps = ProductSet([[1.0, 2.0], [3.0, 4.0]], value_range=10.0)
+        rows = list(ps)
+        assert len(rows) == 2
+        assert np.array_equal(ps[1], [3.0, 4.0])
+        assert np.array_equal(ps.point(0), [1.0, 2.0])
+        assert len(ps) == 2
+
+    def test_subset(self):
+        ps = ProductSet([[1.0], [2.0], [3.0]], value_range=10.0)
+        sub = ps.subset([0, 2])
+        assert sub.size == 2
+        assert np.array_equal(sub.values.ravel(), [1.0, 3.0])
+        assert sub.value_range == ps.value_range
+
+    def test_normalized(self):
+        ps = ProductSet([[5.0, 2.5]], value_range=10.0)
+        norm = ps.normalized()
+        assert norm.value_range == 1.0
+        assert np.allclose(norm.values, [[0.5, 0.25]])
+
+
+class TestWeightSet:
+    def test_basic_construction(self):
+        ws = WeightSet([[0.5, 0.5], [0.9, 0.1]])
+        assert ws.size == 2
+        assert ws.dim == 2
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(DataValidationError):
+            WeightSet([[0.5, 0.4]])
+
+    def test_renormalize(self):
+        ws = WeightSet([[2.0, 2.0]], renormalize=True)
+        assert np.allclose(ws.values, [[0.5, 0.5]])
+
+    def test_renormalize_rejects_zero_rows(self):
+        with pytest.raises(DataValidationError):
+            WeightSet([[0.0, 0.0]], renormalize=True)
+
+    def test_rejects_negative(self):
+        with pytest.raises(DataValidationError):
+            WeightSet([[1.5, -0.5]])
+
+    def test_values_read_only(self):
+        ws = WeightSet([[0.4, 0.6]])
+        with pytest.raises(ValueError):
+            ws.values[0, 0] = 1.0
+
+    def test_subset_and_accessors(self):
+        ws = WeightSet([[0.4, 0.6], [0.2, 0.8], [1.0, 0.0]])
+        sub = ws.subset([2, 0])
+        assert sub.size == 2
+        assert np.array_equal(sub.weight(0), [1.0, 0.0])
+        assert len(list(ws)) == 3
+
+
+class TestHelpers:
+    def test_check_compatible_ok(self):
+        check_compatible(ProductSet([[1.0, 2.0]]), WeightSet([[0.5, 0.5]]))
+
+    def test_check_compatible_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            check_compatible(ProductSet([[1.0, 2.0]]), WeightSet([[1.0]]))
+
+    def test_check_query_point_ok(self):
+        q = check_query_point([1.0, 2.0], 2)
+        assert q.dtype == np.float64
+        assert q.shape == (2,)
+
+    def test_check_query_point_wrong_dim(self):
+        with pytest.raises(DimensionMismatchError):
+            check_query_point([1.0], 2)
+
+    def test_check_query_point_nan(self):
+        with pytest.raises(DataValidationError):
+            check_query_point([1.0, float("nan")], 2)
+
+    def test_check_query_point_negative(self):
+        with pytest.raises(DataValidationError):
+            check_query_point([1.0, -2.0], 2)
+
+    def test_score_matches_figure1(self, figure1_data):
+        P, W = figure1_data
+        # Tom's score for p1 = 0.6*0.8 + 0.7*0.2 = 0.62 (paper Section 1).
+        assert score(W[0], P[0]) == pytest.approx(0.62)

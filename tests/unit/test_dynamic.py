@@ -1,0 +1,178 @@
+"""Unit tests for the dynamic (updatable) engine (repro.ext.dynamic)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.data.datasets import ProductSet, WeightSet
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.errors import DataValidationError, InvalidParameterError
+from repro.ext.dynamic import DynamicRRQEngine
+
+
+def oracle_for_live(engine):
+    """A NaiveRRQ over the engine's live rows, with index translation."""
+    P_live = engine._products.view[engine._products.alive]
+    W_live = engine._weights.view[engine._weights.alive]
+    p_map = np.flatnonzero(engine._products.alive)
+    w_map = np.flatnonzero(engine._weights.alive)
+    products = ProductSet(P_live, value_range=engine.value_range)
+    weights = WeightSet(W_live)
+    return NaiveRRQ(products, weights), p_map, w_map
+
+
+def assert_agrees(engine, q, k):
+    naive, _, w_map = oracle_for_live(engine)
+    expected_rtk = frozenset(int(w_map[j]) for j in naive.reverse_topk(q, k).weights)
+    got_rtk = engine.reverse_topk(q, k).weights
+    assert got_rtk == expected_rtk
+    expected_rkr = tuple(
+        sorted((rank, int(w_map[j]))
+               for rank, j in naive.reverse_kranks(q, k).entries)
+    )
+    got_rkr = engine.reverse_kranks(q, k).entries
+    assert got_rkr == expected_rkr
+
+
+@pytest.fixture
+def seeded_engine():
+    P = uniform_products(120, 4, value_range=1.0, seed=501)
+    W = uniform_weights(100, 4, seed=502)
+    return DynamicRRQEngine.from_datasets(P, W, partitions=16), P, W
+
+
+class TestConstruction:
+    def test_from_datasets_counts(self, seeded_engine):
+        engine, P, W = seeded_engine
+        assert engine.num_products == 120
+        assert engine.num_weights == 100
+        assert engine.fragmentation() == 0.0
+
+    def test_empty_engine_rejects_queries(self):
+        engine = DynamicRRQEngine(dim=3)
+        with pytest.raises(InvalidParameterError):
+            engine.reverse_topk(np.zeros(3), 5)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DynamicRRQEngine(dim=0)
+        with pytest.raises(InvalidParameterError):
+            DynamicRRQEngine(dim=3, value_range=-1)
+
+
+class TestInsert:
+    def test_matches_oracle_after_inserts(self, seeded_engine):
+        engine, P, W = seeded_engine
+        rng = np.random.default_rng(503)
+        for _ in range(30):
+            engine.insert_product(rng.random(4) * 0.999)
+        for _ in range(20):
+            engine.insert_weight(rng.dirichlet(np.ones(4)))
+        assert_agrees(engine, P.values[0], 8)
+
+    def test_growth_beyond_initial_capacity(self):
+        engine = DynamicRRQEngine(dim=2, value_range=1.0, partitions=8)
+        rng = np.random.default_rng(504)
+        for _ in range(100):  # > MIN_CAPACITY, forces several doublings
+            engine.insert_product(rng.random(2) * 0.99)
+        for _ in range(60):
+            engine.insert_weight(rng.dirichlet(np.ones(2)))
+        assert engine.num_products == 100
+        assert_agrees(engine, engine._products.view[0], 5)
+
+    def test_weight_axis_rebuild_on_outlier(self):
+        """A new weight above the observed range triggers re-quantization
+        without breaking answers."""
+        engine = DynamicRRQEngine(dim=3, value_range=1.0, partitions=8)
+        rng = np.random.default_rng(505)
+        for _ in range(30):
+            engine.insert_product(rng.random(3) * 0.99)
+        # Balanced weights first: small observed range.
+        for _ in range(20):
+            engine.insert_weight(np.full(3, 1 / 3))
+        old_range = engine._w_range
+        engine.insert_weight(np.array([0.9, 0.05, 0.05]))  # outlier
+        assert engine._w_range > old_range
+        assert_agrees(engine, engine._products.view[3], 4)
+
+    def test_insert_validation(self, seeded_engine):
+        engine, _, _ = seeded_engine
+        with pytest.raises(DataValidationError):
+            engine.insert_product(np.array([2.0, 0.1, 0.1, 0.1]))  # >= range
+        with pytest.raises(DataValidationError):
+            engine.insert_weight(np.array([0.5, 0.1, 0.1, 0.1]))  # bad sum
+        assert engine.insert_weight(np.array([2.0, 1.0, 0.5, 0.5]),
+                                    renormalize=True) >= 0
+
+
+class TestRemove:
+    def test_matches_oracle_after_removals(self, seeded_engine):
+        engine, P, _ = seeded_engine
+        for idx in (0, 5, 7, 119):
+            engine.remove_product(idx)
+        for idx in (1, 50, 99):
+            engine.remove_weight(idx)
+        assert engine.num_products == 116
+        assert engine.num_weights == 97
+        assert_agrees(engine, P.values[3], 6)
+
+    def test_remove_then_query_excludes_row(self, seeded_engine):
+        engine, P, _ = seeded_engine
+        q = P.values[10]
+        before = engine.reverse_kranks(q, 5)
+        victim = before.entries[0][1]
+        engine.remove_weight(victim)
+        after = engine.reverse_kranks(q, 5)
+        assert victim not in after.weights
+
+    def test_double_remove_rejected(self, seeded_engine):
+        engine, _, _ = seeded_engine
+        engine.remove_product(3)
+        with pytest.raises(InvalidParameterError):
+            engine.remove_product(3)
+
+    def test_interleaved_mutations(self, seeded_engine):
+        engine, P, _ = seeded_engine
+        rng = np.random.default_rng(506)
+        for step in range(25):
+            action = step % 4
+            if action == 0:
+                engine.insert_product(rng.random(4) * 0.99)
+            elif action == 1:
+                engine.insert_weight(rng.dirichlet(np.ones(4)))
+            elif action == 2:
+                live = np.flatnonzero(engine._products.alive)
+                engine.remove_product(int(rng.choice(live)))
+            else:
+                live = np.flatnonzero(engine._weights.alive)
+                engine.remove_weight(int(rng.choice(live)))
+        assert_agrees(engine, P.values[20], 7)
+
+
+class TestCompact:
+    def test_compact_preserves_answers(self, seeded_engine):
+        engine, P, _ = seeded_engine
+        for idx in range(0, 40, 3):
+            engine.remove_product(idx)
+        for idx in range(0, 30, 4):
+            engine.remove_weight(idx)
+        q = P.values[50]
+        before_rkr = engine.reverse_kranks(q, 6)
+        frag = engine.fragmentation()
+        assert frag > 0
+        p_map, w_map = engine.compact()
+        assert engine.fragmentation() == 0.0
+        after_rkr = engine.reverse_kranks(q, 6)
+        translated = tuple(
+            sorted((rank, int(w_map[j])) for rank, j in before_rkr.entries)
+        )
+        assert after_rkr.entries == translated
+        assert_agrees(engine, q, 6)
+
+    def test_compact_maps(self, seeded_engine):
+        engine, _, _ = seeded_engine
+        engine.remove_product(0)
+        p_map, w_map = engine.compact()
+        assert p_map[0] == -1
+        assert p_map[1] == 0  # shifted down
+        assert np.all(w_map == np.arange(len(w_map)))

@@ -1,0 +1,94 @@
+"""Unit tests for the RRQEngine facade and the top-level package API."""
+
+import pytest
+
+import repro
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.errors import InvalidParameterError
+from repro.queries.engine import RRQEngine, available_methods, make_algorithm
+
+
+@pytest.fixture
+def data():
+    return uniform_products(90, 3, seed=81), uniform_weights(70, 3, seed=82)
+
+
+class TestEngine:
+    def test_available_methods(self):
+        methods = available_methods()
+        for expected in ("gir", "sim", "bbr", "mpa", "naive",
+                         "gir-adaptive", "gir-sparse"):
+            assert expected in methods
+
+    def test_default_method_is_gir(self, data):
+        P, W = data
+        engine = RRQEngine(P, W)
+        assert engine.method == "gir"
+        assert engine.algorithm.name == "GIR"
+
+    def test_unknown_method(self, data):
+        P, W = data
+        with pytest.raises(InvalidParameterError):
+            RRQEngine(P, W, method="btree")
+
+    def test_method_case_insensitive(self, data):
+        P, W = data
+        assert RRQEngine(P, W, method="GIR").method == "gir"
+
+    def test_kwargs_forwarded(self, data):
+        P, W = data
+        engine = RRQEngine(P, W, method="gir", partitions=8)
+        assert engine.algorithm.partitions == 8
+
+    @pytest.mark.parametrize("method", ["gir", "sim", "naive",
+                                        "gir-adaptive", "gir-sparse"])
+    def test_all_dual_methods_answer_both(self, data, method):
+        P, W = data
+        engine = RRQEngine(P, W, method=method)
+        q = P[0]
+        rtk = engine.reverse_topk(q, 5)
+        rkr = engine.reverse_kranks(q, 5)
+        assert rtk.k == 5
+        assert len(rkr.entries) == 5
+
+    def test_methods_agree_via_engine(self, data):
+        P, W = data
+        q = P[11]
+        reference = RRQEngine(P, W, method="naive")
+        expected_rtk = reference.reverse_topk(q, 8).weights
+        expected_rkr = reference.reverse_kranks(q, 8).entries
+        for method in ("gir", "sim", "gir-adaptive", "gir-sparse"):
+            engine = RRQEngine(P, W, method=method)
+            assert engine.reverse_topk(q, 8).weights == expected_rtk
+            assert engine.reverse_kranks(q, 8).entries == expected_rkr
+        assert RRQEngine(P, W, method="bbr").reverse_topk(q, 8).weights == expected_rtk
+        assert RRQEngine(P, W, method="mpa").reverse_kranks(q, 8).entries == expected_rkr
+
+    def test_make_algorithm(self, data):
+        P, W = data
+        alg = make_algorithm("sim", P, W)
+        assert alg.name == "SIM"
+
+    def test_properties(self, data):
+        P, W = data
+        engine = RRQEngine(P, W)
+        assert engine.products is P
+        assert engine.weights is W
+
+
+class TestPackageAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_from_docstring(self):
+        P = repro.uniform_products(size=100, dim=6, seed=1)
+        W = repro.uniform_weights(size=100, dim=6, seed=2)
+        engine = repro.RRQEngine(P, W, method="gir")
+        rtk = engine.reverse_topk(P[0], k=10)
+        rkr = engine.reverse_kranks(P[0], k=5)
+        assert isinstance(rtk.sorted_indices(), list)
+        assert len(rkr.entries) == 5

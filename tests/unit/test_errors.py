@@ -1,0 +1,32 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DataValidationError,
+    DimensionMismatchError,
+    EmptyDatasetError,
+    IndexCorruptionError,
+    InvalidParameterError,
+    ReproError,
+)
+
+
+@pytest.mark.parametrize("exc", [
+    DataValidationError,
+    DimensionMismatchError,
+    EmptyDatasetError,
+    IndexCorruptionError,
+    InvalidParameterError,
+])
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_repro_error_is_value_error():
+    assert issubclass(ReproError, ValueError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise DataValidationError("bad data")

@@ -1,0 +1,156 @@
+"""Unit tests for the Section 7 extensions (adaptive grid, sparse weights)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.core.gir import GridIndexRRQ
+from repro.data.synthetic import (
+    clustered_products,
+    exponential_products,
+    uniform_products,
+    uniform_weights,
+)
+from repro.errors import InvalidParameterError
+from repro.ext.adaptive_grid import (
+    AdaptiveGridIndexRRQ,
+    build_adaptive_grid,
+    quantile_boundaries,
+)
+from repro.ext.sparse import (
+    SparseGridIndexRRQ,
+    SparseWeightSet,
+    sparsify_weights,
+)
+from repro.stats.counters import OpCounter
+
+
+class TestQuantileBoundaries:
+    def test_covers_range_monotone(self):
+        rng = np.random.default_rng(61)
+        values = rng.exponential(0.2, size=1000)
+        values = np.clip(values, 0, 0.999)
+        bounds = quantile_boundaries(values, 8, 0.0, 1.0)
+        assert bounds[0] == 0.0
+        assert bounds[-1] == 1.0
+        assert np.all(np.diff(bounds) > 0)
+        assert len(bounds) == 9
+
+    def test_heavy_ties_still_monotone(self):
+        values = np.full(100, 0.5)
+        bounds = quantile_boundaries(values, 4, 0.0, 1.0)
+        assert np.all(np.diff(bounds) > 0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            quantile_boundaries(np.ones(5), 0, 0.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            quantile_boundaries(np.ones(5), 4, 1.0, 0.0)
+
+    def test_adapts_to_skew(self):
+        """Exponential data: quantile cells are finer near zero."""
+        rng = np.random.default_rng(62)
+        values = np.clip(rng.exponential(0.1, size=5000), 0, 0.999)
+        bounds = quantile_boundaries(values, 8, 0.0, 1.0)
+        widths = np.diff(bounds)
+        assert widths[0] < widths[-1]
+
+
+class TestAdaptiveGIR:
+    def test_exact_on_skewed_data(self):
+        P = exponential_products(150, 4, seed=63)
+        W = uniform_weights(120, 4, seed=64)
+        adaptive = AdaptiveGridIndexRRQ(P, W, partitions=16)
+        naive = NaiveRRQ(P, W)
+        q = P[7]
+        assert (adaptive.reverse_topk(q, 10).weights
+                == naive.reverse_topk(q, 10).weights)
+        assert (adaptive.reverse_kranks(q, 5).entries
+                == naive.reverse_kranks(q, 5).entries)
+
+    def test_build_helper_consistency(self):
+        P = clustered_products(100, 3, seed=65)
+        W = uniform_weights(80, 3, seed=66)
+        grid, pq, wq = build_adaptive_grid(P, W, partitions=8)
+        assert grid.partitions == 8
+        codes = pq.quantize(P.values)
+        assert codes.max() < 8
+
+    def test_adaptive_filters_better_on_skew(self):
+        """The point of the extension: on skewed data the quantile grid
+        resolves more pairs than the equal-width grid at the same n."""
+        P = exponential_products(400, 6, seed=67)
+        W = uniform_weights(150, 6, seed=68)
+        q = P[0]
+        c_eq, c_ad = OpCounter(), OpCounter()
+        GridIndexRRQ(P, W, partitions=8).reverse_kranks(q, 5, counter=c_eq)
+        AdaptiveGridIndexRRQ(P, W, partitions=8).reverse_kranks(
+            q, 5, counter=c_ad
+        )
+        assert c_ad.filtering_ratio() >= c_eq.filtering_ratio() - 0.05
+
+
+class TestSparsify:
+    def test_keeps_nnz_largest(self):
+        W = uniform_weights(50, 8, seed=69)
+        sparse = sparsify_weights(W, nnz=3)
+        nnz_counts = (sparse.values > 0).sum(axis=1)
+        assert np.all(nnz_counts <= 3)
+        assert np.allclose(sparse.values.sum(axis=1), 1.0)
+
+    def test_nnz_at_least_one(self):
+        W = uniform_weights(10, 4, seed=70)
+        with pytest.raises(InvalidParameterError):
+            sparsify_weights(W, nnz=0)
+
+    def test_nnz_capped_at_dim(self):
+        W = uniform_weights(10, 4, seed=71)
+        sparse = sparsify_weights(W, nnz=100)
+        assert np.allclose(sparse.values, W.values)
+
+
+class TestSparseWeightSet:
+    def test_supports_and_values(self):
+        from repro.data.datasets import WeightSet
+
+        W = WeightSet([[0.5, 0.0, 0.5], [0.0, 1.0, 0.0]])
+        sw = SparseWeightSet(W)
+        assert sw.size == 2
+        assert sw.nnz(0) == 2
+        assert sw.nnz(1) == 1
+        assert sw.average_nnz() == 1.5
+        assert sw.supports[1].tolist() == [1]
+
+
+class TestSparseGIR:
+    def test_exact_on_sparse_weights(self):
+        P = uniform_products(150, 8, seed=72)
+        W = sparsify_weights(uniform_weights(120, 8, seed=73), nnz=3)
+        sparse = SparseGridIndexRRQ(P, W, partitions=16)
+        naive = NaiveRRQ(P, W)
+        q = P[9]
+        assert (sparse.reverse_topk(q, 10).weights
+                == naive.reverse_topk(q, 10).weights)
+        assert (sparse.reverse_kranks(q, 6).entries
+                == naive.reverse_kranks(q, 6).entries)
+
+    def test_exact_on_dense_weights_too(self):
+        P = uniform_products(100, 5, seed=74)
+        W = uniform_weights(90, 5, seed=75)
+        sparse = SparseGridIndexRRQ(P, W, partitions=16)
+        naive = NaiveRRQ(P, W)
+        q = P[3]
+        assert (sparse.reverse_kranks(q, 4).entries
+                == naive.reverse_kranks(q, 4).entries)
+
+    def test_sparse_does_less_bound_work(self):
+        """nnz=2 of d=10: bound assembly cost drops accordingly."""
+        P = uniform_products(200, 10, seed=76)
+        W = sparsify_weights(uniform_weights(100, 10, seed=77), nnz=2)
+        q = P[0]
+        c_dense, c_sparse = OpCounter(), OpCounter()
+        GridIndexRRQ(P, W, partitions=16).reverse_kranks(q, 5, counter=c_dense)
+        SparseGridIndexRRQ(P, W, partitions=16).reverse_kranks(
+            q, 5, counter=c_sparse
+        )
+        assert c_sparse.additions < c_dense.additions

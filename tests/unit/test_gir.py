@@ -1,0 +1,150 @@
+"""Unit tests for repro.core.gir (Algorithms 2 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.core.gir import GridIndexRRQ
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.errors import InvalidParameterError
+from repro.stats.counters import OpCounter
+
+
+@pytest.fixture
+def data():
+    P = uniform_products(180, 5, seed=31)
+    W = uniform_weights(150, 5, seed=32)
+    return P, W
+
+
+class TestConstruction:
+    def test_precomputes_approx_vectors(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16)
+        assert gir.PA.shape == (180, 5)
+        assert gir.WA.shape == (150, 5)
+        assert gir.partitions == 16
+
+    def test_memory_report(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=32)
+        report = gir.memory_report()
+        assert report["grid_bytes"] == 33 * 33 * 8
+        # Approximate vectors are 1/8 the size of float64 originals (uint8).
+        assert report["pa_bytes"] * 8 == P.values.nbytes
+        assert report["wa_bytes"] * 8 == W.values.nbytes
+
+    def test_rejects_bad_partitions(self, data):
+        P, W = data
+        with pytest.raises(InvalidParameterError):
+            GridIndexRRQ(P, W, partitions=0)
+
+
+class TestRTK:
+    def test_matches_naive(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16)
+        naive = NaiveRRQ(P, W)
+        for qi in (0, 50, 177):
+            q = P[qi]
+            for k in (1, 5, 40):
+                assert (gir.reverse_topk(q, k).weights
+                        == naive.reverse_topk(q, k).weights)
+
+    def test_empty_when_dominated(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16)
+        q = P.values.max(axis=0) * 0.999  # dominated by almost every product
+        result = gir.reverse_topk(q, 3)
+        assert result.weights == frozenset()
+
+    def test_everything_qualifies_for_best_point(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16)
+        q = np.zeros(5)  # dominates everything: rank 0 for all w
+        result = gir.reverse_topk(q, 1)
+        assert result.size == W.size
+
+    def test_k_validation(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W)
+        with pytest.raises(InvalidParameterError):
+            gir.reverse_topk(P[0], 0)
+
+    def test_result_counter_populated(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16)
+        result = gir.reverse_topk(P[0], 10)
+        assert result.counter.additions > 0
+        assert result.counter.grid_lookups > 0
+
+
+class TestRKR:
+    def test_matches_naive(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16)
+        naive = NaiveRRQ(P, W)
+        for qi in (3, 99):
+            q = P[qi]
+            for k in (1, 7, 25):
+                assert (gir.reverse_kranks(q, k).entries
+                        == naive.reverse_kranks(q, k).entries)
+
+    def test_k_exceeds_weights(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16)
+        result = gir.reverse_kranks(P[0], W.size + 50)
+        assert len(result.entries) == W.size
+
+    def test_entries_sorted_by_rank_then_index(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16)
+        entries = gir.reverse_kranks(P[0], 20).entries
+        assert list(entries) == sorted(entries)
+
+    def test_minrank_feedback_reduces_work(self, data):
+        """Algorithm 3's self-refining bound: answering with k=1 must scan
+        fewer pairs than answering with k=|W| (no effective bound)."""
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16)
+        c_small = OpCounter()
+        c_large = OpCounter()
+        gir.reverse_kranks(P[0], 1, counter=c_small)
+        gir.reverse_kranks(P[0], W.size, counter=c_large)
+        assert c_small.pairwise < c_large.pairwise
+        assert c_small.refined < c_large.refined
+
+
+class TestExactRankHelper:
+    def test_exact_rank_matches_naive_ranks(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16)
+        q = P[11]
+        live = np.delete(P.values, 11, axis=0)
+        for j in (0, 10, 149):
+            expected = int(np.sum(live @ W[j] < np.dot(W[j], q)))
+            assert gir.exact_rank(q, j) == expected
+
+
+class TestPartitionSweep:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64])
+    def test_any_partition_count_is_exact(self, data, n):
+        """Filtering power varies with n but answers never change."""
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=n)
+        naive = NaiveRRQ(P, W)
+        q = P[60]
+        assert gir.reverse_topk(q, 12).weights == naive.reverse_topk(q, 12).weights
+        assert gir.reverse_kranks(q, 6).entries == naive.reverse_kranks(q, 6).entries
+
+    def test_finer_grid_filters_more(self, data):
+        P, W = data
+        q = P[0]
+        counters = {}
+        for n in (4, 32):
+            gir = GridIndexRRQ(P, W, partitions=n)
+            c = OpCounter()
+            gir.reverse_kranks(q, 5, counter=c)
+            counters[n] = c
+        assert (counters[32].filtering_ratio()
+                >= counters[4].filtering_ratio())

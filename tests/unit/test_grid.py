@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.grid (the Grid-index)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import DEFAULT_PARTITIONS, GridIndex
+from repro.errors import InvalidParameterError
+
+
+class TestConstruction:
+    def test_equal_width_boundaries(self):
+        grid = GridIndex.equal_width(4, value_range=1.0)
+        assert grid.partitions == 4
+        assert np.allclose(grid.alpha_p, [0, 0.25, 0.5, 0.75, 1.0])
+        assert np.allclose(grid.alpha_w, [0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_paper_example_grid_values(self):
+        """Section 3.1: Grid[2][0] = 0.5*0 and Grid[3][1] = 0.75*0.25."""
+        grid = GridIndex.equal_width(4, value_range=1.0)
+        assert grid.grid[2, 0] == pytest.approx(0.0)
+        assert grid.grid[3, 1] == pytest.approx(0.75 * 0.25)
+
+    def test_grid_is_outer_product(self):
+        grid = GridIndex.equal_width(8, value_range=100.0)
+        expected = np.outer(grid.alpha_p, grid.alpha_w)
+        assert np.array_equal(grid.grid, expected)
+
+    def test_grid_read_only(self):
+        grid = GridIndex.equal_width(4)
+        with pytest.raises(ValueError):
+            grid.grid[0, 0] = 1.0
+
+    def test_custom_boundaries(self):
+        grid = GridIndex([0, 1, 5, 10.0], [0, 0.2, 0.5, 1.0])
+        assert grid.partitions == 3
+        assert grid.value_range == 10.0
+
+    def test_rejects_bad_boundaries(self):
+        with pytest.raises(InvalidParameterError):
+            GridIndex([0, 0, 1.0], [0, 0.5, 1.0])  # not strictly increasing
+        with pytest.raises(InvalidParameterError):
+            GridIndex([-1, 0, 1.0], [0, 0.5, 1.0])  # negative start
+        with pytest.raises(InvalidParameterError):
+            GridIndex([0, 1.0], [0, 0.5, 1.0])      # unequal lengths
+        with pytest.raises(InvalidParameterError):
+            GridIndex([0.5], [0.5])                 # too short
+
+    def test_rejects_bad_equal_width_params(self):
+        with pytest.raises(InvalidParameterError):
+            GridIndex.equal_width(0)
+        with pytest.raises(InvalidParameterError):
+            GridIndex.equal_width(4, value_range=-1.0)
+
+    def test_memory_matches_section53(self):
+        """Section 5.3: a 32x32 grid needs less than 8 KB."""
+        grid = GridIndex.equal_width(32)
+        assert grid.memory_bytes <= 33 * 33 * 8
+        assert grid.memory_bytes < 10_000
+
+
+class TestBounds:
+    def test_cell_bounds_bracket_product(self):
+        grid = GridIndex.equal_width(4, value_range=1.0)
+        # Paper example: p[1]=0.62 (code 2), w[1]=0.12 (code 0).
+        lo, hi = grid.cell_bounds(2, 0)
+        assert lo <= 0.62 * 0.12 <= hi
+        assert lo == pytest.approx(0.5 * 0.0)
+        assert hi == pytest.approx(0.75 * 0.25)
+
+    def test_cell_bounds_range_check(self):
+        grid = GridIndex.equal_width(4)
+        with pytest.raises(InvalidParameterError):
+            grid.cell_bounds(4, 0)
+        with pytest.raises(InvalidParameterError):
+            grid.cell_bounds(0, -1)
+
+    def test_batch_bounds_shapes(self):
+        grid = GridIndex.equal_width(8, value_range=1.0)
+        p_codes = np.array([[0, 1, 2], [3, 4, 5]])
+        w_codes = np.array([1, 2, 3])
+        lo = grid.lower_bounds(p_codes, w_codes)
+        hi = grid.upper_bounds(p_codes, w_codes)
+        assert lo.shape == (2,)
+        assert np.all(lo <= hi)
+
+    def test_batch_bounds_sandwich_real_scores(self):
+        rng = np.random.default_rng(1)
+        n = 16
+        grid = GridIndex.equal_width(n, value_range=1.0)
+        P = rng.random((40, 6))
+        w = rng.dirichlet(np.ones(6))
+        p_codes = np.floor(P * n).astype(int)
+        w_codes = np.floor(w * n).astype(int)
+        lo, hi = grid.score_bounds(p_codes, w_codes)
+        f = P @ w
+        assert np.all(lo <= f + 1e-12)
+        assert np.all(f <= hi + 1e-12)
+
+    def test_default_partitions_is_32(self):
+        assert DEFAULT_PARTITIONS == 32

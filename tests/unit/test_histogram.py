@@ -1,0 +1,74 @@
+"""Unit tests for repro.index.histogram (the MPA weight histogram)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import uniform_weights
+from repro.errors import InvalidParameterError
+from repro.index.histogram import WeightHistogram
+
+
+class TestConstruction:
+    def test_partition_of_weights(self):
+        W = uniform_weights(200, 4, seed=1).values
+        hist = WeightHistogram(W, resolution=5)
+        hist.check_invariants()
+        assert sum(b.count for b in hist.buckets()) == 200
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            WeightHistogram(np.empty((0, 3)))
+
+    def test_rejects_zero_resolution(self):
+        with pytest.raises(InvalidParameterError):
+            WeightHistogram(np.ones((2, 2)) * 0.5, resolution=0)
+
+    def test_resolution_one_single_bucket(self):
+        W = uniform_weights(50, 3, seed=2).values
+        hist = WeightHistogram(W, resolution=1)
+        assert hist.num_buckets == 1
+        assert hist.occupancy() == 50
+
+    def test_top_boundary_clipped(self):
+        # A weight component equal to 1.0 must land in the last cell.
+        W = np.array([[1.0, 0.0], [0.0, 1.0]])
+        hist = WeightHistogram(W, resolution=5)
+        hist.check_invariants()
+        assert hist.num_buckets == 2
+
+
+class TestBuckets:
+    def test_bucket_bounds_cover_members(self):
+        W = uniform_weights(300, 3, seed=3).values
+        hist = WeightHistogram(W, resolution=4)
+        for bucket in hist.buckets():
+            block = W[bucket.members]
+            assert np.all(block >= bucket.lo - 1e-12)
+            assert np.all(block <= bucket.hi + 1e-12)
+
+    def test_bucket_of(self):
+        W = uniform_weights(100, 3, seed=4).values
+        hist = WeightHistogram(W, resolution=5)
+        for idx in (0, 17, 99):
+            assert idx in hist.bucket_of(idx).members
+
+    def test_deterministic_iteration_order(self):
+        W = uniform_weights(80, 3, seed=5).values
+        hist = WeightHistogram(W, resolution=5)
+        cells = [b.cell for b in hist.buckets()]
+        assert cells == sorted(cells)
+
+
+class TestHighDimensionalCollapse:
+    def test_occupancy_drops_with_dimension(self):
+        """Section 5.1: c^d explodes, so occupancy collapses toward 1."""
+        low = WeightHistogram(uniform_weights(500, 2, seed=6).values, 5)
+        high = WeightHistogram(uniform_weights(500, 8, seed=6).values, 5)
+        assert high.occupancy() < low.occupancy()
+        assert high.theoretical_buckets == 5 ** 8
+        assert low.theoretical_buckets == 25
+
+    def test_num_buckets_bounded_by_data(self):
+        W = uniform_weights(100, 10, seed=7).values
+        hist = WeightHistogram(W, resolution=5)
+        assert hist.num_buckets <= 100  # only occupied cells materialized

@@ -1,0 +1,106 @@
+"""Unit tests for repro.data.io (binary persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitstring import packed_size_bytes
+from repro.data.datasets import ProductSet, WeightSet
+from repro.data.io import (
+    file_size,
+    load_approx,
+    load_matrix,
+    load_products,
+    load_weights,
+    save_approx,
+    save_matrix,
+    save_products,
+    save_weights,
+)
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.errors import DataValidationError
+
+
+class TestRawMatrix:
+    def test_roundtrip(self, tmp_path):
+        arr = np.random.default_rng(1).random((17, 5))
+        path = tmp_path / "m.rrq"
+        written = save_matrix(path, arr)
+        assert written == file_size(path)
+        back = load_matrix(path)
+        assert np.array_equal(arr, back)
+
+    def test_rejects_1d(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            save_matrix(tmp_path / "x.rrq", np.zeros(5))
+
+    def test_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.rrq"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(DataValidationError):
+            load_matrix(path)
+
+    def test_rejects_truncated(self, tmp_path):
+        arr = np.ones((4, 4))
+        path = tmp_path / "t.rrq"
+        save_matrix(path, arr)
+        data = path.read_bytes()
+        path.write_bytes(data[:-16])
+        with pytest.raises(DataValidationError):
+            load_matrix(path)
+
+
+class TestDatasets:
+    def test_products_roundtrip_preserves_range(self, tmp_path):
+        ps = uniform_products(30, 4, value_range=5000.0, seed=2)
+        path = tmp_path / "p.rrq"
+        save_products(path, ps)
+        back = load_products(path)
+        assert isinstance(back, ProductSet)
+        assert back.value_range == 5000.0
+        assert np.array_equal(back.values, ps.values)
+
+    def test_weights_roundtrip(self, tmp_path):
+        ws = uniform_weights(25, 3, seed=3)
+        path = tmp_path / "w.rrq"
+        save_weights(path, ws)
+        back = load_weights(path)
+        assert isinstance(back, WeightSet)
+        assert np.array_equal(back.values, ws.values)
+
+
+class TestApproxFiles:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(4)
+        codes = rng.integers(0, 64, size=(40, 6))
+        path = tmp_path / "a.rrqa"
+        save_approx(path, codes, bits=6)
+        back, bits = load_approx(path)
+        assert bits == 6
+        assert np.array_equal(back, codes)
+
+    def test_compression_beats_raw(self, tmp_path):
+        """Section 3.2: 6-bit codes are under 1/10 of 64-bit floats."""
+        rng = np.random.default_rng(5)
+        codes = rng.integers(0, 64, size=(500, 6))
+        raw = tmp_path / "raw.rrq"
+        approx = tmp_path / "ap.rrqa"
+        save_matrix(raw, codes.astype(np.float64))
+        save_approx(approx, codes, bits=6)
+        assert file_size(approx) < file_size(raw) / 9
+
+    def test_payload_size_matches_formula(self, tmp_path):
+        codes = np.zeros((12, 7), dtype=np.int64)
+        path = tmp_path / "z.rrqa"
+        save_approx(path, codes, bits=5)
+        header = 4 + 2 + 2 + 4 + 4
+        assert file_size(path) == header + packed_size_bytes(12, 7, 5)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rrqa"
+        path.write_bytes(b"XXXX" + b"\x00" * 16)
+        with pytest.raises(DataValidationError):
+            load_approx(path)
+
+    def test_rejects_non_2d(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            save_approx(tmp_path / "x.rrqa", np.zeros(3, dtype=int), bits=4)

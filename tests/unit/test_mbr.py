@@ -1,0 +1,131 @@
+"""Unit tests for repro.index.mbr."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.index.mbr import MBR
+
+
+class TestConstruction:
+    def test_basic(self):
+        box = MBR([0.0, 1.0], [2.0, 3.0])
+        assert box.dim == 2
+        assert np.array_equal(box.extents, [2.0, 2.0])
+
+    def test_rejects_lo_above_hi(self):
+        with pytest.raises(InvalidParameterError):
+            MBR([1.0], [0.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            MBR([1.0, 2.0], [3.0])
+
+    def test_of_points(self):
+        box = MBR.of_points(np.array([[1.0, 5.0], [3.0, 2.0]]))
+        assert np.array_equal(box.lo, [1.0, 2.0])
+        assert np.array_equal(box.hi, [3.0, 5.0])
+
+    def test_of_points_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            MBR.of_points(np.empty((0, 2)))
+
+    def test_of_point_degenerate(self):
+        box = MBR.of_point(np.array([1.0, 2.0]))
+        assert box.area() == 0.0
+        assert box.contains_point([1.0, 2.0])
+
+
+class TestGeometry:
+    def test_area_margin_diagonal(self):
+        box = MBR([0.0, 0.0], [3.0, 4.0])
+        assert box.area() == 12.0
+        assert box.margin() == 7.0
+        assert box.diagonal() == 5.0
+
+    def test_shape_ratio(self):
+        assert MBR([0, 0], [4.0, 1.0]).shape_ratio() == 4.0
+        assert MBR([0, 0], [2.0, 2.0]).shape_ratio() == 1.0
+        assert MBR([0, 0], [2.0, 0.0]).shape_ratio() == math.inf
+        assert MBR.of_point(np.zeros(2)).shape_ratio() == 1.0
+
+    def test_log_area(self):
+        box = MBR([0, 0], [10.0, 100.0])
+        assert box.log_area() == pytest.approx(3.0)
+        assert MBR.of_point(np.zeros(2)).log_area() == -math.inf
+
+    def test_center(self):
+        assert np.array_equal(MBR([0, 2], [4, 4]).center(), [2.0, 3.0])
+
+
+class TestRelations:
+    def test_contains_point_boundaries(self):
+        box = MBR([0.0, 0.0], [1.0, 1.0])
+        assert box.contains_point([0.0, 1.0])
+        assert box.contains_point([0.5, 0.5])
+        assert not box.contains_point([1.1, 0.5])
+
+    def test_contains_box(self):
+        outer = MBR([0, 0], [10, 10])
+        inner = MBR([1, 1], [2, 2])
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(outer)
+
+    def test_intersects(self):
+        a = MBR([0, 0], [2, 2])
+        b = MBR([1, 1], [3, 3])
+        c = MBR([5, 5], [6, 6])
+        edge = MBR([2, 0], [3, 2])
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c)
+        assert a.intersects(edge)  # closed boxes touch at the boundary
+
+    def test_intersection_area(self):
+        a = MBR([0, 0], [2, 2])
+        b = MBR([1, 1], [3, 3])
+        assert a.intersection_area(b) == 1.0
+        assert a.intersection_area(MBR([5, 5], [6, 6])) == 0.0
+
+    def test_union_and_extended(self):
+        a = MBR([0, 0], [1, 1])
+        b = MBR([2, 2], [3, 3])
+        u = a.union(b)
+        assert np.array_equal(u.lo, [0, 0])
+        assert np.array_equal(u.hi, [3, 3])
+        e = a.extended([5.0, -1.0])
+        assert np.array_equal(e.lo, [0, -1])
+        assert np.array_equal(e.hi, [5, 1])
+
+    def test_enlargement(self):
+        a = MBR([0, 0], [1, 1])
+        assert a.enlargement(MBR([0, 0], [2, 1])) == pytest.approx(1.0)
+        assert a.enlargement(a) == 0.0
+
+    def test_equality(self):
+        assert MBR([0, 0], [1, 1]) == MBR([0, 0], [1, 1])
+        assert MBR([0, 0], [1, 1]) != MBR([0, 0], [1, 2])
+
+
+class TestScoreIntervals:
+    def test_score_interval_brackets_members(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((50, 4))
+        box = MBR.of_points(pts)
+        w_lo = np.array([0.1, 0.1, 0.1, 0.1])
+        w_hi = np.array([0.4, 0.3, 0.2, 0.5])
+        lo, hi = box.score_interval(w_lo, w_hi)
+        for w in (w_lo, w_hi, (w_lo + w_hi) / 2):
+            scores = pts @ w
+            assert lo <= scores.min() + 1e-12
+            assert hi >= scores.max() - 1e-12
+
+    def test_score_interval_fixed_w(self):
+        pts = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+        box = MBR.of_points(pts)
+        w = np.array([0.7, 0.3])
+        lo, hi = box.score_interval_fixed_w(w)
+        scores = pts @ w
+        assert lo <= scores.min() and hi >= scores.max()

@@ -1,0 +1,137 @@
+"""Unit tests for the 2-d monochromatic reverse top-k query."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from repro.queries.monochromatic import (
+    MonochromaticResult,
+    _rank_at,
+    monochromatic_reverse_topk,
+)
+
+
+def brute_force_check(P, q, k, result, samples=None):
+    """Membership at sampled lambdas must match exact rank evaluation."""
+    if samples is None:
+        samples = [Fraction(i, 37) for i in range(38)]
+    # Also probe interval endpoints and near-endpoints.
+    for lo, hi in result.intervals:
+        samples.extend([lo, hi, (lo + hi) / 2])
+    for lam in samples:
+        if lam < 0 or lam > 1:
+            continue
+        expected = _rank_at(P, q, lam) < k
+        got = any(lo <= lam <= hi for lo, hi in result.intervals)
+        assert got == expected, f"lam={lam}: got {got}, expected {expected}"
+
+
+class TestBasics:
+    def test_rejects_wrong_dim(self):
+        with pytest.raises(DimensionMismatchError):
+            monochromatic_reverse_topk(np.ones((3, 3)), np.ones(3), 1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(InvalidParameterError):
+            monochromatic_reverse_topk(np.ones((3, 2)), np.ones(2), 0)
+
+    def test_dominant_product_qualifies_everywhere(self):
+        P = np.array([[0.5, 0.5], [0.9, 0.9], [0.7, 0.2]])
+        q = np.array([0.1, 0.1])  # beats everything for every lambda
+        result = monochromatic_reverse_topk(P, q, 1)
+        assert result.intervals == ((Fraction(0), Fraction(1)),)
+        assert result.total_measure() == 1
+
+    def test_dominated_product_never_qualifies(self):
+        P = np.array([[0.1, 0.1], [0.2, 0.2]])
+        q = np.array([0.9, 0.9])
+        result = monochromatic_reverse_topk(P, q, 2)
+        assert result.is_empty
+
+    def test_duplicates_of_q_ignored(self):
+        q = np.array([0.5, 0.5])
+        P = np.vstack([np.tile(q, (5, 1)), [[0.1, 0.9]]])
+        result = monochromatic_reverse_topk(P, q, 1)
+        # Only one product can beat q, and only for some lambdas.
+        brute_force_check(P, q, 1, result)
+
+    def test_figure1_phones(self, figure1_data):
+        """Cross-check the paper's cell phones against exact evaluation."""
+        P, _ = figure1_data
+        for qi in range(len(P)):
+            for k in (1, 2, 3):
+                result = monochromatic_reverse_topk(P, P[qi], k)
+                brute_force_check(P, P[qi], k, result)
+
+
+class TestSweepCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(3, 40))
+        P = rng.random((m, 2))
+        q = P[int(rng.integers(0, m))] if seed % 2 else rng.random(2)
+        k = int(rng.integers(1, m))
+        result = monochromatic_reverse_topk(P, q, k)
+        brute_force_check(P, q, k, result)
+
+    def test_coarse_grid_ties(self):
+        """Many exact crossings and ties at the same lambda."""
+        vals = [0.0, 0.25, 0.5, 0.75, 1.0]
+        P = np.array([[a, b] for a in vals for b in vals])
+        q = np.array([0.5, 0.5])
+        for k in (1, 3, 10):
+            result = monochromatic_reverse_topk(P, q, k)
+            brute_force_check(P, q, k, result)
+
+    def test_intervals_disjoint_and_sorted(self):
+        rng = np.random.default_rng(99)
+        P = rng.random((60, 2))
+        q = rng.random(2)
+        result = monochromatic_reverse_topk(P, q, 5)
+        for (lo1, hi1), (lo2, hi2) in zip(result.intervals,
+                                          result.intervals[1:]):
+            assert lo1 <= hi1
+            assert hi1 < lo2
+
+    def test_monotone_in_k(self):
+        """Growing k grows the qualifying measure."""
+        rng = np.random.default_rng(123)
+        P = rng.random((50, 2))
+        q = P[0]
+        measures = [
+            monochromatic_reverse_topk(P, q, k).total_measure()
+            for k in (1, 5, 20, 50)
+        ]
+        assert all(a <= b for a, b in zip(measures, measures[1:]))
+        assert measures[-1] == 1  # k = m: always in the top-m
+
+    def test_contains_helper(self):
+        P = np.array([[0.9, 0.1], [0.1, 0.9]])
+        q = np.array([0.5, 0.5])
+        result = monochromatic_reverse_topk(P, q, 1)
+        # q is the best product only in the middle lambda range.
+        assert result.contains(0.5)
+        assert not result.contains(0.001) or not result.contains(0.999)
+
+
+class TestConsistencyWithBichromatic:
+    def test_interval_membership_matches_rtk(self):
+        """Sampling W from a qualifying interval must satisfy the
+        bichromatic query, and vice versa."""
+        from repro.algorithms.naive import NaiveRRQ
+        from repro.data.datasets import ProductSet, WeightSet
+
+        rng = np.random.default_rng(7)
+        P = rng.random((80, 2))
+        q = P[3]
+        k = 8
+        mono = monochromatic_reverse_topk(P, q, k)
+        lams = rng.random(50)
+        W = np.column_stack([lams, 1.0 - lams])
+        naive = NaiveRRQ(ProductSet(P, value_range=1.0), WeightSet(W))
+        bichromatic = naive.reverse_topk(q, k).weights
+        for j, lam in enumerate(lams):
+            assert (j in bichromatic) == mono.contains(float(lam))

@@ -1,0 +1,110 @@
+"""Gap-filling tests: lazy imports, misc accessors, failure injection."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.queries as queries_pkg
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.errors import (
+    DataValidationError,
+    DimensionMismatchError,
+    InvalidParameterError,
+)
+
+
+class TestLazyImports:
+    def test_engine_symbols_resolve_lazily(self):
+        assert queries_pkg.RRQEngine is not None
+        assert callable(queries_pkg.make_algorithm)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            queries_pkg.does_not_exist  # noqa: B018
+
+
+class TestResultTypes:
+    def test_rtk_result_accessors(self):
+        from repro.queries.types import RTKResult
+
+        result = RTKResult(weights=frozenset({3, 1, 2}), k=5)
+        assert result.size == 3
+        assert result.sorted_indices() == [1, 2, 3]
+
+    def test_rkr_result_accessors(self):
+        from repro.queries.types import RKRResult
+
+        result = RKRResult(entries=((2, 7), (5, 1)), k=2)
+        assert result.weights == frozenset({7, 1})
+        assert result.ranks == (2, 5)
+        assert result.best_rank == 2
+        empty = RKRResult(entries=(), k=2)
+        assert empty.best_rank == -1
+
+    def test_make_rkr_truncates_and_sorts(self):
+        from repro.queries.types import make_rkr_result
+        from repro.stats.counters import OpCounter
+
+        result = make_rkr_result([(5, 2), (1, 9), (1, 3)], 2, OpCounter())
+        assert result.entries == ((1, 3), (1, 9))
+
+
+class TestFailureInjection:
+    """Malformed inputs raise typed errors at every public entry point."""
+
+    @pytest.fixture
+    def engine(self):
+        P = uniform_products(60, 3, seed=901)
+        W = uniform_weights(50, 3, seed=902)
+        return repro.RRQEngine(P, W)
+
+    def test_nan_query(self, engine):
+        with pytest.raises(DataValidationError):
+            engine.reverse_topk(np.array([1.0, np.nan, 2.0]), 5)
+
+    def test_negative_query(self, engine):
+        with pytest.raises(DataValidationError):
+            engine.reverse_kranks(np.array([1.0, -1.0, 2.0]), 5)
+
+    def test_wrong_dim_query(self, engine):
+        with pytest.raises(DimensionMismatchError):
+            engine.reverse_topk(np.ones(7), 5)
+
+    def test_zero_k(self, engine):
+        with pytest.raises(InvalidParameterError):
+            engine.reverse_topk(np.ones(3), 0)
+
+    def test_batch_oracle_many_rejects_bad_k(self):
+        from repro.vectorized import BatchOracle
+
+        P = uniform_products(30, 3, seed=903)
+        W = uniform_weights(30, 3, seed=904)
+        oracle = BatchOracle(P, W)
+        with pytest.raises(InvalidParameterError):
+            oracle.reverse_topk_many([P[0]], 0)
+        with pytest.raises(InvalidParameterError):
+            oracle.reverse_kranks_many([P[0]], -1)
+
+    def test_gir_rejects_mismatched_custom_grid_quantizer(self):
+        """A grid whose boundaries cannot cover the data must be rejected
+        at quantization time, not produce silent garbage."""
+        from repro.core.gir import GridIndexRRQ
+        from repro.core.grid import GridIndex
+
+        P = uniform_products(30, 3, value_range=10.0, seed=905)
+        W = uniform_weights(30, 3, seed=906)
+        tiny_grid = GridIndex(np.linspace(0, 1.0, 5), np.linspace(0, 1.0, 5))
+        with pytest.raises(DataValidationError):
+            GridIndexRRQ(P, W, grid=tiny_grid)
+
+
+class TestVersionMetadata:
+    def test_pyproject_version_matches_package(self):
+        import tomllib
+        from pathlib import Path
+
+        pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        if not pyproject.exists():
+            pytest.skip("source checkout layout not available")
+        data = tomllib.loads(pyproject.read_text())
+        assert data["project"]["version"] == repro.__version__

@@ -1,0 +1,61 @@
+"""Unit tests for repro.vectorized.parallel (batch fan-out)."""
+
+import pytest
+
+from repro.core.gir import GridIndexRRQ
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.errors import InvalidParameterError
+from repro.vectorized.parallel import answer_batch
+
+
+@pytest.fixture(scope="module")
+def setup():
+    P = uniform_products(150, 4, seed=801)
+    W = uniform_weights(120, 4, seed=802)
+    gir = GridIndexRRQ(P, W, partitions=16)
+    queries = [P[i] for i in (0, 10, 50, 99, 149)]
+    return gir, queries
+
+
+class TestSerialPath:
+    def test_single_worker_rtk(self, setup):
+        gir, queries = setup
+        results = answer_batch(gir, queries, 8, "rtk", workers=1)
+        for q, result in zip(queries, results):
+            assert result.weights == gir.reverse_topk(q, 8).weights
+
+    def test_single_query_short_circuits(self, setup):
+        gir, queries = setup
+        results = answer_batch(gir, queries[:1], 5, "rkr", workers=8)
+        assert results[0].entries == gir.reverse_kranks(queries[0], 5).entries
+
+    def test_empty_batch(self, setup):
+        gir, _ = setup
+        assert answer_batch(gir, [], 5, "rtk") == []
+
+    def test_validation(self, setup):
+        gir, queries = setup
+        with pytest.raises(InvalidParameterError):
+            answer_batch(gir, queries, 5, "nearest")
+        with pytest.raises(InvalidParameterError):
+            answer_batch(gir, queries, 5, "rtk", workers=0)
+
+
+class TestParallelPath:
+    def test_two_workers_match_serial_rtk(self, setup):
+        gir, queries = setup
+        parallel = answer_batch(gir, queries, 8, "rtk", workers=2)
+        serial = answer_batch(gir, queries, 8, "rtk", workers=1)
+        assert [r.weights for r in parallel] == [r.weights for r in serial]
+
+    def test_two_workers_match_serial_rkr(self, setup):
+        gir, queries = setup
+        parallel = answer_batch(gir, queries, 6, "rkr", workers=2)
+        serial = answer_batch(gir, queries, 6, "rkr", workers=1)
+        assert [r.entries for r in parallel] == [r.entries for r in serial]
+
+    def test_order_preserved(self, setup):
+        gir, queries = setup
+        results = answer_batch(gir, queries, 3, "rkr", workers=2)
+        for q, result in zip(queries, results):
+            assert result.entries == gir.reverse_kranks(q, 3).entries

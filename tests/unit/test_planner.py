@@ -1,0 +1,90 @@
+"""Unit tests for the heuristic query planner."""
+
+import pytest
+
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.ext.sparse import sparsify_weights
+from repro.queries.engine import RRQEngine
+from repro.queries.planner import (
+    SPARSE_SUPPORT_SHARE,
+    TINY_WORKLOAD,
+    TREE_DIMENSION_LIMIT,
+    AutoEngine,
+    plan,
+)
+
+
+class TestRules:
+    def test_tiny_workload_prefers_scan(self):
+        P = uniform_products(20, 6, seed=1)
+        W = uniform_weights(20, 6, seed=2)
+        decision = plan(P, W)
+        assert decision.rtk_method == "sim"
+        assert "amortization" in decision.reason
+
+    def test_low_dimensions_prefer_trees(self):
+        P = uniform_products(500, 2, seed=3)
+        W = uniform_weights(500, 2, seed=4)
+        decision = plan(P, W)
+        assert decision.rtk_method == "bbr"
+        assert decision.rkr_method == "mpa"
+
+    def test_boundary_dimension(self):
+        P = uniform_products(500, TREE_DIMENSION_LIMIT + 1, seed=5)
+        W = uniform_weights(500, TREE_DIMENSION_LIMIT + 1, seed=6)
+        assert plan(P, W).rtk_method == "gir"
+
+    def test_sparse_weights_prefer_sparse_engine(self):
+        P = uniform_products(400, 10, seed=7)
+        W = sparsify_weights(uniform_weights(400, 10, seed=8), nnz=3)
+        decision = plan(P, W)
+        assert decision.rtk_method == "gir-sparse"
+
+    def test_skew_hint(self):
+        P = uniform_products(400, 6, seed=9)
+        W = uniform_weights(400, 6, seed=10)
+        assert plan(P, W, skew_hint="skewed").rtk_method == "gir-adaptive"
+
+    def test_default_is_gir(self):
+        P = uniform_products(400, 8, seed=11)
+        W = uniform_weights(400, 8, seed=12)
+        decision = plan(P, W)
+        assert decision.rtk_method == decision.rkr_method == "gir"
+
+
+class TestAutoEngine:
+    def test_routes_to_planned_methods(self):
+        P = uniform_products(300, 2, seed=13)
+        W = uniform_weights(300, 2, seed=14)
+        auto = AutoEngine(P, W)
+        assert auto.plan.rtk_method == "bbr"
+        assert auto._rtk.name == "BBR"
+        assert auto._rkr.name == "MPA"
+
+    def test_shares_instance_when_methods_match(self):
+        P = uniform_products(300, 6, seed=15)
+        W = uniform_weights(300, 6, seed=16)
+        auto = AutoEngine(P, W)
+        assert auto._rtk is auto._rkr
+
+    def test_answers_match_explicit_method(self):
+        P = uniform_products(300, 6, seed=17)
+        W = uniform_weights(250, 6, seed=18)
+        auto = RRQEngine(P, W, method="auto")
+        explicit = RRQEngine(P, W, method="gir")
+        q = P[7]
+        assert (auto.reverse_topk(q, 9).weights
+                == explicit.reverse_topk(q, 9).weights)
+        assert (auto.reverse_kranks(q, 9).entries
+                == explicit.reverse_kranks(q, 9).entries)
+
+    def test_low_d_auto_is_exact(self):
+        P = uniform_products(300, 2, seed=19)
+        W = uniform_weights(250, 2, seed=20)
+        auto = RRQEngine(P, W, method="auto")
+        naive = RRQEngine(P, W, method="naive")
+        q = P[3]
+        assert (auto.reverse_topk(q, 6).weights
+                == naive.reverse_topk(q, 6).weights)
+        assert (auto.reverse_kranks(q, 6).entries
+                == naive.reverse_kranks(q, 6).entries)

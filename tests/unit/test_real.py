@@ -1,0 +1,107 @@
+"""Unit tests for the real-data stand-ins (repro.data.real)."""
+
+import numpy as np
+import pytest
+
+from repro.data.real import (
+    COLOR_DIM,
+    DIANPING_DIM,
+    HOUSE_DIM,
+    color,
+    dianping,
+    house,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestHouse:
+    def test_shape_and_range(self):
+        ps = house(size=500, seed=1)
+        assert ps.dim == HOUSE_DIM
+        assert ps.size == 500
+        assert ps.values.min() >= 0
+        assert ps.values.max() < 1.0
+
+    def test_compositional_shares(self):
+        # Expenditure shares per family sum to (at most) 1.
+        ps = house(size=300, seed=2)
+        sums = ps.values.sum(axis=1)
+        assert np.all(sums <= 1.0 + 1e-9)
+        assert sums.mean() > 0.9  # nearly all of the budget is covered
+
+    def test_anticorrelation_of_shares(self):
+        ps = house(size=2000, seed=3)
+        corr = np.corrcoef(ps.values.T)
+        off_diag = corr[~np.eye(HOUSE_DIM, dtype=bool)]
+        # Compositional data: average pairwise correlation is negative.
+        assert off_diag.mean() < 0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(InvalidParameterError):
+            house(size=0)
+
+    def test_deterministic(self):
+        assert np.array_equal(house(50, seed=7).values, house(50, seed=7).values)
+
+
+class TestColor:
+    def test_shape(self):
+        ps = color(size=400, seed=1)
+        assert ps.dim == COLOR_DIM
+        assert ps.size == 400
+
+    def test_clustered_structure(self):
+        ps = color(size=600, seed=2)
+        # Clustered data: variance of pairwise distances is higher than a
+        # uniform cloud of the same size (close-in-cluster + far-between).
+        sample = ps.values[:200]
+        diff = sample[:, None, :] - sample[None, :, :]
+        dist = np.sqrt((diff ** 2).sum(-1))
+        uniform = np.random.default_rng(0).random((200, COLOR_DIM))
+        udiff = uniform[:, None, :] - uniform[None, :, :]
+        udist = np.sqrt((udiff ** 2).sum(-1))
+        assert dist.std() > udist.std()
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(InvalidParameterError):
+            color(size=-1)
+
+
+class TestDianping:
+    def test_structure(self):
+        data = dianping(num_restaurants=150, num_users=120, reviews_per_user=4,
+                        seed=5)
+        assert data.restaurants.dim == DIANPING_DIM
+        assert data.users.dim == DIANPING_DIM
+        assert data.restaurants.size == 150
+        assert data.users.size == 120
+        assert data.num_reviews == 120 * 4
+
+    def test_users_on_simplex(self):
+        data = dianping(num_restaurants=80, num_users=60, seed=6)
+        assert np.allclose(data.users.values.sum(axis=1), 1.0)
+
+    def test_attributes_in_unit_range(self):
+        data = dianping(num_restaurants=80, num_users=60, seed=6)
+        assert data.restaurants.values.min() >= 0
+        assert data.restaurants.values.max() < 1.0
+
+    def test_review_averaging_softens_extremes(self):
+        # With many reviews per restaurant, averaged attributes should be
+        # less extreme than single-review noise: std over restaurants with
+        # popular restaurants reviewed often stays bounded.
+        data = dianping(num_restaurants=50, num_users=400, reviews_per_user=10,
+                        seed=7)
+        assert data.restaurants.values.std() < 0.35
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            dianping(num_restaurants=0)
+        with pytest.raises(InvalidParameterError):
+            dianping(reviews_per_user=0)
+
+    def test_deterministic(self):
+        a = dianping(40, 30, seed=9)
+        b = dianping(40, 30, seed=9)
+        assert np.array_equal(a.restaurants.values, b.restaurants.values)
+        assert np.array_equal(a.users.values, b.users.values)

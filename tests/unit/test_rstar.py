@@ -1,0 +1,169 @@
+"""Unit tests for the R*-tree split and X-tree supernodes (repro.index.rstar)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.index.mbr import MBR
+from repro.index.rstar import (
+    RSTAR_MIN_FILL,
+    XTreeSplitPolicy,
+    rstar_split,
+    split_quality,
+)
+from repro.index.rtree import RTree
+
+
+def boxes_of(points):
+    return [MBR.of_point(p) for p in points]
+
+
+class TestRStarSplit:
+    def test_separable_clusters_split_cleanly(self):
+        left_pts = np.random.default_rng(1).random((10, 2)) * 0.3
+        right_pts = np.random.default_rng(2).random((10, 2)) * 0.3 + 0.7
+        boxes = boxes_of(np.vstack([left_pts, right_pts]))
+        left, right, overlap = rstar_split(boxes)
+        assert overlap == 0.0
+        groups = {frozenset(left), frozenset(right)}
+        assert frozenset(range(10)) in groups
+        assert frozenset(range(10, 20)) in groups
+
+    def test_min_fill_respected(self):
+        rng = np.random.default_rng(3)
+        boxes = boxes_of(rng.random((20, 3)))
+        left, right, _ = rstar_split(boxes)
+        min_fill = int(20 * RSTAR_MIN_FILL)
+        assert len(left) >= min_fill
+        assert len(right) >= min_fill
+        assert sorted(left + right) == list(range(20))
+
+    def test_rejects_single_entry(self):
+        with pytest.raises(InvalidParameterError):
+            rstar_split(boxes_of(np.zeros((1, 2))))
+
+    def test_beats_or_ties_quadratic_on_overlap(self):
+        """The R* criterion explicitly minimizes overlap, so it must not be
+        worse than Guttman's quadratic split on that measure."""
+        rng = np.random.default_rng(4)
+        pts = rng.random((24, 2))
+        boxes = boxes_of(pts)
+        rstar_groups = rstar_split(boxes)[:2]
+        tree = RTree(pts, capacity=30)  # only for its quadratic splitter
+        quad_groups = tree._quadratic_split(boxes)
+        rstar_overlap = split_quality(boxes, rstar_groups)["overlap"]
+        quad_overlap = split_quality(boxes, quad_groups)["overlap"]
+        assert rstar_overlap <= quad_overlap + 1e-12
+
+    def test_split_quality_keys(self):
+        boxes = boxes_of(np.random.default_rng(5).random((8, 2)))
+        groups = rstar_split(boxes)[:2]
+        quality = split_quality(boxes, groups)
+        assert set(quality) == {"overlap", "total_margin", "total_area"}
+
+
+class TestXTreePolicy:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            XTreeSplitPolicy(max_overlap=1.5)
+
+    def test_clean_split_allowed(self):
+        policy = XTreeSplitPolicy(max_overlap=0.1)
+        left_pts = np.random.default_rng(6).random((8, 2)) * 0.2
+        right_pts = np.random.default_rng(7).random((8, 2)) * 0.2 + 0.8
+        result = policy.try_split(boxes_of(np.vstack([left_pts, right_pts])))
+        assert result is not None
+        assert policy.supernodes == 0
+
+    def test_unsplittable_node_becomes_supernode(self):
+        """Heavily overlapping high-d boxes: the policy must refuse."""
+        rng = np.random.default_rng(8)
+        # Boxes (not points) that all overlap each other around the centre.
+        boxes = [MBR(rng.random(8) * 0.3, rng.random(8) * 0.3 + 0.6)
+                 for _ in range(12)]
+        policy = XTreeSplitPolicy(max_overlap=0.001)
+        assert policy.try_split(boxes) is None
+        assert policy.supernodes == 1
+
+
+class TestRTreeIntegration:
+    @pytest.fixture
+    def points(self):
+        return np.random.default_rng(9).random((350, 3)) * 50
+
+    def test_rstar_tree_correct(self, points):
+        tree = RTree(points, capacity=12, bulk=False, split="rstar")
+        tree.check_invariants()
+        box = MBR([10, 10, 10], [30, 30, 30])
+        expected = {i for i, p in enumerate(points)
+                    if np.all(p >= box.lo) and np.all(p <= box.hi)}
+        assert set(tree.range_query(box)) == expected
+
+    def test_rstar_reduces_leaf_overlap_in_2d(self):
+        pts = np.random.default_rng(10).random((400, 2))
+
+        def total_overlap(tree):
+            leaves = tree.leaves()
+            return sum(
+                a.mbr.intersection_area(b.mbr)
+                for i, a in enumerate(leaves) for b in leaves[i + 1:]
+            )
+
+        quad = RTree(pts, capacity=16, bulk=False, split="quadratic")
+        rstar = RTree(pts, capacity=16, bulk=False, split="rstar")
+        assert total_overlap(rstar) <= total_overlap(quad) * 1.1 + 1e-9
+
+    def test_xtree_mode_stays_correct(self):
+        """Queries stay exact with the supernode policy active.
+
+        Note: *point* leaves always admit a zero-overlap split (sorting
+        along an axis separates the two boxes there), so supernodes arise
+        only from unlucky internal splits — the dedicated policy test
+        above exercises the refusal path deterministically.
+        """
+        pts = np.random.default_rng(11).random((200, 10))
+        tree = RTree(pts, capacity=8, bulk=False, split="rstar",
+                     xtree_max_overlap=0.0)
+        tree.check_invariants()  # supernodes (if any) allowed past capacity
+        assert tree.xtree_policy is not None
+        box = MBR(np.full(10, 0.2), np.full(10, 0.9))
+        expected = {i for i, p in enumerate(pts)
+                    if np.all(p >= 0.2) and np.all(p <= 0.9)}
+        assert set(tree.range_query(box)) == expected
+
+    def test_supernode_path_in_tree(self, monkeypatch):
+        """Force the refusal path inside RTree and verify the node is kept
+        oversized without corrupting the structure."""
+        from repro.index import rstar
+
+        pts = np.random.default_rng(12).random((40, 3))
+        tree = RTree(pts[:5], capacity=4, bulk=False, split="rstar",
+                     xtree_max_overlap=0.5)
+        monkeypatch.setattr(tree.xtree_policy, "try_split",
+                            lambda boxes: None)
+        for idx in range(5, 40):
+            tree.points = pts  # grow the backing array view
+            tree.insert(idx)
+        tree.check_invariants()
+        assert any(len(leaf.entries) > 4 for leaf in tree.leaves())
+        assert sorted(tree.all_point_indices()) == list(range(40))
+
+    def test_invalid_split_name(self, points):
+        with pytest.raises(InvalidParameterError):
+            RTree(points, split="hilbert")
+
+    def test_bbr_works_on_rstar_trees(self):
+        """The RTK baseline stays exact when built over R*-split trees."""
+        from repro.algorithms.bbr import BranchBoundRTK
+        from repro.algorithms.naive import NaiveRRQ
+        from repro.data.synthetic import uniform_products, uniform_weights
+
+        P = uniform_products(120, 4, seed=12)
+        W = uniform_weights(100, 4, seed=13)
+        bbr = BranchBoundRTK(P, W)
+        # Swap in R*-built trees (dynamic insertion path).
+        bbr.p_tree = RTree(P.values, capacity=16, bulk=False, split="rstar")
+        bbr.w_tree = RTree(W.values, capacity=16, bulk=False, split="rstar")
+        naive = NaiveRRQ(P, W)
+        q = P[5]
+        assert bbr.reverse_topk(q, 8).weights == naive.reverse_topk(q, 8).weights

@@ -1,0 +1,130 @@
+"""Unit tests for repro.index.rtree."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.index.mbr import MBR
+from repro.index.rtree import RTree
+from repro.stats.counters import OpCounter
+
+
+@pytest.fixture
+def points():
+    return np.random.default_rng(42).random((400, 3)) * 100
+
+
+class TestConstruction:
+    def test_bulk_load_invariants(self, points):
+        tree = RTree(points, capacity=16)
+        tree.check_invariants()
+        assert tree.size == 400
+        assert tree.height >= 2
+
+    def test_dynamic_insert_invariants(self, points):
+        tree = RTree(points[:120], capacity=8, bulk=False)
+        tree.check_invariants()
+        assert tree.size == 120
+
+    def test_single_point(self):
+        tree = RTree(np.array([[1.0, 2.0]]))
+        tree.check_invariants()
+        assert tree.size == 1
+        assert tree.height == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            RTree(np.empty((0, 2)))
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            RTree(np.ones((3, 2)), capacity=1)
+
+    def test_all_points_indexed(self, points):
+        for bulk in (True, False):
+            tree = RTree(points[:150], capacity=10, bulk=bulk)
+            assert sorted(tree.all_point_indices()) == list(range(150))
+
+    def test_duplicate_points_supported(self):
+        pts = np.tile(np.array([[1.0, 1.0]]), (50, 1))
+        tree = RTree(pts, capacity=8)
+        tree.check_invariants()
+        box = MBR([0.5, 0.5], [1.5, 1.5])
+        assert len(tree.range_query(box)) == 50
+
+
+class TestRangeQuery:
+    def test_matches_bruteforce(self, points):
+        tree = RTree(points, capacity=16)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            lo = rng.random(3) * 80
+            hi = lo + rng.random(3) * 30
+            box = MBR(lo, hi)
+            expected = {
+                i for i, p in enumerate(points)
+                if np.all(p >= lo) and np.all(p <= hi)
+            }
+            assert set(tree.range_query(box)) == expected
+
+    def test_counts_node_accesses(self, points):
+        tree = RTree(points, capacity=16)
+        counter = OpCounter()
+        tree.range_query(MBR([0, 0, 0], [100, 100, 100]), counter)
+        assert counter.nodes_accessed >= len(tree.leaves())
+        assert counter.points_accessed == 400
+
+    def test_empty_result(self, points):
+        tree = RTree(points, capacity=16)
+        assert tree.range_query(MBR([200, 200, 200], [300, 300, 300])) == []
+
+
+class TestStructure:
+    def test_leaves_partition_points(self, points):
+        tree = RTree(points, capacity=20)
+        seen = []
+        for leaf in tree.leaves():
+            seen.extend(leaf.entries)
+        assert sorted(seen) == list(range(len(points)))
+
+    def test_node_counts_consistent(self, points):
+        tree = RTree(points, capacity=20)
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                assert node.count == sum(c.count for c in node.children)
+
+    def test_bulk_beats_insert_on_overlap(self):
+        # STR-packed leaves overlap less than incrementally built ones in
+        # low dimensions; use total pairwise leaf intersection as a proxy.
+        pts = np.random.default_rng(5).random((300, 2))
+
+        def overlap(tree):
+            leaves = tree.leaves()
+            total = 0.0
+            for i, a in enumerate(leaves):
+                for b in leaves[i + 1:]:
+                    total += a.mbr.intersection_area(b.mbr)
+            return total
+
+        bulk = RTree(pts, capacity=16, bulk=True)
+        dyn = RTree(pts, capacity=16, bulk=False)
+        assert overlap(bulk) <= overlap(dyn) * 1.5 + 1e-9
+
+
+class TestMBRStatistics:
+    def test_statistics_fields(self, points):
+        tree = RTree(points, capacity=25)
+        stats = tree.mbr_statistics(query_fraction=0.01, num_queries=10, seed=0)
+        assert stats["num_mbrs"] == len(tree.leaves())
+        assert stats["avg_diagonal"] > 0
+        assert stats["avg_shape_ratio"] >= 1.0
+        assert 0.0 <= stats["overlap_fraction"] <= 1.0
+
+    def test_overlap_grows_with_dimension(self):
+        """The Table 3 effect: 1%-range queries overlap almost all MBRs in
+        high d but few in low d."""
+        rng = np.random.default_rng(9)
+        low = RTree(rng.random((600, 2)), capacity=30).mbr_statistics(seed=1)
+        high = RTree(rng.random((600, 12)), capacity=30).mbr_statistics(seed=1)
+        assert high["overlap_fraction"] > low["overlap_fraction"]
+        assert high["overlap_fraction"] > 0.9

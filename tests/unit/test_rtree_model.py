@@ -1,0 +1,63 @@
+"""Unit tests for repro.analysis.rtree_model (Section 5.1-5.2 analysis)."""
+
+import math
+
+import pytest
+
+from repro.analysis.rtree_model import (
+    filtering_collapse_table,
+    histogram_bucket_count,
+    histogram_expected_occupancy,
+    max_filtered_fraction,
+    tetra_volume,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestHistogramModel:
+    def test_paper_example_counts(self):
+        """Section 5.1: 5^3 = 125 buckets at d=3; ~9M at d=10."""
+        assert histogram_bucket_count(5, 3) == 125
+        assert histogram_bucket_count(5, 10) == 9_765_625
+
+    def test_occupancy_collapse(self):
+        """100K weights over 5^10 buckets: far less than one per bucket."""
+        occ = histogram_expected_occupancy(100_000, 5, 10)
+        assert occ < 0.02
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            histogram_bucket_count(0, 3)
+        with pytest.raises(InvalidParameterError):
+            histogram_expected_occupancy(0, 5, 3)
+
+
+class TestVolumeModel:
+    def test_tetra_volume_formula(self):
+        assert tetra_volume(1) == 1.0
+        assert tetra_volume(2) == pytest.approx(0.5)
+        assert tetra_volume(5) == pytest.approx(1 / 120)
+
+    def test_gamma_shrinks_volume(self):
+        assert tetra_volume(3, gamma=0.5) < tetra_volume(3, gamma=0.0)
+
+    def test_paper_example_d10(self):
+        """Section 5.2: d = 10 (g = 5) filters at most 1/5! ~ 0.8%."""
+        frac = max_filtered_fraction(10)
+        assert frac == pytest.approx(1 / math.factorial(5))
+        assert frac < 0.009
+
+    def test_fraction_collapses_with_d(self):
+        rows = filtering_collapse_table([2, 6, 10, 20])
+        fracs = [frac for _, _, frac in rows]
+        assert all(a >= b for a, b in zip(fracs, fracs[1:]))
+        assert fracs[-1] < 1e-6
+
+    def test_explicit_g(self):
+        assert max_filtered_fraction(10, g=2) == pytest.approx(0.5)
+        with pytest.raises(InvalidParameterError):
+            max_filtered_fraction(3, g=5)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(InvalidParameterError):
+            tetra_volume(3, gamma=1.0)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.stats (counters, timing, report)."""
+
+import time
+
+import pytest
+
+from repro.stats.counters import NULL_COUNTER, OpCounter
+from repro.stats.report import format_value, print_table, render_table, speedup
+from repro.stats.timing import LapClock, Timer, best_of, time_once
+
+
+class TestOpCounter:
+    def test_defaults_zero(self):
+        c = OpCounter()
+        assert c.pairwise == 0
+        assert c.filtered_total == 0
+        assert c.filtering_ratio() == 0.0
+
+    def test_merge(self):
+        a = OpCounter(pairwise=3, refined=2)
+        b = OpCounter(pairwise=4, filtered_case1=5)
+        a.merge(b)
+        assert a.pairwise == 7
+        assert a.filtered_case1 == 5
+        assert a.refined == 2
+
+    def test_reset(self):
+        c = OpCounter(pairwise=10, additions=5)
+        c.reset()
+        assert c.pairwise == 0
+        assert c.additions == 0
+
+    def test_snapshot_keys(self):
+        snap = OpCounter(grid_lookups=2).snapshot()
+        assert snap["grid_lookups"] == 2
+        assert "pairwise" in snap
+
+    def test_filtering_ratio(self):
+        c = OpCounter(filtered_case1=60, filtered_case2=30, refined=10)
+        assert c.filtering_ratio() == pytest.approx(0.9)
+
+    def test_null_counter_is_a_counter(self):
+        NULL_COUNTER.pairwise += 1  # harmless shared sink
+        assert isinstance(NULL_COUNTER, OpCounter)
+
+
+class TestTimer:
+    def test_measure_context(self):
+        t = Timer()
+        with t.measure():
+            time.sleep(0.001)
+        assert t.count == 1
+        assert t.total > 0
+        assert t.mean > 0
+        assert t.median > 0
+
+    def test_time_callable_repeats(self):
+        t = Timer()
+        t.time_callable(lambda: None, repeat=5)
+        assert t.count == 5
+
+    def test_reset(self):
+        t = Timer()
+        t.time_callable(lambda: None)
+        t.reset()
+        assert t.count == 0
+        assert t.mean == 0.0
+
+    def test_time_once_positive(self):
+        assert time_once(lambda: sum(range(100))) >= 0
+
+    def test_best_of(self):
+        assert best_of(lambda: None, repeat=3) >= 0
+        with pytest.raises(ValueError):
+            best_of(lambda: None, repeat=0)
+
+    def test_lap_clock_accumulates(self):
+        clock = LapClock()
+        for _ in range(3):
+            with clock.lap("work"):
+                pass
+        assert clock.get("work") >= 0
+        assert clock.get("missing") == 0.0
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value("x") == "x"
+        assert format_value(3) == "3"
+        assert format_value(3.14159, precision=2) == "3.14"
+        assert format_value(1e7, precision=3) == "1e+07"
+        assert format_value(True) == "True"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [33, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_print_table(self, capsys):
+        print_table(["col"], [[1]])
+        captured = capsys.readouterr().out
+        assert "col" in captured
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(10.0, 0.0) is None

@@ -1,0 +1,77 @@
+"""Unit tests for repro.core.storage (index persistence)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.gir import GridIndexRRQ
+from repro.core.storage import index_size_report, load_index, save_index
+from repro.data.synthetic import clustered_products, uniform_weights
+from repro.errors import DataValidationError
+
+
+@pytest.fixture
+def built_index():
+    P = clustered_products(150, 5, seed=301)
+    W = uniform_weights(120, 5, seed=302)
+    return GridIndexRRQ(P, W, partitions=16, chunk=128, use_domin=False)
+
+
+class TestRoundtrip:
+    def test_save_load_identical_answers(self, built_index, tmp_path):
+        manifest = save_index(tmp_path / "idx", built_index)
+        assert all(v > 0 for v in manifest.values())
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.partitions == built_index.partitions
+        assert loaded.chunk == built_index.chunk
+        assert loaded.use_domin == built_index.use_domin
+        assert np.array_equal(loaded.PA, built_index.PA)
+        assert np.array_equal(loaded.WA, built_index.WA)
+        q = built_index.products[3]
+        assert (loaded.reverse_topk(q, 10).weights
+                == built_index.reverse_topk(q, 10).weights)
+        assert (loaded.reverse_kranks(q, 5).entries
+                == built_index.reverse_kranks(q, 5).entries)
+
+    def test_boundaries_preserved_exactly(self, built_index, tmp_path):
+        save_index(tmp_path / "idx", built_index)
+        loaded = load_index(tmp_path / "idx")
+        assert np.array_equal(loaded.grid.alpha_p, built_index.grid.alpha_p)
+        assert np.array_equal(loaded.grid.alpha_w, built_index.grid.alpha_w)
+
+
+class TestIntegrity:
+    def test_missing_meta_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(DataValidationError):
+            load_index(tmp_path / "empty")
+
+    def test_wrong_version_rejected(self, built_index, tmp_path):
+        save_index(tmp_path / "idx", built_index)
+        meta_path = tmp_path / "idx" / "grid.meta"
+        meta = json.loads(meta_path.read_text())
+        meta["version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(DataValidationError):
+            load_index(tmp_path / "idx")
+
+    def test_stale_approx_vectors_rejected(self, built_index, tmp_path):
+        """Swapping the raw data under the index must be detected."""
+        from repro.data.io import save_products
+        from repro.data.synthetic import clustered_products
+
+        save_index(tmp_path / "idx", built_index)
+        other = clustered_products(150, 5, seed=999)
+        save_products(tmp_path / "idx" / "products.rrq", other)
+        with pytest.raises(DataValidationError, match="stale or corrupted"):
+            load_index(tmp_path / "idx")
+
+
+class TestSizeReport:
+    def test_section32_overhead(self, built_index, tmp_path):
+        """Approximate vectors cost well under 1/10 of the raw data."""
+        save_index(tmp_path / "idx", built_index)
+        report = index_size_report(tmp_path / "idx")
+        assert 0 < report["approx_over_raw"] < 0.12
+        assert report["pa.rrqa"] < report["products.rrq"] / 8

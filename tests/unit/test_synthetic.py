@@ -1,0 +1,114 @@
+"""Unit tests for repro.data.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    DEFAULT_VALUE_RANGE,
+    anticorrelated_products,
+    clustered_products,
+    clustered_weights,
+    exponential_products,
+    exponential_weights,
+    generate_products,
+    generate_weights,
+    normal_products,
+    normal_weights,
+    uniform_products,
+    uniform_weights,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestProductGenerators:
+    @pytest.mark.parametrize("gen", [
+        uniform_products, clustered_products, anticorrelated_products,
+        normal_products, exponential_products,
+    ])
+    def test_shapes_and_range(self, gen):
+        ps = gen(200, 5, seed=3)
+        assert ps.size == 200
+        assert ps.dim == 5
+        assert ps.value_range == DEFAULT_VALUE_RANGE
+        assert ps.values.min() >= 0
+        assert ps.values.max() < DEFAULT_VALUE_RANGE
+
+    def test_determinism_with_seed(self):
+        a = uniform_products(50, 3, seed=9)
+        b = uniform_products(50, 3, seed=9)
+        assert np.array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = uniform_products(50, 3, seed=1)
+        b = uniform_products(50, 3, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_generator_instance_accepted(self):
+        rng = np.random.default_rng(5)
+        ps = uniform_products(10, 2, seed=rng)
+        assert ps.size == 10
+
+    def test_clustered_is_clumpy(self):
+        # Clustered data should have smaller per-coordinate spread around
+        # cluster centres than uniform data: compare nearest-neighbour
+        # distances on a small sample.
+        cl = clustered_products(300, 3, seed=4, num_clusters=4, sigma=0.01)
+        un = uniform_products(300, 3, seed=4)
+
+        def mean_nn(values):
+            diff = values[:, None, :] - values[None, :, :]
+            dist = np.sqrt((diff ** 2).sum(-1))
+            np.fill_diagonal(dist, np.inf)
+            return dist.min(axis=1).mean()
+
+        assert mean_nn(cl.values) < mean_nn(un.values)
+
+    def test_anticorrelated_sums_concentrate(self):
+        ac = anticorrelated_products(500, 4, seed=6)
+        un = uniform_products(500, 4, seed=6)
+        # Coordinate totals of AC data vary less than those of UN data.
+        assert np.std(ac.values.sum(axis=1)) < np.std(un.values.sum(axis=1))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_products(0, 3)
+        with pytest.raises(InvalidParameterError):
+            uniform_products(10, 0)
+        with pytest.raises(InvalidParameterError):
+            clustered_products(10, 3, num_clusters=0)
+        with pytest.raises(InvalidParameterError):
+            exponential_products(10, 3, lam=0.0)
+
+
+class TestWeightGenerators:
+    @pytest.mark.parametrize("gen", [
+        uniform_weights, clustered_weights, normal_weights, exponential_weights,
+    ])
+    def test_simplex_constraint(self, gen):
+        ws = gen(150, 6, seed=8)
+        assert ws.size == 150
+        assert ws.dim == 6
+        assert np.allclose(ws.values.sum(axis=1), 1.0)
+        assert ws.values.min() >= 0
+
+    def test_exponential_weights_rejects_bad_lambda(self):
+        with pytest.raises(InvalidParameterError):
+            exponential_weights(5, 3, lam=-1.0)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("code", ["UN", "CL", "AC", "NORMAL", "EXP", "un"])
+    def test_product_codes(self, code):
+        ps = generate_products(code, 30, 4, seed=1)
+        assert ps.size == 30
+
+    @pytest.mark.parametrize("code", ["UN", "CL", "NORMAL", "EXP"])
+    def test_weight_codes(self, code):
+        ws = generate_weights(code, 30, 4, seed=1)
+        assert ws.size == 30
+
+    def test_unknown_codes_raise(self):
+        with pytest.raises(InvalidParameterError):
+            generate_products("ZIPF", 10, 3)
+        with pytest.raises(InvalidParameterError):
+            generate_weights("AC", 10, 3)  # AC is product-only

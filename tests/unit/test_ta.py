@@ -1,0 +1,127 @@
+"""Unit tests for repro.queries.ta (Fagin's Threshold Algorithm) and the
+RTA reverse top-k baseline built on it."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.algorithms.rta import ThresholdRTK
+from repro.data.synthetic import (
+    clustered_products,
+    uniform_products,
+    uniform_weights,
+)
+from repro.errors import InvalidParameterError
+from repro.queries.ta import SortedAccessIndex, ta_kth_score, ta_top_k
+from repro.queries.topk import top_k
+from repro.stats.counters import OpCounter
+
+
+@pytest.fixture
+def index_and_data():
+    P = uniform_products(300, 5, value_range=1.0, seed=201).values
+    W = uniform_weights(40, 5, seed=202).values
+    return SortedAccessIndex(P), P, W
+
+
+class TestSortedAccessIndex:
+    def test_orders_are_ascending(self, index_and_data):
+        index, P, _ = index_and_data
+        for i in range(P.shape[1]):
+            column = P[index.order[i], i]
+            assert np.all(np.diff(column) >= 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            SortedAccessIndex(np.empty((0, 2)))
+
+    def test_properties(self, index_and_data):
+        index, P, _ = index_and_data
+        assert index.size == 300
+        assert index.dim == 5
+
+
+class TestTATopK:
+    def test_matches_exhaustive_topk(self, index_and_data):
+        index, P, W = index_and_data
+        for j in range(10):
+            for k in (1, 5, 20):
+                got = [idx for _, idx in ta_top_k(index, W[j], k)]
+                assert got == top_k(P, W[j], k)
+
+    def test_scores_are_correct(self, index_and_data):
+        index, P, W = index_and_data
+        for score, idx in ta_top_k(index, W[0], 7):
+            assert score == pytest.approx(float(np.dot(W[0], P[idx])))
+
+    def test_early_termination_happens(self, index_and_data):
+        """TA must stop long before exhausting P on typical data."""
+        index, P, W = index_and_data
+        counter = OpCounter()
+        ta_top_k(index, W[0], 5, counter)
+        assert counter.early_terminations == 1
+        assert counter.pairwise < P.shape[0]
+
+    def test_k_larger_than_data(self, index_and_data):
+        index, P, W = index_and_data
+        assert len(ta_top_k(index, W[0], 10_000)) == P.shape[0]
+
+    def test_k_validation(self, index_and_data):
+        index, _, W = index_and_data
+        with pytest.raises(InvalidParameterError):
+            ta_top_k(index, W[0], 0)
+
+    def test_dimension_validation(self, index_and_data):
+        index, _, _ = index_and_data
+        with pytest.raises(InvalidParameterError):
+            ta_top_k(index, np.ones(3) / 3, 5)
+
+    def test_zero_weight_components(self):
+        """Dimensions with zero weight must not break the threshold."""
+        P = uniform_products(100, 4, value_range=1.0, seed=203).values
+        index = SortedAccessIndex(P)
+        w = np.array([0.5, 0.5, 0.0, 0.0])
+        got = [idx for _, idx in ta_top_k(index, w, 8)]
+        assert got == top_k(P, w, 8)
+
+    def test_kth_score(self, index_and_data):
+        index, P, W = index_and_data
+        scores = np.sort(P @ W[3])
+        assert ta_kth_score(index, W[3], 9) == pytest.approx(scores[8])
+
+
+class TestRTA:
+    def test_matches_naive(self):
+        P = uniform_products(200, 4, seed=204)
+        W = uniform_weights(150, 4, seed=205)
+        rta = ThresholdRTK(P, W)
+        naive = NaiveRRQ(P, W)
+        for qi in (0, 60, 199):
+            for k in (1, 8, 50):
+                q = P[qi]
+                assert (rta.reverse_topk(q, k).weights
+                        == naive.reverse_topk(q, k).weights)
+
+    def test_matches_naive_clustered(self):
+        P = clustered_products(180, 4, seed=206)
+        W = uniform_weights(120, 4, seed=207)
+        rta = ThresholdRTK(P, W)
+        naive = NaiveRRQ(P, W)
+        q = P[10]
+        assert (rta.reverse_topk(q, 12).weights
+                == naive.reverse_topk(q, 12).weights)
+
+    def test_rkr_unsupported(self):
+        P = uniform_products(20, 3, seed=208)
+        W = uniform_weights(20, 3, seed=209)
+        with pytest.raises(InvalidParameterError):
+            ThresholdRTK(P, W).reverse_kranks(P[0], 3)
+
+    def test_engine_exposes_rta(self):
+        from repro.queries.engine import RRQEngine, available_methods
+
+        assert "rta" in available_methods()
+        P = uniform_products(50, 3, seed=210)
+        W = uniform_weights(40, 3, seed=211)
+        engine = RRQEngine(P, W, method="rta")
+        assert engine.reverse_topk(P[0], 5).k == 5

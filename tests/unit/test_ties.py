@@ -1,0 +1,99 @@
+"""Unit tests for repro.core.ties (exact tie resolution)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ties import (
+    TIE_REL_TOL,
+    count_strictly_better,
+    count_strictly_better_matrix,
+    exact_score_cmp,
+    exact_strictly_less,
+    tie_tolerance,
+)
+
+
+class TestExactCmp:
+    def test_clear_orderings(self):
+        w = np.array([0.5, 0.5])
+        q = np.array([0.4, 0.4])
+        assert exact_score_cmp(w, np.array([0.1, 0.1]), q) == -1
+        assert exact_score_cmp(w, np.array([0.9, 0.9]), q) == 1
+        assert exact_score_cmp(w, q.copy(), q) == 0
+
+    def test_cross_tie_between_distinct_vectors(self):
+        """The motivating case: distinct p, q with exactly equal scores."""
+        w = np.array([0.4, 0.4, 0.2])
+        p = np.array([0.25, 1.0, 0.0])
+        q = np.array([1.0, 0.25, 0.0])
+        # 0.4*0.25 + 0.4*1.0 == 0.4*1.0 + 0.4*0.25 exactly.
+        assert exact_score_cmp(w, p, q) == 0
+        assert not exact_strictly_less(w, p, q)
+
+    def test_sub_ulp_differences_resolved(self):
+        """Differences far below float rounding are still decided exactly."""
+        w = np.array([1.0])
+        q = np.array([0.1])
+        p_below = np.array([np.nextafter(0.1, 0.0)])
+        p_above = np.array([np.nextafter(0.1, 1.0)])
+        assert exact_score_cmp(w, p_below, q) == -1
+        assert exact_score_cmp(w, p_above, q) == 1
+
+    def test_zero_weights_ignored(self):
+        w = np.array([0.0, 1.0])
+        p = np.array([999.0, 0.5])
+        q = np.array([0.0, 0.5])
+        assert exact_score_cmp(w, p, q) == 0
+
+
+class TestTolerance:
+    def test_scales_with_magnitude(self):
+        assert tie_tolerance(0.0) == TIE_REL_TOL
+        assert tie_tolerance(10_000.0) > tie_tolerance(1.0)
+        assert tie_tolerance(-5.0) == tie_tolerance(5.0)
+
+
+class TestCountStrictlyBetter:
+    def test_no_near_ties_uses_float_path(self):
+        w = np.array([1.0, 0.0])
+        q = np.array([0.5, 0.0])
+        vectors = np.array([[0.1, 0], [0.4, 0], [0.9, 0]])
+        scores = vectors @ w
+        assert count_strictly_better(scores, vectors, w, q, 0.5) == 2
+
+    def test_exact_resolution_of_planted_tie(self):
+        w = np.array([0.4, 0.4, 0.2])
+        q = np.array([1.0, 0.25, 0.0])
+        fq = float(np.dot(w, q))
+        vectors = np.array([
+            [0.25, 1.0, 0.0],    # exact tie -> not counted
+            [0.25, 0.999, 0.0],  # strictly below
+            [1.0, 1.0, 1.0],     # strictly above
+        ])
+        # Deliberately feed scores that a hostile kernel might have
+        # produced: the tie's score nudged below fq.
+        scores = np.array([np.nextafter(fq, 0.0), 0.4996, 1.0])
+        assert count_strictly_better(scores, vectors, w, q, fq) == 1
+
+    def test_matrix_variant_matches_columnwise(self):
+        rng = np.random.default_rng(5)
+        P = rng.random((30, 4))
+        W = rng.dirichlet(np.ones(4), size=6)
+        q = rng.random(4)
+        scores = P @ W.T
+        fq = W @ q
+        counts = count_strictly_better_matrix(scores, P, W, q, fq)
+        for j in range(6):
+            assert counts[j] == count_strictly_better(
+                scores[:, j], P, W[j], q, float(fq[j])
+            )
+
+    def test_matrix_variant_with_planted_ties(self):
+        w = np.array([0.4, 0.4, 0.2])
+        q = np.array([1.0, 0.25, 0.0])
+        P = np.array([[0.25, 1.0, 0.0], [0.0, 0.0, 0.0]])
+        W = w[None, :]
+        scores = P @ W.T
+        fq = W @ q
+        counts = count_strictly_better_matrix(scores, P, W, q, fq)
+        assert counts.tolist() == [1]  # only the all-zero row is better

@@ -1,0 +1,98 @@
+"""Unit tests for repro.queries.topk (forward query primitives)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.queries.topk import (
+    all_ranks,
+    in_top_k,
+    kth_best_score,
+    rank_of_point,
+    rank_of_score,
+    scores,
+    top_k,
+)
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(10)
+    return rng.random((60, 5)), rng.dirichlet(np.ones(5))
+
+
+class TestScoresAndRanks:
+    def test_scores_shape(self, data):
+        P, w = data
+        assert scores(P, w).shape == (60,)
+
+    def test_rank_of_score_strict(self):
+        assert rank_of_score([1.0, 2.0, 3.0], 2.0) == 1
+        assert rank_of_score([1.0, 2.0, 3.0], 0.5) == 0
+        assert rank_of_score([1.0, 2.0, 3.0], 10.0) == 3
+
+    def test_rank_of_point_matches_manual(self, data):
+        P, w = data
+        q = P[7]
+        expected = int(np.sum(P @ w < np.dot(w, q)))
+        assert rank_of_point(P, w, q) == expected
+
+
+class TestTopK:
+    def test_figure1_topk(self, figure1_data):
+        """Figure 1(a): Tom's top-2 = {p3, p2}, Jerry's = {p2, p5},
+        Spike's = {p2, p3} (minimum preferable)."""
+        P, W = figure1_data
+        assert top_k(P, W[0], 2) == [2, 1]   # Tom: p3 then p2
+        assert top_k(P, W[1], 2) == [1, 4]   # Jerry: p2 then p5
+        # Figure 1(a) prints Spike's set as "p2,p3" but Figure 1(c)'s
+        # rank list confirms p3 ranks 1st for Spike (0.15 < 0.21).
+        assert top_k(P, W[2], 2) == [2, 1]
+
+    def test_topk_ordering(self, data):
+        P, w = data
+        result = top_k(P, w, 10)
+        s = P @ w
+        assert list(s[result]) == sorted(s[result])
+        assert len(result) == 10
+
+    def test_k_larger_than_data(self, data):
+        P, w = data
+        assert len(top_k(P, w, 1000)) == 60
+
+    def test_k_nonpositive_raises(self, data):
+        P, w = data
+        with pytest.raises(InvalidParameterError):
+            top_k(P, w, 0)
+
+    def test_tie_break_smaller_index(self):
+        P = np.array([[1.0], [1.0], [0.5]])
+        w = np.array([1.0])
+        assert top_k(P, w, 2) == [2, 0]
+
+    def test_kth_best_score(self, data):
+        P, w = data
+        s = np.sort(P @ w)
+        assert kth_best_score(P, w, 3) == pytest.approx(s[2])
+        with pytest.raises(InvalidParameterError):
+            kth_best_score(P, w, 0)
+
+
+class TestMembershipAndAllRanks:
+    def test_in_top_k_definition(self, data):
+        """Membership iff q would displace nothing above position k."""
+        P, w = data
+        q = P[3]
+        r = rank_of_point(P, w, q)
+        assert in_top_k(P, w, q, r + 1)
+        if r > 0:
+            assert not in_top_k(P, w, q, r)
+
+    def test_all_ranks_matches_loop(self, data):
+        P, _ = data
+        rng = np.random.default_rng(11)
+        W = rng.dirichlet(np.ones(5), size=30)
+        q = rng.random(5)
+        vec = all_ranks(P, W, q, chunk=7)
+        for j in range(30):
+            assert vec[j] == rank_of_point(P, W[j], q)
