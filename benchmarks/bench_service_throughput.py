@@ -1,0 +1,135 @@
+"""Serving throughput: micro-batch window x concurrency sweep.
+
+Not a figure in the paper — the paper measures offline algorithm cost —
+but the serving subsystem (`repro.service`) adds two knobs the library
+never had: the micro-batch coalescing window and client concurrency.
+This bench sweeps batch windows {0, 2, 10} ms against 1/8/32 concurrent
+closed-loop clients and reports qps plus latency percentiles, so an
+operator can see the throughput/latency trade the window buys.
+
+The clients drive the embeddable :class:`QueryService` directly (no HTTP
+sockets): the point is the scheduler's coalescing behaviour, not TCP
+accept rates.  Each client issues unique query points, so the LRU cache
+stays cold and every request exercises the dispatch path.
+"""
+
+import threading
+
+import pytest
+
+from repro.service import QueryService, ServiceConfig, ServiceLimits
+from repro.service.metrics import percentile
+
+from bench_common import banner, make_workload, record_table, sample_queries
+
+#: Micro-batch windows swept, in milliseconds.
+WINDOWS_MS = (0.0, 2.0, 10.0)
+
+#: Concurrent closed-loop clients.
+CLIENTS = (1, 8, 32)
+
+#: Requests each client issues per configuration.
+REQUESTS_PER_CLIENT = 6
+
+DIM = 4
+K = 10
+
+
+def run_configuration(P, W, window_ms: float, clients: int):
+    """qps and latency percentiles for one (window, concurrency) cell."""
+    service = QueryService.from_datasets(
+        P, W, method="gir",
+        config=ServiceConfig(
+            batch_window_s=window_ms / 1000.0,
+            cache_capacity=0,  # cold cache: measure dispatch, not lookups
+            limits=ServiceLimits(max_queue_depth=1024, max_batch=64),
+        ),
+    )
+    queries = sample_queries(P, count=clients * REQUESTS_PER_CLIENT,
+                             seed=int(window_ms * 10 + clients))
+    latencies = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    def client_loop(worker: int) -> None:
+        from time import perf_counter
+
+        mine = queries[worker * REQUESTS_PER_CLIENT:
+                       (worker + 1) * REQUESTS_PER_CLIENT]
+        barrier.wait()
+        for i, q in enumerate(mine):
+            kind = "rtk" if i % 2 == 0 else "rkr"
+            start = perf_counter()
+            service.query(q, kind=kind, k=K)
+            sample = perf_counter() - start
+            with lock:
+                latencies.append(sample)
+
+    from time import perf_counter
+
+    threads = [threading.Thread(target=client_loop, args=(w,))
+               for w in range(clients)]
+    wall_start = perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = perf_counter() - wall_start
+    snapshot = service.metrics_snapshot()
+    service.close()
+    total = clients * REQUESTS_PER_CLIENT
+    return {
+        "qps": total / wall if wall > 0 else 0.0,
+        "p50_ms": percentile(latencies, 0.50) * 1000.0,
+        "p95_ms": percentile(latencies, 0.95) * 1000.0,
+        "p99_ms": percentile(latencies, 0.99) * 1000.0,
+        "coalesced": snapshot["batches"]["coalesced"],
+        "max_batch": snapshot["batches"]["max_size"],
+    }
+
+
+@pytest.fixture(scope="module")
+def throughput_rows():
+    P, W = make_workload("UN", "UN", DIM, seed=77)
+    rows = []
+    for window_ms in WINDOWS_MS:
+        for clients in CLIENTS:
+            cell = run_configuration(P, W, window_ms, clients)
+            rows.append([
+                f"{window_ms:g}", clients,
+                f"{cell['qps']:.1f}",
+                f"{cell['p50_ms']:.1f}", f"{cell['p95_ms']:.1f}",
+                f"{cell['p99_ms']:.1f}",
+                cell["coalesced"], cell["max_batch"],
+            ])
+    return rows
+
+
+def test_service_throughput(benchmark, throughput_rows):
+    banner("Serving: micro-batch window x concurrency (QueryService, GIR)")
+    record_table(
+        "service_throughput",
+        ["window ms", "clients", "qps", "p50 ms", "p95 ms", "p99 ms",
+         "coalesced", "max batch"],
+        throughput_rows,
+        "Service throughput and latency percentiles "
+        f"({REQUESTS_PER_CLIENT} requests/client, k={K}, cold cache)",
+    )
+    # Shape: with 32 concurrent clients a non-zero window must coalesce.
+    by_key = {(row[0], row[1]): row for row in throughput_rows}
+    assert by_key[("2", 32)][6] > 0
+    assert by_key[("10", 32)][6] > 0
+    # A window of zero never batches.
+    for clients in CLIENTS:
+        assert by_key[("0", clients)][7] <= 1
+
+    P, W = make_workload("UN", "UN", DIM, seed=78)
+    service = QueryService.from_datasets(
+        P, W, method="gir",
+        config=ServiceConfig(batch_window_s=0.0, cache_capacity=0),
+    )
+    q = sample_queries(P, count=1, seed=9)[0]
+    try:
+        benchmark(lambda: service.query(q, kind="rtk", k=K))
+    finally:
+        service.close()

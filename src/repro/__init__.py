@@ -43,11 +43,14 @@ from .data import (
 )
 from .errors import (
     DataValidationError,
+    DeadlineExceededError,
     DimensionMismatchError,
     EmptyDatasetError,
     IndexCorruptionError,
     InvalidParameterError,
     ReproError,
+    ServiceError,
+    ServiceOverloadError,
 )
 from .ext import (
     AdaptiveGridIndexRRQ,
@@ -65,6 +68,7 @@ from .queries import (
     available_methods,
     monochromatic_reverse_topk,
 )
+from .service import QueryService, ServiceClient, ServiceConfig
 from .stats import OpCounter
 from .vectorized import BatchOracle
 
@@ -87,7 +91,10 @@ __all__ = [
     "ProductSet", "WeightSet", "uniform_products", "clustered_products",
     "anticorrelated_products", "uniform_weights", "clustered_weights",
     "generate_products", "generate_weights", "house", "color", "dianping",
+    # serving
+    "QueryService", "ServiceConfig", "ServiceClient",
     # errors
     "ReproError", "DataValidationError", "DimensionMismatchError",
     "EmptyDatasetError", "InvalidParameterError", "IndexCorruptionError",
+    "ServiceError", "ServiceOverloadError", "DeadlineExceededError",
 ]

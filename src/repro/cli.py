@@ -8,7 +8,8 @@ Installed as ``repro-rrq``.  Subcommands cover the full life cycle:
 * ``compare`` — run all applicable algorithms on one query and report
   agreement and timings;
 * ``model`` — Theorem-1 partition recommendations for a dimensionality;
-* ``info`` — size report of a persisted index.
+* ``info`` — size report of a persisted index;
+* ``serve`` — run the JSON/HTTP query service over an index or data set.
 
 Examples::
 
@@ -17,6 +18,10 @@ Examples::
     repro-rrq query idx/ --product 17 --kind rtk -k 10
     repro-rrq compare data/ --product 17 -k 10
     repro-rrq model --dim 20 --epsilon 0.01
+    repro-rrq serve idx/ --port 8377 --batch-window-ms 2
+
+Invalid paths and malformed inputs exit with code 2 and a one-line
+``error:`` message on stderr — never a traceback.
 """
 
 from __future__ import annotations
@@ -60,11 +65,40 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _load_data(directory: str):
+    """The dataset-loading block shared by ``query``/``compare``/``build``.
+
+    Validates the directory layout up front so every subcommand fails with
+    a clean ``error:`` line (exit code 2) instead of a traceback.
+    """
     from .data import io
+    from .errors import DataValidationError
 
     path = Path(directory)
+    if not path.is_dir():
+        raise DataValidationError(f"{directory}: not a directory")
+    for name in ("products.rrq", "weights.rrq"):
+        if not (path / name).is_file():
+            raise DataValidationError(
+                f"{directory}: not a data directory (missing {name}; "
+                "run 'repro-rrq generate' first)"
+            )
     return (io.load_products(path / "products.rrq"),
             io.load_weights(path / "weights.rrq"))
+
+
+def _load_engine(directory: str, method: str = "gir"):
+    """Load a persisted index, or build ``method`` over raw data, and
+    return ``(engine, products)`` — shared by ``query`` and ``serve``."""
+    target = Path(directory)
+    if (target / "grid.meta").exists():
+        from .core.storage import load_index
+
+        engine = load_index(target)
+        return engine, engine.products
+    from .queries.engine import make_algorithm
+
+    products, weights = _load_data(directory)
+    return make_algorithm(method, products, weights), products
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -98,17 +132,7 @@ def _resolve_query(args, products) -> np.ndarray:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from .core.storage import load_index
-
-    target = Path(args.index)
-    if (target / "grid.meta").exists():
-        engine = load_index(target)
-        products = engine.products
-    else:
-        from .queries.engine import make_algorithm
-
-        products, weights = _load_data(args.index)
-        engine = make_algorithm(args.method, products, weights)
+    engine, products = _load_engine(args.index, args.method)
     q = _resolve_query(args, products)
     start = time.perf_counter()
     if args.kind == "rtk":
@@ -167,9 +191,44 @@ def _cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, ServiceLimits
+    from .service.server import QueryService, make_server
+
+    engine, _ = _load_engine(args.index, args.method)
+    config = ServiceConfig(
+        batch_window_s=args.batch_window_ms / 1000.0,
+        cache_capacity=args.cache_size,
+        limits=ServiceLimits(
+            max_queue_depth=args.max_queue,
+            default_deadline_s=(args.deadline_ms / 1000.0
+                                if args.deadline_ms > 0 else None),
+            max_batch=args.max_batch,
+        ),
+    )
+    service = QueryService(engine, config=config)
+    server = make_server(service, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    info = service.info()
+    print(f"serving {info['method']} over {info['products']}x"
+          f"{info['weights']} (d={info['dim']}) at {server.url}")
+    print("endpoints: POST /query, GET /healthz, GET /metrics, GET /info")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from .core.storage import index_size_report
+    from .errors import DataValidationError
 
+    if not Path(args.index).is_dir():
+        raise DataValidationError(f"{args.index}: not a directory")
     report = index_size_report(args.index)
     for name, size in report.items():
         if name == "approx_over_raw":
@@ -231,14 +290,45 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="index size report")
     info.add_argument("index")
     info.set_defaults(func=_cmd_info)
+
+    serve = sub.add_parser("serve", help="run the JSON/HTTP query service")
+    serve.add_argument("index", help="index directory (or raw data directory)")
+    serve.add_argument("--method", default="gir",
+                       help="algorithm when serving raw data")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8377)
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="micro-batch coalescing window (0 disables)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="largest coalesced batch")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="LRU result-cache capacity (0 disables)")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="admission queue depth before 429s")
+    serve.add_argument("--deadline-ms", type=float, default=10_000.0,
+                       help="default per-request deadline (0 disables)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Library errors (bad paths, malformed data, invalid parameters) are
+    reported as one ``error:`` line on stderr with exit code 2 — the
+    contract the tests pin down — rather than an uncaught traceback.
+    """
+    from .errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -43,3 +43,23 @@ class IndexCorruptionError(ReproError):
     This is never expected during normal operation; it indicates a bug and
     is raised by the self-check routines (e.g. :meth:`RTree.check_invariants`).
     """
+
+
+class ServiceError(ReproError):
+    """Base class for admission-control rejections raised by
+    :mod:`repro.service`.
+
+    These are *load* conditions, not caller mistakes: the request itself
+    was well-formed but the service chose not to (or could not) answer it
+    in time.  The HTTP frontend maps them to 4xx/5xx status codes (see
+    :func:`repro.service.limits.http_status`).
+    """
+
+
+class ServiceOverloadError(ServiceError):
+    """The admission queue is full; the request was rejected (HTTP 429)."""
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline elapsed before an answer was produced
+    (HTTP 504)."""

@@ -122,6 +122,23 @@ class DynamicRRQEngine:
         self._p_quantizer = Quantizer.equal_width(partitions, value_range)
         self._w_range = 0.0
         self._rebuild_weight_axis(initial=True)
+        self._change_listeners: List = []
+
+    # ------------------------------------------------------------------
+    # change notification (the repro.service cache invalidation path)
+    # ------------------------------------------------------------------
+
+    def add_change_listener(self, callback) -> None:
+        """Register a no-argument callable invoked after every mutation.
+
+        Used by :func:`repro.service.cache.bind_dynamic` to flush served
+        answers the moment the data they were computed from changes.
+        """
+        self._change_listeners.append(callback)
+
+    def _notify_change(self) -> None:
+        for callback in self._change_listeners:
+            callback()
 
     # ------------------------------------------------------------------
     # mutation
@@ -165,11 +182,13 @@ class DynamicRRQEngine:
         self._ensure_code_capacity()
         self._pa[idx] = self._p_quantizer.quantize(row).astype(np.int64)
         self._pa_low = None
+        self._notify_change()
         return idx
 
     def remove_product(self, idx: int) -> None:
         """Tombstone a product."""
         self._products.kill(idx)
+        self._notify_change()
 
     def insert_weight(self, vector, renormalize: bool = False) -> int:
         """Add a preference vector (must sum to 1 unless renormalizing)."""
@@ -188,11 +207,13 @@ class DynamicRRQEngine:
         if float(row.max()) > self._w_range:
             self._rebuild_weight_axis()
         self._wa[idx] = self._w_quantizer.quantize(row).astype(np.int64)
+        self._notify_change()
         return idx
 
     def remove_weight(self, idx: int) -> None:
         """Tombstone a preference."""
         self._weights.kill(idx)
+        self._notify_change()
 
     def compact(self) -> Tuple[np.ndarray, np.ndarray]:
         """Drop tombstones physically; returns (product map, weight map).
@@ -221,6 +242,7 @@ class DynamicRRQEngine:
             setattr(self, codes_name, grown)
             maps.append(mapping)
         self._pa_low = None
+        self._notify_change()
         return maps[0], maps[1]
 
     # ------------------------------------------------------------------

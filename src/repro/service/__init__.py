@@ -1,0 +1,46 @@
+"""repro.service — the always-on query-serving subsystem.
+
+Turns the offline library into an embeddable server: a micro-batching
+scheduler coalesces concurrent requests into shared BLAS sweeps
+(:mod:`.scheduler`), an LRU cache short-circuits repeated queries
+(:mod:`.cache`), admission limits shed load with structured 429/504
+rejections (:mod:`.limits`), and live qps/latency/batch/cache counters
+feed ``GET /metrics`` (:mod:`.metrics`).  :mod:`.server` wires it all
+behind a stdlib JSON/HTTP frontend and :mod:`.client` talks to it.
+
+Quick start::
+
+    from repro.service import QueryService, serve_in_background, ServiceClient
+
+    service = QueryService.from_datasets(P, W, method="gir")
+    with serve_in_background(service) as server:
+        client = ServiceClient(server.url)
+        client.query(P[0], kind="rtk", k=10)
+
+Everything is stdlib + numpy; there is nothing to install.
+"""
+
+from .cache import ResultCache, bind_dynamic, make_key
+from .client import ServiceClient
+from .limits import Deadline, ServiceLimits, http_status, rejection_body
+from .metrics import ServiceMetrics, percentile
+from .scheduler import DEFAULT_BATCH_WINDOW_S, MicroBatchScheduler
+from .server import (
+    QueryService,
+    ReverseRankHTTPServer,
+    ServiceConfig,
+    canonical_json,
+    encode_result,
+    make_server,
+    serve_in_background,
+)
+
+__all__ = [
+    "QueryService", "ServiceConfig", "ServiceClient",
+    "ReverseRankHTTPServer", "make_server", "serve_in_background",
+    "MicroBatchScheduler", "DEFAULT_BATCH_WINDOW_S",
+    "ResultCache", "bind_dynamic", "make_key",
+    "ServiceLimits", "Deadline", "http_status", "rejection_body",
+    "ServiceMetrics", "percentile",
+    "encode_result", "canonical_json",
+]

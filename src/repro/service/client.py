@@ -1,0 +1,123 @@
+"""A minimal stdlib client for the JSON/HTTP query service.
+
+Used by the integration tests, the serving example, and the throughput
+benchmark; also handy from a REPL.  HTTP rejections are translated back
+into the same :mod:`repro.errors` classes the server raised, so code
+written against the in-process :class:`~repro.service.server.QueryService`
+behaves identically against a remote one.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional, Sequence
+
+from ..errors import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadError,
+)
+
+#: HTTP status -> exception class raised by the client.
+_STATUS_ERRORS = {
+    400: InvalidParameterError,
+    404: InvalidParameterError,
+    429: ServiceOverloadError,
+    504: DeadlineExceededError,
+}
+
+
+class ServiceClient:
+    """Talks to one :class:`ReverseRankHTTPServer` base URL.
+
+    Parameters
+    ----------
+    base_url:
+        E.g. ``"http://127.0.0.1:8377"`` (no trailing slash needed).
+    timeout_s:
+        Socket-level timeout for each request.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read())
+                message = body.get("message", str(exc))
+            except (json.JSONDecodeError, ValueError):
+                message = str(exc)
+            error_class = _STATUS_ERRORS.get(exc.code, ServiceError)
+            raise error_class(message) from None
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    def query(self, vector: Optional[Sequence[float]] = None, *,
+              product: Optional[int] = None, kind: str = "rtk",
+              k: int = 10, timeout_ms: Optional[float] = None) -> dict:
+        """``POST /query``; returns the decoded answer dict."""
+        payload: dict = {"kind": kind, "k": k}
+        if vector is not None:
+            payload["vector"] = [float(x) for x in vector]
+        if product is not None:
+            payload["product"] = int(product)
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        return self._request("POST", "/query", payload)
+
+    def reverse_topk(self, vector, k: int = 10) -> frozenset:
+        """Sugar: the RTK answer as the library's frozenset of indices."""
+        return frozenset(self.query(vector, kind="rtk", k=k)["weights"])
+
+    def reverse_kranks(self, vector, k: int = 10) -> tuple:
+        """Sugar: the RKR answer as the library's (rank, index) tuples."""
+        answer = self.query(vector, kind="rkr", k=k)
+        return tuple((rank, idx) for rank, idx in answer["entries"])
+
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """``GET /metrics``."""
+        return self._request("GET", "/metrics")
+
+    def info(self) -> dict:
+        """``GET /info``."""
+        return self._request("GET", "/info")
+
+    def wait_until_healthy(self, attempts: int = 50,
+                           delay_s: float = 0.05) -> dict:
+        """Poll ``/healthz`` until it answers (for just-started servers)."""
+        import time
+
+        last_error: Optional[Exception] = None
+        for _ in range(attempts):
+            try:
+                return self.healthz()
+            except (ReproError, OSError) as exc:
+                last_error = exc
+                time.sleep(delay_s)
+        raise ServiceError(f"service never became healthy: {last_error}")

@@ -1,0 +1,160 @@
+"""Service-level metrics: the numbers behind ``GET /metrics``.
+
+The library already counts algorithmic work (:class:`repro.stats.counters.
+OpCounter`) and wall-clock samples (:class:`repro.stats.timing.Timer`);
+this module aggregates both across *requests* and adds the serving-side
+dimensions the paper never needed: throughput (qps), latency percentiles,
+micro-batch sizes, admission rejections, and the cache hit rate.
+
+Everything is guarded by one lock — the snapshot is cheap (a few hundred
+floats at most) and taken far less often than it is updated, so a single
+mutex beats cleverness.  Latency samples are bounded so a long-running
+server cannot grow without limit; percentiles therefore describe the most
+recent ``max_samples`` requests, which is what an operator wants anyway.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..stats.counters import OpCounter
+from ..stats.timing import Timer
+
+#: Latency samples retained for percentile estimation.
+DEFAULT_MAX_SAMPLES = 4096
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The ``q``-quantile (0 < q <= 1) of ``samples`` by nearest-rank.
+
+    Nearest-rank is the conventional choice for operational latency
+    reporting: the result is always an observed sample.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class ServiceMetrics:
+    """Aggregated request/batch/cache statistics for one service.
+
+    The scheduler reports batches, the service frontend reports request
+    outcomes, and :meth:`snapshot` renders both into the flat dict the
+    ``/metrics`` endpoint serializes.
+    """
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES):
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._started_mono = time.monotonic()
+        self._latency = Timer()
+        self._max_samples = max_samples
+        self._requests_total = 0
+        self._requests_by_kind: Dict[str, int] = {}
+        self._cache_hits = 0
+        self._rejected_overload = 0
+        self._rejected_deadline = 0
+        self._errors = 0
+        self._batches = 0
+        self._coalesced_batches = 0
+        self._batched_requests = 0
+        self._max_batch_size = 0
+        self._ops = OpCounter()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record_request(self, kind: str, latency_s: float,
+                       cache_hit: bool = False) -> None:
+        """One successfully answered request."""
+        with self._lock:
+            self._requests_total += 1
+            self._requests_by_kind[kind] = (
+                self._requests_by_kind.get(kind, 0) + 1
+            )
+            if cache_hit:
+                self._cache_hits += 1
+            self._latency.samples.append(latency_s)
+            if len(self._latency.samples) > self._max_samples:
+                del self._latency.samples[: -self._max_samples]
+
+    def record_rejection(self, overload: bool) -> None:
+        """One admission rejection (429 when ``overload`` else 504)."""
+        with self._lock:
+            if overload:
+                self._rejected_overload += 1
+            else:
+                self._rejected_deadline += 1
+
+    def record_error(self) -> None:
+        """One request that failed for a non-admission reason."""
+        with self._lock:
+            self._errors += 1
+
+    def record_batch(self, size: int, counter: Optional[OpCounter] = None) -> None:
+        """One dispatched micro-batch of ``size`` coalesced requests."""
+        with self._lock:
+            self._batches += 1
+            self._batched_requests += size
+            if size > 1:
+                self._coalesced_batches += 1
+            if size > self._max_batch_size:
+                self._max_batch_size = size
+            if counter is not None:
+                self._ops.merge(counter)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def uptime_s(self) -> float:
+        """Seconds since the metrics object (≈ the service) was created."""
+        return time.monotonic() - self._started_mono
+
+    def snapshot(self, cache_stats: Optional[dict] = None) -> dict:
+        """A JSON-ready dict of everything ``/metrics`` exposes."""
+        with self._lock:
+            samples = list(self._latency.samples)
+            uptime = time.monotonic() - self._started_mono
+            qps = self._requests_total / uptime if uptime > 0 else 0.0
+            mean_batch = (
+                self._batched_requests / self._batches if self._batches else 0.0
+            )
+            snap = {
+                "started_at": self._started,
+                "uptime_s": uptime,
+                "requests": {
+                    "total": self._requests_total,
+                    "by_kind": dict(self._requests_by_kind),
+                    "cache_hits": self._cache_hits,
+                    "rejected_overload": self._rejected_overload,
+                    "rejected_deadline": self._rejected_deadline,
+                    "errors": self._errors,
+                },
+                "qps": qps,
+                "latency_ms": {
+                    "count": len(samples),
+                    "mean": (sum(samples) / len(samples) * 1000.0
+                             if samples else 0.0),
+                    "p50": percentile(samples, 0.50) * 1000.0,
+                    "p95": percentile(samples, 0.95) * 1000.0,
+                    "p99": percentile(samples, 0.99) * 1000.0,
+                },
+                "batches": {
+                    "total": self._batches,
+                    "coalesced": self._coalesced_batches,
+                    "batched_requests": self._batched_requests,
+                    "mean_size": mean_batch,
+                    "max_size": self._max_batch_size,
+                },
+                "ops": self._ops.snapshot(),
+            }
+        if cache_stats is not None:
+            snap["cache"] = cache_stats
+        return snap

@@ -1,0 +1,291 @@
+"""Micro-batching admission scheduler for concurrent reverse-rank queries.
+
+Single-query latency and whole-service throughput want different
+execution strategies.  One query is answered fastest by the Grid-index
+scan (:class:`~repro.queries.engine.RRQEngine`); a burst of concurrent
+queries is answered fastest by one shared BLAS sweep over the score
+matrix (:func:`repro.vectorized.batch.all_ranks_multi`), because every
+coalesced query rides the same ``P @ W.T`` products.
+
+The scheduler bridges the two: requests are admitted into a bounded
+queue, a dispatcher thread collects everything that arrives within a
+configurable *batch window*, and
+
+* a batch of one is dispatched straight through the per-query engine
+  (low load ⇒ no added latency beyond the window);
+* a batch of many is answered from one ``all_ranks_multi`` sweep, with
+  per-request RTK/RKR answers derived exactly the way
+  :class:`~repro.vectorized.batch.BatchOracle` derives them — so batched
+  and unbatched answers are identical (the integration tests enforce
+  byte-equality against :class:`~repro.algorithms.naive.NaiveRRQ`).
+
+Admission control (queue bounds, deadlines) lives in
+:mod:`repro.service.limits`; this module enforces it at submit and
+dispatch time and reports every batch to
+:class:`~repro.service.metrics.ServiceMetrics`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.datasets import check_query_point
+from ..errors import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    ServiceOverloadError,
+)
+from ..queries.types import RKRResult, RTKResult, make_rkr_result
+from ..stats.counters import OpCounter
+from ..vectorized.batch import DEFAULT_CHUNK_BUDGET, all_ranks_multi
+from .limits import Deadline, ServiceLimits
+from .metrics import ServiceMetrics
+
+#: Default coalescing window, in seconds (2 ms).
+DEFAULT_BATCH_WINDOW_S = 0.002
+
+#: How often the dispatcher re-checks the shutdown flag while idle.
+_IDLE_POLL_S = 0.05
+
+_KINDS = ("rtk", "rkr")
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for dispatch."""
+
+    q: np.ndarray
+    kind: str
+    k: int
+    deadline: Deadline
+    future: "Future" = field(default_factory=Future)
+
+
+class MicroBatchScheduler:
+    """Coalesces concurrent single queries into vectorized micro-batches.
+
+    Parameters
+    ----------
+    engine:
+        Any library engine/algorithm exposing ``reverse_topk``,
+        ``reverse_kranks``, ``products`` and ``weights`` (an
+        :class:`~repro.queries.engine.RRQEngine` in practice).  Used for
+        the single-request fast path.
+    batch_window_s:
+        How long the dispatcher waits for more requests after the first
+        one arrives.  ``0`` disables coalescing entirely (every request
+        takes the per-query path).
+    limits:
+        Admission bounds (queue depth, default deadline, max batch size).
+    metrics:
+        Destination for batch/rejection tallies; a private instance is
+        created when omitted.
+    chunk_budget:
+        Memory bound forwarded to :func:`all_ranks_multi`.
+    auto_start:
+        Start the dispatcher thread immediately (tests pass ``False`` to
+        stage requests deterministically before opening the tap).
+    """
+
+    def __init__(self, engine, batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+                 limits: Optional[ServiceLimits] = None,
+                 metrics: Optional[ServiceMetrics] = None,
+                 chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+                 auto_start: bool = True):
+        if batch_window_s < 0:
+            raise InvalidParameterError("batch_window_s must be >= 0")
+        self.engine = engine
+        self.batch_window_s = float(batch_window_s)
+        self.limits = limits or ServiceLimits()
+        self.metrics = metrics or ServiceMetrics()
+        self.chunk_budget = chunk_budget
+        self._dim = engine.products.dim
+        self._P = engine.products.values
+        self._W = engine.weights.values
+        self._queue: "queue.Queue[_Pending]" = queue.Queue(
+            maxsize=self.limits.max_queue_depth
+        )
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        if auto_start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the dispatcher thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="rrq-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop dispatching; fail any still-queued requests."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            pending.future.set_exception(
+                ServiceOverloadError("scheduler shut down before dispatch")
+            )
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Requests currently waiting for dispatch (approximate)."""
+        return self._queue.qsize()
+
+    def submit(self, q, kind: str, k: int,
+               deadline_s: Optional[float] = None) -> "Future":
+        """Admit one query; returns a Future resolving to its result.
+
+        Raises :class:`ServiceOverloadError` immediately when the queue
+        is full.  The Future resolves to an :class:`RTKResult` /
+        :class:`RKRResult`, or raises :class:`DeadlineExceededError` if
+        the request's deadline passes before dispatch.
+        """
+        if kind not in _KINDS:
+            raise InvalidParameterError("kind must be 'rtk' or 'rkr'")
+        if k <= 0:
+            raise InvalidParameterError("k must be positive")
+        q_arr = check_query_point(q, self._dim)
+        pending = _Pending(
+            q=q_arr, kind=kind, k=int(k),
+            deadline=self.limits.deadline(deadline_s),
+        )
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self.metrics.record_rejection(overload=True)
+            raise ServiceOverloadError(
+                f"admission queue full ({self.limits.max_queue_depth} "
+                "requests waiting)"
+            ) from None
+        return pending.future
+
+    def answer(self, q, kind: str, k: int,
+               deadline_s: Optional[float] = None):
+        """Submit and block until the result (or rejection) is available."""
+        pending_deadline = self.limits.deadline(deadline_s)
+        future = self.submit(q, kind, k, deadline_s)
+        try:
+            return future.result(timeout=pending_deadline.remaining())
+        except (TimeoutError, _FutureTimeoutError):
+            self.metrics.record_rejection(overload=False)
+            raise DeadlineExceededError(
+                "request deadline exceeded while waiting for dispatch"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self._queue.get(timeout=_IDLE_POLL_S)
+            except queue.Empty:
+                continue
+            batch = self._collect(first)
+            self._dispatch(batch)
+
+    def _collect(self, first: _Pending) -> List[_Pending]:
+        """The micro-batch: ``first`` plus arrivals within the window."""
+        batch = [first]
+        if self.batch_window_s <= 0 or self.limits.max_batch <= 1:
+            return batch
+        window_closes = time.monotonic() + self.batch_window_s
+        while len(batch) < self.limits.max_batch:
+            remaining = window_closes - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(self._queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
+
+    def _dispatch(self, batch: List[_Pending]) -> None:
+        live = []
+        for pending in batch:
+            if pending.deadline.expired():
+                self.metrics.record_rejection(overload=False)
+                pending.future.set_exception(
+                    DeadlineExceededError(
+                        "request deadline exceeded before dispatch"
+                    )
+                )
+            else:
+                live.append(pending)
+        if not live:
+            return
+        counter = OpCounter()
+        try:
+            if len(live) == 1:
+                self._answer_single(live[0], counter)
+            else:
+                self._answer_batched(live, counter)
+        except Exception as exc:  # surface backend failures to callers
+            for pending in live:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+        self.metrics.record_batch(len(live), counter)
+
+    def _answer_single(self, pending: _Pending, counter: OpCounter) -> None:
+        """Low-load fast path: straight through the per-query engine."""
+        if pending.kind == "rtk":
+            result = self.engine.reverse_topk(pending.q, pending.k)
+        else:
+            result = self.engine.reverse_kranks(pending.q, pending.k)
+        counter.merge(result.counter)
+        pending.future.set_result(result)
+
+    def _answer_batched(self, live: List[_Pending],
+                        counter: OpCounter) -> None:
+        """Coalesced path: one shared rank sweep answers every request.
+
+        Derivation from the rank vector mirrors
+        :class:`~repro.vectorized.batch.BatchOracle` exactly, so answers
+        are identical to the per-query path.
+        """
+        Q = np.stack([pending.q for pending in live])
+        rank_matrix = all_ranks_multi(self._P, self._W, Q, self.chunk_budget)
+        # One shared sweep: |P| * |W| pairwise products total, not per query.
+        counter.pairwise += self._P.shape[0] * self._W.shape[0]
+        for pending, row in zip(live, rank_matrix):
+            if pending.kind == "rtk":
+                qualifying = frozenset(
+                    int(i) for i in np.nonzero(row < pending.k)[0]
+                )
+                result = RTKResult(weights=qualifying, k=pending.k)
+            else:
+                pairs = [(int(r), int(i)) for i, r in enumerate(row)]
+                result = make_rkr_result(pairs, pending.k, OpCounter())
+            pending.future.set_result(result)

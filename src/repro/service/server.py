@@ -1,0 +1,335 @@
+"""The query server: an embeddable service facade plus a JSON/HTTP frontend.
+
+Two layers, deliberately separable:
+
+* :class:`QueryService` — transport-agnostic orchestration of the
+  micro-batch scheduler, the LRU answer cache, admission limits, and
+  metrics.  Embed it directly when the caller is Python (the benchmark
+  harness does exactly this to measure scheduling without socket noise).
+* :class:`ReverseRankHTTPServer` — a stdlib ``ThreadingHTTPServer``
+  exposing the service as a JSON API:
+
+  =========  ==========  ===========================================
+  method     path        body / answer
+  =========  ==========  ===========================================
+  POST       /query      ``{"vector": [...], "kind": "rtk"|"rkr",
+                         "k": int}`` (or ``"product": idx``,
+                         optional ``"timeout_ms"``)
+  GET        /healthz    liveness probe
+  GET        /metrics    qps, latency percentiles, batch + cache stats
+  GET        /info       data set sizes, method, tuning parameters
+  =========  ==========  ===========================================
+
+Answers are canonical JSON (sorted keys): a served RTK/RKR answer is
+byte-identical to :func:`encode_result` of the corresponding
+:class:`~repro.queries.engine.RRQEngine` result, whichever execution path
+(per-query or coalesced) produced it — the integration tests enforce this
+against :class:`~repro.algorithms.naive.NaiveRRQ`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from time import perf_counter
+from typing import Iterator, Optional, Union
+
+from ..data.datasets import check_query_point
+from ..errors import InvalidParameterError
+from ..queries.types import RKRResult, RTKResult
+from .cache import DEFAULT_CAPACITY, ResultCache, make_key
+from .limits import ServiceLimits, http_status, rejection_body
+from .metrics import ServiceMetrics
+from .scheduler import DEFAULT_BATCH_WINDOW_S, MicroBatchScheduler
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every serving knob in one place (the CLI maps flags onto this)."""
+
+    batch_window_s: float = DEFAULT_BATCH_WINDOW_S
+    cache_capacity: int = DEFAULT_CAPACITY
+    limits: ServiceLimits = field(default_factory=ServiceLimits)
+
+
+def encode_result(result: Union[RTKResult, RKRResult], kind: str) -> dict:
+    """The canonical JSON-ready encoding of one query answer.
+
+    Key order is irrelevant (responses are serialized with sorted keys);
+    value encoding is exact: RTK answers list their qualifying weight
+    indices ascending, RKR answers list ``[rank, index]`` pairs in the
+    library's deterministic tie-break order.
+    """
+    if kind == "rtk":
+        return {
+            "kind": "rtk",
+            "k": int(result.k),
+            "size": int(result.size),
+            "weights": [int(i) for i in result.sorted_indices()],
+        }
+    return {
+        "kind": "rkr",
+        "k": int(result.k),
+        "entries": [[int(rank), int(idx)] for rank, idx in result.entries],
+    }
+
+
+def canonical_json(obj) -> bytes:
+    """Deterministic JSON bytes (sorted keys, compact separators)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+
+
+class QueryService:
+    """Orchestrates scheduler + cache + limits + metrics over one engine.
+
+    Parameters
+    ----------
+    engine:
+        Anything exposing ``reverse_topk`` / ``reverse_kranks`` /
+        ``products`` / ``weights`` — an
+        :class:`~repro.queries.engine.RRQEngine`, a bare
+        :class:`~repro.core.gir.GridIndexRRQ`, or any other library
+        algorithm.
+    config:
+        Serving knobs; defaults are sensible for interactive use.
+    """
+
+    def __init__(self, engine, config: Optional[ServiceConfig] = None):
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        self.method = getattr(engine, "method", None) or getattr(
+            engine, "name", type(engine).__name__
+        ).lower()
+        self.metrics = ServiceMetrics()
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.scheduler = MicroBatchScheduler(
+            engine,
+            batch_window_s=self.config.batch_window_s,
+            limits=self.config.limits,
+            metrics=self.metrics,
+        )
+        self._dim = engine.products.dim
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_datasets(cls, products, weights, method: str = "gir",
+                      config: Optional[ServiceConfig] = None,
+                      **engine_kwargs) -> "QueryService":
+        """Build the engine in-process and serve it."""
+        from ..queries.engine import RRQEngine
+
+        return cls(RRQEngine(products, weights, method=method,
+                             **engine_kwargs), config=config)
+
+    @classmethod
+    def from_index_dir(cls, directory: PathLike,
+                       config: Optional[ServiceConfig] = None) -> "QueryService":
+        """Serve a Grid-index persisted by :func:`repro.core.storage.save_index`."""
+        from ..core.storage import load_index
+
+        return cls(load_index(directory), config=config)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def resolve_query_point(self, vector=None, product: Optional[int] = None):
+        """Turn a request's ``vector``/``product`` into a canonical point."""
+        if (vector is None) == (product is None):
+            raise InvalidParameterError(
+                "provide exactly one of 'vector' or 'product'"
+            )
+        if product is not None:
+            size = self.engine.products.size
+            if not 0 <= int(product) < size:
+                raise InvalidParameterError(
+                    f"product index must be in [0, {size})"
+                )
+            vector = self.engine.products[int(product)]
+        return check_query_point(vector, self._dim)
+
+    def query(self, vector=None, *, product: Optional[int] = None,
+              kind: str = "rtk", k: int = 10,
+              deadline_s: Optional[float] = None) -> dict:
+        """Answer one request; returns the JSON-ready answer dict.
+
+        Raises :class:`ServiceOverloadError` / :class:`DeadlineExceededError`
+        under load and :class:`InvalidParameterError` for caller mistakes.
+        Treat the returned dict as read-only: cache hits share it.
+        """
+        start = perf_counter()
+        if kind not in ("rtk", "rkr"):
+            raise InvalidParameterError("kind must be 'rtk' or 'rkr'")
+        if int(k) <= 0:
+            raise InvalidParameterError("k must be positive")
+        q_arr = self.resolve_query_point(vector, product)
+        key = make_key(q_arr, kind, int(k), self.method)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.record_request(kind, perf_counter() - start,
+                                        cache_hit=True)
+            return cached
+        result = self.scheduler.answer(q_arr, kind, int(k), deadline_s)
+        encoded = encode_result(result, kind)
+        self.cache.put(key, encoded)
+        self.metrics.record_request(kind, perf_counter() - start)
+        return encoded
+
+    def info(self) -> dict:
+        """Static facts about the served engine (the ``/info`` body)."""
+        from .. import __version__
+
+        products, weights = self.engine.products, self.engine.weights
+        return {
+            "service": "repro-rrq",
+            "version": __version__,
+            "method": self.method,
+            "products": int(products.size),
+            "weights": int(weights.size),
+            "dim": int(products.dim),
+            "value_range": float(products.value_range),
+            "batch_window_ms": self.config.batch_window_s * 1000.0,
+            "cache_capacity": self.config.cache_capacity,
+            "max_queue_depth": self.config.limits.max_queue_depth,
+            "max_batch": self.config.limits.max_batch,
+            "default_deadline_s": self.config.limits.default_deadline_s,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """Live counters (the ``/metrics`` body)."""
+        return self.metrics.snapshot(cache_stats=self.cache.stats())
+
+    def healthz(self) -> dict:
+        """Liveness body: cheap, allocation-light, never blocks on the queue."""
+        return {
+            "status": "ok",
+            "uptime_s": self.metrics.uptime_s(),
+            "queue_depth": self.scheduler.queue_depth(),
+        }
+
+    def close(self) -> None:
+        """Stop the dispatcher thread; the service cannot answer afterwards."""
+        self.scheduler.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes the four endpoints; all bodies are canonical JSON."""
+
+    server_version = "repro-rrq"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service
+
+    def _send_json(self, status: int, obj: dict) -> None:
+        body = canonical_json(obj)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._send_json(200, self.service.healthz())
+        elif self.path == "/metrics":
+            self._send_json(200, self.service.metrics_snapshot())
+        elif self.path == "/info":
+            self._send_json(200, self.service.info())
+        else:
+            self._send_json(404, {"error": "NotFound", "message": self.path,
+                                  "status": 404})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/query":
+            self._send_json(404, {"error": "NotFound", "message": self.path,
+                                  "status": 404})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(payload, dict):
+                raise InvalidParameterError("request body must be an object")
+            timeout_ms = payload.get("timeout_ms")
+            answer = self.service.query(
+                payload.get("vector"),
+                product=payload.get("product"),
+                kind=payload.get("kind", "rtk"),
+                k=payload.get("k", 10),
+                deadline_s=(float(timeout_ms) / 1000.0
+                            if timeout_ms is not None else None),
+            )
+        except Exception as exc:  # structured rejection, never a traceback
+            status = http_status(exc)
+            if status >= 500:
+                self.service.metrics.record_error()
+            self._send_json(status, rejection_body(exc))
+            return
+        self._send_json(200, answer)
+
+
+class ReverseRankHTTPServer(ThreadingHTTPServer):
+    """One thread per connection over a shared :class:`QueryService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    #: Listen backlog. The stdlib default (5) resets connections under a
+    #: modest concurrent burst — exactly the workload micro-batching wants.
+    request_queue_size = 128
+
+    def __init__(self, address, service: QueryService, verbose: bool = False):
+        super().__init__(address, _RequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(service: QueryService, host: str = "127.0.0.1",
+                port: int = 0, verbose: bool = False) -> ReverseRankHTTPServer:
+    """Bind (``port=0`` picks an ephemeral port) without starting to serve."""
+    return ReverseRankHTTPServer((host, port), service, verbose=verbose)
+
+
+@contextmanager
+def serve_in_background(service: QueryService, host: str = "127.0.0.1",
+                        port: int = 0) -> Iterator[ReverseRankHTTPServer]:
+    """Serve on a daemon thread for the duration of the ``with`` block.
+
+    Yields the bound server (``server.url`` is the base URL).  Shuts the
+    HTTP server *and* the service's scheduler down on exit.
+    """
+    server = make_server(service, host, port)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="rrq-http", daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+        service.close()

@@ -1,6 +1,7 @@
 """Batch vectorized engines and process-parallel batch execution."""
 
 from .batch import BatchOracle, all_ranks_multi
-from .parallel import answer_batch
+from .parallel import BatchStats, answer_batch, answer_batch_stats
 
-__all__ = ["BatchOracle", "all_ranks_multi", "answer_batch"]
+__all__ = ["BatchOracle", "all_ranks_multi", "answer_batch",
+           "answer_batch_stats", "BatchStats"]

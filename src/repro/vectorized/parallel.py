@@ -15,14 +15,43 @@ are deterministic.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..errors import InvalidParameterError
 from ..queries.types import RKRResult, RTKResult
 
 #: Set in each worker by the pool initializer.
 _WORKER_ALGORITHM = None
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """What :func:`answer_batch_stats` actually did for one batch.
+
+    Attributes
+    ----------
+    batch_size:
+        Number of queries answered.
+    requested_workers:
+        The caller's ``workers`` argument (``None`` = default).
+    workers:
+        The worker count actually used after capping at the batch size —
+        spawning ``os.cpu_count()`` processes for a 2-query batch would
+        pay pool startup for idle workers.
+    parallel:
+        False when the serial short-circuit ran (one worker or <= 1 query).
+    elapsed_s:
+        Wall-clock seconds for the whole batch.
+    """
+
+    batch_size: int
+    requested_workers: Optional[int]
+    workers: int
+    parallel: bool
+    elapsed_s: float
 
 
 def _init_worker(algorithm) -> None:
@@ -58,26 +87,58 @@ def answer_batch(
     kind:
         ``"rtk"`` or ``"rkr"``.
     workers:
-        Process count; defaults to ``os.cpu_count()``.  ``workers=1`` (or
-        a single query) short-circuits to a serial loop with no pool.
+        Process count; defaults to ``os.cpu_count()`` capped at the batch
+        size.  ``workers=1`` (or a single query) short-circuits to a
+        serial loop with no pool.
+    """
+    results, _ = answer_batch_stats(algorithm, queries, k, kind, workers)
+    return results
+
+
+def answer_batch_stats(
+    algorithm,
+    queries: Sequence,
+    k: int,
+    kind: str = "rtk",
+    workers: Optional[int] = None,
+) -> Tuple[List[Union[RTKResult, RKRResult]], BatchStats]:
+    """Like :func:`answer_batch`, also returning a :class:`BatchStats`.
+
+    The stats expose the worker count actually chosen (after capping at
+    the batch size), which the benchmarks and the serving layer report.
     """
     if kind not in ("rtk", "rkr"):
         raise InvalidParameterError("kind must be 'rtk' or 'rkr'")
     queries = list(queries)
     if workers is not None and workers < 1:
         raise InvalidParameterError("workers must be positive")
-    workers = workers or os.cpu_count() or 1
-    workers = min(workers, max(1, len(queries)))
+    requested = workers
+    chosen = workers or os.cpu_count() or 1
+    chosen = min(chosen, max(1, len(queries)))
 
-    if workers == 1 or len(queries) <= 1:
+    start = time.perf_counter()
+    if chosen == 1 or len(queries) <= 1:
         if kind == "rtk":
-            return [algorithm.reverse_topk(q, k) for q in queries]
-        return [algorithm.reverse_kranks(q, k) for q in queries]
+            results = [algorithm.reverse_topk(q, k) for q in queries]
+        else:
+            results = [algorithm.reverse_kranks(q, k) for q in queries]
+        stats = BatchStats(
+            batch_size=len(queries), requested_workers=requested,
+            workers=1, parallel=False,
+            elapsed_s=time.perf_counter() - start,
+        )
+        return results, stats
 
     tasks = [(kind, q, k) for q in queries]
     with ProcessPoolExecutor(
-        max_workers=workers,
+        max_workers=chosen,
         initializer=_init_worker,
         initargs=(algorithm,),
     ) as pool:
-        return list(pool.map(_run_one, tasks))
+        results = list(pool.map(_run_one, tasks))
+    stats = BatchStats(
+        batch_size=len(queries), requested_workers=requested,
+        workers=chosen, parallel=True,
+        elapsed_s=time.perf_counter() - start,
+    )
+    return results, stats

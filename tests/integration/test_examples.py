@@ -19,6 +19,7 @@ LANDMARKS = {
     "quickstart.py": "Cross-checked against the brute-force oracle",
     "weight_space_analysis.py": "consistent",
     "tuning_the_grid.py": "Theorem 1 recommends",
+    "serving_quickstart.py": "verified against the brute-force oracle",
 }
 
 

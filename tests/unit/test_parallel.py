@@ -5,7 +5,7 @@ import pytest
 from repro.core.gir import GridIndexRRQ
 from repro.data.synthetic import uniform_products, uniform_weights
 from repro.errors import InvalidParameterError
-from repro.vectorized.parallel import answer_batch
+from repro.vectorized.parallel import BatchStats, answer_batch, answer_batch_stats
 
 
 @pytest.fixture(scope="module")
@@ -59,3 +59,38 @@ class TestParallelPath:
         results = answer_batch(gir, queries, 3, "rkr", workers=2)
         for q, result in zip(queries, results):
             assert result.entries == gir.reverse_kranks(q, 3).entries
+
+
+class TestBatchStats:
+    def test_default_workers_capped_at_batch_size(self, setup):
+        gir, queries = setup
+        results, stats = answer_batch_stats(gir, queries[:2], 5, "rtk")
+        assert isinstance(stats, BatchStats)
+        assert stats.batch_size == 2
+        assert stats.requested_workers is None
+        # Never more processes than queries, however many cores exist.
+        assert stats.workers <= 2
+        assert len(results) == 2
+
+    def test_explicit_workers_capped_too(self, setup):
+        gir, queries = setup
+        results, stats = answer_batch_stats(gir, queries[:3], 5, "rtk",
+                                            workers=64)
+        assert stats.requested_workers == 64
+        assert stats.workers == 3
+        assert stats.parallel
+        serial = answer_batch(gir, queries[:3], 5, "rtk", workers=1)
+        assert [r.weights for r in results] == [r.weights for r in serial]
+
+    def test_serial_path_reports_one_worker(self, setup):
+        gir, queries = setup
+        _, stats = answer_batch_stats(gir, queries, 5, "rkr", workers=1)
+        assert stats.workers == 1
+        assert not stats.parallel
+        assert stats.elapsed_s >= 0.0
+
+    def test_single_query_never_spawns_pool(self, setup):
+        gir, queries = setup
+        _, stats = answer_batch_stats(gir, queries[:1], 5, "rtk", workers=8)
+        assert stats.workers == 1
+        assert not stats.parallel

@@ -1,0 +1,192 @@
+"""Unit tests for the micro-batching scheduler (repro.service.scheduler).
+
+The deterministic trick used throughout: construct the scheduler with
+``auto_start=False``, stage requests while the dispatcher is parked, then
+``start()`` — the first ``get`` plus a non-empty queue guarantees exactly
+one coalesced batch, no timing luck required.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    ServiceOverloadError,
+)
+from repro.queries.engine import RRQEngine
+from repro.service.limits import ServiceLimits
+from repro.service.scheduler import MicroBatchScheduler
+
+
+@pytest.fixture(scope="module")
+def engine():
+    from repro.data.synthetic import uniform_products, uniform_weights
+
+    P = uniform_products(140, 4, seed=901)
+    W = uniform_weights(110, 4, seed=902)
+    return RRQEngine(P, W, method="gir")
+
+
+def make_scheduler(engine, **kwargs):
+    kwargs.setdefault("auto_start", False)
+    return MicroBatchScheduler(engine, **kwargs)
+
+
+class TestCoalescing:
+    def test_staged_requests_form_one_batch(self, engine):
+        scheduler = make_scheduler(
+            engine, batch_window_s=0.1,
+            limits=ServiceLimits(max_batch=16),
+        )
+        queries = [engine.products[i] for i in (0, 7, 23, 41, 99)]
+        futures = [scheduler.submit(q, "rtk", 8) for q in queries[:3]]
+        futures += [scheduler.submit(q, "rkr", 5) for q in queries[3:]]
+        scheduler.start()
+        try:
+            results = [f.result(timeout=10) for f in futures]
+        finally:
+            scheduler.close()
+
+        for q, result in zip(queries[:3], results[:3]):
+            assert result.weights == engine.reverse_topk(q, 8).weights
+        for q, result in zip(queries[3:], results[3:]):
+            assert result.entries == engine.reverse_kranks(q, 5).entries
+
+        snap = scheduler.metrics.snapshot()
+        assert snap["batches"]["total"] == 1
+        assert snap["batches"]["coalesced"] == 1
+        assert snap["batches"]["max_size"] == 5
+
+    def test_batch_respects_max_batch(self, engine):
+        scheduler = make_scheduler(
+            engine, batch_window_s=0.1,
+            limits=ServiceLimits(max_batch=2),
+        )
+        futures = [scheduler.submit(engine.products[i], "rtk", 5)
+                   for i in range(5)]
+        scheduler.start()
+        try:
+            for f in futures:
+                f.result(timeout=10)
+        finally:
+            scheduler.close()
+        snap = scheduler.metrics.snapshot()
+        assert snap["batches"]["max_size"] <= 2
+        assert snap["batches"]["batched_requests"] == 5
+
+    def test_zero_window_disables_coalescing(self, engine):
+        scheduler = make_scheduler(engine, batch_window_s=0.0)
+        scheduler.start()
+        try:
+            for i in (3, 4, 5):
+                result = scheduler.answer(engine.products[i], "rtk", 6)
+                assert result.weights == engine.reverse_topk(
+                    engine.products[i], 6).weights
+        finally:
+            scheduler.close()
+        snap = scheduler.metrics.snapshot()
+        assert snap["batches"]["total"] == 3
+        assert snap["batches"]["coalesced"] == 0
+        assert snap["batches"]["mean_size"] == 1.0
+
+    def test_batched_equals_single_path(self, engine):
+        """The all_ranks_multi path and the engine path agree exactly."""
+        q = engine.products[17]
+        coalescing = make_scheduler(engine, batch_window_s=0.1)
+        futures = [coalescing.submit(q, "rkr", 4),
+                   coalescing.submit(engine.products[2], "rkr", 4)]
+        coalescing.start()
+        try:
+            batched = futures[0].result(timeout=10)
+        finally:
+            coalescing.close()
+        assert batched.entries == engine.reverse_kranks(q, 4).entries
+
+
+class TestDeadlines:
+    def test_expired_deadline_rejected_at_dispatch(self, engine):
+        scheduler = make_scheduler(engine, batch_window_s=0.0)
+        future = scheduler.submit(engine.products[0], "rtk", 5, deadline_s=0.0)
+        scheduler.start()
+        try:
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=10)
+        finally:
+            scheduler.close()
+        snap = scheduler.metrics.snapshot()
+        assert snap["requests"]["rejected_deadline"] == 1
+
+    def test_answer_times_out_while_parked(self, engine):
+        """answer() enforces the deadline even if dispatch never happens."""
+        scheduler = make_scheduler(engine, batch_window_s=0.0)
+        with pytest.raises(DeadlineExceededError):
+            scheduler.answer(engine.products[0], "rtk", 5, deadline_s=0.05)
+        scheduler.close()
+
+    def test_unbounded_deadline_allowed(self, engine):
+        scheduler = make_scheduler(
+            engine, batch_window_s=0.0,
+            limits=ServiceLimits(default_deadline_s=None),
+        )
+        scheduler.start()
+        try:
+            result = scheduler.answer(engine.products[1], "rtk", 5)
+            assert result.k == 5
+        finally:
+            scheduler.close()
+
+
+class TestOverflow:
+    def test_full_queue_rejects_submit(self, engine):
+        scheduler = make_scheduler(
+            engine, limits=ServiceLimits(max_queue_depth=4),
+        )
+        for i in range(4):
+            scheduler.submit(engine.products[i], "rtk", 5)
+        with pytest.raises(ServiceOverloadError):
+            scheduler.submit(engine.products[4], "rtk", 5)
+        assert scheduler.queue_depth() == 4
+        snap = scheduler.metrics.snapshot()
+        assert snap["requests"]["rejected_overload"] == 1
+        scheduler.close()
+
+    def test_close_fails_parked_requests(self, engine):
+        scheduler = make_scheduler(engine)
+        future = scheduler.submit(engine.products[0], "rtk", 5)
+        scheduler.close()
+        with pytest.raises(ServiceOverloadError):
+            future.result(timeout=1)
+
+
+class TestValidation:
+    def test_bad_kind_and_k(self, engine):
+        scheduler = make_scheduler(engine)
+        with pytest.raises(InvalidParameterError):
+            scheduler.submit(engine.products[0], "nearest", 5)
+        with pytest.raises(InvalidParameterError):
+            scheduler.submit(engine.products[0], "rtk", 0)
+        with pytest.raises(InvalidParameterError):
+            MicroBatchScheduler(engine, batch_window_s=-1.0, auto_start=False)
+        scheduler.close()
+
+    def test_concurrent_submitters_all_answered(self, engine):
+        scheduler = make_scheduler(engine, batch_window_s=0.02)
+        scheduler.start()
+        results = {}
+        barrier = threading.Barrier(8)
+
+        def hit(i):
+            barrier.wait()
+            results[i] = scheduler.answer(engine.products[i], "rtk", 7)
+
+        threads = [threading.Thread(target=hit, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        scheduler.close()
+        for i in range(8):
+            assert results[i].weights == engine.reverse_topk(
+                engine.products[i], 7).weights
