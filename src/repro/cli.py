@@ -195,7 +195,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import ServiceConfig, ServiceLimits
     from .service.server import QueryService, make_server
 
-    engine, _ = _load_engine(args.index, args.method)
     config = ServiceConfig(
         batch_window_s=args.batch_window_ms / 1000.0,
         cache_capacity=args.cache_size,
@@ -205,13 +204,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                 if args.deadline_ms > 0 else None),
             max_batch=args.max_batch,
         ),
+        fallback=not args.no_fallback,
     )
-    service = QueryService(engine, config=config)
+    if (Path(args.index) / "grid.meta").exists() or \
+            (Path(args.index) / "MANIFEST.json").exists():
+        # Index directories go through the resilient path: checksum
+        # verification, in-place recovery, degraded naive serving.
+        service = QueryService.from_index_dir(
+            args.index, config=config, recover=not args.no_recover,
+        )
+    else:
+        engine, _ = _load_engine(args.index, args.method)
+        service = QueryService(engine, config=config)
     server = make_server(service, host=args.host, port=args.port,
                          verbose=args.verbose)
     info = service.info()
     print(f"serving {info['method']} over {info['products']}x"
           f"{info['weights']} (d={info['dim']}) at {server.url}")
+    if service.degraded_reason:
+        print(f"WARNING: degraded mode — {service.degraded_reason}",
+              file=sys.stderr)
     print("endpoints: POST /query, GET /healthz, GET /metrics, GET /info")
     try:
         server.serve_forever()
@@ -224,7 +236,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    from .core.storage import index_size_report
+    from .core.storage import index_size_report, verify_index
     from .errors import DataValidationError
 
     if not Path(args.index).is_dir():
@@ -235,6 +247,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
             print(f"{name:18s} {size:.3%}")
         else:
             print(f"{name:18s} {size:>12,} bytes")
+    integrity = verify_index(args.index)
+    if integrity["ok"]:
+        print("integrity          ok")
+    else:
+        damaged = ", ".join(sorted(integrity["damaged"])) or "manifest"
+        hint = (" (recoverable: rebuild from raw data)"
+                if integrity["recoverable"] else "")
+        print(f"integrity          DAMAGED: {damaged}{hint}")
+        return 1
     return 0
 
 
@@ -307,6 +328,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission queue depth before 429s")
     serve.add_argument("--deadline-ms", type=float, default=10_000.0,
                        help="default per-request deadline (0 disables)")
+    serve.add_argument("--no-fallback", action="store_true",
+                       help="disable degraded-mode fallback to the exact "
+                            "naive scan on engine failure")
+    serve.add_argument("--no-recover", action="store_true",
+                       help="fail instead of rebuilding damaged derived "
+                            "index artifacts at startup")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request")
     serve.set_defaults(func=_cmd_serve)

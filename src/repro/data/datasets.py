@@ -31,9 +31,25 @@ ArrayLike = Union[np.ndarray, Sequence[Sequence[float]]]
 WEIGHT_SUM_TOLERANCE = 1e-6
 
 
+def _row_repr(arr: np.ndarray, row: int) -> str:
+    """A short, readable rendering of one offending row for error messages."""
+    return np.array2string(arr[row], threshold=8, precision=6,
+                           suppress_small=True)
+
+
 def _as_matrix(values: ArrayLike, name: str) -> np.ndarray:
-    """Coerce ``values`` to a 2-D float64 array, validating shape and finiteness."""
-    arr = np.asarray(values, dtype=np.float64)
+    """Coerce ``values`` to a 2-D float64 array, validating shape and finiteness.
+
+    Validation failures name the first offending row — a million-row
+    ingest that dies with "contains NaN" and no coordinates is a
+    debugging session; with ``row 73812: [nan, 0.2, ...]`` it is a grep.
+    """
+    try:
+        arr = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise DataValidationError(
+            f"{name} is not numeric array-like: {exc}"
+        ) from None
     if arr.ndim == 1:
         arr = arr.reshape(1, -1)
     if arr.ndim != 2:
@@ -44,10 +60,20 @@ def _as_matrix(values: ArrayLike, name: str) -> np.ndarray:
         raise EmptyDatasetError(f"{name} must contain at least one vector")
     if arr.shape[1] == 0:
         raise DataValidationError(f"{name} must have at least one dimension")
-    if not np.all(np.isfinite(arr)):
-        raise DataValidationError(f"{name} contains NaN or infinite values")
-    if np.any(arr < 0):
-        raise DataValidationError(f"{name} contains negative values")
+    finite = np.isfinite(arr)
+    if not finite.all():
+        bad = int(np.nonzero(~finite.all(axis=1))[0][0])
+        raise DataValidationError(
+            f"{name} contains NaN or infinite values "
+            f"(first offending row {bad}: {_row_repr(arr, bad)})"
+        )
+    negative = arr < 0
+    if negative.any():
+        bad = int(np.nonzero(negative.any(axis=1))[0][0])
+        raise DataValidationError(
+            f"{name} contains negative values "
+            f"(first offending row {bad}: {_row_repr(arr, bad)})"
+        )
     return arr
 
 
@@ -134,16 +160,20 @@ class WeightSet:
         sums = arr.sum(axis=1)
         if renormalize:
             if np.any(sums <= 0):
+                bad = int(np.nonzero(sums <= 0)[0][0])
                 raise DataValidationError(
-                    "cannot renormalize weight vectors that sum to zero"
+                    "cannot renormalize weight vectors that sum to zero "
+                    f"(first offending row {bad}: {_row_repr(arr, bad)})"
                 )
             arr = arr / sums[:, None]
         else:
-            if np.any(np.abs(sums - 1.0) > WEIGHT_SUM_TOLERANCE):
-                bad = int(np.argmax(np.abs(sums - 1.0)))
+            off = np.abs(sums - 1.0) > WEIGHT_SUM_TOLERANCE
+            if off.any():
+                bad = int(np.nonzero(off)[0][0])
                 raise DataValidationError(
-                    f"weight vector {bad} sums to {sums[bad]:.6f}, expected 1.0 "
-                    "(pass renormalize=True to fix automatically)"
+                    f"weight vector {bad} sums to {sums[bad]:.6f}, expected "
+                    f"1.0 (row {bad}: {_row_repr(arr, bad)}; pass "
+                    "renormalize=True to fix automatically)"
                 )
         arr = np.ascontiguousarray(arr)
         arr.setflags(write=False)

@@ -13,17 +13,27 @@ be reproduced:
 The format is deliberately simple (magic, version, shape, payload) — the
 experiments need a faithful byte count and read path, not a database file
 format.
+
+Crash safety: every ``save_*`` serializes the whole file to bytes first
+(the ``*_to_bytes`` helpers) and lands it via :func:`atomic_write_bytes` —
+write to a same-directory temp file, flush, fsync, then ``os.replace``.
+A reader can therefore never observe a torn file under a crash; the worst
+case is the old content.  The write path consults the fault-injection
+hooks (:mod:`repro.resilience.faults`) so the chaos suite can simulate
+corruption, I/O errors, and mid-write crashes deterministically.
 """
 
 from __future__ import annotations
 
+import os
 import struct
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from ..errors import DataValidationError
+from ..resilience.faults import active_injector
 from .datasets import ProductSet, WeightSet
 
 _MAGIC_RAW = b"RRQF"
@@ -33,17 +43,99 @@ _VERSION = 1
 PathLike = Union[str, Path]
 
 
-def save_matrix(path: PathLike, values: np.ndarray) -> int:
-    """Write a float64 matrix to ``path`` in ``.rrq`` format; return byte count."""
+def atomic_write_bytes(path: PathLike, data: bytes,
+                       site: Optional[str] = None) -> int:
+    """Write ``data`` to ``path`` atomically; returns the byte count.
+
+    The payload lands in a temp file in the same directory and is moved
+    into place with ``os.replace``, so a concurrent reader (or a crash at
+    any point) sees either the old file or the complete new one — never a
+    prefix.  ``site`` names the fault-injection point (defaults to
+    ``io.write.<filename>``); with no injector active the hook is a
+    single global read.
+    """
+    path = Path(path)
+    injector = active_injector()
+    if injector is not None:
+        site = site or f"io.write.{path.name}"
+        injector.fire(site)
+        data = injector.mutate(site, data)
+        keep = injector.partial_write(site)
+        if keep is not None:
+            # Model a kill -9 mid-write of a NON-atomic writer: torn bytes
+            # at the final path, then death.  Loaders must detect this.
+            from ..resilience.faults import InjectedCrashError
+
+            with open(path, "wb") as handle:
+                handle.write(data[: int(len(data) * keep)])
+            raise InjectedCrashError(
+                f"injected crash after torn write at {site}"
+            )
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return len(data)
+
+
+# ----------------------------------------------------------------------
+# serializers (bytes in memory — the atomic write path builds on these)
+# ----------------------------------------------------------------------
+
+
+def matrix_to_bytes(values: np.ndarray) -> bytes:
+    """Serialize a float64 matrix to ``.rrq`` bytes (header + payload)."""
     arr = np.ascontiguousarray(values, dtype=np.float64)
     if arr.ndim != 2:
         raise DataValidationError("save_matrix expects a 2-D array")
-    header = _MAGIC_RAW + struct.pack("<HII", _VERSION, arr.shape[0], arr.shape[1])
-    payload = arr.tobytes()
-    with open(path, "wb") as handle:
-        handle.write(header)
-        handle.write(payload)
-    return len(header) + len(payload)
+    if not np.all(np.isfinite(arr)):
+        bad = int(np.argwhere(~np.isfinite(np.asarray(arr)))[0][0])
+        raise DataValidationError(
+            f"refusing to write matrix with NaN/infinite values "
+            f"(first offending row {bad})"
+        )
+    header = _MAGIC_RAW + struct.pack("<HII", _VERSION,
+                                      arr.shape[0], arr.shape[1])
+    return header + arr.tobytes()
+
+
+def products_to_bytes(products: ProductSet) -> bytes:
+    """Serialize a :class:`ProductSet` (value range in an 8-byte trailer)."""
+    return matrix_to_bytes(products.values) + struct.pack(
+        "<d", products.value_range
+    )
+
+
+def weights_to_bytes(weights: WeightSet) -> bytes:
+    """Serialize a :class:`WeightSet`."""
+    return matrix_to_bytes(weights.values)
+
+
+def approx_to_bytes(codes: np.ndarray, bits: int) -> bytes:
+    """Serialize quantized vectors (integers in ``[0, 2**bits)``) bit-packed."""
+    from ..core.bitstring import pack_matrix  # deferred: avoids an import cycle
+
+    arr = np.ascontiguousarray(codes)
+    if arr.ndim != 2:
+        raise DataValidationError("save_approx expects a 2-D code array")
+    payload = pack_matrix(arr, bits)
+    header = _MAGIC_APPROX + struct.pack(
+        "<HHII", _VERSION, bits, arr.shape[0], arr.shape[1]
+    )
+    return header + payload
+
+
+# ----------------------------------------------------------------------
+# file-level API
+# ----------------------------------------------------------------------
+
+
+def save_matrix(path: PathLike, values: np.ndarray,
+                site: Optional[str] = None) -> int:
+    """Write a float64 matrix to ``path`` in ``.rrq`` format; return byte count."""
+    return atomic_write_bytes(path, matrix_to_bytes(values), site=site)
 
 
 def load_matrix(path: PathLike) -> np.ndarray:
@@ -57,17 +149,17 @@ def load_matrix(path: PathLike) -> np.ndarray:
             raise DataValidationError(f"{path}: unsupported version {version}")
         payload = handle.read(rows * cols * 8)
     if len(payload) != rows * cols * 8:
-        raise DataValidationError(f"{path}: truncated payload")
+        raise DataValidationError(
+            f"{path}: truncated payload (expected {rows * cols * 8} bytes, "
+            f"found {len(payload)})"
+        )
     return np.frombuffer(payload, dtype=np.float64).reshape(rows, cols).copy()
 
 
-def save_products(path: PathLike, products: ProductSet) -> int:
+def save_products(path: PathLike, products: ProductSet,
+                  site: Optional[str] = None) -> int:
     """Persist a :class:`ProductSet` (value range is stored in a trailer)."""
-    written = save_matrix(path, products.values)
-    with open(path, "ab") as handle:
-        trailer = struct.pack("<d", products.value_range)
-        handle.write(trailer)
-    return written + 8
+    return atomic_write_bytes(path, products_to_bytes(products), site=site)
 
 
 def load_products(path: PathLike) -> ProductSet:
@@ -79,9 +171,10 @@ def load_products(path: PathLike) -> ProductSet:
     return ProductSet(values, value_range=value_range)
 
 
-def save_weights(path: PathLike, weights: WeightSet) -> int:
+def save_weights(path: PathLike, weights: WeightSet,
+                 site: Optional[str] = None) -> int:
     """Persist a :class:`WeightSet`."""
-    return save_matrix(path, weights.values)
+    return atomic_write_bytes(path, weights_to_bytes(weights), site=site)
 
 
 def load_weights(path: PathLike) -> WeightSet:
@@ -89,25 +182,10 @@ def load_weights(path: PathLike) -> WeightSet:
     return WeightSet(load_matrix(path))
 
 
-def save_approx(path: PathLike, codes: np.ndarray, bits: int) -> int:
-    """Write quantized vectors (integers in ``[0, 2**bits)``) bit-packed.
-
-    Returns the number of bytes written.  The payload packs each component
-    into ``bits`` bits via :func:`repro.core.bitstring.pack_matrix`.
-    """
-    from ..core.bitstring import pack_matrix  # deferred: avoids an import cycle
-
-    arr = np.ascontiguousarray(codes)
-    if arr.ndim != 2:
-        raise DataValidationError("save_approx expects a 2-D code array")
-    payload = pack_matrix(arr, bits)
-    header = _MAGIC_APPROX + struct.pack(
-        "<HHII", _VERSION, bits, arr.shape[0], arr.shape[1]
-    )
-    with open(path, "wb") as handle:
-        handle.write(header)
-        handle.write(payload)
-    return len(header) + len(payload)
+def save_approx(path: PathLike, codes: np.ndarray, bits: int,
+                site: Optional[str] = None) -> int:
+    """Write quantized vectors bit-packed; returns the byte count."""
+    return atomic_write_bytes(path, approx_to_bytes(codes, bits), site=site)
 
 
 def load_approx(path: PathLike) -> Tuple[np.ndarray, int]:
@@ -122,7 +200,11 @@ def load_approx(path: PathLike) -> Tuple[np.ndarray, int]:
         if version != _VERSION:
             raise DataValidationError(f"{path}: unsupported version {version}")
         payload = handle.read()
-    return unpack_matrix(payload, rows, cols, bits), bits
+    try:
+        return unpack_matrix(payload, rows, cols, bits), bits
+    except ValueError as exc:
+        raise DataValidationError(f"{path}: corrupt bit-packed payload "
+                                  f"({exc})") from None
 
 
 def file_size(path: PathLike) -> int:

@@ -38,11 +38,32 @@ class InvalidParameterError(ReproError):
 
 
 class IndexCorruptionError(ReproError):
-    """An index structure violated one of its own invariants.
+    """An index structure or persisted artifact violated an invariant.
 
-    This is never expected during normal operation; it indicates a bug and
-    is raised by the self-check routines (e.g. :meth:`RTree.check_invariants`).
+    Raised by in-memory self-check routines (e.g.
+    :meth:`RTree.check_invariants`) and by the storage layer when a
+    persisted index fails its manifest checksums
+    (:func:`repro.core.storage.load_index`).  For storage corruption the
+    structured attributes say *what* is damaged so callers can decide
+    between rebuild-from-raw recovery and degraded naive serving.
+
+    Attributes
+    ----------
+    directory:
+        The index directory, when the corruption is on disk.
+    artifacts:
+        Tuple of damaged artifact file names (may be empty).
+    recoverable:
+        True when the raw data and metadata are intact, i.e. a rebuild
+        of the approximate vectors can heal the index in place.
     """
+
+    def __init__(self, message: str, *, directory=None,
+                 artifacts=(), recoverable: bool = False):
+        super().__init__(message)
+        self.directory = directory
+        self.artifacts = tuple(artifacts)
+        self.recoverable = bool(recoverable)
 
 
 class ServiceError(ReproError):
@@ -63,3 +84,15 @@ class ServiceOverloadError(ServiceError):
 class DeadlineExceededError(ServiceError):
     """The request's deadline elapsed before an answer was produced
     (HTTP 504)."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service cannot currently answer at all (HTTP 503).
+
+    Raised when the server is shutting down (requests are drained with
+    structured rejections instead of dropped connections), when the
+    engine is down and no fallback is configured, or by the client when
+    the server cannot be reached at the transport level (connection
+    refused, reset, DNS failure) — distinct from an HTTP-level error,
+    which means the server is up and answered.
+    """

@@ -1,0 +1,42 @@
+"""repro.resilience — fault injection and failure-handling primitives.
+
+Two halves:
+
+* :mod:`.faults` — a deterministic, seedable fault-injection harness.
+  Production code (storage, scheduler, server) consults named injection
+  points; chaos tests (``tests/chaos/``) arm :class:`FaultPlan`\\ s
+  against them and assert the paper's exactness guarantee survives every
+  injected failure.
+* :mod:`.breaker` — the :class:`CircuitBreaker` the service layer uses
+  to fall back from the Grid-index engine to the exact naive scan
+  instead of failing requests (degraded-but-exact).
+
+See ``docs/operations.md`` for the operational story.
+"""
+
+from .breaker import (
+    CLOSED,
+    DEFAULT_FAILURE_THRESHOLD,
+    DEFAULT_RESET_AFTER_S,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+    active_injector,
+    fire,
+    inject,
+    no_faults,
+    set_injector,
+)
+
+__all__ = [
+    "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN",
+    "DEFAULT_FAILURE_THRESHOLD", "DEFAULT_RESET_AFTER_S",
+    "FaultPlan", "FaultSpec", "FaultInjector", "InjectedCrashError",
+    "active_injector", "set_injector", "fire", "inject", "no_faults",
+]

@@ -18,6 +18,13 @@ Quick start::
         client.query(P[0], kind="rtk", k=10)
 
 Everything is stdlib + numpy; there is nothing to install.
+
+Resilience: the service degrades instead of dying.  Engine failures trip
+a circuit breaker (:mod:`repro.resilience.breaker`) and answers fall back
+to the exact naive scan with ``"degraded": true``; shutdown drains the
+queue with structured 503s; the client retries 429/503/transport failures
+with jittered exponential backoff under a total deadline.  See
+``docs/operations.md``.
 """
 
 from .cache import ResultCache, bind_dynamic, make_key

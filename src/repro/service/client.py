@@ -5,11 +5,28 @@ benchmark; also handy from a REPL.  HTTP rejections are translated back
 into the same :mod:`repro.errors` classes the server raised, so code
 written against the in-process :class:`~repro.service.server.QueryService`
 behaves identically against a remote one.
+
+Resilience semantics (see ``docs/operations.md``):
+
+* **Transport failures** (connection refused/reset, DNS, socket timeout)
+  mean the server never answered; they surface as
+  :class:`~repro.errors.ServiceUnavailableError` and are retried.
+* **Load rejections** (HTTP 429 overload, 503 shutting-down) are retried
+  with exponential backoff and *full jitter* — each sleep is uniform in
+  ``[0, min(cap, base * 2**attempt))`` so synchronized clients don't
+  stampede the server in lockstep.
+* **Semantic 4xx errors** (bad parameters, unknown paths) and deadline
+  expiry (504) are never retried: the request itself is wrong or out of
+  time, and a retry cannot fix it.
+* Every request honors a **total deadline** across all attempts and
+  backoff sleeps, not just a per-attempt socket timeout.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from typing import Optional, Sequence
@@ -20,15 +37,21 @@ from ..errors import (
     ReproError,
     ServiceError,
     ServiceOverloadError,
+    ServiceUnavailableError,
 )
+from .limits import Deadline
 
 #: HTTP status -> exception class raised by the client.
 _STATUS_ERRORS = {
     400: InvalidParameterError,
     404: InvalidParameterError,
     429: ServiceOverloadError,
+    503: ServiceUnavailableError,
     504: DeadlineExceededError,
 }
+
+#: Statuses worth retrying: transient load conditions, not caller mistakes.
+_RETRYABLE_STATUSES = frozenset({429, 503})
 
 
 class ServiceClient:
@@ -39,36 +62,107 @@ class ServiceClient:
     base_url:
         E.g. ``"http://127.0.0.1:8377"`` (no trailing slash needed).
     timeout_s:
-        Socket-level timeout for each request.
+        Socket-level timeout for each individual attempt.
+    retries:
+        Extra attempts after the first on retryable failures (429/503
+        and transport errors).  ``0`` disables retrying entirely.
+    backoff_base_s / backoff_cap_s:
+        Exponential backoff parameters; the actual sleep before attempt
+        ``i`` is uniform in ``[0, min(cap, base * 2**i))`` (full jitter).
+    total_deadline_s:
+        Default wall-clock budget for one logical request across all
+        attempts and sleeps; ``None`` leaves only per-attempt timeouts.
+    rng:
+        Jitter source; pass ``random.Random(seed)`` for reproducibility.
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0):
+    def __init__(self, base_url: str, timeout_s: float = 30.0,
+                 retries: int = 2, backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 2.0,
+                 total_deadline_s: Optional[float] = None,
+                 rng: Optional[random.Random] = None):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.total_deadline_s = total_deadline_s
+        self._rng = rng or random.Random()
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
 
+    def _backoff(self, attempt: int, deadline: Deadline) -> bool:
+        """Sleep before retry ``attempt``; False if the deadline forbids it."""
+        window = min(self.backoff_cap_s,
+                     self.backoff_base_s * (2.0 ** attempt))
+        sleep_s = self._rng.uniform(0.0, window)
+        remaining = deadline.remaining()
+        if remaining is not None:
+            if remaining <= sleep_s:
+                return False
+        time.sleep(sleep_s)
+        return True
+
+    def _attempt(self, request: urllib.request.Request,
+                 deadline: Deadline) -> dict:
+        """One HTTP round trip, deadline-capped at the socket level."""
+        timeout = self.timeout_s
+        remaining = deadline.remaining()
+        if remaining is not None:
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    "client deadline exceeded before the request was sent"
+                )
+            timeout = min(timeout, remaining)
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read())
+
     def _request(self, method: str, path: str,
-                 payload: Optional[dict] = None) -> dict:
+                 payload: Optional[dict] = None,
+                 total_deadline_s: Optional[float] = None,
+                 retries: Optional[int] = None) -> dict:
         data = json.dumps(payload).encode() if payload is not None else None
         request = urllib.request.Request(
             self.base_url + path, data=data, method=method,
             headers={"Content-Type": "application/json"},
         )
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout_s) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as exc:
+        budget = (total_deadline_s if total_deadline_s is not None
+                  else self.total_deadline_s)
+        deadline = Deadline.after(None if budget is None else max(0.0, budget))
+        attempts = 1 + (self.retries if retries is None else max(0, retries))
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
             try:
-                body = json.loads(exc.read())
-                message = body.get("message", str(exc))
-            except (json.JSONDecodeError, ValueError):
-                message = str(exc)
-            error_class = _STATUS_ERRORS.get(exc.code, ServiceError)
-            raise error_class(message) from None
+                return self._attempt(request, deadline)
+            except urllib.error.HTTPError as exc:
+                # The server answered: an HTTP-level rejection, with a
+                # structured JSON body when it came from our frontend.
+                try:
+                    body = json.loads(exc.read())
+                    message = body.get("message", str(exc))
+                except (json.JSONDecodeError, ValueError):
+                    message = str(exc)
+                error_class = _STATUS_ERRORS.get(exc.code, ServiceError)
+                error = error_class(message)
+                if exc.code not in _RETRYABLE_STATUSES:
+                    raise error from None
+                last_error = error
+            except ServiceError:
+                raise  # our own deadline guard — not retryable
+            except (urllib.error.URLError, ConnectionError, TimeoutError,
+                    OSError) as exc:
+                # The server never answered: transport-level failure,
+                # distinct from an HTTP error.
+                reason = getattr(exc, "reason", exc)
+                last_error = ServiceUnavailableError(
+                    f"cannot reach {self.base_url}: {reason}"
+                )
+            if attempt + 1 >= attempts or not self._backoff(attempt, deadline):
+                break
+        assert last_error is not None
+        raise last_error from None
 
     # ------------------------------------------------------------------
     # endpoints
@@ -108,16 +202,40 @@ class ServiceClient:
         """``GET /info``."""
         return self._request("GET", "/info")
 
-    def wait_until_healthy(self, attempts: int = 50,
-                           delay_s: float = 0.05) -> dict:
-        """Poll ``/healthz`` until it answers (for just-started servers)."""
-        import time
+    def wait_until_healthy(self, timeout_s: float = 5.0,
+                           poll_s: float = 0.05) -> dict:
+        """Poll ``/healthz`` until it answers (for just-started servers).
 
+        Honors a *total* deadline of ``timeout_s`` across all polls.
+        Transport failures (connection refused — the server is not up
+        yet) keep polling; an HTTP-level error means something *is*
+        listening but it is not our service, so that fails immediately
+        with a clear message instead of burning the whole deadline.
+        """
+        deadline = Deadline.after(timeout_s)
         last_error: Optional[Exception] = None
-        for _ in range(attempts):
+        while True:
+            remaining = deadline.remaining()
+            if remaining is not None and remaining <= 0:
+                break
             try:
-                return self.healthz()
-            except (ReproError, OSError) as exc:
+                return self._request("GET", "/healthz", retries=0,
+                                     total_deadline_s=remaining)
+            except ServiceUnavailableError as exc:
+                last_error = exc  # not reachable yet — keep polling
+            except DeadlineExceededError as exc:
                 last_error = exc
-                time.sleep(delay_s)
-        raise ServiceError(f"service never became healthy: {last_error}")
+            except ReproError as exc:
+                raise ServiceError(
+                    f"{self.base_url} answered /healthz with an HTTP error "
+                    f"({exc}); is something else listening on that port?"
+                ) from None
+            remaining = deadline.remaining()
+            if remaining is not None and remaining <= 0:
+                break
+            time.sleep(poll_s if remaining is None
+                       else min(poll_s, remaining))
+        raise ServiceUnavailableError(
+            f"service at {self.base_url} never became healthy within "
+            f"{timeout_s}s: {last_error}"
+        )

@@ -9,7 +9,8 @@ the three pieces every other service module shares:
   request from admission to dispatch;
 * :func:`http_status` / :func:`rejection_body` — the structured mapping
   from the :mod:`repro.errors` hierarchy to JSON/HTTP rejections (429 for
-  overload, 504 for deadline expiry, 400 for caller mistakes).
+  overload, 503 for unavailability/shutdown, 504 for deadline expiry,
+  400 for caller mistakes).
 
 Keeping the mapping here means the scheduler raises plain library errors
 and stays transport-agnostic; only the frontend knows about status codes.
@@ -26,6 +27,7 @@ from ..errors import (
     InvalidParameterError,
     ReproError,
     ServiceOverloadError,
+    ServiceUnavailableError,
 )
 
 #: Default cap on requests waiting for dispatch before 429s start.
@@ -117,11 +119,14 @@ class Deadline:
 def http_status(exc: BaseException) -> int:
     """The HTTP status code a rejection/error maps to.
 
-    429 for overload, 504 for deadline expiry, 400 for any other library
+    429 for overload, 503 for unavailability (shutdown drain, engine down
+    with no fallback), 504 for deadline expiry, 400 for any other library
     (caller) error, 500 otherwise.
     """
     if isinstance(exc, ServiceOverloadError):
         return 429
+    if isinstance(exc, ServiceUnavailableError):
+        return 503
     if isinstance(exc, DeadlineExceededError):
         return 504
     # ReproError derives ValueError; plain ValueError also covers malformed

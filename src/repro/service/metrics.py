@@ -59,7 +59,9 @@ class ServiceMetrics:
         self._cache_hits = 0
         self._rejected_overload = 0
         self._rejected_deadline = 0
+        self._rejected_unavailable = 0
         self._errors = 0
+        self._degraded = 0
         self._batches = 0
         self._coalesced_batches = 0
         self._batched_requests = 0
@@ -71,8 +73,9 @@ class ServiceMetrics:
     # ------------------------------------------------------------------
 
     def record_request(self, kind: str, latency_s: float,
-                       cache_hit: bool = False) -> None:
-        """One successfully answered request."""
+                       cache_hit: bool = False,
+                       degraded: bool = False) -> None:
+        """One successfully answered request (``degraded`` = via fallback)."""
         with self._lock:
             self._requests_total += 1
             self._requests_by_kind[kind] = (
@@ -80,6 +83,8 @@ class ServiceMetrics:
             )
             if cache_hit:
                 self._cache_hits += 1
+            if degraded:
+                self._degraded += 1
             self._latency.samples.append(latency_s)
             if len(self._latency.samples) > self._max_samples:
                 del self._latency.samples[: -self._max_samples]
@@ -91,6 +96,11 @@ class ServiceMetrics:
                 self._rejected_overload += 1
             else:
                 self._rejected_deadline += 1
+
+    def record_unavailable(self) -> None:
+        """One request shed because the service is shutting down (503)."""
+        with self._lock:
+            self._rejected_unavailable += 1
 
     def record_error(self) -> None:
         """One request that failed for a non-admission reason."""
@@ -135,7 +145,9 @@ class ServiceMetrics:
                     "cache_hits": self._cache_hits,
                     "rejected_overload": self._rejected_overload,
                     "rejected_deadline": self._rejected_deadline,
+                    "rejected_unavailable": self._rejected_unavailable,
                     "errors": self._errors,
+                    "degraded": self._degraded,
                 },
                 "qps": qps,
                 "latency_ms": {

@@ -42,8 +42,10 @@ from ..errors import (
     DeadlineExceededError,
     InvalidParameterError,
     ServiceOverloadError,
+    ServiceUnavailableError,
 )
 from ..queries.types import RKRResult, RTKResult, make_rkr_result
+from ..resilience.faults import fire
 from ..stats.counters import OpCounter
 from ..vectorized.batch import DEFAULT_CHUNK_BUDGET, all_ranks_multi
 from .limits import Deadline, ServiceLimits
@@ -114,6 +116,7 @@ class MicroBatchScheduler:
             maxsize=self.limits.max_queue_depth
         )
         self._stop = threading.Event()
+        self._closing = threading.Event()
         self._thread: Optional[threading.Thread] = None
         if auto_start:
             self.start()
@@ -127,13 +130,27 @@ class MicroBatchScheduler:
         if self._thread is not None and self._thread.is_alive():
             return
         self._stop.clear()
+        self._closing.clear()
         self._thread = threading.Thread(
             target=self._run, name="rrq-scheduler", daemon=True
         )
         self._thread.start()
 
-    def close(self) -> None:
-        """Stop dispatching; fail any still-queued requests."""
+    def close(self, drain: bool = True, drain_timeout_s: float = 5.0) -> None:
+        """Graceful shutdown: drain in-flight work, shed the rest with 503s.
+
+        New submissions are refused immediately with
+        :class:`ServiceUnavailableError` (HTTP 503).  With ``drain`` the
+        dispatcher keeps answering already-admitted requests for up to
+        ``drain_timeout_s``; anything still queued after that (or when
+        ``drain=False``) fails with a structured
+        :class:`ServiceUnavailableError` instead of a dropped connection.
+        """
+        self._closing.set()
+        if drain and self._thread is not None and self._thread.is_alive():
+            deadline = time.monotonic() + drain_timeout_s
+            while not self._queue.empty() and time.monotonic() < deadline:
+                time.sleep(0.005)
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -143,8 +160,11 @@ class MicroBatchScheduler:
                 pending = self._queue.get_nowait()
             except queue.Empty:
                 break
+            self.metrics.record_unavailable()
             pending.future.set_exception(
-                ServiceOverloadError("scheduler shut down before dispatch")
+                ServiceUnavailableError(
+                    "service shut down before the request was dispatched"
+                )
             )
 
     def __enter__(self) -> "MicroBatchScheduler":
@@ -175,6 +195,11 @@ class MicroBatchScheduler:
             raise InvalidParameterError("kind must be 'rtk' or 'rkr'")
         if k <= 0:
             raise InvalidParameterError("k must be positive")
+        if self._closing.is_set():
+            self.metrics.record_unavailable()
+            raise ServiceUnavailableError(
+                "service is shutting down; request not admitted"
+            )
         q_arr = check_query_point(q, self._dim)
         pending = _Pending(
             q=q_arr, kind=kind, k=int(k),
@@ -248,6 +273,7 @@ class MicroBatchScheduler:
             return
         counter = OpCounter()
         try:
+            fire("scheduler.dispatch")
             if len(live) == 1:
                 self._answer_single(live[0], counter)
             else:

@@ -39,8 +39,19 @@ from time import perf_counter
 from typing import Iterator, Optional, Union
 
 from ..data.datasets import check_query_point
-from ..errors import InvalidParameterError
+from ..errors import (
+    InvalidParameterError,
+    ReproError,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from ..queries.types import RKRResult, RTKResult
+from ..resilience.breaker import (
+    DEFAULT_FAILURE_THRESHOLD,
+    DEFAULT_RESET_AFTER_S,
+    CircuitBreaker,
+)
+from ..resilience.faults import fire
 from .cache import DEFAULT_CAPACITY, ResultCache, make_key
 from .limits import ServiceLimits, http_status, rejection_body
 from .metrics import ServiceMetrics
@@ -51,11 +62,22 @@ PathLike = Union[str, Path]
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Every serving knob in one place (the CLI maps flags onto this)."""
+    """Every serving knob in one place (the CLI maps flags onto this).
+
+    ``fallback`` enables graceful degradation: when the primary engine
+    fails (or its circuit breaker is open) requests are answered by the
+    exact naive scan instead — slower, still byte-exact — and carry
+    ``"degraded": true``.  ``breaker_threshold`` consecutive engine
+    failures open the circuit; after ``breaker_reset_s`` one probe
+    request tries the primary again (self-healing).
+    """
 
     batch_window_s: float = DEFAULT_BATCH_WINDOW_S
     cache_capacity: int = DEFAULT_CAPACITY
     limits: ServiceLimits = field(default_factory=ServiceLimits)
+    fallback: bool = True
+    breaker_threshold: int = DEFAULT_FAILURE_THRESHOLD
+    breaker_reset_s: float = DEFAULT_RESET_AFTER_S
 
 
 def encode_result(result: Union[RTKResult, RKRResult], kind: str) -> dict:
@@ -100,7 +122,8 @@ class QueryService:
         Serving knobs; defaults are sensible for interactive use.
     """
 
-    def __init__(self, engine, config: Optional[ServiceConfig] = None):
+    def __init__(self, engine, config: Optional[ServiceConfig] = None,
+                 fallback_engine=None, degraded_reason: Optional[str] = None):
         self.engine = engine
         self.config = config or ServiceConfig()
         self.method = getattr(engine, "method", None) or getattr(
@@ -114,6 +137,15 @@ class QueryService:
             limits=self.config.limits,
             metrics=self.metrics,
         )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            reset_after_s=self.config.breaker_reset_s,
+        )
+        self._fallback_engine = fallback_engine
+        self._fallback_lock = threading.Lock()
+        #: Permanent degradation cause (e.g. the index failed its
+        #: checksums and the service is running on the naive scan).
+        self.degraded_reason = degraded_reason
         self._dim = engine.products.dim
 
     # ------------------------------------------------------------------
@@ -132,11 +164,37 @@ class QueryService:
 
     @classmethod
     def from_index_dir(cls, directory: PathLike,
-                       config: Optional[ServiceConfig] = None) -> "QueryService":
-        """Serve a Grid-index persisted by :func:`repro.core.storage.save_index`."""
-        from ..core.storage import load_index
+                       config: Optional[ServiceConfig] = None,
+                       recover: bool = True) -> "QueryService":
+        """Serve a Grid-index persisted by :func:`repro.core.storage.save_index`.
 
-        return cls(load_index(directory), config=config)
+        Resilient by default: a checksum failure confined to the derived
+        artifacts is healed in place (``recover=True``); if the GIR index
+        is unrecoverable but the raw data still verifies, the service
+        comes up **degraded** on the exact naive scan instead of refusing
+        to start (``healthz`` reports it, answers carry
+        ``"degraded": true``).  Only when the raw data itself is damaged
+        does construction fail.
+        """
+        from ..core.storage import load_index
+        from ..errors import DataValidationError, IndexCorruptionError
+
+        try:
+            return cls(load_index(directory, recover=recover), config=config)
+        except (IndexCorruptionError, DataValidationError) as exc:
+            from ..algorithms.naive import NaiveRRQ
+            from ..data.io import load_products, load_weights
+
+            directory = Path(directory)
+            try:
+                products = load_products(directory / "products.rrq")
+                weights = load_weights(directory / "weights.rrq")
+            except (ReproError, OSError):
+                raise exc from None  # raw data gone too — nothing to serve
+            naive = NaiveRRQ(products, weights)
+            return cls(naive, config=config, fallback_engine=naive,
+                       degraded_reason=f"index corrupt, serving naive scan: "
+                                       f"{exc}")
 
     # ------------------------------------------------------------------
     # serving
@@ -157,6 +215,18 @@ class QueryService:
             vector = self.engine.products[int(product)]
         return check_query_point(vector, self._dim)
 
+    def _fallback(self):
+        """The exact naive fallback engine (lazily built), or ``None``."""
+        if not self.config.fallback:
+            return None
+        with self._fallback_lock:
+            if self._fallback_engine is None:
+                from ..algorithms.naive import NaiveRRQ
+
+                self._fallback_engine = NaiveRRQ(self.engine.products,
+                                                 self.engine.weights)
+            return self._fallback_engine
+
     def query(self, vector=None, *, product: Optional[int] = None,
               kind: str = "rtk", k: int = 10,
               deadline_s: Optional[float] = None) -> dict:
@@ -164,9 +234,14 @@ class QueryService:
 
         Raises :class:`ServiceOverloadError` / :class:`DeadlineExceededError`
         under load and :class:`InvalidParameterError` for caller mistakes.
+        Engine failures trip the circuit breaker and are answered by the
+        exact naive fallback (``"degraded": true`` in the response) when
+        one is configured; with fallback disabled they surface as
+        :class:`ServiceUnavailableError` (HTTP 503).
         Treat the returned dict as read-only: cache hits share it.
         """
         start = perf_counter()
+        fire("service.query")
         if kind not in ("rtk", "rkr"):
             raise InvalidParameterError("kind must be 'rtk' or 'rkr'")
         if int(k) <= 0:
@@ -178,10 +253,48 @@ class QueryService:
             self.metrics.record_request(kind, perf_counter() - start,
                                         cache_hit=True)
             return cached
-        result = self.scheduler.answer(q_arr, kind, int(k), deadline_s)
+        primary_error: Optional[Exception] = None
+        if self.breaker.allow():
+            try:
+                result = self.scheduler.answer(q_arr, kind, int(k),
+                                               deadline_s)
+            except ServiceError:
+                # Load shedding (overload/deadline/shutdown) is not an
+                # engine failure; don't trip the breaker or degrade.
+                raise
+            except Exception as exc:
+                self.breaker.record_failure()
+                self.metrics.record_error()
+                primary_error = exc
+            else:
+                self.breaker.record_success()
+                encoded = encode_result(result, kind)
+                if self.degraded_reason is not None:
+                    encoded["degraded"] = True
+                self.cache.put(key, encoded)
+                self.metrics.record_request(
+                    kind, perf_counter() - start,
+                    degraded=self.degraded_reason is not None,
+                )
+                return encoded
+        # Degraded path: breaker open (or the primary just failed) —
+        # answer exactly via the naive scan rather than failing.
+        fallback = self._fallback()
+        if fallback is None:
+            if primary_error is not None:
+                raise primary_error
+            raise ServiceUnavailableError(
+                "engine unavailable (circuit open) and fallback disabled"
+            )
+        if kind == "rtk":
+            result = fallback.reverse_topk(q_arr, int(k))
+        else:
+            result = fallback.reverse_kranks(q_arr, int(k))
         encoded = encode_result(result, kind)
-        self.cache.put(key, encoded)
-        self.metrics.record_request(kind, perf_counter() - start)
+        encoded["degraded"] = True
+        # Not cached: a healthy engine must not serve flagged answers.
+        self.metrics.record_request(kind, perf_counter() - start,
+                                    degraded=True)
         return encoded
 
     def info(self) -> dict:
@@ -202,6 +315,9 @@ class QueryService:
             "max_queue_depth": self.config.limits.max_queue_depth,
             "max_batch": self.config.limits.max_batch,
             "default_deadline_s": self.config.limits.default_deadline_s,
+            "fallback": self.config.fallback,
+            "breaker_threshold": self.config.breaker_threshold,
+            "breaker_reset_s": self.config.breaker_reset_s,
         }
 
     def metrics_snapshot(self) -> dict:
@@ -209,16 +325,35 @@ class QueryService:
         return self.metrics.snapshot(cache_stats=self.cache.stats())
 
     def healthz(self) -> dict:
-        """Liveness body: cheap, allocation-light, never blocks on the queue."""
-        return {
-            "status": "ok",
+        """Liveness body: cheap, allocation-light, never blocks on the queue.
+
+        ``status`` is ``"ok"`` on the primary engine path and
+        ``"degraded"`` while answers come from the naive fallback (open
+        circuit breaker or a permanently corrupt index).  Degraded is
+        still *healthy* — answers remain exact — so orchestrators should
+        alert on it, not restart on it.
+        """
+        breaker = self.breaker.snapshot()
+        degraded = (self.degraded_reason is not None
+                    or breaker["state"] != "closed")
+        body = {
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
+            "breaker": breaker["state"],
             "uptime_s": self.metrics.uptime_s(),
             "queue_depth": self.scheduler.queue_depth(),
         }
+        if self.degraded_reason is not None:
+            body["degraded_reason"] = self.degraded_reason
+        return body
 
-    def close(self) -> None:
-        """Stop the dispatcher thread; the service cannot answer afterwards."""
-        self.scheduler.close()
+    def close(self, drain: bool = True) -> None:
+        """Stop the dispatcher thread; the service cannot answer afterwards.
+
+        With ``drain`` (default) already-admitted requests are answered
+        first and anything shed on the way down gets a structured 503.
+        """
+        self.scheduler.close(drain=drain)
 
     def __enter__(self) -> "QueryService":
         return self

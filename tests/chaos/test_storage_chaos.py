@@ -1,0 +1,188 @@
+"""Chaos tests for crash-safe index persistence.
+
+The contract under attack (ISSUE acceptance): an interrupted or
+corrupted save must **never** yield an index that loads successfully but
+answers incorrectly.  Every outcome here is one of:
+
+* the save crashes and the *old* index still loads bit-exact;
+* the load raises a structured :class:`IndexCorruptionError` /
+  :class:`DataValidationError`;
+* recovery rebuilds the damaged derived artifacts and the healed index
+  answers byte-identically to the exact naive scan.
+"""
+
+import pytest
+
+from repro.core.storage import (
+    ARTIFACT_NAMES,
+    load_index,
+    save_index,
+    verify_index,
+)
+from repro.errors import (
+    DataValidationError,
+    IndexCorruptionError,
+    ReproError,
+)
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedCrashError,
+    inject,
+)
+
+from .conftest import assert_exact_answer
+
+
+class TestCorruptOnWrite:
+    @pytest.mark.parametrize("artifact", ARTIFACT_NAMES)
+    def test_corruption_of_any_artifact_is_detected(self, built_index,
+                                                    naive_oracle, chaos_seed,
+                                                    tmp_path, artifact):
+        """Flip bytes in one artifact as it is written: the loader must
+
+        either refuse with a structured error or (with recovery) answer
+        exactly — silent wrong answers are the one forbidden outcome."""
+        plan = FaultPlan(seed=chaos_seed).add(
+            f"storage.write.{artifact}", "corrupt", corrupt_bytes=16)
+        with inject(plan) as injector:
+            save_index(tmp_path / "idx", built_index)
+        assert injector.fired() == 1
+
+        with pytest.raises((IndexCorruptionError, DataValidationError)):
+            load_index(tmp_path / "idx")
+
+        report = verify_index(tmp_path / "idx")
+        assert not report["ok"]
+        assert report["damaged"] == [artifact]
+
+    @pytest.mark.parametrize("artifact", ["pa.rrqa", "wa.rrqa"])
+    def test_derived_corruption_recovers_and_answers_exactly(
+            self, built_index, naive_oracle, chaos_seed, tmp_path, artifact):
+        plan = FaultPlan(seed=chaos_seed).add(
+            f"storage.write.{artifact}", "corrupt")
+        with inject(plan):
+            save_index(tmp_path / "idx", built_index)
+        assert verify_index(tmp_path / "idx")["recoverable"]
+
+        healed = load_index(tmp_path / "idx", recover=True)
+        assert verify_index(tmp_path / "idx")["ok"]
+        from repro.service.server import encode_result
+
+        for i in (0, 17, 63):
+            q = healed.products[i]
+            encoded = encode_result(healed.reverse_topk(q, 8), "rtk")
+            assert_exact_answer(encoded, naive_oracle, q, "rtk", 8)
+
+    @pytest.mark.parametrize("artifact",
+                             ["products.rrq", "weights.rrq", "grid.meta"])
+    def test_recovery_refuses_when_raw_or_meta_damaged(
+            self, built_index, chaos_seed, tmp_path, artifact):
+        plan = FaultPlan(seed=chaos_seed).add(
+            f"storage.write.{artifact}", "corrupt")
+        with inject(plan):
+            save_index(tmp_path / "idx", built_index)
+        with pytest.raises(IndexCorruptionError) as excinfo:
+            load_index(tmp_path / "idx", recover=True)
+        assert not excinfo.value.recoverable
+        assert artifact in excinfo.value.artifacts
+
+
+class TestPartialWrite:
+    @pytest.mark.parametrize("artifact",
+                             list(ARTIFACT_NAMES) + ["MANIFEST.json"])
+    def test_torn_write_never_yields_loadable_but_wrong(
+            self, built_index, naive_oracle, chaos_seed, tmp_path, artifact):
+        """kill -9 mid-write of each file in turn.  Either the directory
+
+        refuses to load, or (manifest torn last, artifacts intact via the
+        legacy path is impossible — the torn manifest is detected) —
+        loading must raise; if it ever succeeded, answers would have to
+        be exact, which we also check."""
+        plan = FaultPlan(seed=chaos_seed).add(
+            f"storage.write.{artifact}", "partial_write", keep_fraction=0.5)
+        with inject(plan):
+            with pytest.raises(InjectedCrashError):
+                save_index(tmp_path / "idx", built_index)
+
+        try:
+            loaded = load_index(tmp_path / "idx")
+        except ReproError:
+            return  # structured refusal: the acceptable outcome
+        from repro.service.server import encode_result
+
+        for i in (3, 29):  # pragma: no cover - defensive exactness check
+            q = loaded.products[i]
+            encoded = encode_result(loaded.reverse_topk(q, 6), "rtk")
+            assert_exact_answer(encoded, naive_oracle, q, "rtk", 6)
+
+    def test_crash_during_resave_leaves_old_index_valid(
+            self, built_index, chaos_seed, tmp_path):
+        """Overwriting a good index dies on the first artifact: the
+
+        atomic-write dance must leave the previous generation intact."""
+        save_index(tmp_path / "idx", built_index)
+        before = {name: (tmp_path / "idx" / name).read_bytes()
+                  for name in ARTIFACT_NAMES}
+
+        plan = FaultPlan(seed=chaos_seed).add(
+            "storage.write.products.rrq", "io_error")
+        with inject(plan):
+            with pytest.raises(OSError):
+                save_index(tmp_path / "idx", built_index)
+
+        assert verify_index(tmp_path / "idx")["ok"]
+        after = {name: (tmp_path / "idx" / name).read_bytes()
+                 for name in ARTIFACT_NAMES}
+        assert before == after
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.partitions == built_index.partitions
+
+
+class TestLoadFaults:
+    def test_io_error_on_load_surfaces_structured(self, built_index,
+                                                  chaos_seed, tmp_path):
+        save_index(tmp_path / "idx", built_index)
+        plan = FaultPlan(seed=chaos_seed).add("storage.load", "io_error")
+        with inject(plan):
+            with pytest.raises(OSError):
+                load_index(tmp_path / "idx")
+        # The fault disarmed itself; the index is undamaged.
+        assert load_index(tmp_path / "idx") is not None
+
+    def test_latency_on_load_is_survivable(self, built_index, chaos_seed,
+                                           tmp_path):
+        save_index(tmp_path / "idx", built_index)
+        plan = FaultPlan(seed=chaos_seed).add("storage.load", "latency",
+                                              latency_s=0.01)
+        with inject(plan) as injector:
+            load_index(tmp_path / "idx")
+        assert injector.log == [("storage.load", "latency")]
+
+
+class TestDeterminism:
+    def test_same_seed_same_log_same_bytes(self, built_index, chaos_seed,
+                                           tmp_path):
+        """A CI chaos run with a fixed seed reproduces byte-for-byte."""
+        logs, payloads = [], []
+        for attempt in range(2):
+            target = tmp_path / f"idx{attempt}"
+            plan = (FaultPlan(seed=chaos_seed)
+                    .add("storage.write.pa.rrqa", "corrupt")
+                    .add("storage.write.weights.rrq", "corrupt",
+                         probability=0.5, times=None))
+            with inject(plan) as injector:
+                save_index(target, built_index)
+            logs.append(list(injector.log))
+            payloads.append((target / "pa.rrqa").read_bytes())
+        assert logs[0] == logs[1]
+        assert payloads[0] == payloads[1]
+
+    def test_injector_reusable_plan_restarts_arm_counts(self, chaos_seed):
+        plan = FaultPlan(seed=chaos_seed).add("s", "io_error", times=1)
+        for _ in range(2):  # fresh injector -> fresh arm count
+            injector = FaultInjector(plan)
+            with pytest.raises(OSError):
+                injector.fire("s")
+            injector.fire("s")
+            assert injector.fired() == 1

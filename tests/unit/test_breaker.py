@@ -1,0 +1,125 @@
+"""Unit tests for the circuit breaker (repro.resilience.breaker).
+
+All tests drive an injectable fake clock — no sleeps, no timing luck.
+"""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make(clock, threshold=3, reset=10.0):
+    return CircuitBreaker(failure_threshold=threshold, reset_after_s=reset,
+                          clock=clock)
+
+
+class TestValidation:
+    def test_bad_threshold(self, clock):
+        with pytest.raises(InvalidParameterError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+
+    def test_bad_reset(self, clock):
+        with pytest.raises(InvalidParameterError):
+            CircuitBreaker(reset_after_s=-1.0, clock=clock)
+
+
+class TestTransitions:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make(clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self, clock):
+        breaker = make(clock, threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_count(self, clock):
+        breaker = make(clock, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_after_cooldown(self, clock):
+        breaker = make(clock, threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()      # this caller is the probe
+        assert not breaker.allow()  # only one probe at a time
+
+    def test_probe_success_closes(self, clock):
+        breaker = make(clock, threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clock):
+        breaker = make(clock, threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()  # single failure re-opens from half-open
+        assert breaker.state == OPEN
+        clock.advance(9.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_lost_probe_is_regranted_after_another_cooldown(self, clock):
+        """A probe shed by admission control must not wedge the breaker."""
+        breaker = make(clock, threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # probe claimed... and never reported back
+        clock.advance(9.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()  # fresh probe granted
+
+
+class TestSnapshot:
+    def test_snapshot_counts_trips(self, clock):
+        breaker = make(clock, threshold=2, reset=5.0)
+        snap = breaker.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["trips"] == 0
+        breaker.record_failure()
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["trips"] == 1
+        assert snap["consecutive_failures"] == 2
+        clock.advance(5.0)
+        assert breaker.snapshot()["state"] == HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.snapshot()["trips"] == 1

@@ -158,3 +158,44 @@ class TestHelpers:
         P, W = figure1_data
         # Tom's score for p1 = 0.6*0.8 + 0.7*0.2 = 0.62 (paper Section 1).
         assert score(W[0], P[0]) == pytest.approx(0.62)
+
+
+class TestRowLevelDiagnostics:
+    """Validation failures must name the first offending row (ISSUE:
+
+    a million-row ingest that dies with "contains NaN" and no coordinates
+    is a debugging session; with the row index it is a grep)."""
+
+    def test_nan_names_row_and_values(self):
+        rows = [[0.1, 0.2], [0.3, float("nan")], [0.5, 0.5]]
+        with pytest.raises(DataValidationError,
+                           match=r"first offending row 1"):
+            ProductSet(rows)
+
+    def test_inf_names_row(self):
+        rows = [[0.1, 0.2], [0.3, 0.4], [float("inf"), 0.5]]
+        with pytest.raises(DataValidationError,
+                           match=r"first offending row 2"):
+            ProductSet(rows)
+
+    def test_negative_names_row(self):
+        rows = [[0.1, 0.2], [-0.3, 0.4]]
+        with pytest.raises(DataValidationError,
+                           match=r"negative values.*first offending row 1"):
+            ProductSet(rows)
+
+    def test_non_numeric_is_data_validation_error(self):
+        with pytest.raises(DataValidationError, match="not numeric"):
+            ProductSet([["a", "b"]])
+
+    def test_weight_sum_error_names_row_and_sum(self):
+        rows = [[0.5, 0.5], [0.9, 0.3]]
+        with pytest.raises(DataValidationError,
+                           match=r"weight vector 1 sums to 1.2"):
+            WeightSet(rows)
+
+    def test_renormalize_zero_sum_names_row(self):
+        rows = [[0.5, 0.5], [0.0, 0.0]]
+        with pytest.raises(DataValidationError,
+                           match=r"first offending row 1"):
+            WeightSet(rows, renormalize=True)

@@ -1,0 +1,165 @@
+"""Unit tests for the fault-injection harness (repro.resilience.faults)."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+    active_injector,
+    fire,
+    inject,
+    no_faults,
+    set_injector,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown fault kind"):
+            FaultSpec(site="x", kind="explode")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultSpec(site="x", kind="raise", probability=1.5)
+
+    def test_bad_times_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultSpec(site="x", kind="raise", times=0)
+
+    def test_bad_keep_fraction_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultSpec(site="x", kind="partial_write", keep_fraction=1.0)
+
+
+class TestFaultPlan:
+    def test_add_is_chainable_and_sites_deduplicate(self):
+        plan = (FaultPlan(seed=7)
+                .add("a", "io_error")
+                .add("b", "latency")
+                .add("a", "raise"))
+        assert plan.sites() == ("a", "b")
+        assert len(plan.specs) == 3
+
+
+class TestFire:
+    def test_io_error_fires_then_disarms(self):
+        plan = FaultPlan().add("s", "io_error", times=2)
+        injector = FaultInjector(plan)
+        for _ in range(2):
+            with pytest.raises(OSError, match="injected I/O error at s"):
+                injector.fire("s")
+        injector.fire("s")  # disarmed: no-op
+        assert injector.fired("s") == 2
+        assert injector.log == [("s", "io_error"), ("s", "io_error")]
+
+    def test_raise_uses_given_exception(self):
+        plan = FaultPlan().add("s", "raise",
+                               exception=RuntimeError("backend down"))
+        injector = FaultInjector(plan)
+        with pytest.raises(RuntimeError, match="backend down"):
+            injector.fire("s")
+
+    def test_raise_accepts_factory(self):
+        plan = FaultPlan().add("s", "raise",
+                               exception=lambda: KeyError("made fresh"))
+        injector = FaultInjector(plan)
+        with pytest.raises(KeyError):
+            injector.fire("s")
+
+    def test_latency_sleeps_then_continues(self):
+        plan = FaultPlan().add("s", "latency", latency_s=0.0)
+        injector = FaultInjector(plan)
+        injector.fire("s")  # must not raise
+        assert injector.fired() == 1
+
+    def test_other_sites_untouched(self):
+        injector = FaultInjector(FaultPlan().add("s", "io_error"))
+        injector.fire("t")
+        assert injector.fired() == 0
+
+    def test_probability_is_seeded_and_deterministic(self):
+        def run():
+            plan = FaultPlan(seed=42).add("s", "io_error", times=None,
+                                          probability=0.5)
+            injector = FaultInjector(plan)
+            hits = []
+            for _ in range(32):
+                try:
+                    injector.fire("s")
+                    hits.append(0)
+                except OSError:
+                    hits.append(1)
+            return hits
+
+        first, second = run(), run()
+        assert first == second
+        assert 0 < sum(first) < 32
+
+
+class TestMutate:
+    def test_corrupt_flips_exact_bytes_at_fixed_offset(self):
+        plan = FaultPlan().add("s", "corrupt", corrupt_bytes=2,
+                               corrupt_offset=1)
+        injector = FaultInjector(plan)
+        out = injector.mutate("s", b"\x00\x00\x00\x00")
+        assert out == b"\x00\xff\xff\x00"
+
+    def test_corrupt_is_deterministic_per_seed(self):
+        data = bytes(range(64))
+        outs = []
+        for _ in range(2):
+            injector = FaultInjector(
+                FaultPlan(seed=9).add("s", "corrupt", corrupt_bytes=4))
+            outs.append(injector.mutate("s", data))
+        assert outs[0] == outs[1]
+        assert outs[0] != data
+
+    def test_unarmed_site_passes_through(self):
+        injector = FaultInjector(FaultPlan())
+        assert injector.mutate("s", b"abc") == b"abc"
+
+
+class TestPartialWrite:
+    def test_returns_keep_fraction_once(self):
+        plan = FaultPlan().add("s", "partial_write", keep_fraction=0.25)
+        injector = FaultInjector(plan)
+        assert injector.partial_write("s") == 0.25
+        assert injector.partial_write("s") is None
+
+    def test_injected_crash_is_oserror(self):
+        assert issubclass(InjectedCrashError, OSError)
+
+
+class TestGlobalHook:
+    def test_fire_is_noop_without_injector(self):
+        assert active_injector() is None
+        fire("anything")  # must not raise
+
+    def test_inject_scopes_and_restores(self):
+        plan = FaultPlan().add("s", "io_error")
+        with inject(plan) as injector:
+            assert active_injector() is injector
+            with pytest.raises(OSError):
+                fire("s")
+        assert active_injector() is None
+
+    def test_inject_restores_previous_injector(self):
+        outer = FaultInjector(FaultPlan())
+        set_injector(outer)
+        try:
+            with inject(FaultPlan()):
+                assert active_injector() is not outer
+            assert active_injector() is outer
+        finally:
+            set_injector(None)
+
+    def test_no_faults_suppresses_active_plan(self):
+        with inject(FaultPlan().add("s", "io_error", times=None)):
+            with no_faults():
+                fire("s")  # suppressed
+            with pytest.raises(OSError):
+                fire("s")
+        assert active_injector() is None

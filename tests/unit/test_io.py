@@ -104,3 +104,86 @@ class TestApproxFiles:
     def test_rejects_non_2d(self, tmp_path):
         with pytest.raises(DataValidationError):
             save_approx(tmp_path / "x.rrqa", np.zeros(3, dtype=int), bits=4)
+
+
+class TestAtomicWrites:
+    def test_atomic_write_leaves_no_temp_file(self, tmp_path):
+        from repro.data.io import atomic_write_bytes
+
+        path = tmp_path / "m.rrq"
+        n = atomic_write_bytes(path, b"hello")
+        assert n == 5
+        assert path.read_bytes() == b"hello"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_atomic_write_replaces_existing(self, tmp_path):
+        from repro.data.io import atomic_write_bytes
+
+        path = tmp_path / "m.rrq"
+        atomic_write_bytes(path, b"old contents")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_save_refuses_nan(self, tmp_path):
+        from repro.data.io import save_matrix
+
+        arr = np.ones((4, 3))
+        arr[2, 1] = np.nan
+        with pytest.raises(DataValidationError, match="offending row 2"):
+            save_matrix(tmp_path / "m.rrq", arr)
+        assert not (tmp_path / "m.rrq").exists()
+
+    def test_save_refuses_inf(self, tmp_path):
+        from repro.data.io import save_matrix
+
+        arr = np.ones((4, 3))
+        arr[0, 0] = np.inf
+        with pytest.raises(DataValidationError, match="offending row 0"):
+            save_matrix(tmp_path / "m.rrq", arr)
+
+    def test_truncated_payload_reports_byte_counts(self, tmp_path):
+        arr = np.random.default_rng(8).random((10, 4))
+        path = tmp_path / "m.rrq"
+        save_matrix(path, arr)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 16])
+        with pytest.raises(DataValidationError, match="truncated payload"):
+            load_matrix(path)
+
+    def test_corrupt_approx_payload_wrapped(self, tmp_path):
+        codes = np.random.default_rng(9).integers(0, 16, size=(20, 5))
+        path = tmp_path / "a.rrqa"
+        save_approx(path, codes, bits=4)
+        data = bytearray(path.read_bytes())
+        del data[-3:]  # chop the bit-packed payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(DataValidationError, match="corrupt bit-packed"):
+            load_approx(path)
+
+    def test_injected_corruption_is_applied_on_write(self, tmp_path):
+        from repro.data.io import atomic_write_bytes
+        from repro.resilience.faults import FaultPlan, inject
+
+        path = tmp_path / "blob"
+        plan = FaultPlan().add("io.write.blob", "corrupt",
+                               corrupt_bytes=1, corrupt_offset=0)
+        with inject(plan) as injector:
+            atomic_write_bytes(path, b"\x00\x00\x00")
+        assert injector.fired("io.write.blob") == 1
+        assert path.read_bytes() == b"\xff\x00\x00"
+
+    def test_injected_partial_write_tears_file_and_crashes(self, tmp_path):
+        from repro.data.io import atomic_write_bytes
+        from repro.resilience.faults import (
+            FaultPlan,
+            InjectedCrashError,
+            inject,
+        )
+
+        path = tmp_path / "blob"
+        plan = FaultPlan().add("io.write.blob", "partial_write",
+                               keep_fraction=0.5)
+        with inject(plan):
+            with pytest.raises(InjectedCrashError):
+                atomic_write_bytes(path, b"0123456789")
+        assert path.read_bytes() == b"01234"

@@ -14,6 +14,7 @@ from repro.errors import (
     DeadlineExceededError,
     InvalidParameterError,
     ServiceOverloadError,
+    ServiceUnavailableError,
 )
 from repro.queries.engine import RRQEngine
 from repro.service.limits import ServiceLimits
@@ -152,12 +153,45 @@ class TestOverflow:
         assert snap["requests"]["rejected_overload"] == 1
         scheduler.close()
 
-    def test_close_fails_parked_requests(self, engine):
+    def test_close_fails_parked_requests_with_503(self, engine):
+        """With the dispatcher parked, shutdown sheds the queue as 503s."""
         scheduler = make_scheduler(engine)
         future = scheduler.submit(engine.products[0], "rtk", 5)
         scheduler.close()
-        with pytest.raises(ServiceOverloadError):
+        with pytest.raises(ServiceUnavailableError):
             future.result(timeout=1)
+        snap = scheduler.metrics.snapshot()
+        assert snap["requests"]["rejected_unavailable"] == 1
+
+
+class TestShutdownDrain:
+    def test_close_drains_admitted_requests(self, engine):
+        """Requests admitted before close() are answered, not dropped."""
+        scheduler = make_scheduler(engine, batch_window_s=0.02)
+        futures = [scheduler.submit(engine.products[i], "rtk", 6)
+                   for i in range(4)]
+        scheduler.start()
+        scheduler.close(drain=True)
+        for i, future in enumerate(futures):
+            result = future.result(timeout=1)
+            assert result.weights == engine.reverse_topk(
+                engine.products[i], 6).weights
+
+    def test_submit_after_close_is_503(self, engine):
+        scheduler = make_scheduler(engine)
+        scheduler.start()
+        scheduler.close()
+        with pytest.raises(ServiceUnavailableError):
+            scheduler.submit(engine.products[0], "rtk", 5)
+
+    def test_close_without_drain_sheds_queue(self, engine):
+        scheduler = make_scheduler(engine)
+        futures = [scheduler.submit(engine.products[i], "rtk", 5)
+                   for i in range(3)]
+        scheduler.close(drain=False)
+        for future in futures:
+            with pytest.raises(ServiceUnavailableError):
+                future.result(timeout=1)
 
 
 class TestValidation:
