@@ -8,8 +8,12 @@ Installed as ``repro-rrq``.  Subcommands cover the full life cycle:
 * ``compare`` — run all applicable algorithms on one query and report
   agreement and timings;
 * ``model`` — Theorem-1 partition recommendations for a dimensionality;
-* ``info`` — size report of a persisted index;
-* ``serve`` — run the JSON/HTTP query service over an index or data set.
+* ``info`` — size report of a persisted index, or the durability report
+  (snapshot + WAL integrity) of a ``--durable`` directory;
+* ``serve`` — run the JSON/HTTP query service over an index or data set,
+  or (``--durable``) a write-ahead-logged dynamic engine with mutation
+  endpoints and optional hot-standby replication (``--standby-of``);
+* ``wal-dump`` — print every decoded record of a write-ahead log.
 
 Examples::
 
@@ -19,6 +23,9 @@ Examples::
     repro-rrq compare data/ --product 17 -k 10
     repro-rrq model --dim 20 --epsilon 0.01
     repro-rrq serve idx/ --port 8377 --batch-window-ms 2
+    repro-rrq serve wal/ --durable --dim 6 --fsync always
+    repro-rrq serve wal2/ --durable --standby-of http://127.0.0.1:8377
+    repro-rrq wal-dump wal/
 
 Invalid paths and malformed inputs exit with code 2 and a one-line
 ``error:`` message on stderr — never a traceback.
@@ -206,6 +213,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         fallback=not args.no_fallback,
     )
+    if args.durable:
+        from .durability import DurableDynamicRRQ
+        from .service.server import DurableQueryService
+
+        engine = DurableDynamicRRQ(
+            args.index, dim=args.dim, value_range=args.value_range,
+            fsync=args.fsync, snapshot_every=args.snapshot_every,
+        )
+        role = "standby" if args.standby_of else "primary"
+        service = DurableQueryService(engine, config=config, role=role,
+                                      primary_url=args.standby_of)
+        server = make_server(service, host=args.host, port=args.port,
+                             verbose=args.verbose)
+        info = service.info()
+        print(f"serving durable {info['method']} ({role}, fsync="
+              f"{info['fsync']}, lsn={info['last_lsn']}) over "
+              f"{info['products']}x{info['weights']} (d={info['dim']}) "
+              f"at {server.url}", flush=True)
+        print("endpoints: POST /query /insert /delete /compact /snapshot "
+              "/promote, GET /healthz /metrics /info /replicate",
+              flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            server.server_close()
+            service.close()
+        return 0
     if (Path(args.index) / "grid.meta").exists() or \
             (Path(args.index) / "MANIFEST.json").exists():
         # Index directories go through the resilient path: checksum
@@ -239,8 +275,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
     from .core.storage import index_size_report, verify_index
     from .errors import DataValidationError
 
-    if not Path(args.index).is_dir():
+    path = Path(args.index)
+    if not path.is_dir():
         raise DataValidationError(f"{args.index}: not a directory")
+    if any((path / name).exists()
+           for name in ("wal.log", "CURRENT", "engine.json")):
+        return _durability_info(path)
     report = index_size_report(args.index)
     for name, size in report.items():
         if name == "approx_over_raw":
@@ -256,6 +296,58 @@ def _cmd_info(args: argparse.Namespace) -> int:
                 if integrity["recoverable"] else "")
         print(f"integrity          DAMAGED: {damaged}{hint}")
         return 1
+    return 0
+
+
+def _durability_info(path: Path) -> int:
+    """The ``info`` body for a durability (WAL + snapshot) directory."""
+    import json as _json
+
+    from .durability import durability_report
+
+    params_file = path / "engine.json"
+    if params_file.exists():
+        try:
+            params = _json.loads(params_file.read_text())
+            print(f"{'engine':18s} durable-dynamic (dim={params.get('dim')}, "
+                  f"value_range={params.get('value_range')})")
+        except ValueError:
+            print(f"{'engine':18s} durable-dynamic (engine.json unreadable)")
+    report = durability_report(path)
+    snap = report["snapshot"] if "snapshot" in report else None
+    if snap is not None:
+        print(f"{'snapshot':18s} lsn={snap['lsn']}  {snap['status']}")
+    wal = report["wal"]
+    print(f"{'wal':18s} {wal['records']} records, "
+          f"lsn {wal['first_lsn']}..{wal['last_lsn']}, "
+          f"{wal['torn_bytes']} torn bytes  [{wal['status']}]")
+    if wal["status"] == "corrupt":
+        print(f"{'wal error':18s} {wal['error']} (offset {wal['offset']})")
+    print(f"{'integrity':18s} {'ok' if report['ok'] else 'DAMAGED'}")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_wal_dump(args: argparse.Namespace) -> int:
+    """Decode and print a WAL; exit 1 on mid-log corruption."""
+    from .durability.wal import read_wal, wal_path
+    from .errors import DataValidationError, WalCorruptionError
+
+    path = Path(args.directory)
+    wal_file = path if path.is_file() else wal_path(path)
+    if not wal_file.exists():
+        raise DataValidationError(f"{wal_file}: no write-ahead log found")
+    try:
+        records, valid_bytes, torn = read_wal(wal_file)
+    except WalCorruptionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{'LSN':>10s}  {'OP':<16s}  DIGEST")
+    for record in records:
+        print(f"{record.lsn:>10d}  {record.op:<16s}  {record.digest()}")
+    summary = f"{len(records)} records, {valid_bytes:,} valid bytes"
+    if torn:
+        summary += f", {torn} torn trailing bytes (dropped)"
+    print(summary)
     return 0
 
 
@@ -308,9 +400,16 @@ def build_parser() -> argparse.ArgumentParser:
     model_p.add_argument("--epsilon", type=float, default=0.01)
     model_p.set_defaults(func=_cmd_model)
 
-    info = sub.add_parser("info", help="index size report")
+    info = sub.add_parser("info", help="index size / durability report")
     info.add_argument("index")
     info.set_defaults(func=_cmd_info)
+
+    wal_dump = sub.add_parser(
+        "wal-dump", help="decode a write-ahead log (exit 1 on corruption)"
+    )
+    wal_dump.add_argument("directory",
+                          help="durability directory (or a wal.log file)")
+    wal_dump.set_defaults(func=_cmd_wal_dump)
 
     serve = sub.add_parser("serve", help="run the JSON/HTTP query service")
     serve.add_argument("index", help="index directory (or raw data directory)")
@@ -336,6 +435,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "index artifacts at startup")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request")
+    serve.add_argument("--durable", action="store_true",
+                       help="treat the directory as a WAL+snapshot "
+                            "durability directory and serve the dynamic "
+                            "engine with mutation endpoints")
+    serve.add_argument("--dim", type=int, default=None,
+                       help="dimensionality when creating a fresh "
+                            "--durable directory")
+    serve.add_argument("--value-range", type=float, default=1.0,
+                       help="attribute range of a fresh --durable engine")
+    serve.add_argument("--fsync", choices=("always", "interval", "never"),
+                       default="always",
+                       help="WAL fsync policy (--durable only)")
+    serve.add_argument("--snapshot-every", type=int, default=0,
+                       help="auto-snapshot after this many mutations "
+                            "(0 disables; --durable only)")
+    serve.add_argument("--standby-of", default=None, metavar="URL",
+                       help="run as a hot standby tailing this primary's "
+                            "/replicate feed (reads OK, writes 409)")
     serve.set_defaults(func=_cmd_serve)
     return parser
 

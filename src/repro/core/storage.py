@@ -80,6 +80,76 @@ def _crc32(data: bytes) -> str:
     return f"{zlib.crc32(data) & 0xFFFFFFFF:08x}"
 
 
+# ----------------------------------------------------------------------
+# generic manifest machinery (shared with repro.durability.snapshot)
+# ----------------------------------------------------------------------
+
+
+def write_manifest_dir(directory: PathLike, payloads: Dict[str, bytes],
+                       site_prefix: str = "storage.write") -> Dict[str, dict]:
+    """Write ``payloads`` atomically into ``directory``, manifest last.
+
+    The generic commit protocol both the index store and the durability
+    snapshots use: each artifact lands via temp-file + fsync + rename
+    (fault site ``<site_prefix>.<name>``), and ``MANIFEST.json`` —
+    per-file byte counts and CRC32 checksums — is written only after
+    every artifact it describes is durably in place.  Returns the
+    per-file manifest entries.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    files = {}
+    for name, data in payloads.items():
+        atomic_write_bytes(path / name, data, site=f"{site_prefix}.{name}")
+        files[name] = {"bytes": len(data), "crc32": _crc32(data)}
+    manifest = {
+        "format": _MANIFEST_FORMAT,
+        "checksum": "crc32",
+        "files": files,
+    }
+    atomic_write_bytes(
+        path / _MANIFEST_NAME,
+        json.dumps(manifest, indent=2, sort_keys=True).encode(),
+        site=f"{site_prefix}.{_MANIFEST_NAME}",
+    )
+    return files
+
+
+def verify_manifest_dir(directory: PathLike) -> dict:
+    """Check every artifact in ``directory`` against its manifest.
+
+    Returns ``{"ok": bool, "manifest": "ok"|"missing"|"corrupt",
+    "artifacts": {name: status}, "damaged": [...]}`` without parsing any
+    artifact — pure presence + checksum verification.
+    """
+    path = Path(directory)
+    report: dict = {"ok": False, "manifest": "ok",
+                    "artifacts": {}, "damaged": []}
+    if not (path / _MANIFEST_NAME).exists():
+        report["manifest"] = "missing"
+        report["damaged"] = [_MANIFEST_NAME]
+        return report
+    try:
+        manifest = _read_manifest(path)
+    except IndexCorruptionError:
+        report["manifest"] = "corrupt"
+        report["damaged"] = [_MANIFEST_NAME]
+        return report
+    for name, entry in manifest["files"].items():
+        target = path / name
+        if not target.exists():
+            status = "missing"
+        else:
+            data = target.read_bytes()
+            status = ("ok" if _crc32(data) == entry.get("crc32")
+                      and len(data) == entry.get("bytes") else "corrupt")
+        report["artifacts"][name] = status
+        if status != "ok":
+            report["damaged"].append(name)
+    report["ok"] = not report["damaged"]
+    return report
+
+
 def _artifact_payloads(gir: GridIndexRRQ) -> Dict[str, bytes]:
     """Serialize every index artifact to bytes (the save/heal unit)."""
     bits = bits_needed(gir.partitions)
@@ -110,27 +180,14 @@ def save_index(directory: PathLike, gir: GridIndexRRQ) -> dict:
     provably inconsistent directory, never a torn file.
     """
     path = Path(directory)
-    path.mkdir(parents=True, exist_ok=True)
-    payloads = _artifact_payloads(gir)
-    files = {}
-    for name, data in payloads.items():
-        atomic_write_bytes(path / name, data, site=f"storage.write.{name}")
-        files[name] = {"bytes": len(data), "crc32": _crc32(data)}
-    manifest = {
-        "format": _MANIFEST_FORMAT,
-        "checksum": "crc32",
-        "files": files,
-    }
-    manifest_bytes = json.dumps(manifest, indent=2, sort_keys=True).encode()
-    atomic_write_bytes(path / _MANIFEST_NAME, manifest_bytes,
-                       site=f"storage.write.{_MANIFEST_NAME}")
+    files = write_manifest_dir(path, _artifact_payloads(gir))
     return {
         "products_bytes": files["products.rrq"]["bytes"],
         "weights_bytes": files["weights.rrq"]["bytes"],
         "pa_bytes": files["pa.rrqa"]["bytes"],
         "wa_bytes": files["wa.rrqa"]["bytes"],
         "meta_bytes": files[_META_NAME]["bytes"],
-        "manifest_bytes": len(manifest_bytes),
+        "manifest_bytes": (path / _MANIFEST_NAME).stat().st_size,
     }
 
 
@@ -171,35 +228,22 @@ def verify_index(directory: PathLike) -> dict:
     report ``manifest: "missing"`` and only presence checks.
     """
     path = Path(directory)
-    report: dict = {"ok": False, "manifest": "ok",
-                    "artifacts": {}, "damaged": [], "recoverable": False}
     if not (path / _MANIFEST_NAME).exists():
-        report["manifest"] = "missing"
+        report: dict = {"ok": False, "manifest": "missing",
+                        "artifacts": {}, "damaged": [],
+                        "recoverable": False}
         for name in ARTIFACT_NAMES:
             status = "ok" if (path / name).exists() else "missing"
             report["artifacts"][name] = status
             if status != "ok":
                 report["damaged"].append(name)
     else:
-        try:
-            manifest = _read_manifest(path)
-        except IndexCorruptionError:
-            report["manifest"] = "corrupt"
+        report = verify_manifest_dir(path)
+        report["recoverable"] = False
+        if report["manifest"] == "corrupt":
             report["artifacts"] = {name: "unverified"
                                    for name in ARTIFACT_NAMES}
-            report["damaged"] = [_MANIFEST_NAME]
             return report
-        for name, entry in manifest["files"].items():
-            target = path / name
-            if not target.exists():
-                status = "missing"
-            else:
-                data = target.read_bytes()
-                status = ("ok" if _crc32(data) == entry.get("crc32")
-                          and len(data) == entry.get("bytes") else "corrupt")
-            report["artifacts"][name] = status
-            if status != "ok":
-                report["damaged"].append(name)
     report["ok"] = not report["damaged"]
     report["recoverable"] = bool(report["damaged"]) and \
         set(report["damaged"]) <= REBUILDABLE

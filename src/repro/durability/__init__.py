@@ -1,0 +1,52 @@
+"""repro.durability — durable mutations for the dynamic engine.
+
+The paper's static ``P``/``W`` assumption is relaxed by
+:mod:`repro.ext.dynamic`; this package gives those mutations the same
+crash-safety story the static index store (:mod:`repro.core.storage`)
+already has, plus a warm standby:
+
+* :mod:`.wal` — a length-prefixed, CRC32-framed write-ahead log with an
+  ``always|interval|never`` fsync policy.  Torn trailing records (an
+  interrupted append) are detected and dropped; mid-log damage raises a
+  structured :class:`~repro.errors.WalCorruptionError`.
+* :mod:`.snapshot` — full-state snapshots written through the same
+  atomic-manifest machinery as the index store, committed by an atomic
+  ``CURRENT`` pointer flip, after which the WAL is truncated at the
+  snapshot barrier.
+* :mod:`.engine` — :class:`DurableDynamicRRQ`, the log-before-apply
+  wrapper around :class:`~repro.ext.dynamic.DynamicRRQEngine` that
+  recovers on startup (latest valid snapshot + WAL tail replay, LSN
+  idempotent) and feeds log-shipping replication.
+* :mod:`.replica` — the standby tailer that follows a primary's
+  ``GET /replicate`` feed, applies records through its own durable
+  path, and reports replication lag until promoted.
+
+The durability invariant, enforced by ``tests/chaos/``: after any
+injected crash, recovery yields an engine whose every query answer is
+byte-identical to a fresh ``NaiveRRQ`` over exactly the acknowledged
+mutation prefix — an acknowledged write is never lost, an
+unacknowledged write is atomically absent.
+"""
+
+from .engine import DurableDynamicRRQ
+from .replica import ReplicaTailer
+from .snapshot import (
+    current_snapshot_lsn,
+    durability_report,
+    load_snapshot,
+    write_snapshot,
+)
+from .wal import (
+    FSYNC_POLICIES,
+    WalRecord,
+    WalWriter,
+    read_wal,
+    wal_path,
+)
+
+__all__ = [
+    "DurableDynamicRRQ", "ReplicaTailer",
+    "WalRecord", "WalWriter", "read_wal", "wal_path", "FSYNC_POLICIES",
+    "write_snapshot", "load_snapshot", "current_snapshot_lsn",
+    "durability_report",
+]

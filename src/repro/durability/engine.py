@@ -1,0 +1,522 @@
+"""``DurableDynamicRRQ``: the log-before-apply wrapper around the
+dynamic engine.
+
+Every mutation follows the same three-step dance, serialized under one
+reentrant lock shared with the query path::
+
+    validate  ->  WAL append (+fsync per policy)  ->  apply in memory
+                  ^^^^^^^^^^ the acknowledgment point
+
+A mutation is acknowledged to the caller only after its record is in
+the log, so a crash at any instant loses *at most* unacknowledged work;
+recovery loads the latest committed snapshot, replays the WAL tail
+(records at or below the snapshot barrier are skipped — replay is
+idempotent by LSN), drops a torn trailing record, and refuses with
+:class:`~repro.errors.WalCorruptionError` on mid-log damage.
+
+Replication rides the same log: the engine retains recent records in
+memory and serves them through :meth:`replication_feed`; a standby that
+has fallen behind the retained window (or starts empty) receives a
+``reset`` record carrying the full state, then tails incrementally.
+:meth:`apply_replicated` is the standby half — it persists the
+primary's records under the primary's LSNs into the standby's own WAL
+before applying them, so a promoted standby is itself durable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..data.datasets import check_query_point
+from ..data.io import atomic_write_bytes
+from ..errors import DataValidationError, InvalidParameterError
+from ..ext.dynamic import DynamicRRQEngine
+from ..resilience.faults import fire
+from .snapshot import load_snapshot, sweep_orphans, write_snapshot
+from .wal import WalRecord, WalWriter, read_wal, wal_path
+
+PathLike = Union[str, Path]
+
+_PARAMS_NAME = "engine.json"
+
+#: Every op the WAL may carry (``reset`` is the full-state transfer).
+WAL_OPS = ("insert_product", "delete_product", "insert_weight",
+           "delete_weight", "compact", "rebuild", "reset")
+
+#: How many applied records are retained in memory for the feed.
+DEFAULT_FEED_RETAIN = 65536
+
+#: Most records one ``replication_feed`` response returns.
+DEFAULT_FEED_BATCH = 512
+
+
+def _vector_list(row: np.ndarray) -> List[float]:
+    """Exact JSON encoding of one vector (Python float repr round-trips)."""
+    return [float(x) for x in row]
+
+
+class DurableDynamicRRQ:
+    """A :class:`DynamicRRQEngine` whose mutations survive crashes.
+
+    Parameters
+    ----------
+    directory:
+        The durability directory (WAL + snapshots + params).  When it
+        already holds state, recovery runs and the constructor's engine
+        parameters are ignored in favor of the persisted ones.
+    dim:
+        Required when creating a fresh directory.
+    fsync:
+        WAL fsync policy — ``always`` (acknowledged writes survive power
+        loss), ``interval`` (survive process death; a machine crash may
+        lose the last interval), ``never`` (flush to the OS only).
+    snapshot_every:
+        Take a snapshot automatically after this many applied mutations
+        (0 disables; :meth:`snapshot` is always available manually).
+    """
+
+    method = "durable-dynamic"
+
+    def __init__(self, directory: PathLike, dim: Optional[int] = None,
+                 value_range: float = 1.0, partitions: int = 32,
+                 chunk: int = 256, fsync: str = "always",
+                 fsync_interval_s: float = 0.05,
+                 snapshot_every: int = 0,
+                 feed_retain: int = DEFAULT_FEED_RETAIN):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.lock = threading.RLock()
+        self._fsync_policy = fsync
+        self._fsync_interval_s = fsync_interval_s
+        self.snapshot_every = max(0, int(snapshot_every))
+        self.snapshots_taken = 0
+        self.replayed_records = 0
+        self.replay_time_s = 0.0
+        self.snapshot_lsn = 0
+        self._mutations_since_snapshot = 0
+        self._feed: Deque[WalRecord] = deque(maxlen=max(1, int(feed_retain)))
+
+        params = self._load_params()
+        if params is None:
+            if dim is None:
+                raise InvalidParameterError(
+                    f"{self.directory} holds no engine state and no 'dim' "
+                    "was given to create one"
+                )
+            params = {"dim": int(dim), "value_range": float(value_range),
+                      "partitions": int(partitions), "chunk": int(chunk)}
+            self._write_params(params)
+        self.params = params
+        self.engine = DynamicRRQEngine(**params)
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # construction / recovery
+    # ------------------------------------------------------------------
+
+    def _params_path(self) -> Path:
+        return self.directory / _PARAMS_NAME
+
+    def _load_params(self) -> Optional[dict]:
+        target = self._params_path()
+        if not target.exists():
+            return None
+        try:
+            params = json.loads(target.read_text())
+            return {"dim": int(params["dim"]),
+                    "value_range": float(params["value_range"]),
+                    "partitions": int(params["partitions"]),
+                    "chunk": int(params["chunk"])}
+        except (ValueError, KeyError, TypeError):
+            raise DataValidationError(
+                f"{target}: malformed engine parameter file"
+            ) from None
+
+    def _write_params(self, params: dict) -> None:
+        atomic_write_bytes(
+            self._params_path(),
+            json.dumps(params, indent=2, sort_keys=True).encode(),
+        )
+
+    def _recover(self) -> None:
+        """Latest committed snapshot + WAL tail replay (LSN-idempotent)."""
+        started = time.perf_counter()
+        snap = load_snapshot(self.directory)
+        applied = 0
+        if snap is not None:
+            self.engine.load_state_arrays(
+                snap["products"], snap["p_alive"],
+                snap["weights"], snap["w_alive"],
+            )
+            applied = self.snapshot_lsn = snap["lsn"]
+        records, valid_bytes, _torn = read_wal(wal_path(self.directory))
+        self._wal_records: List[WalRecord] = list(records)
+        for record in records:
+            if record.lsn <= applied:
+                continue  # at or below the snapshot barrier: already in
+            self._apply(record)
+            applied = record.lsn
+            self.replayed_records += 1
+        self._feed.extend(records)
+        last_lsn = max(applied,
+                       records[-1].lsn if records else 0)
+        self._wal = WalWriter(
+            wal_path(self.directory),
+            fsync=self._fsync_policy,
+            fsync_interval_s=self._fsync_interval_s,
+            truncate_to=valid_bytes,
+            next_lsn=last_lsn + 1,
+        )
+        self.replay_time_s = time.perf_counter() - started
+        sweep_orphans(self.directory)
+
+    @classmethod
+    def open(cls, directory: PathLike, **kwargs) -> "DurableDynamicRRQ":
+        """Open (recover) or create a durability directory (alias)."""
+        return cls(directory, **kwargs)
+
+    @classmethod
+    def bootstrap(cls, directory: PathLike, products, weights,
+                  partitions: int = 32, chunk: int = 256,
+                  fsync: str = "always",
+                  snapshot_every: int = 0) -> "DurableDynamicRRQ":
+        """Seed a fresh durability directory from static containers.
+
+        The whole initial state is logged as one ``reset`` record (so a
+        standby tailing from LSN 0 receives it) and then captured in a
+        snapshot, leaving a truncated WAL.
+        """
+        engine = DynamicRRQEngine.from_datasets(
+            products, weights, partitions=partitions, chunk=chunk
+        )
+        durable = cls.open(directory, fsync=fsync,
+                           snapshot_every=snapshot_every,
+                           dim=products.dim,
+                           value_range=products.value_range,
+                           partitions=partitions, chunk=chunk)
+        if durable.last_lsn:
+            return durable  # directory already had history: recover wins
+        state = engine.state_arrays()
+        durable._log_and_apply("reset", {
+            "params": durable.params,
+            "products": [_vector_list(r) for r in state["products"]],
+            "p_alive": [bool(x) for x in state["p_alive"]],
+            "weights": [_vector_list(r) for r in state["weights"]],
+            "w_alive": [bool(x) for x in state["w_alive"]],
+        })
+        durable.snapshot()
+        return durable
+
+    # ------------------------------------------------------------------
+    # the WAL state machine
+    # ------------------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the last acknowledged (logged) mutation."""
+        if hasattr(self, "_wal"):
+            return self._wal.last_lsn
+        return 0
+
+    def _validate(self, op: str, data: dict) -> None:
+        """Reject a bad mutation *before* it reaches the log.
+
+        Log-before-apply only works if apply cannot fail on anything a
+        caller can get wrong; everything the engine would reject is
+        checked here first, so a validation error leaves no record.
+        """
+        dim = self.params["dim"]
+        if op == "insert_product":
+            row = check_query_point(data["vector"], dim)
+            if row.max(initial=0.0) >= self.params["value_range"]:
+                raise DataValidationError(
+                    "product values must lie in [0, value_range)"
+                )
+        elif op == "insert_weight":
+            row = check_query_point(data["vector"], dim)
+            total = float(row.sum())
+            if data.get("renormalize"):
+                if total <= 0:
+                    raise DataValidationError("weight vector sums to zero")
+            elif abs(total - 1.0) > 1e-6:
+                raise DataValidationError(
+                    f"weight vector sums to {total:.6f}, expected 1.0"
+                )
+        elif op == "delete_product":
+            self.engine.products[int(data["index"])]  # raises if not live
+        elif op == "delete_weight":
+            self.engine.weights[int(data["index"])]
+        elif op not in WAL_OPS:
+            raise InvalidParameterError(f"unknown WAL op {op!r}")
+
+    def _apply(self, record: WalRecord):
+        """Apply one (already validated/logged) record to the engine."""
+        op, data = record.op, record.data
+        if op == "insert_product":
+            return self.engine.insert_product(
+                np.asarray(data["vector"], dtype=np.float64))
+        if op == "delete_product":
+            return self.engine.delete_product(int(data["index"]))
+        if op == "insert_weight":
+            return self.engine.insert_weight(
+                np.asarray(data["vector"], dtype=np.float64),
+                renormalize=bool(data.get("renormalize", False)))
+        if op == "delete_weight":
+            return self.engine.delete_weight(int(data["index"]))
+        if op == "compact":
+            return self.engine.compact()
+        if op == "rebuild":
+            return self.engine.rebuild()
+        if op == "reset":
+            return self._apply_reset(data)
+        raise InvalidParameterError(f"unknown WAL op {op!r}")
+
+    def _apply_reset(self, data: dict) -> None:
+        params = {"dim": int(data["params"]["dim"]),
+                  "value_range": float(data["params"]["value_range"]),
+                  "partitions": int(data["params"]["partitions"]),
+                  "chunk": int(data["params"]["chunk"])}
+        if params != self.params:
+            listeners = self.engine._change_listeners
+            self.params = params
+            self._write_params(params)
+            self.engine = DynamicRRQEngine(**params)
+            self.engine._change_listeners = listeners
+        dim = params["dim"]
+        products = np.asarray(data["products"],
+                              dtype=np.float64).reshape(-1, dim)
+        weights = np.asarray(data["weights"],
+                             dtype=np.float64).reshape(-1, dim)
+        self.engine.load_state_arrays(
+            products, np.asarray(data["p_alive"], dtype=bool),
+            weights, np.asarray(data["w_alive"], dtype=bool),
+        )
+
+    def _log_and_apply(self, op: str, data: dict):
+        """validate -> append (ack) -> apply; returns (lsn, apply result)."""
+        with self.lock:
+            self._validate(op, data)
+            record = self._wal.append(op, data)
+            result = self._apply(record)
+            self._wal_records.append(record)
+            self._feed.append(record)
+            self._mutations_since_snapshot += 1
+            if self.snapshot_every and \
+                    self._mutations_since_snapshot >= self.snapshot_every:
+                self.snapshot()
+            return record.lsn, result
+
+    # ------------------------------------------------------------------
+    # mutations (the public, acknowledged API)
+    # ------------------------------------------------------------------
+
+    def insert_product(self, vector) -> Tuple[int, int]:
+        """Durably add a product; returns ``(stable index, lsn)``."""
+        lsn, idx = self._log_and_apply(
+            "insert_product", {"vector": _vector_list(
+                np.asarray(vector, dtype=np.float64).reshape(-1))})
+        return idx, lsn
+
+    def delete_product(self, index: int) -> int:
+        """Durably tombstone a product; returns the mutation's LSN."""
+        lsn, _ = self._log_and_apply("delete_product",
+                                     {"index": int(index)})
+        return lsn
+
+    def insert_weight(self, vector, renormalize: bool = False
+                      ) -> Tuple[int, int]:
+        """Durably add a preference; returns ``(stable index, lsn)``."""
+        lsn, idx = self._log_and_apply(
+            "insert_weight",
+            {"vector": _vector_list(
+                np.asarray(vector, dtype=np.float64).reshape(-1)),
+             "renormalize": bool(renormalize)})
+        return idx, lsn
+
+    def delete_weight(self, index: int) -> int:
+        """Durably tombstone a preference; returns the mutation's LSN."""
+        lsn, _ = self._log_and_apply("delete_weight", {"index": int(index)})
+        return lsn
+
+    def compact(self):
+        """Durably drop tombstones; returns ``(p_map, w_map, lsn)``.
+
+        The maps give, per old stable index, the new index or -1 — so
+        callers (and replicas, which replay the same op) keep stable
+        ids across the physical reshuffle.
+        """
+        lsn, maps = self._log_and_apply("compact", {})
+        return maps[0], maps[1], lsn
+
+    def rebuild(self) -> int:
+        """Durably force a weight-axis rebuild; returns the LSN."""
+        lsn, _ = self._log_and_apply("rebuild", {})
+        return lsn
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Capture the current state, then truncate the WAL at its barrier.
+
+        Returns the barrier LSN.  Crash-safe at every step: the
+        ``CURRENT`` pointer flip is the commit point, and replay is
+        LSN-idempotent, so a WAL that outlives its snapshot is harmless.
+        """
+        with self.lock:
+            self._wal.sync()
+            barrier = self.last_lsn
+            state = self.engine.state_arrays()
+            write_snapshot(
+                self.directory, lsn=barrier,
+                products=state["products"], p_alive=state["p_alive"],
+                weights=state["weights"], w_alive=state["w_alive"],
+                meta=dict(self.params),
+            )
+            self._wal.truncate_through(barrier, self._wal_records)
+            self._wal_records = [r for r in self._wal_records
+                                 if r.lsn > barrier]
+            self.snapshots_taken += 1
+            self.snapshot_lsn = barrier
+            self._mutations_since_snapshot = 0
+            return barrier
+
+    # ------------------------------------------------------------------
+    # replication
+    # ------------------------------------------------------------------
+
+    def replication_feed(self, since: int,
+                         limit: int = DEFAULT_FEED_BATCH) -> dict:
+        """Records after LSN ``since`` for a tailing standby.
+
+        When ``since`` predates the retained window (a brand-new or
+        long-dead standby) the response instead carries one ``reset``
+        record with the full current state at ``last_lsn``; the standby
+        adopts it and tails incrementally from there.
+        """
+        since = int(since)
+        if since < 0:
+            raise InvalidParameterError("since must be >= 0")
+        with self.lock:
+            fire("replicate.feed")
+            last = self.last_lsn
+            first_retained = self._feed[0].lsn if self._feed else last + 1
+            if since + 1 < first_retained:
+                state = self.engine.state_arrays()
+                reset = WalRecord(lsn=last, op="reset", data={
+                    "params": dict(self.params),
+                    "products": [_vector_list(r)
+                                 for r in state["products"]],
+                    "p_alive": [bool(x) for x in state["p_alive"]],
+                    "weights": [_vector_list(r) for r in state["weights"]],
+                    "w_alive": [bool(x) for x in state["w_alive"]],
+                })
+                return {"reset": True, "last_lsn": last,
+                        "records": [{"lsn": reset.lsn, "op": reset.op,
+                                     "data": reset.data}]}
+            out = [{"lsn": r.lsn, "op": r.op, "data": r.data}
+                   for r in self._feed if r.lsn > since][: int(limit)]
+            return {"reset": False, "last_lsn": last, "records": out}
+
+    def apply_replicated(self, record: WalRecord) -> bool:
+        """Standby apply: persist the primary's record, then apply it.
+
+        Returns False (a no-op) for records at or below the local LSN —
+        replaying a feed twice applies each LSN once.  A ``reset``
+        record replaces the local lineage wholesale; any other gap in
+        LSNs means the standby missed history and must re-sync.
+        """
+        with self.lock:
+            if record.lsn <= self.last_lsn and record.op != "reset":
+                return False
+            if record.op == "reset":
+                if record.lsn < self.last_lsn:
+                    return False  # stale full-state transfer
+                self._wal.reset_to(record.lsn)
+                self._wal.append(record.op, record.data)
+                self._wal_records = [record]
+                self._feed.clear()
+                self._feed.append(record)
+                self._apply(record)
+                self.snapshot()  # make the adopted state cheap to recover
+                return True
+            if record.lsn != self.last_lsn + 1:
+                raise InvalidParameterError(
+                    f"replication gap: got lsn {record.lsn}, expected "
+                    f"{self.last_lsn + 1}; standby must re-sync"
+                )
+            self._wal.append_record(record)  # log-before-apply, as primary
+            self._apply(record)
+            self._wal_records.append(record)
+            self._feed.append(record)
+            return True
+
+    # ------------------------------------------------------------------
+    # queries / serving facade (delegation under the engine lock)
+    # ------------------------------------------------------------------
+
+    @property
+    def products(self):
+        return self.engine.products
+
+    @property
+    def weights(self):
+        return self.engine.weights
+
+    @property
+    def num_products(self) -> int:
+        return self.engine.num_products
+
+    @property
+    def num_weights(self) -> int:
+        return self.engine.num_weights
+
+    def fragmentation(self) -> float:
+        return self.engine.fragmentation()
+
+    def add_change_listener(self, callback) -> None:
+        self.engine.add_change_listener(callback)
+
+    def reverse_topk(self, q, k: int, counter=None):
+        with self.lock:
+            return self.engine.reverse_topk(q, k, counter)
+
+    def reverse_kranks(self, q, k: int, counter=None):
+        with self.lock:
+            return self.engine.reverse_kranks(q, k, counter)
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def durability_stats(self) -> dict:
+        """JSON-ready WAL/snapshot/replay counters (``/metrics``, ``info``)."""
+        with self.lock:
+            return {
+                "wal": self._wal.stats(),
+                "last_lsn": self.last_lsn,
+                "snapshot_lsn": self.snapshot_lsn,
+                "snapshots_taken": self.snapshots_taken,
+                "replayed_records": self.replayed_records,
+                "replay_time_s": self.replay_time_s,
+                "feed_retained": len(self._feed),
+            }
+
+    def close(self) -> None:
+        """Flush and close the WAL; the engine stays queryable in memory."""
+        with self.lock:
+            self._wal.close()
+
+    def __enter__(self) -> "DurableDynamicRRQ":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

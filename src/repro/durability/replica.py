@@ -1,0 +1,168 @@
+"""Hot-standby replication: tail a primary's WAL feed into a local engine.
+
+The primary exposes its log through ``GET /replicate?since=<lsn>``
+(served by :mod:`repro.service.server`), returning::
+
+    {"reset": bool, "last_lsn": int,
+     "records": [{"lsn": int, "op": str, "data": {...}}, ...]}
+
+:class:`ReplicaTailer` polls that feed from a background thread and
+applies each record to a local :class:`~repro.durability.engine.
+DurableDynamicRRQ` through :meth:`apply_replicated` — so the standby
+writes the primary's records into its *own* WAL under the primary's
+LSNs before applying them.  A promoted standby therefore owns a
+complete, recoverable log and can serve writes immediately.
+
+When the standby has fallen behind the primary's retained feed window,
+the primary answers with ``reset: true`` and a single full-state record;
+the tailer applies it and resumes incremental tailing.
+
+Replication lag is ``primary last_lsn − local last_lsn``, measured at
+every successful poll and surfaced through :meth:`status` (the service
+wires this into ``/healthz`` and ``/metrics``).  Transport errors are
+counted, never fatal: the tailer backs off and retries until
+:meth:`stop` (called by ``POST /promote``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Optional
+
+from ..errors import ReproError
+from ..resilience.faults import fire
+from .engine import DurableDynamicRRQ
+from .wal import WalRecord
+
+#: Seconds between polls when the standby is fully caught up.
+DEFAULT_POLL_INTERVAL_S = 0.05
+#: Cap for the exponential error backoff.
+MAX_BACKOFF_S = 2.0
+
+
+def http_feed_fetcher(primary_url: str, *, batch: int = 512,
+                      timeout_s: float = 5.0) -> Callable[[int], dict]:
+    """A fetch callable hitting ``<primary_url>/replicate`` over HTTP."""
+    base = primary_url.rstrip("/")
+
+    def fetch(since: int) -> dict:
+        url = f"{base}/replicate?since={int(since)}&limit={int(batch)}"
+        with urllib.request.urlopen(url, timeout=timeout_s) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    return fetch
+
+
+class ReplicaTailer:
+    """Background thread keeping a standby engine in sync with a primary.
+
+    ``source`` is either a primary base URL (``http://host:port``) or a
+    callable ``fetch(since_lsn) -> feed dict`` (used by in-process
+    tests).  The tailer never mutates the engine except through
+    :meth:`DurableDynamicRRQ.apply_replicated`, so every applied record
+    is WAL-durable on the standby before it is visible to queries.
+    """
+
+    def __init__(self, engine: DurableDynamicRRQ, source,
+                 poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+                 batch: int = 512) -> None:
+        self.engine = engine
+        if callable(source):
+            self._fetch = source
+        else:
+            self._fetch = http_feed_fetcher(str(source), batch=batch)
+        self.poll_interval_s = float(poll_interval_s)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._lag = -1            # unknown until the first successful poll
+        self._applied = 0
+        self._resets = 0
+        self._errors = 0
+        self._last_error = ""
+        self._last_poll_at = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ReplicaTailer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-replica-tailer",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Stop tailing (idempotent).  Called on shutdown and promote."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=timeout_s)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # one poll step (public so tests can drive it synchronously)
+    # ------------------------------------------------------------------
+    def poll_once(self) -> int:
+        """Fetch and apply one feed batch; returns records applied."""
+        fire("replicate.apply")
+        feed = self._fetch(self.engine.last_lsn)
+        records = feed.get("records", [])
+        applied = 0
+        for raw in records:
+            record = WalRecord(lsn=int(raw["lsn"]), op=str(raw["op"]),
+                               data=raw.get("data", {}))
+            if self.engine.apply_replicated(record):
+                applied += 1
+        with self._lock:
+            if feed.get("reset"):
+                self._resets += 1
+            self._applied += applied
+            self._lag = max(0, int(feed.get("last_lsn", 0))
+                            - self.engine.last_lsn)
+            self._last_poll_at = time.time()
+            self._last_error = ""
+        return applied
+
+    def _run(self) -> None:
+        backoff = self.poll_interval_s
+        while not self._stop.is_set():
+            try:
+                applied = self.poll_once()
+            except (urllib.error.URLError, OSError, ValueError,
+                    ReproError) as exc:
+                with self._lock:
+                    self._errors += 1
+                    self._last_error = f"{type(exc).__name__}: {exc}"
+                self._stop.wait(backoff)
+                backoff = min(backoff * 2, MAX_BACKOFF_S)
+                continue
+            backoff = self.poll_interval_s
+            if applied == 0:
+                self._stop.wait(self.poll_interval_s)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """Snapshot for ``/healthz`` and ``/metrics``."""
+        with self._lock:
+            return {
+                "running": self.running,
+                "lag": self._lag,
+                "applied_records": self._applied,
+                "feed_resets": self._resets,
+                "poll_errors": self._errors,
+                "last_error": self._last_error,
+                "last_poll_at": self._last_poll_at,
+                "local_last_lsn": self.engine.last_lsn,
+            }

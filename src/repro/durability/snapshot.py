@@ -1,0 +1,259 @@
+"""Snapshots of the dynamic engine's full state, with atomic commit.
+
+A snapshot is a directory ``snapshot-<lsn>/`` holding the engine's raw
+matrices (products, weights — tombstones included, so stable indices
+survive), the two liveness masks, and a JSON meta file, all written
+through :func:`repro.core.storage.write_manifest_dir` — the same
+temp-file + fsync + rename + manifest-last protocol the static index
+store uses.  Derived state (grid boundaries, quantized codes) is *not*
+persisted: it is rebuilt deterministically from the matrices on load.
+
+Commit protocol (every step crash-safe)::
+
+    1. write snapshot-<lsn>.tmp/ artifacts + manifest   (atomic each)
+    2. rename snapshot-<lsn>.tmp -> snapshot-<lsn>      (atomic, fault
+       site ``snapshot.rename``)
+    3. rewrite CURRENT -> {"snapshot": ..., "lsn": ...} (atomic, fault
+       site ``snapshot.current``) — THE commit point
+    4. truncate the WAL through <lsn>                   (caller's job)
+    5. garbage-collect older snapshot-* directories
+
+A crash before step 3 leaves ``CURRENT`` pointing at the previous
+snapshot with the WAL untruncated — recovery replays everything.  A
+crash between 3 and 4 leaves WAL records at or below the barrier, which
+LSN-idempotent replay skips.  Orphan directories from either window are
+swept on the next successful snapshot (and on recovery).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.storage import verify_manifest_dir, write_manifest_dir
+from ..data.io import atomic_write_bytes, matrix_to_bytes
+from ..errors import (
+    DataValidationError,
+    IndexCorruptionError,
+    WalCorruptionError,
+)
+from ..resilience.faults import fire
+from .wal import read_wal, wal_path
+
+PathLike = Union[str, Path]
+
+CURRENT_NAME = "CURRENT"
+_SNAPSHOT_PREFIX = "snapshot-"
+_SNAPSHOT_FORMAT = 1
+
+#: Artifact names inside one snapshot directory.
+SNAPSHOT_ARTIFACTS = ("products.mat", "weights.mat", "palive.bin",
+                      "walive.bin", "snapshot.meta")
+
+
+def _snapshot_dirname(lsn: int) -> str:
+    return f"{_SNAPSHOT_PREFIX}{int(lsn):012d}"
+
+
+def _pack_mask(mask: np.ndarray) -> bytes:
+    return np.packbits(np.asarray(mask, dtype=bool)).tobytes()
+
+
+def _unpack_mask(data: bytes, count: int) -> np.ndarray:
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+    if len(bits) < count:
+        raise DataValidationError(
+            f"liveness mask holds {len(bits)} bits, expected {count}"
+        )
+    return bits[:count].astype(bool)
+
+
+def write_snapshot(directory: PathLike, *, lsn: int,
+                   products: np.ndarray, p_alive: np.ndarray,
+                   weights: np.ndarray, w_alive: np.ndarray,
+                   meta: dict) -> Path:
+    """Persist one engine state at WAL position ``lsn``; returns its dir.
+
+    ``meta`` carries the engine's construction parameters (dim,
+    value_range, partitions, chunk); row counts and the barrier LSN are
+    added here.  The ``CURRENT`` flip at the end is the commit point.
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    name = _snapshot_dirname(lsn)
+    final = base / name
+    tmp = base / (name + ".tmp")
+    for stale in (tmp, final):
+        if stale.exists():
+            shutil.rmtree(stale)
+    snapshot_meta = dict(meta)
+    snapshot_meta.update({
+        "format": _SNAPSHOT_FORMAT,
+        "lsn": int(lsn),
+        "rows_p": int(products.shape[0]),
+        "rows_w": int(weights.shape[0]),
+    })
+    payloads = {
+        "products.mat": matrix_to_bytes(products),
+        "weights.mat": matrix_to_bytes(weights),
+        "palive.bin": _pack_mask(p_alive),
+        "walive.bin": _pack_mask(w_alive),
+        "snapshot.meta": json.dumps(snapshot_meta, indent=2,
+                                    sort_keys=True).encode(),
+    }
+    write_manifest_dir(tmp, payloads, site_prefix="snapshot.write")
+    fire("snapshot.rename")
+    os.rename(tmp, final)
+    atomic_write_bytes(
+        base / CURRENT_NAME,
+        json.dumps({"snapshot": name, "lsn": int(lsn)},
+                   sort_keys=True).encode(),
+        site="snapshot.current",
+    )
+    sweep_orphans(base, keep=name)
+    return final
+
+
+def sweep_orphans(directory: PathLike, keep: Optional[str] = None) -> int:
+    """Delete uncommitted/superseded ``snapshot-*`` dirs; returns count.
+
+    ``keep`` (defaulting to whatever ``CURRENT`` names) survives;
+    everything else — crashed ``.tmp`` writes, renamed-but-never-
+    committed dirs, superseded generations — is swept.  Best-effort:
+    an unremovable orphan is skipped, never fatal.
+    """
+    base = Path(directory)
+    if keep is None:
+        current = _read_current(base)
+        keep = current["snapshot"] if current else None
+    swept = 0
+    for entry in base.glob(_SNAPSHOT_PREFIX + "*"):
+        if entry.name == keep or not entry.is_dir():
+            continue
+        try:
+            shutil.rmtree(entry)
+            swept += 1
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+    return swept
+
+
+def _read_current(base: Path) -> Optional[dict]:
+    target = base / CURRENT_NAME
+    if not target.exists():
+        return None
+    try:
+        current = json.loads(target.read_bytes())
+        if not isinstance(current, dict) or \
+                not isinstance(current.get("snapshot"), str):
+            raise ValueError("malformed CURRENT")
+        return current
+    except (ValueError, OSError):
+        raise IndexCorruptionError(
+            f"{base}: {CURRENT_NAME} is unreadable — the snapshot commit "
+            "pointer itself is damaged",
+            directory=str(base), artifacts=(CURRENT_NAME,),
+        ) from None
+
+
+def current_snapshot_lsn(directory: PathLike) -> int:
+    """The committed snapshot barrier LSN (0 when no snapshot exists)."""
+    current = _read_current(Path(directory))
+    return int(current["lsn"]) if current else 0
+
+
+def load_snapshot(directory: PathLike) -> Optional[dict]:
+    """Load the committed snapshot state, or ``None`` when there is none.
+
+    Returns ``{"lsn", "meta", "products", "p_alive", "weights",
+    "w_alive"}`` after verifying every artifact against the snapshot's
+    manifest.  A committed-but-damaged snapshot raises
+    :class:`IndexCorruptionError` — acknowledged state is gone, and
+    silently starting empty would violate the durability invariant.
+    """
+    base = Path(directory)
+    current = _read_current(base)
+    if current is None:
+        return None
+    snap_dir = base / current["snapshot"]
+    report = verify_manifest_dir(snap_dir)
+    if not report["ok"]:
+        raise IndexCorruptionError(
+            f"{snap_dir}: committed snapshot failed verification "
+            f"({', '.join(sorted(report['damaged']))}) — restore from the "
+            "standby or a backup",
+            directory=str(snap_dir),
+            artifacts=tuple(sorted(report["damaged"])),
+        )
+    from ..data.io import load_matrix
+
+    meta = json.loads((snap_dir / "snapshot.meta").read_text())
+    if meta.get("format") != _SNAPSHOT_FORMAT:
+        raise DataValidationError(
+            f"{snap_dir}: unsupported snapshot format {meta.get('format')}"
+        )
+    products = load_matrix(snap_dir / "products.mat")
+    weights = load_matrix(snap_dir / "weights.mat")
+    return {
+        "lsn": int(meta["lsn"]),
+        "meta": meta,
+        "products": products,
+        "p_alive": _unpack_mask((snap_dir / "palive.bin").read_bytes(),
+                                meta["rows_p"]),
+        "weights": weights,
+        "w_alive": _unpack_mask((snap_dir / "walive.bin").read_bytes(),
+                                meta["rows_w"]),
+    }
+
+
+def durability_report(directory: PathLike) -> dict:
+    """Integrity report over a durability directory (CLI ``info`` body).
+
+    Verifies the committed snapshot's manifest and decodes the WAL,
+    reporting torn-tail bytes and corruption without mutating anything::
+
+        {"ok": bool, "snapshot": {"lsn", "status"},
+         "wal": {"records", "first_lsn", "last_lsn", "torn_bytes",
+                 "status", ["error"]}}
+    """
+    base = Path(directory)
+    report: dict = {"ok": True}
+    try:
+        current = _read_current(base)
+    except IndexCorruptionError as exc:
+        report.update(ok=False,
+                      snapshot={"lsn": 0, "status": f"corrupt: {exc}"})
+        current = None
+    else:
+        if current is None:
+            report["snapshot"] = {"lsn": 0, "status": "none"}
+        else:
+            verify = verify_manifest_dir(base / current["snapshot"])
+            status = "ok" if verify["ok"] else (
+                "damaged: " + ", ".join(sorted(verify["damaged"])))
+            report["snapshot"] = {"lsn": int(current["lsn"]),
+                                  "status": status}
+            report["ok"] &= verify["ok"]
+    wal_file = wal_path(base)
+    try:
+        records, _, torn = read_wal(wal_file)
+    except WalCorruptionError as exc:
+        report["wal"] = {"status": "corrupt", "error": str(exc),
+                         "offset": exc.offset, "records": 0,
+                         "first_lsn": 0, "last_lsn": exc.lsn,
+                         "torn_bytes": 0}
+        report["ok"] = False
+    else:
+        report["wal"] = {
+            "status": "ok" if not torn else "torn-tail",
+            "records": len(records),
+            "first_lsn": records[0].lsn if records else 0,
+            "last_lsn": records[-1].lsn if records else 0,
+            "torn_bytes": int(torn),
+        }
+    return report

@@ -66,6 +66,33 @@ class IndexCorruptionError(ReproError):
         self.recoverable = bool(recoverable)
 
 
+class WalCorruptionError(ReproError):
+    """A write-ahead log failed its framing or checksum checks mid-log.
+
+    Torn *trailing* records (an interrupted append) are expected after a
+    crash and are silently dropped by recovery; this error is reserved
+    for damage that cannot be explained by a torn tail — a CRC mismatch
+    or framing violation with valid bytes after it — which means
+    acknowledged history is gone and recovery must not silently proceed.
+
+    Attributes
+    ----------
+    path:
+        The WAL file, when known.
+    offset:
+        Byte offset of the first record that failed verification.
+    lsn:
+        LSN of the last successfully decoded record before the damage.
+    """
+
+    def __init__(self, message: str, *, path=None, offset: int = -1,
+                 lsn: int = 0):
+        super().__init__(message)
+        self.path = path
+        self.offset = int(offset)
+        self.lsn = int(lsn)
+
+
 class ServiceError(ReproError):
     """Base class for admission-control rejections raised by
     :mod:`repro.service`.
@@ -95,4 +122,13 @@ class ServiceUnavailableError(ServiceError):
     the server cannot be reached at the transport level (connection
     refused, reset, DNS failure) — distinct from an HTTP-level error,
     which means the server is up and answered.
+    """
+
+
+class NotPrimaryError(ServiceError):
+    """A mutation was sent to a replica that is not the primary (HTTP 409).
+
+    Standbys serve reads (and the replication feed) but refuse writes
+    until promoted via ``POST /promote``; the client uses this signal to
+    keep writes on the primary while reads fail over freely.
     """

@@ -66,8 +66,21 @@ class _GrowableMatrix:
         return idx
 
     def kill(self, idx: int) -> None:
-        if not (0 <= idx < self._used) or not self._alive[idx]:
-            raise InvalidParameterError(f"no live row {idx}")
+        """Tombstone row ``idx``; structured errors, never a raw IndexError.
+
+        Out-of-range and already-tombstoned indices are distinguished so
+        callers (and WAL replay diagnostics) can tell a stale id from a
+        double delete.
+        """
+        idx = int(idx)
+        if not 0 <= idx < self._used:
+            raise InvalidParameterError(
+                f"index {idx} out of range [0, {self._used})"
+            )
+        if not self._alive[idx]:
+            raise InvalidParameterError(
+                f"index {idx} is already deleted (tombstoned)"
+            )
         self._alive[idx] = False
 
     @property
@@ -87,6 +100,59 @@ class _GrowableMatrix:
     @property
     def total_count(self) -> int:
         return self._used
+
+
+class LiveView:
+    """Dataset-like read view over one growable matrix (stable indices).
+
+    The serving stack (``QueryService`` / ``MicroBatchScheduler``) wants
+    something shaped like a :class:`~repro.data.datasets.ProductSet` —
+    ``dim``, ``size``, ``value_range``, ``obj[i]``.  This view provides
+    exactly that over the *live* rows while keeping the engine's stable
+    index space: ``size`` spans every slot ever allocated, and indexing
+    a tombstoned slot raises a structured error.  It deliberately does
+    **not** expose a ``values`` array — that is the scheduler's signal
+    that the data can change under it and the coalesced static-matrix
+    path must not be used.
+    """
+
+    def __init__(self, matrix: _GrowableMatrix, value_range: float):
+        self._matrix = matrix
+        self.value_range = float(value_range)
+
+    @property
+    def dim(self) -> int:
+        return self._matrix.dim
+
+    @property
+    def size(self) -> int:
+        """Stable-index space: every slot ever allocated, dead or alive."""
+        return self._matrix.total_count
+
+    @property
+    def live_count(self) -> int:
+        return self._matrix.live_count
+
+    def live_indices(self) -> np.ndarray:
+        """Stable indices of the live rows, ascending."""
+        return np.flatnonzero(self._matrix.alive)
+
+    def live_values(self) -> np.ndarray:
+        """A copy of the live rows, in stable-index order."""
+        return self._matrix.view[self._matrix.alive].copy()
+
+    def __getitem__(self, idx: int) -> np.ndarray:
+        idx = int(idx)
+        if not 0 <= idx < self._matrix.total_count:
+            raise InvalidParameterError(
+                f"index {idx} out of range [0, {self._matrix.total_count})"
+            )
+        if not self._matrix.alive[idx]:
+            raise InvalidParameterError(f"index {idx} is deleted")
+        return self._matrix.view[idx].copy()
+
+    def __len__(self) -> int:
+        return self.size
 
 
 class DynamicRRQEngine:
@@ -215,6 +281,21 @@ class DynamicRRQEngine:
         self._weights.kill(idx)
         self._notify_change()
 
+    #: Mutation-op aliases matching the WAL vocabulary
+    #: (``insert_product``/``delete_product``/...).
+    delete_product = remove_product
+    delete_weight = remove_weight
+
+    def rebuild(self) -> None:
+        """Force a weight-axis rebuild + re-quantization (``O(|W| d)``).
+
+        Normally triggered implicitly by an out-of-range weight insert;
+        exposed so operators (and the WAL ``rebuild`` op) can re-span
+        boundaries after heavy churn shrank the observed range.
+        """
+        self._rebuild_weight_axis()
+        self._notify_change()
+
     def compact(self) -> Tuple[np.ndarray, np.ndarray]:
         """Drop tombstones physically; returns (product map, weight map).
 
@@ -248,6 +329,65 @@ class DynamicRRQEngine:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+
+    #: Engine identifier shown in ``/info`` and used in cache keys.
+    method = "dynamic"
+
+    @property
+    def products(self) -> LiveView:
+        """Dataset-like live view (stable indices) for the serving stack."""
+        return LiveView(self._products, self.value_range)
+
+    @property
+    def weights(self) -> LiveView:
+        """Dataset-like live view over the preferences."""
+        return LiveView(self._weights, 1.0)
+
+    def state_arrays(self) -> dict:
+        """The full mutable state as plain arrays (snapshot/replication).
+
+        Matrices include tombstoned rows so stable indices survive a
+        round trip; everything derived (grid, quantized codes) is
+        rebuilt deterministically by :meth:`load_state_arrays`.
+        """
+        return {
+            "products": self._products.view.copy(),
+            "p_alive": self._products.alive.copy(),
+            "weights": self._weights.view.copy(),
+            "w_alive": self._weights.alive.copy(),
+        }
+
+    def load_state_arrays(self, products, p_alive, weights, w_alive) -> None:
+        """Replace the engine's state wholesale (snapshot restore).
+
+        Rows are re-inserted in their original order — replaying the
+        exact append/quantize/rebuild path — then tombstones are
+        re-applied, so the restored engine answers queries identically
+        to the one that produced the arrays.
+        """
+        products = np.asarray(products, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        self._products = _GrowableMatrix(self.dim)
+        self._weights = _GrowableMatrix(self.dim)
+        self._pa = np.empty((MIN_CAPACITY, self.dim), dtype=np.int64)
+        self._wa = np.empty((MIN_CAPACITY, self.dim), dtype=np.int64)
+        self._rebuild_weight_axis(initial=True)
+        for row in products:
+            idx = self._products.append(row)
+            self._ensure_code_capacity()
+            self._pa[idx] = self._p_quantizer.quantize(row).astype(np.int64)
+        for row in weights:
+            idx = self._weights.append(row)
+            self._ensure_code_capacity()
+            if float(row.max(initial=0.0)) > self._w_range:
+                self._rebuild_weight_axis()
+            self._wa[idx] = self._w_quantizer.quantize(row).astype(np.int64)
+        for idx in np.flatnonzero(~np.asarray(p_alive, dtype=bool)):
+            self._products.kill(int(idx))
+        for idx in np.flatnonzero(~np.asarray(w_alive, dtype=bool)):
+            self._weights.kill(int(idx))
+        self._pa_low = None
+        self._notify_change()
 
     @property
     def num_products(self) -> int:

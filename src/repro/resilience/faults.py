@@ -52,6 +52,15 @@ site                       where
 ``io.write.<file>``        default site of any other atomic write
 ``scheduler.dispatch``     just before a micro-batch hits the engine
 ``service.query``          entry of :meth:`QueryService.query`
+``service.mutate``         entry of :meth:`DurableQueryService.mutate`
+``wal.append``             after framing, before the WAL write+fsync
+                           (``partial_write`` leaves a torn tail)
+``wal.fsync``              just before ``os.fsync`` of the WAL
+``snapshot.write.<file>``  each snapshot artifact write (incl. manifest)
+``snapshot.rename``        before the ``.tmp`` -> final dir rename
+``snapshot.current``       the ``CURRENT`` pointer flip (commit point)
+``replicate.feed``         entry of the primary's replication feed
+``replicate.apply``        entry of one standby tailer poll
 ========================== ====================================================
 """
 

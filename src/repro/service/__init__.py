@@ -25,6 +25,12 @@ to the exact naive scan with ``"degraded": true``; shutdown drains the
 queue with structured 503s; the client retries 429/503/transport failures
 with jittered exponential backoff under a total deadline.  See
 ``docs/operations.md``.
+
+Durability: :class:`.server.DurableQueryService` serves a write-ahead-
+logged dynamic engine (:mod:`repro.durability`), adding mutation
+endpoints (``POST /insert``, ``/delete``, ``/compact``, ``/snapshot``),
+a WAL feed for hot standbys (``GET /replicate``), standby promotion
+(``POST /promote``), and client-side endpoint failover.
 """
 
 from .cache import ResultCache, bind_dynamic, make_key
@@ -33,6 +39,7 @@ from .limits import Deadline, ServiceLimits, http_status, rejection_body
 from .metrics import ServiceMetrics, percentile
 from .scheduler import DEFAULT_BATCH_WINDOW_S, MicroBatchScheduler
 from .server import (
+    DurableQueryService,
     QueryService,
     ReverseRankHTTPServer,
     ServiceConfig,
@@ -43,7 +50,7 @@ from .server import (
 )
 
 __all__ = [
-    "QueryService", "ServiceConfig", "ServiceClient",
+    "QueryService", "DurableQueryService", "ServiceConfig", "ServiceClient",
     "ReverseRankHTTPServer", "make_server", "serve_in_background",
     "MicroBatchScheduler", "DEFAULT_BATCH_WINDOW_S",
     "ResultCache", "bind_dynamic", "make_key",

@@ -34,6 +34,7 @@ from typing import Optional, Sequence
 from ..errors import (
     DeadlineExceededError,
     InvalidParameterError,
+    NotPrimaryError,
     ReproError,
     ServiceError,
     ServiceOverloadError,
@@ -45,6 +46,7 @@ from .limits import Deadline
 _STATUS_ERRORS = {
     400: InvalidParameterError,
     404: InvalidParameterError,
+    409: NotPrimaryError,
     429: ServiceOverloadError,
     503: ServiceUnavailableError,
     504: DeadlineExceededError,
@@ -55,12 +57,23 @@ _RETRYABLE_STATUSES = frozenset({429, 503})
 
 
 class ServiceClient:
-    """Talks to one :class:`ReverseRankHTTPServer` base URL.
+    """Talks to one or more :class:`ReverseRankHTTPServer` base URLs.
+
+    With several endpoints the client fails over: a transport failure
+    rotates to the next endpoint before retrying (reads keep working as
+    long as *any* replica answers), and a mutation answered with 409
+    (:class:`~repro.errors.NotPrimaryError` — the endpoint is a standby)
+    is re-sent to each remaining endpoint in order until the primary is
+    found.  Standbys refuse writes until promoted, so after a primary
+    failure writes keep failing with 409 until an operator (or
+    :meth:`promote`) flips a standby — by design: auto-promotion from
+    the client would risk split-brain.
 
     Parameters
     ----------
     base_url:
-        E.g. ``"http://127.0.0.1:8377"`` (no trailing slash needed).
+        E.g. ``"http://127.0.0.1:8377"`` (no trailing slash needed), or
+        an ordered sequence of such URLs — primary first, by convention.
     timeout_s:
         Socket-level timeout for each individual attempt.
     retries:
@@ -76,18 +89,30 @@ class ServiceClient:
         Jitter source; pass ``random.Random(seed)`` for reproducibility.
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0,
+    def __init__(self, base_url, timeout_s: float = 30.0,
                  retries: int = 2, backoff_base_s: float = 0.05,
                  backoff_cap_s: float = 2.0,
                  total_deadline_s: Optional[float] = None,
                  rng: Optional[random.Random] = None):
-        self.base_url = base_url.rstrip("/")
+        urls = [base_url] if isinstance(base_url, str) else list(base_url)
+        if not urls:
+            raise InvalidParameterError("at least one base URL is required")
+        self.endpoints = [url.rstrip("/") for url in urls]
+        self._active = 0
         self.timeout_s = timeout_s
         self.retries = max(0, int(retries))
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.total_deadline_s = total_deadline_s
         self._rng = rng or random.Random()
+
+    @property
+    def base_url(self) -> str:
+        """The endpoint requests currently target (failover moves it)."""
+        return self.endpoints[self._active]
+
+    def _rotate(self) -> None:
+        self._active = (self._active + 1) % len(self.endpoints)
 
     # ------------------------------------------------------------------
     # transport
@@ -122,18 +147,30 @@ class ServiceClient:
     def _request(self, method: str, path: str,
                  payload: Optional[dict] = None,
                  total_deadline_s: Optional[float] = None,
-                 retries: Optional[int] = None) -> dict:
+                 retries: Optional[int] = None,
+                 mutation: bool = False,
+                 endpoint: Optional[str] = None) -> dict:
+        """One logical request, with retries and endpoint failover.
+
+        ``mutation=True`` makes a 409 answer (standby) rotate to the
+        next endpoint — without consuming a retry attempt — until every
+        endpoint has refused.  ``endpoint`` pins the request to one URL
+        (used by :meth:`promote`, which must target a *specific* node).
+        """
         data = json.dumps(payload).encode() if payload is not None else None
-        request = urllib.request.Request(
-            self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"},
-        )
         budget = (total_deadline_s if total_deadline_s is not None
                   else self.total_deadline_s)
         deadline = Deadline.after(None if budget is None else max(0.0, budget))
         attempts = 1 + (self.retries if retries is None else max(0, retries))
         last_error: Optional[Exception] = None
-        for attempt in range(attempts):
+        attempt = 0
+        not_primary_rotations = 0
+        while True:
+            url = endpoint if endpoint is not None else self.base_url
+            request = urllib.request.Request(
+                url + path, data=data, method=method,
+                headers={"Content-Type": "application/json"},
+            )
             try:
                 return self._attempt(request, deadline)
             except urllib.error.HTTPError as exc:
@@ -146,6 +183,13 @@ class ServiceClient:
                     message = str(exc)
                 error_class = _STATUS_ERRORS.get(exc.code, ServiceError)
                 error = error_class(message)
+                if (exc.code == 409 and mutation and endpoint is None
+                        and not_primary_rotations < len(self.endpoints) - 1):
+                    # A standby refused the write — ask the next replica.
+                    not_primary_rotations += 1
+                    self._rotate()
+                    last_error = error
+                    continue
                 if exc.code not in _RETRYABLE_STATUSES:
                     raise error from None
                 last_error = error
@@ -157,9 +201,13 @@ class ServiceClient:
                 # distinct from an HTTP error.
                 reason = getattr(exc, "reason", exc)
                 last_error = ServiceUnavailableError(
-                    f"cannot reach {self.base_url}: {reason}"
+                    f"cannot reach {url}: {reason}"
                 )
-            if attempt + 1 >= attempts or not self._backoff(attempt, deadline):
+                if endpoint is None and len(self.endpoints) > 1:
+                    self._rotate()  # fail over before the next attempt
+            attempt += 1
+            if attempt >= attempts or not self._backoff(attempt - 1,
+                                                        deadline):
                 break
         assert last_error is not None
         raise last_error from None
@@ -201,6 +249,65 @@ class ServiceClient:
     def info(self) -> dict:
         """``GET /info``."""
         return self._request("GET", "/info")
+
+    # ------------------------------------------------------------------
+    # durable-service endpoints (mutations, replication, promotion)
+    # ------------------------------------------------------------------
+
+    def insert_product(self, vector: Sequence[float]) -> dict:
+        """``POST /insert``; returns ``{"index", "lsn", ...}``."""
+        return self._request("POST", "/insert", {
+            "type": "product", "vector": [float(x) for x in vector],
+        }, mutation=True)
+
+    def insert_weight(self, vector: Sequence[float],
+                      renormalize: bool = False) -> dict:
+        """``POST /insert`` for a weight vector."""
+        return self._request("POST", "/insert", {
+            "type": "weight", "vector": [float(x) for x in vector],
+            "renormalize": bool(renormalize),
+        }, mutation=True)
+
+    def delete_product(self, index: int) -> dict:
+        """``POST /delete``; returns ``{"index", "lsn", ...}``."""
+        return self._request("POST", "/delete", {
+            "type": "product", "index": int(index),
+        }, mutation=True)
+
+    def delete_weight(self, index: int) -> dict:
+        """``POST /delete`` for a weight."""
+        return self._request("POST", "/delete", {
+            "type": "weight", "index": int(index),
+        }, mutation=True)
+
+    def compact(self) -> dict:
+        """``POST /compact``; returns the old→new index maps and LSN."""
+        return self._request("POST", "/compact", {}, mutation=True)
+
+    def snapshot(self) -> dict:
+        """``POST /snapshot``; forces a snapshot + WAL truncation."""
+        return self._request("POST", "/snapshot", {}, mutation=True)
+
+    def promote(self, endpoint: Optional[str] = None) -> dict:
+        """``POST /promote`` — flip a standby to primary.
+
+        Targets ``endpoint`` explicitly (no failover: promoting
+        "whichever node answers" would be a split-brain machine);
+        defaults to the currently active endpoint.  Subsequent writes
+        from this client go there first.
+        """
+        target = (endpoint or self.base_url).rstrip("/")
+        body = self._request("POST", "/promote", {}, endpoint=target)
+        if target in self.endpoints:
+            self._active = self.endpoints.index(target)
+        return body
+
+    def replicate(self, since: int = 0, limit: Optional[int] = None) -> dict:
+        """``GET /replicate?since=N`` — the primary's WAL feed."""
+        path = f"/replicate?since={int(since)}"
+        if limit is not None:
+            path += f"&limit={int(limit)}"
+        return self._request("GET", path)
 
     def wait_until_healthy(self, timeout_s: float = 5.0,
                            poll_s: float = 0.05) -> dict:

@@ -25,6 +25,7 @@ from typing import Optional
 from ..errors import (
     DeadlineExceededError,
     InvalidParameterError,
+    NotPrimaryError,
     ReproError,
     ServiceOverloadError,
     ServiceUnavailableError,
@@ -120,9 +121,12 @@ def http_status(exc: BaseException) -> int:
     """The HTTP status code a rejection/error maps to.
 
     429 for overload, 503 for unavailability (shutdown drain, engine down
-    with no fallback), 504 for deadline expiry, 400 for any other library
-    (caller) error, 500 otherwise.
+    with no fallback), 504 for deadline expiry, 409 for a mutation sent
+    to a standby, 400 for any other library (caller) error, 500
+    otherwise.
     """
+    if isinstance(exc, NotPrimaryError):
+        return 409
     if isinstance(exc, ServiceOverloadError):
         return 429
     if isinstance(exc, ServiceUnavailableError):

@@ -67,6 +67,9 @@ class ServiceMetrics:
         self._batched_requests = 0
         self._max_batch_size = 0
         self._ops = OpCounter()
+        self._mutations_total = 0
+        self._mutations_by_op: Dict[str, int] = {}
+        self._mutations_rejected = 0
 
     # ------------------------------------------------------------------
     # recording
@@ -107,6 +110,19 @@ class ServiceMetrics:
         with self._lock:
             self._errors += 1
 
+    def record_mutation(self, op: str, rejected: bool = False) -> None:
+        """One mutation request (insert/delete/compact/rebuild/snapshot).
+
+        ``rejected`` counts mutations refused by role checks (a write
+        sent to a standby, HTTP 409) — they never reach the WAL.
+        """
+        with self._lock:
+            if rejected:
+                self._mutations_rejected += 1
+                return
+            self._mutations_total += 1
+            self._mutations_by_op[op] = self._mutations_by_op.get(op, 0) + 1
+
     def record_batch(self, size: int, counter: Optional[OpCounter] = None) -> None:
         """One dispatched micro-batch of ``size`` coalesced requests."""
         with self._lock:
@@ -127,8 +143,16 @@ class ServiceMetrics:
         """Seconds since the metrics object (≈ the service) was created."""
         return time.monotonic() - self._started_mono
 
-    def snapshot(self, cache_stats: Optional[dict] = None) -> dict:
-        """A JSON-ready dict of everything ``/metrics`` exposes."""
+    def snapshot(self, cache_stats: Optional[dict] = None,
+                 durability: Optional[dict] = None,
+                 replication: Optional[dict] = None) -> dict:
+        """A JSON-ready dict of everything ``/metrics`` exposes.
+
+        ``durability`` (WAL/snapshot counters from
+        :meth:`~repro.durability.engine.DurableDynamicRRQ.
+        durability_stats`) and ``replication`` (standby tailer status)
+        are attached verbatim when the serving stack provides them.
+        """
         with self._lock:
             samples = list(self._latency.samples)
             uptime = time.monotonic() - self._started_mono
@@ -166,7 +190,16 @@ class ServiceMetrics:
                     "max_size": self._max_batch_size,
                 },
                 "ops": self._ops.snapshot(),
+                "mutations": {
+                    "total": self._mutations_total,
+                    "by_op": dict(self._mutations_by_op),
+                    "rejected_not_primary": self._mutations_rejected,
+                },
             }
         if cache_stats is not None:
             snap["cache"] = cache_stats
+        if durability is not None:
+            snap["durability"] = durability
+        if replication is not None:
+            snap["replication"] = replication
         return snap

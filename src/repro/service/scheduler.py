@@ -110,8 +110,18 @@ class MicroBatchScheduler:
         self.metrics = metrics or ServiceMetrics()
         self.chunk_budget = chunk_budget
         self._dim = engine.products.dim
-        self._P = engine.products.values
-        self._W = engine.weights.values
+        # A dynamic engine's product/weight views expose no ``.values``
+        # (the arrays change under mutation); the coalesced BLAS sweep
+        # would capture stale state, so such engines always take the
+        # per-query path — serialized against mutations by the engine's
+        # own lock.
+        self._dynamic = not hasattr(engine.products, "values")
+        self._engine_lock = getattr(engine, "lock", None)
+        if self._dynamic:
+            self._P = self._W = None
+        else:
+            self._P = engine.products.values
+            self._W = engine.weights.values
         self._queue: "queue.Queue[_Pending]" = queue.Queue(
             maxsize=self.limits.max_queue_depth
         )
@@ -274,7 +284,10 @@ class MicroBatchScheduler:
         counter = OpCounter()
         try:
             fire("scheduler.dispatch")
-            if len(live) == 1:
+            if self._dynamic:
+                for pending in live:
+                    self._answer_single(pending, counter)
+            elif len(live) == 1:
                 self._answer_single(live[0], counter)
             else:
                 self._answer_batched(live, counter)
@@ -286,10 +299,17 @@ class MicroBatchScheduler:
 
     def _answer_single(self, pending: _Pending, counter: OpCounter) -> None:
         """Low-load fast path: straight through the per-query engine."""
-        if pending.kind == "rtk":
-            result = self.engine.reverse_topk(pending.q, pending.k)
-        else:
-            result = self.engine.reverse_kranks(pending.q, pending.k)
+        lock = self._engine_lock
+        if lock is not None:
+            lock.acquire()
+        try:
+            if pending.kind == "rtk":
+                result = self.engine.reverse_topk(pending.q, pending.k)
+            else:
+                result = self.engine.reverse_kranks(pending.q, pending.k)
+        finally:
+            if lock is not None:
+                lock.release()
         counter.merge(result.counter)
         pending.future.set_result(result)
 

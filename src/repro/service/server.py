@@ -32,15 +32,17 @@ from __future__ import annotations
 import json
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from time import perf_counter
 from typing import Iterator, Optional, Union
+from urllib.parse import parse_qs, urlsplit
 
 from ..data.datasets import check_query_point
 from ..errors import (
     InvalidParameterError,
+    NotPrimaryError,
     ReproError,
     ServiceError,
     ServiceUnavailableError,
@@ -52,7 +54,7 @@ from ..resilience.breaker import (
     CircuitBreaker,
 )
 from ..resilience.faults import fire
-from .cache import DEFAULT_CAPACITY, ResultCache, make_key
+from .cache import DEFAULT_CAPACITY, ResultCache, bind_dynamic, make_key
 from .limits import ServiceLimits, http_status, rejection_body
 from .metrics import ServiceMetrics
 from .scheduler import DEFAULT_BATCH_WINDOW_S, MicroBatchScheduler
@@ -362,6 +364,195 @@ class QueryService:
         self.close()
 
 
+class DurableQueryService(QueryService):
+    """Serves a :class:`~repro.durability.engine.DurableDynamicRRQ`.
+
+    Adds three things to :class:`QueryService`:
+
+    * **mutations** — :meth:`mutate` logs each write to the WAL before
+      applying it (the engine acknowledges only after the append is
+      durable) and invalidates the answer cache through the engine's
+      change listener;
+    * **roles** — a ``primary`` accepts writes; a ``standby`` refuses
+      them with :class:`~repro.errors.NotPrimaryError` (HTTP 409) while
+      a background :class:`~repro.durability.replica.ReplicaTailer`
+      keeps it in sync with ``primary_url``.  :meth:`promote` flips a
+      standby to primary (stops the tailer) — the client's failover
+      path;
+    * **replication feed** — :meth:`replication_feed` exposes the WAL
+      tail for standbys (``GET /replicate``).
+
+    The naive fallback is force-disabled: the dynamic engine's views
+    expose no static arrays to build a fallback from, and a degraded
+    answer computed from stale state would violate the durability
+    invariant anyway.
+    """
+
+    #: Mutation operations accepted over HTTP, keyed by (path, type).
+    MUTATION_OPS = ("insert_product", "insert_weight", "delete_product",
+                    "delete_weight", "compact", "rebuild", "snapshot")
+
+    def __init__(self, engine, config: Optional[ServiceConfig] = None,
+                 role: str = "primary", primary_url=None,
+                 poll_interval_s: float = 0.05):
+        if role not in ("primary", "standby"):
+            raise InvalidParameterError("role must be 'primary' or 'standby'")
+        config = replace(config or ServiceConfig(), fallback=False)
+        super().__init__(engine, config=config)
+        bind_dynamic(self.cache, engine)
+        self.role = role
+        self._tailer = None
+        if role == "standby":
+            if primary_url is None:
+                raise InvalidParameterError(
+                    "a standby needs primary_url (or a fetch callable) "
+                    "to tail the primary's WAL feed"
+                )
+            from ..durability.replica import ReplicaTailer
+
+            self._tailer = ReplicaTailer(
+                engine, primary_url, poll_interval_s=poll_interval_s
+            ).start()
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+
+    def mutate(self, op: str, payload: Optional[dict] = None) -> dict:
+        """Apply one durable mutation; returns its JSON-ready receipt.
+
+        The returned ``lsn`` is the acknowledgment: the record is on
+        disk (per the fsync policy) before this method returns.  On a
+        standby every op raises :class:`NotPrimaryError` so clients
+        fail over to the primary.
+        """
+        payload = payload or {}
+        if op not in self.MUTATION_OPS:
+            raise InvalidParameterError(
+                f"unknown mutation {op!r}; expected one of "
+                f"{', '.join(self.MUTATION_OPS)}"
+            )
+        if self.role != "primary":
+            self.metrics.record_mutation(op, rejected=True)
+            raise NotPrimaryError(
+                "this replica is a standby; send writes to the primary "
+                "(or POST /promote first)"
+            )
+        fire("service.mutate")
+        engine = self.engine
+        if op == "insert_product":
+            index, lsn = engine.insert_product(payload.get("vector"))
+            body = {"op": op, "index": index, "lsn": lsn}
+        elif op == "insert_weight":
+            index, lsn = engine.insert_weight(
+                payload.get("vector"),
+                renormalize=bool(payload.get("renormalize", False)),
+            )
+            body = {"op": op, "index": index, "lsn": lsn}
+        elif op in ("delete_product", "delete_weight"):
+            if "index" not in payload:
+                raise InvalidParameterError(f"{op} requires 'index'")
+            lsn = getattr(engine, op)(int(payload["index"]))
+            body = {"op": op, "index": int(payload["index"]), "lsn": lsn}
+        elif op == "compact":
+            p_map, w_map, lsn = engine.compact()
+            # Per old stable index: the new index, or -1 if removed.
+            body = {
+                "op": op, "lsn": lsn,
+                "product_map": [int(v) for v in p_map],
+                "weight_map": [int(v) for v in w_map],
+            }
+        elif op == "rebuild":
+            body = {"op": op, "lsn": engine.rebuild()}
+        else:  # snapshot
+            body = {"op": op, "lsn": engine.snapshot()}
+        self.metrics.record_mutation(op)
+        return body
+
+    def handle_mutation_request(self, path: str, payload: dict) -> dict:
+        """Map one HTTP mutation route onto :meth:`mutate`/:meth:`promote`."""
+        if path == "/promote":
+            return self.promote()
+        if path in ("/insert", "/delete"):
+            target = payload.get("type", "product")
+            if target not in ("product", "weight"):
+                raise InvalidParameterError(
+                    "'type' must be 'product' or 'weight'"
+                )
+            return self.mutate(f"{path[1:]}_{target}", payload)
+        if path in ("/compact", "/rebuild", "/snapshot"):
+            return self.mutate(path[1:], payload)
+        raise InvalidParameterError(f"unknown mutation route {path}")
+
+    # ------------------------------------------------------------------
+    # replication / roles
+    # ------------------------------------------------------------------
+
+    def replication_feed(self, since: int, limit: Optional[int] = None) -> dict:
+        """The WAL tail after ``since`` (the ``GET /replicate`` body)."""
+        if limit is None:
+            return self.engine.replication_feed(int(since))
+        return self.engine.replication_feed(int(since), int(limit))
+
+    def promote(self) -> dict:
+        """Make this replica the primary (idempotent).
+
+        Stops the tailer first, so no primary records can arrive after
+        local writes are accepted — the standby's WAL stays linear.
+        """
+        if self._tailer is not None:
+            self._tailer.stop()
+            self._tailer = None
+        self.role = "primary"
+        return {"role": self.role, "last_lsn": self.engine.last_lsn}
+
+    def replication_status(self) -> Optional[dict]:
+        return self._tailer.status() if self._tailer is not None else None
+
+    # ------------------------------------------------------------------
+    # observability overrides
+    # ------------------------------------------------------------------
+
+    def info(self) -> dict:
+        body = super().info()
+        stats = self.engine.durability_stats()
+        body.update(
+            role=self.role,
+            durable=True,
+            directory=str(self.engine.directory),
+            fsync=stats["wal"]["fsync_policy"],
+            last_lsn=stats["last_lsn"],
+            snapshot_lsn=stats["snapshot_lsn"],
+        )
+        return body
+
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot(
+            cache_stats=self.cache.stats(),
+            durability=self.engine.durability_stats(),
+            replication=self.replication_status(),
+        )
+
+    def healthz(self) -> dict:
+        body = super().healthz()
+        body["role"] = self.role
+        body["last_lsn"] = self.engine.last_lsn
+        replication = self.replication_status()
+        if replication is not None:
+            body["replication_lag"] = replication["lag"]
+            if not replication["running"] or replication["lag"] < 0:
+                body["status"] = "degraded"
+                body["degraded"] = True
+        return body
+
+    def close(self, drain: bool = True) -> None:
+        if self._tailer is not None:
+            self._tailer.stop()
+            self._tailer = None
+        super().close(drain=drain)
+        self.engine.close()
+
+
 class _RequestHandler(BaseHTTPRequestHandler):
     """Routes the four endpoints; all bodies are canonical JSON."""
 
@@ -384,36 +575,63 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    _MUTATION_PATHS = ("/insert", "/delete", "/compact", "/rebuild",
+                       "/snapshot", "/promote")
+
+    def _not_found(self, path: str) -> None:
+        self._send_json(404, {"error": "NotFound", "message": path,
+                              "status": 404})
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path == "/healthz":
+        parsed = urlsplit(self.path)
+        if parsed.path == "/healthz":
             self._send_json(200, self.service.healthz())
-        elif self.path == "/metrics":
+        elif parsed.path == "/metrics":
             self._send_json(200, self.service.metrics_snapshot())
-        elif self.path == "/info":
+        elif parsed.path == "/info":
             self._send_json(200, self.service.info())
+        elif parsed.path == "/replicate" and hasattr(self.service,
+                                                     "replication_feed"):
+            try:
+                params = parse_qs(parsed.query)
+                since = int(params.get("since", ["0"])[0])
+                raw_limit = params.get("limit", [None])[0]
+                limit = int(raw_limit) if raw_limit is not None else None
+                feed = self.service.replication_feed(since, limit)
+            except Exception as exc:  # structured, never a traceback
+                status = http_status(exc)
+                if status >= 500:
+                    self.service.metrics.record_error()
+                self._send_json(status, rejection_body(exc))
+                return
+            self._send_json(200, feed)
         else:
-            self._send_json(404, {"error": "NotFound", "message": self.path,
-                                  "status": 404})
+            self._not_found(parsed.path)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path != "/query":
-            self._send_json(404, {"error": "NotFound", "message": self.path,
-                                  "status": 404})
+        path = urlsplit(self.path).path
+        is_mutation = (path in self._MUTATION_PATHS
+                       and hasattr(self.service, "handle_mutation_request"))
+        if path != "/query" and not is_mutation:
+            self._not_found(path)
             return
         try:
             length = int(self.headers.get("Content-Length") or 0)
             payload = json.loads(self.rfile.read(length) or b"{}")
             if not isinstance(payload, dict):
                 raise InvalidParameterError("request body must be an object")
-            timeout_ms = payload.get("timeout_ms")
-            answer = self.service.query(
-                payload.get("vector"),
-                product=payload.get("product"),
-                kind=payload.get("kind", "rtk"),
-                k=payload.get("k", 10),
-                deadline_s=(float(timeout_ms) / 1000.0
-                            if timeout_ms is not None else None),
-            )
+            if is_mutation:
+                answer = self.service.handle_mutation_request(path, payload)
+            else:
+                timeout_ms = payload.get("timeout_ms")
+                answer = self.service.query(
+                    payload.get("vector"),
+                    product=payload.get("product"),
+                    kind=payload.get("kind", "rtk"),
+                    k=payload.get("k", 10),
+                    deadline_s=(float(timeout_ms) / 1000.0
+                                if timeout_ms is not None else None),
+                )
         except Exception as exc:  # structured rejection, never a traceback
             status = http_status(exc)
             if status >= 500:

@@ -1,0 +1,222 @@
+"""Chaos, for real this time: ``kill -9`` against live server processes.
+
+Two end-to-end invariants from the ISSUE acceptance:
+
+* a durable server killed with SIGKILL mid-traffic recovers with every
+  **acknowledged** mutation intact and answers identical to an exact
+  scan over that prefix (fsync=always: an HTTP 200 is the ack barrier);
+* a hot standby whose primary is SIGKILLed at lag 0 can be promoted and
+  serves byte-identical answers to what the primary last acknowledged.
+
+Each server runs ``repro-rrq serve --durable`` as a real subprocess —
+no in-process shortcuts, the kill is a genuine ``SIGKILL``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.data.datasets import ProductSet, WeightSet
+from repro.durability import DurableDynamicRRQ
+from repro.service import canonical_json
+
+SERVE_TIMEOUT_S = 30.0
+
+
+def _post(url, payload, timeout=10.0):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), method="POST",
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode())
+
+
+def _get(url, timeout=10.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode())
+
+
+class ServeProcess:
+    """A ``repro-rrq serve --durable`` subprocess with a parsed URL."""
+
+    def __init__(self, directory, *extra_args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env.setdefault("PYTHONUNBUFFERED", "1")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", str(directory),
+             "--durable", "--port", "0", "--batch-window-ms", "0",
+             *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        self.url = self._parse_banner()
+
+    def _parse_banner(self):
+        deadline = time.monotonic() + SERVE_TIMEOUT_S
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise AssertionError(
+                    f"server exited early (rc={self.proc.poll()})")
+            if line.startswith("serving durable") and " at http" in line:
+                return line.rsplit(" at ", 1)[1].strip()
+        raise AssertionError("no serve banner before timeout")
+
+    def kill9(self):
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=10)
+
+    def terminate(self):
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+
+
+def wait_healthy(url, timeout_s=SERVE_TIMEOUT_S):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            health = _get(url + "/healthz", timeout=2.0)
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.05)
+            continue
+        if health.get("status") == "ok":
+            return health
+        time.sleep(0.05)
+    raise AssertionError(f"{url} never became healthy")
+
+
+def acked_mutations(url, rng, count):
+    """Fire mutations; return those acknowledged with HTTP 200."""
+    acked = []
+    for i in range(count):
+        if i % 5 == 4:
+            w = rng.random(3) + 1e-3
+            payload, path = ({"type": "weight",
+                              "vector": list(w / w.sum())}, "/insert")
+        else:
+            payload, path = ({"type": "product",
+                              "vector": list(rng.random(3) * 0.95)},
+                             "/insert")
+        reply = _post(url + path, payload)
+        acked.append((path, payload, reply["lsn"]))
+    return acked
+
+
+def exact_answers(engine, queries, k=5):
+    """Canonical rtk answers from a fresh NaiveRRQ over live rows."""
+    pv, wv = engine.products, engine.weights
+    naive = NaiveRRQ(
+        ProductSet(pv.live_values(), value_range=pv.value_range),
+        WeightSet(wv.live_values()),
+    )
+    w_map = list(wv.live_indices())
+    return [
+        canonical_json(sorted(int(w_map[j])
+                              for j in naive.reverse_topk(q, k).weights))
+        for q in queries
+    ]
+
+
+@pytest.mark.timeout(120)
+class TestKill9Recovery:
+    def test_sigkill_then_recover_serves_the_acked_prefix(self, tmp_path,
+                                                          chaos_seed):
+        rng = np.random.default_rng(chaos_seed)
+        wal_dir = tmp_path / "db"
+        server = ServeProcess(wal_dir, "--dim", "3", "--fsync", "always")
+        try:
+            wait_healthy(server.url)
+            acked = acked_mutations(server.url, rng, 30)
+            last_acked_lsn = acked[-1][2]
+            server.kill9()  # no goodbye, no close(), no flush
+        finally:
+            server.terminate()
+
+        # Recovery happens in-process so we can also inspect the engine.
+        recovered = DurableDynamicRRQ(wal_dir, fsync="always")
+        assert recovered.last_lsn == last_acked_lsn
+        assert recovered.num_products == sum(
+            1 for _, p, _ in acked if p.get("type") == "product")
+        queries = [rng.random(3) * 0.9 for _ in range(3)]
+        expected = exact_answers(recovered, queries)
+        got = [
+            canonical_json(sorted(recovered.reverse_topk(q, 5).weights))
+            for q in queries
+        ]
+        assert got == expected
+        recovered.close()
+
+        # ...and a recovered *server* over the same directory serves it.
+        reborn = ServeProcess(wal_dir, "--fsync", "always")
+        try:
+            health = wait_healthy(reborn.url)
+            assert health["last_lsn"] == last_acked_lsn
+        finally:
+            reborn.terminate()
+
+    def test_primary_sigkill_standby_promotes_identically(self, tmp_path,
+                                                          chaos_seed):
+        rng = np.random.default_rng(chaos_seed + 7)
+        primary = ServeProcess(tmp_path / "primary", "--dim", "3",
+                               "--fsync", "always")
+        standby = None
+        try:
+            wait_healthy(primary.url)
+            standby = ServeProcess(tmp_path / "standby", "--dim", "3",
+                                   "--fsync", "always",
+                                   "--standby-of", primary.url)
+            wait_healthy(standby.url)
+            acked = acked_mutations(primary.url, rng, 25)
+            last_acked_lsn = acked[-1][2]
+            queries = [list(rng.random(3) * 0.9) for _ in range(3)]
+            primary_answers = [
+                canonical_json(_post(primary.url + "/query",
+                                     {"vector": q, "kind": "rtk", "k": 5}))
+                for q in queries
+            ]
+
+            # Lag 0 before the kill — required by the acceptance bar.
+            deadline = time.monotonic() + SERVE_TIMEOUT_S
+            while time.monotonic() < deadline:
+                health = _get(standby.url + "/healthz")
+                if (health.get("last_lsn") == last_acked_lsn
+                        and health.get("replication_lag") == 0):
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError(f"standby lagging: {health}")
+
+            primary.kill9()
+            promoted = _post(standby.url + "/promote", {})
+            assert promoted["role"] == "primary"
+            assert promoted["last_lsn"] == last_acked_lsn
+
+            standby_answers = [
+                canonical_json(_post(standby.url + "/query",
+                                     {"vector": q, "kind": "rtk", "k": 5}))
+                for q in queries
+            ]
+            assert standby_answers == primary_answers
+
+            # The promoted node owns the write role end to end.
+            reply = _post(standby.url + "/insert",
+                          {"type": "product", "vector": [0.3, 0.3, 0.3]})
+            assert reply["lsn"] == last_acked_lsn + 1
+        finally:
+            primary.terminate()
+            if standby is not None:
+                standby.terminate()

@@ -1,0 +1,217 @@
+"""Integration: log-shipping replication over the real HTTP stack.
+
+A primary and a hot standby run as live servers.  The bar: the standby
+tails the primary's feed to lag 0 and serves canonically **identical**
+answers; writes against the standby are refused with 409 until it is
+promoted; a multi-endpoint client fails its writes over to whichever
+server is primary.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.data.datasets import ProductSet, WeightSet
+from repro.durability import DurableDynamicRRQ, ReplicaTailer
+from repro.errors import NotPrimaryError
+from repro.service import (
+    DurableQueryService,
+    ServiceClient,
+    ServiceConfig,
+    canonical_json,
+    serve_in_background,
+)
+
+
+def wait_for_lag_zero(client, target_lsn, timeout_s=10.0):
+    """Wait until the standby reports the target LSN *and* lag 0.
+
+    The lag figure is sampled at poll time, so it alone can be stale by
+    one batch; the LSN comparison is the authoritative check.
+    """
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        health = client.healthz()
+        if (health.get("last_lsn") == target_lsn
+                and health.get("replication_lag") == 0
+                and health.get("status") == "ok"):
+            return health
+        time.sleep(0.02)
+    raise AssertionError(f"standby never caught up: {client.healthz()}")
+
+
+def seed_mutations(client, rng, products=25, weights=10):
+    for _ in range(products):
+        client.insert_product(list(rng.random(3) * 0.95))
+    for _ in range(weights):
+        w = rng.random(3) + 1e-3
+        client.insert_weight(list(w / w.sum()))
+    client.delete_product(3)
+    client.delete_weight(1)
+
+
+@pytest.fixture
+def pair(tmp_path):
+    """A serving primary and a tailing standby, plus their clients."""
+    config = ServiceConfig(batch_window_s=0.0)
+    primary_engine = DurableDynamicRRQ(tmp_path / "primary", dim=3,
+                                       fsync="never")
+    primary = DurableQueryService(primary_engine, config=config)
+    with serve_in_background(primary) as primary_server:
+        standby_engine = DurableDynamicRRQ(tmp_path / "standby", dim=3,
+                                           fsync="never")
+        standby = DurableQueryService(
+            standby_engine, config=config, role="standby",
+            primary_url=primary_server.url, poll_interval_s=0.01)
+        with serve_in_background(standby) as standby_server:
+            yield {
+                "primary": primary,
+                "standby": standby,
+                "primary_client": ServiceClient(primary_server.url),
+                "standby_client": ServiceClient(standby_server.url),
+                "urls": (primary_server.url, standby_server.url),
+            }
+            standby.close()
+        primary.close()
+
+
+class TestHotStandby:
+    def test_standby_reaches_lag_zero_with_identical_answers(self, pair):
+        rng = np.random.default_rng(31)
+        primary_client = pair["primary_client"]
+        standby_client = pair["standby_client"]
+        primary_client.wait_until_healthy()
+        seed_mutations(primary_client, rng)
+
+        acked = primary_client.healthz()["last_lsn"]
+        health = wait_for_lag_zero(standby_client, acked)
+        assert health["role"] == "standby"
+
+        engine = pair["primary"].engine
+        naive = NaiveRRQ(
+            ProductSet(engine.products.live_values(),
+                       value_range=engine.products.value_range),
+            WeightSet(engine.weights.live_values()),
+        )
+        w_map = list(engine.weights.live_indices())
+        for _ in range(4):
+            q = list(rng.random(3) * 0.9)
+            a = primary_client.query(vector=q, kind="rtk", k=5)
+            b = standby_client.query(vector=q, kind="rtk", k=5)
+            assert canonical_json(a) == canonical_json(b)
+            assert frozenset(a["weights"]) == frozenset(
+                int(w_map[j])
+                for j in naive.reverse_topk(np.asarray(q), 5).weights)
+
+    def test_standby_rejects_writes_with_409(self, pair):
+        standby_client = pair["standby_client"]
+        standby_client.wait_until_healthy()
+        with pytest.raises(NotPrimaryError):
+            standby_client.insert_product([0.1, 0.2, 0.3])
+        rejected = standby_client.metrics()["mutations"]
+        assert rejected["rejected_not_primary"] >= 1
+        assert rejected["total"] == 0
+
+    def test_metrics_expose_replication_and_wal_state(self, pair):
+        rng = np.random.default_rng(32)
+        primary_client = pair["primary_client"]
+        standby_client = pair["standby_client"]
+        primary_client.wait_until_healthy()
+        seed_mutations(primary_client, rng, products=6, weights=3)
+        wait_for_lag_zero(standby_client,
+                          primary_client.healthz()["last_lsn"])
+
+        primary_metrics = primary_client.metrics()
+        assert primary_metrics["mutations"]["total"] == 11
+        assert primary_metrics["mutations"]["by_op"]["insert_product"] == 6
+        assert primary_metrics["durability"]["wal"]["appends"] == 11
+        assert "replication" not in primary_metrics
+
+        standby_metrics = standby_client.metrics()
+        assert standby_metrics["replication"]["running"]
+        assert standby_metrics["replication"]["applied_records"] == 11
+        assert standby_metrics["replication"]["lag"] == 0
+
+    def test_feed_endpoint_with_and_without_limit(self, pair):
+        """``GET /replicate`` must not require the ``limit`` parameter."""
+        primary_client = pair["primary_client"]
+        primary_client.wait_until_healthy()
+        primary_client.insert_product([0.2, 0.3, 0.4])
+        bare = primary_client.replicate(since=0)
+        capped = primary_client.replicate(since=0, limit=1)
+        assert [r["lsn"] for r in bare["records"]] == [1]
+        assert bare["records"] == capped["records"]
+        assert not bare["reset"]
+
+
+class TestFailoverClient:
+    def test_writes_rotate_to_the_primary(self, pair):
+        """A client pointed at (standby, primary) lands its writes."""
+        standby_url, = [pair["urls"][1]]
+        client = ServiceClient([standby_url, pair["urls"][0]])
+        client.wait_until_healthy()
+        reply = client.insert_product([0.4, 0.4, 0.4])
+        assert reply["lsn"] == 1
+        assert pair["primary"].engine.last_lsn >= 1
+
+    def test_promote_transfers_the_write_role(self, pair):
+        rng = np.random.default_rng(33)
+        primary_client = pair["primary_client"]
+        standby_client = pair["standby_client"]
+        primary_client.wait_until_healthy()
+        seed_mutations(primary_client, rng, products=8, weights=4)
+        wait_for_lag_zero(standby_client,
+                          primary_client.healthz()["last_lsn"])
+
+        promoted = standby_client.promote()
+        assert promoted["role"] == "primary"
+        assert promoted["last_lsn"] == \
+            pair["primary"].engine.last_lsn
+        assert standby_client.healthz()["role"] == "primary"
+        assert pair["standby"].replication_status() is None  # tailer gone
+
+        # The promoted node now accepts writes...
+        reply = standby_client.insert_product([0.2, 0.2, 0.2])
+        assert reply["lsn"] == promoted["last_lsn"] + 1
+        # ...and they are durable on *its* log, not the old primary's.
+        assert pair["standby"].engine.last_lsn == reply["lsn"]
+        assert pair["primary"].engine.last_lsn == promoted["last_lsn"]
+
+
+class TestFeedReset:
+    def test_standby_behind_the_retain_window_gets_a_reset(self, tmp_path):
+        """A feed older than the retain window ships a full-state reset
+        record; the standby adopts the new lineage and still converges."""
+        rng = np.random.default_rng(34)
+        primary = DurableDynamicRRQ(tmp_path / "primary", dim=3,
+                                    fsync="never", feed_retain=4)
+        for _ in range(20):
+            primary.insert_product(rng.random(3) * 0.9)
+        w = rng.random(3) + 1e-3
+        primary.insert_weight(w / w.sum())
+
+        feed = primary.replication_feed(0)
+        assert feed["reset"]  # LSN 1 left the window long ago
+
+        standby = DurableDynamicRRQ(tmp_path / "standby", dim=3,
+                                    fsync="never")
+        tailer = ReplicaTailer(standby,
+                               lambda since: primary.replication_feed(since))
+        while tailer.poll_once():
+            pass
+        status = tailer.status()
+        assert status["feed_resets"] == 1
+        assert status["lag"] == 0
+        assert standby.last_lsn == primary.last_lsn
+        assert standby.num_products == primary.num_products
+
+        # The adopted lineage is durable: reopen and compare answers.
+        standby.close()
+        recovered = DurableDynamicRRQ(tmp_path / "standby", fsync="never")
+        q = rng.random(3) * 0.9
+        assert recovered.reverse_topk(q, 5).weights == \
+            primary.reverse_topk(q, 5).weights
+        recovered.close()
+        primary.close()

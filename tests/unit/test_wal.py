@@ -1,0 +1,237 @@
+"""Unit tests for the WAL framing layer (repro.durability.wal).
+
+The edge cases pinned here are the ones recovery correctness hangs on:
+zero-length logs, a single torn record, frames spanning read-buffer
+boundaries, CRC mismatches mid-log vs at the tail, and replay-twice
+idempotency.
+"""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.durability.wal import (
+    FSYNC_POLICIES,
+    WalRecord,
+    WalWriter,
+    encode_record,
+    read_wal,
+    wal_path,
+)
+from repro.errors import InvalidParameterError, WalCorruptionError
+
+_HEADER = struct.Struct("<II")
+
+
+def _write_records(path, count, start_lsn=1):
+    with WalWriter(path, fsync="never", next_lsn=start_lsn) as writer:
+        return [writer.append("insert_product", {"vector": [0.1 * i, 0.2]})
+                for i in range(count)]
+
+
+class TestFraming:
+    def test_zero_length_log(self, tmp_path):
+        """A missing file and an empty file are both valid empty logs."""
+        missing = tmp_path / "wal.log"
+        assert read_wal(missing) == ([], 0, 0)
+        missing.write_bytes(b"")
+        assert read_wal(missing) == ([], 0, 0)
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        written = _write_records(path, 5)
+        records, valid_bytes, torn = read_wal(path)
+        assert records == written
+        assert valid_bytes == path.stat().st_size
+        assert torn == 0
+        assert [r.lsn for r in records] == [1, 2, 3, 4, 5]
+
+    def test_payload_is_canonical_json(self, tmp_path):
+        """Same logical record -> same bytes -> same digest, always."""
+        a = WalRecord(lsn=3, op="compact", data={"b": 1, "a": 2})
+        b = WalRecord(lsn=3, op="compact", data={"a": 2, "b": 1})
+        assert a.to_payload() == b.to_payload()
+        assert a.digest() == b.digest()
+        assert zlib.crc32(a.to_payload()) & 0xFFFFFFFF == int(a.digest(), 16)
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 16])
+    def test_record_spanning_buffer_boundary(self, tmp_path, chunk_size):
+        """Frames larger than the read chunk must decode identically."""
+        path = tmp_path / "wal.log"
+        with WalWriter(path, fsync="never") as writer:
+            big = writer.append("insert_product",
+                                {"vector": [float(i) / 997 for i in range(64)]})
+            small = writer.append("delete_product", {"index": 0})
+        records, valid_bytes, torn = read_wal(path, chunk_size=chunk_size)
+        assert records == [big, small]
+        assert (valid_bytes, torn) == (path.stat().st_size, 0)
+
+
+class TestTornTail:
+    @pytest.mark.parametrize("cut", [1, 4, 7, 9])
+    def test_torn_final_record_is_dropped(self, tmp_path, cut):
+        """Any truncation inside the final frame is an interrupted append."""
+        path = tmp_path / "wal.log"
+        written = _write_records(path, 3)
+        full = path.read_bytes()
+        last_frame = encode_record(written[-1])
+        path.write_bytes(full[: len(full) - len(last_frame) + cut])
+        records, valid_bytes, torn = read_wal(path)
+        assert records == written[:2]
+        assert torn == cut
+        assert valid_bytes == len(full) - len(last_frame)
+
+    def test_single_torn_record_yields_empty_log(self, tmp_path):
+        """A log holding only half an append recovers to zero records."""
+        path = tmp_path / "wal.log"
+        _write_records(path, 1)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        records, valid_bytes, torn = read_wal(path)
+        assert records == []
+        assert valid_bytes == 0
+        assert torn == len(data) // 2
+
+    def test_corrupt_final_frame_is_a_torn_tail(self, tmp_path):
+        """Bit rot confined to the last frame cannot be told apart from a
+        torn append, so it is dropped — never a hard failure."""
+        path = tmp_path / "wal.log"
+        written = _write_records(path, 3)
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0xFF
+        path.write_bytes(bytes(data))
+        records, _, torn = read_wal(path)
+        assert records == written[:2]
+        assert torn == len(encode_record(written[-1]))
+
+    def test_zero_filled_tail_is_a_torn_tail(self, tmp_path):
+        """Some filesystems leave zeroed blocks after a crash (size
+        updated, data never made it); that is torn, not corruption."""
+        path = tmp_path / "wal.log"
+        written = _write_records(path, 2)
+        path.write_bytes(path.read_bytes() + b"\x00" * 512)
+        records, _, torn = read_wal(path)
+        assert records == written
+        assert torn == 512
+
+    def test_writer_truncates_torn_tail_before_appending(self, tmp_path):
+        path = tmp_path / "wal.log"
+        written = _write_records(path, 2)
+        path.write_bytes(path.read_bytes() + b"\x99\x01")  # torn garbage
+        records, valid_bytes, _ = read_wal(path)
+        with WalWriter(path, fsync="never", truncate_to=valid_bytes,
+                       next_lsn=records[-1].lsn + 1) as writer:
+            third = writer.append("compact", {})
+        records, _, torn = read_wal(path)
+        assert records == written + [third]
+        assert torn == 0
+
+
+class TestMidLogCorruption:
+    def test_crc_mismatch_mid_log_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _write_records(path, 4)
+        data = bytearray(path.read_bytes())
+        data[_HEADER.size + 2] ^= 0xFF  # inside record 1's payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError) as excinfo:
+            read_wal(path)
+        assert excinfo.value.offset == 0
+        assert "CRC32 mismatch" in str(excinfo.value)
+
+    def test_implausible_length_mid_log_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        written = _write_records(path, 3)
+        data = bytearray(path.read_bytes())
+        first = len(encode_record(written[0]))
+        struct.pack_into("<I", data, first, 0xFFFFFFFF)
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError) as excinfo:
+            read_wal(path)
+        assert excinfo.value.offset == first
+        assert excinfo.value.lsn == 1  # last good LSN before the damage
+
+    def test_lsn_discontinuity_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        frames = (encode_record(WalRecord(1, "compact", {}))
+                  + encode_record(WalRecord(5, "compact", {})))
+        frames += encode_record(WalRecord(6, "compact", {}))
+        (tmp_path / "wal.log").write_bytes(frames)
+        with pytest.raises(WalCorruptionError, match="discontinuity"):
+            read_wal(path)
+        records, _, _ = read_wal(path, expect_contiguous=False)
+        assert [r.lsn for r in records] == [1, 5, 6]
+
+
+class TestWriter:
+    def test_rejects_unknown_fsync_policy(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            WalWriter(tmp_path / "wal.log", fsync="sometimes")
+        assert set(FSYNC_POLICIES) == {"always", "interval", "never"}
+
+    def test_stats_count_appends_and_bytes(self, tmp_path):
+        with WalWriter(tmp_path / "wal.log", fsync="always") as writer:
+            records = [writer.append("compact", {}) for _ in range(3)]
+            stats = writer.stats()
+        assert stats["appends"] == 3
+        assert stats["fsyncs"] >= 3
+        assert stats["last_lsn"] == records[-1].lsn == 3
+        assert stats["bytes_written"] == sum(
+            len(encode_record(r)) for r in records
+        )
+
+    def test_truncate_through_drops_barrier_prefix(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WalWriter(path, fsync="never") as writer:
+            records = [writer.append("compact", {}) for _ in range(5)]
+            writer.truncate_through(3, records)
+            post = writer.append("compact", {})
+        survivors, _, torn = read_wal(path)
+        assert [r.lsn for r in survivors] == [4, 5, 6]
+        assert torn == 0
+        assert post.lsn == 6
+
+    def test_append_record_enforces_contiguity(self, tmp_path):
+        with WalWriter(tmp_path / "wal.log", fsync="never") as writer:
+            writer.append("compact", {})
+            with pytest.raises(InvalidParameterError, match="continue"):
+                writer.append_record(WalRecord(7, "compact", {}))
+            writer.append_record(WalRecord(2, "compact", {}))
+            assert writer.last_lsn == 2
+
+    def test_reset_to_adopts_a_new_lineage(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WalWriter(path, fsync="never") as writer:
+            for _ in range(4):
+                writer.append("compact", {})
+            writer.reset_to(41)
+            writer.append("reset", {})
+        records, _, _ = read_wal(path)
+        assert [r.lsn for r in records] == [41]
+
+    def test_wal_path_layout(self, tmp_path):
+        assert wal_path(tmp_path) == tmp_path / "wal.log"
+
+
+class TestReplayIdempotency:
+    def test_replaying_a_feed_twice_applies_each_lsn_once(self, tmp_path):
+        """The engine-level guarantee framing exists for: same log twice,
+        same state once."""
+        from repro.durability.engine import DurableDynamicRRQ
+
+        engine = DurableDynamicRRQ(tmp_path / "db", dim=2, fsync="never")
+        engine.insert_product([0.2, 0.3])
+        engine.insert_product([0.4, 0.1])
+        engine.insert_weight([0.5, 0.5])
+        records, _, _ = read_wal(wal_path(tmp_path / "db"))
+
+        standby = DurableDynamicRRQ(tmp_path / "standby", dim=2,
+                                    fsync="never")
+        assert [standby.apply_replicated(r) for r in records] == [True] * 3
+        assert [standby.apply_replicated(r) for r in records] == [False] * 3
+        assert standby.last_lsn == engine.last_lsn
+        assert standby.num_products == engine.num_products
+        assert standby.num_weights == engine.num_weights
+        engine.close()
+        standby.close()
