@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Run the kernel perf-regression harness and write ``BENCH_*.json``.
+
+Thin script wrapper over :mod:`repro.bench.harness` (the CLI equivalent
+is ``repro-rrq bench``).  Two modes:
+
+* default — the committed trajectory configs (|W| = 100k), writes
+  ``BENCH_kernel.json`` next to the repo root;
+* ``--smoke`` — tiny pinned-seed configs for CI (seconds, always
+  verified against the naive oracle), writes ``BENCH_smoke.json``.
+
+Exit codes: 0 on success, **1 when any kernel answer diverged from the
+per-weight GIR loop or the oracle**, 2 on bad paths/config files.
+
+Examples::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py --smoke
+    PYTHONPATH=src python benchmarks/perf_harness.py --out BENCH_kernel.json
+    PYTHONPATH=src python benchmarks/perf_harness.py --configs my_configs.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Blocked-GIR-kernel perf harness (writes BENCH_*.json)"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny pinned-seed configs for CI")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default BENCH_kernel.json, "
+                             "or BENCH_smoke.json with --smoke)")
+    parser.add_argument("--configs", default=None, metavar="FILE",
+                        help="JSON file with a list of config objects "
+                             "(overrides the built-in configs)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base RNG seed (default: pinned harness seed)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="worker count for the sharded engine "
+                             "(0 disables; default max(2, cpu_count))")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the exact-oracle verification pass")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.bench.harness import (
+        DEFAULT_SEED,
+        SMOKE_CONFIGS,
+        load_configs,
+        run_harness,
+    )
+    from repro.errors import ReproError
+
+    args = build_parser().parse_args(argv)
+    out = args.out or ("BENCH_smoke.json" if args.smoke
+                       else "BENCH_kernel.json")
+    try:
+        configs = None
+        if args.configs is not None:
+            configs = load_configs(args.configs)
+        elif args.smoke:
+            configs = list(SMOKE_CONFIGS)
+        report = run_harness(
+            configs=configs,
+            seed=args.seed if args.seed is not None else DEFAULT_SEED,
+            shards=args.shards,
+            verify=not args.no_verify,
+            out=out,
+            progress=lambda message: print(message, flush=True),
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for record in report["configs"]:
+        rtk, rkr = record["rtk"], record["rkr"]
+        print(f"{record['name']}: rtk x{rtk['kernel_speedup']:.1f} "
+              f"rkr x{rkr['kernel_speedup']:.1f} "
+              f"filter_rate={record['kernel_stats']['filter_rate']:.3f} "
+              f"verified={record['verified']}")
+    print(f"wrote {out} (ok={report['ok']})")
+    if not report["ok"]:
+        print("error: kernel answers diverged from the oracle",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

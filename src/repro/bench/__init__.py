@@ -1,0 +1,13 @@
+"""Perf-regression harness: pinned-seed kernel benchmarks with verification."""
+
+from .harness import (
+    DEFAULT_CONFIGS,
+    SMOKE_CONFIGS,
+    load_configs,
+    machine_info,
+    run_config,
+    run_harness,
+)
+
+__all__ = ["DEFAULT_CONFIGS", "SMOKE_CONFIGS", "load_configs",
+           "machine_info", "run_config", "run_harness"]

@@ -1,0 +1,301 @@
+"""The perf-regression harness behind ``BENCH_kernel.json``.
+
+Future PRs need a trajectory: a pinned-seed, machine-stamped record of
+how fast the blocked kernel is *today*, so a regression (or a claimed
+win) is a diff against a committed JSON file instead of an anecdote.
+This module is that harness.  For each configuration it
+
+1. generates the workload (paper distributions, pinned seeds),
+2. answers the same queries with the per-weight ``GridIndexRRQ`` loop,
+   the blocked kernel (:class:`~repro.vectorized.girkernel.GirKernelRRQ`)
+   and — when more than one shard makes sense — the shared-memory
+   sharded engine (:class:`~repro.vectorized.shard.ShardedGirRRQ`),
+3. records nearest-rank p50 per-query latency, speedups, and the
+   kernel's pair-classification rates (the paper's filtering story), and
+4. **verifies** every kernel answer against the per-weight loop and an
+   independent oracle (:class:`~repro.algorithms.naive.NaiveRRQ` on
+   small configs, :class:`~repro.vectorized.batch.BatchOracle` on large
+   ones) — a divergence marks the run ``ok: false``, which the CI smoke
+   job and the ``repro-rrq bench`` CLI turn into a failing exit code.
+
+Entry points: :func:`run_harness` (programmatic),
+``benchmarks/perf_harness.py`` (script), ``repro-rrq bench`` (CLI).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from time import perf_counter
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import __version__
+from ..algorithms.naive import NaiveRRQ
+from ..core.gir import GridIndexRRQ
+from ..data.synthetic import generate_products, generate_weights
+from ..errors import DataValidationError, InvalidParameterError
+from ..service.metrics import percentile
+from ..vectorized.batch import BatchOracle
+from ..vectorized.girkernel import GirKernelRRQ, KernelStats
+from ..vectorized.parallel import answer_batch_stats
+from ..vectorized.shard import ShardedGirRRQ
+
+#: Seed offsets keep products / weights / query sampling independent.
+DEFAULT_SEED = 7
+
+#: Above this many (p, w) pairs the exact-oracle check switches from the
+#: per-pair NaiveRRQ scan to the chunked BatchOracle rank sweep (both are
+#: exact and kernel-independent; the sweep is just affordable at scale).
+_NAIVE_ORACLE_LIMIT = 5_000_000
+
+#: Keys a configuration dict must provide.
+_REQUIRED_KEYS = ("name", "n_products", "n_weights", "dim", "k", "queries")
+
+#: The committed trajectory (|W| = 100k, the acceptance scale).
+DEFAULT_CONFIGS: Tuple[dict, ...] = (
+    {"name": "uniform-d4-w100k", "p_dist": "UN", "w_dist": "UN",
+     "n_products": 1500, "n_weights": 100_000, "dim": 4, "k": 10,
+     "queries": 3, "partitions": 32},
+    {"name": "clustered-d4-w100k", "p_dist": "CL", "w_dist": "CL",
+     "n_products": 1500, "n_weights": 100_000, "dim": 4, "k": 10,
+     "queries": 3, "partitions": 32},
+)
+
+#: Tiny pinned-seed configs for CI: seconds to run, still verifying
+#: byte-identity against the naive oracle.
+SMOKE_CONFIGS: Tuple[dict, ...] = (
+    {"name": "smoke-uniform-d3", "p_dist": "UN", "w_dist": "UN",
+     "n_products": 300, "n_weights": 2500, "dim": 3, "k": 8,
+     "queries": 3, "partitions": 32},
+    {"name": "smoke-clustered-d5", "p_dist": "CL", "w_dist": "CL",
+     "n_products": 250, "n_weights": 2000, "dim": 5, "k": 5,
+     "queries": 3, "partitions": 32},
+)
+
+
+def machine_info() -> dict:
+    """Where the numbers came from — required context for comparing runs."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "repro_version": __version__,
+    }
+
+
+def load_configs(path) -> List[dict]:
+    """Read and validate a JSON config file (a list of config dicts)."""
+    path = Path(path)
+    if not path.is_file():
+        raise DataValidationError(f"{path}: no such config file")
+    try:
+        configs = json.loads(path.read_text())
+    except ValueError as exc:
+        raise DataValidationError(f"{path}: invalid JSON ({exc})") from None
+    if not isinstance(configs, list) or not configs:
+        raise DataValidationError(
+            f"{path}: expected a non-empty JSON list of config objects"
+        )
+    for cfg in configs:
+        if not isinstance(cfg, dict):
+            raise DataValidationError(f"{path}: configs must be objects")
+        missing = [key for key in _REQUIRED_KEYS if key not in cfg]
+        if missing:
+            raise DataValidationError(
+                f"{path}: config {cfg.get('name', '?')!r} missing keys: "
+                f"{', '.join(missing)}"
+            )
+    return configs
+
+
+def _timed_queries(answer, queries: Sequence[np.ndarray],
+                   k: int) -> Tuple[List[float], list]:
+    """Per-query wall-clock and answers for one ``answer(q, k)`` callable."""
+    times, answers = [], []
+    for q in queries:
+        start = perf_counter()
+        answers.append(answer(q, k))
+        times.append(perf_counter() - start)
+    return times, answers
+
+
+def _kind_report(gir_times: List[float], kernel_times: List[float],
+                 sharded_times: Optional[List[float]]) -> dict:
+    gir_p50 = percentile(gir_times, 0.50)
+    kernel_p50 = percentile(kernel_times, 0.50)
+    report = {
+        "gir_p50_s": gir_p50,
+        "kernel_p50_s": kernel_p50,
+        "kernel_speedup": gir_p50 / kernel_p50 if kernel_p50 > 0 else 0.0,
+    }
+    if sharded_times is not None:
+        sharded_p50 = percentile(sharded_times, 0.50)
+        report["sharded_p50_s"] = sharded_p50
+        report["sharded_speedup_vs_kernel"] = (
+            kernel_p50 / sharded_p50 if sharded_p50 > 0 else 0.0
+        )
+    return report
+
+
+def run_config(cfg: dict, seed: int = DEFAULT_SEED,
+               shards: Optional[int] = None, verify: bool = True) -> dict:
+    """Benchmark + verify one configuration; returns its JSON-ready record.
+
+    ``shards=0`` (or 1) skips the sharded engine; ``None`` uses
+    ``max(2, os.cpu_count())`` so single-core machines still record a
+    sharded data point (flagged by ``machine.cpu_count`` in the output).
+    """
+    name = cfg["name"]
+    queries_n = int(cfg["queries"])
+    k = int(cfg["k"])
+    if min(queries_n, k, cfg["n_products"], cfg["n_weights"],
+           cfg["dim"]) < 1:
+        raise InvalidParameterError(
+            f"config {name!r}: sizes, dim, k and queries must be positive"
+        )
+    products = generate_products(cfg.get("p_dist", "UN"),
+                                 int(cfg["n_products"]), int(cfg["dim"]),
+                                 seed=seed)
+    weights = generate_weights(cfg.get("w_dist", "UN"),
+                               int(cfg["n_weights"]), int(cfg["dim"]),
+                               seed=seed + 1)
+    partitions = int(cfg.get("partitions", 32))
+    gir = GridIndexRRQ(products, weights, partitions=partitions)
+    kernel = GirKernelRRQ.from_gir(gir)
+    rng = np.random.default_rng(seed + 2)
+    idx = rng.choice(products.size, size=min(queries_n, products.size),
+                     replace=False)
+    queries = [products.values[i] for i in idx]
+
+    if shards is None:
+        shards = max(2, os.cpu_count() or 1)
+    sharded = (ShardedGirRRQ(products, weights, shards=shards, kernel=kernel)
+               if shards >= 2 else None)
+
+    record = {
+        "name": name,
+        "params": dict(cfg),
+        "seed": seed,
+        "query_indices": [int(i) for i in idx],
+        "shards": sharded.shards if sharded is not None else 0,
+    }
+    identical = True
+    try:
+        for kind in ("rtk", "rkr"):
+            gir_fn = gir.reverse_topk if kind == "rtk" else gir.reverse_kranks
+            kernel_fn = (kernel.reverse_topk if kind == "rtk"
+                         else kernel.reverse_kranks)
+            gir_times, gir_answers = _timed_queries(gir_fn, queries, k)
+            kernel_times, kernel_answers = _timed_queries(kernel_fn,
+                                                          queries, k)
+            sharded_times = sharded_answers = None
+            if sharded is not None:
+                sharded_fn = (sharded.reverse_topk if kind == "rtk"
+                              else sharded.reverse_kranks)
+                sharded_times, sharded_answers = _timed_queries(
+                    sharded_fn, queries, k
+                )
+            identical &= gir_answers == kernel_answers
+            if sharded_answers is not None:
+                identical &= gir_answers == sharded_answers
+            if verify:
+                oracle = _oracle(products, weights)
+                oracle_fn = (oracle.reverse_topk if kind == "rtk"
+                             else oracle.reverse_kranks)
+                identical &= all(
+                    oracle_fn(q, k) == answer
+                    for q, answer in zip(queries, kernel_answers)
+                )
+            record[kind] = _kind_report(gir_times, kernel_times,
+                                        sharded_times)
+    finally:
+        if sharded is not None:
+            sharded.close()
+
+    # One serial batch over the kernel: surfaces the per-query p50/p95
+    # that BatchStats now reports (satellite: CLI visibility).
+    _, batch_stats = answer_batch_stats(kernel, queries, k, "rtk", workers=1)
+    record["batch"] = {
+        "workers": batch_stats.workers,
+        "elapsed_s": batch_stats.elapsed_s,
+        "per_query_p50_s": batch_stats.per_query_p50_s,
+        "per_query_p95_s": batch_stats.per_query_p95_s,
+    }
+    record["kernel_stats"] = _full_kernel_stats(kernel, queries, k)
+    record["verified"] = bool(identical)
+    record["oracle"] = (
+        ("naive" if _use_naive(products, weights) else "batch")
+        if verify else "none"
+    )
+    return record
+
+
+def _use_naive(products, weights) -> bool:
+    return products.size * weights.size <= _NAIVE_ORACLE_LIMIT
+
+
+def _oracle(products, weights):
+    """An exact engine that shares no code with the kernel under test."""
+    if _use_naive(products, weights):
+        return NaiveRRQ(products, weights)
+    return BatchOracle(products, weights)
+
+
+def _full_kernel_stats(kernel: GirKernelRRQ, queries: Sequence[np.ndarray],
+                       k: int) -> dict:
+    """Pair-classification rates accumulated over one full query sweep."""
+    stats = KernelStats()
+    for q in queries:
+        kernel.reverse_topk(q, k)
+        if kernel.last_stats is not None:
+            stats.merge(kernel.last_stats)
+        kernel.reverse_kranks(q, k)
+        if kernel.last_stats is not None:
+            stats.merge(kernel.last_stats)
+    snap = stats.snapshot()
+    snap["filter_rate"] = stats.filter_rate()
+    return snap
+
+
+def run_harness(configs: Optional[Sequence[dict]] = None,
+                seed: int = DEFAULT_SEED, shards: Optional[int] = None,
+                verify: bool = True, out=None,
+                progress=None) -> dict:
+    """Run every configuration; optionally write the JSON file.
+
+    Returns the full report dict; ``report["ok"]`` is False when any
+    kernel/sharded answer diverged from the per-weight loop or the
+    oracle (the property the whole optimization is worthless without).
+    """
+    configs = list(configs) if configs is not None else list(DEFAULT_CONFIGS)
+    if out is not None:
+        out = Path(out)
+        if not out.parent.is_dir():  # fail before minutes of benchmarking
+            raise DataValidationError(
+                f"{out}: parent directory does not exist"
+            )
+    records = []
+    for cfg in configs:
+        if progress is not None:
+            progress(f"config {cfg['name']} ...")
+        records.append(run_config(cfg, seed=seed, shards=shards,
+                                  verify=verify))
+    report = {
+        "schema": 1,
+        "benchmark": "girkernel",
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "seed": seed,
+        "machine": machine_info(),
+        "configs": records,
+        "ok": all(record["verified"] for record in records),
+    }
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report

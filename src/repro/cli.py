@@ -13,6 +13,9 @@ Installed as ``repro-rrq``.  Subcommands cover the full life cycle:
 * ``serve`` — run the JSON/HTTP query service over an index or data set,
   or (``--durable``) a write-ahead-logged dynamic engine with mutation
   endpoints and optional hot-standby replication (``--standby-of``);
+* ``bench`` — run the kernel perf-regression harness and write a
+  ``BENCH_*.json`` trajectory file (exit 1 if kernel answers diverge
+  from the exact oracle);
 * ``wal-dump`` — print every decoded record of a write-ahead log.
 
 Examples::
@@ -23,6 +26,7 @@ Examples::
     repro-rrq compare data/ --product 17 -k 10
     repro-rrq model --dim 20 --epsilon 0.01
     repro-rrq serve idx/ --port 8377 --batch-window-ms 2
+    repro-rrq bench --smoke --out BENCH_smoke.json
     repro-rrq serve wal/ --durable --dim 6 --fsync always
     repro-rrq serve wal2/ --durable --standby-of http://127.0.0.1:8377
     repro-rrq wal-dump wal/
@@ -212,6 +216,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
         ),
         fallback=not args.no_fallback,
+        use_kernel=not args.no_kernel,
     )
     if args.durable:
         from .durability import DurableDynamicRRQ
@@ -327,6 +332,52 @@ def _durability_info(path: Path) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the kernel perf harness; write ``BENCH_*.json``.
+
+    Exit 2 on bad paths (missing config file, unwritable output
+    directory — the CLI convention), exit 1 when a kernel answer
+    diverges from the exact oracle.
+    """
+    from .bench.harness import (
+        DEFAULT_SEED,
+        SMOKE_CONFIGS,
+        load_configs,
+        run_harness,
+    )
+
+    configs = None
+    if args.config is not None:
+        configs = load_configs(args.config)
+    elif args.smoke:
+        configs = list(SMOKE_CONFIGS)
+    out = args.out or ("BENCH_smoke.json" if args.smoke
+                       else "BENCH_kernel.json")
+    report = run_harness(
+        configs=configs,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        shards=args.shards,
+        verify=not args.no_verify,
+        out=out,
+        progress=lambda message: print(message, flush=True),
+    )
+    for record in report["configs"]:
+        batch = record["batch"]
+        print(f"{record['name']}: "
+              f"rtk x{record['rtk']['kernel_speedup']:.1f} "
+              f"rkr x{record['rkr']['kernel_speedup']:.1f} "
+              f"filter_rate={record['kernel_stats']['filter_rate']:.3f} "
+              f"batch p50={batch['per_query_p50_s']*1000:.1f}ms "
+              f"p95={batch['per_query_p95_s']*1000:.1f}ms "
+              f"verified={record['verified']}")
+    print(f"wrote {out} (ok={report['ok']})")
+    if not report["ok"]:
+        print("error: kernel answers diverged from the oracle",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_wal_dump(args: argparse.Namespace) -> int:
     """Decode and print a WAL; exit 1 on mid-log corruption."""
     from .durability.wal import read_wal, wal_path
@@ -404,6 +455,24 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("index")
     info.set_defaults(func=_cmd_info)
 
+    bench = sub.add_parser(
+        "bench", help="kernel perf harness: write a BENCH_*.json trajectory"
+    )
+    bench.add_argument("--smoke", action="store_true",
+                       help="tiny pinned-seed configs (CI smoke)")
+    bench.add_argument("--out", default=None,
+                       help="output JSON path (default BENCH_kernel.json, "
+                            "or BENCH_smoke.json with --smoke)")
+    bench.add_argument("--config", default=None, metavar="FILE",
+                       help="JSON file with a list of config objects")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="base RNG seed (default: pinned harness seed)")
+    bench.add_argument("--shards", type=int, default=None,
+                       help="sharded-engine worker count (0 disables)")
+    bench.add_argument("--no-verify", action="store_true",
+                       help="skip the exact-oracle verification pass")
+    bench.set_defaults(func=_cmd_bench)
+
     wal_dump = sub.add_parser(
         "wal-dump", help="decode a write-ahead log (exit 1 on corruption)"
     )
@@ -430,6 +499,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-fallback", action="store_true",
                        help="disable degraded-mode fallback to the exact "
                             "naive scan on engine failure")
+    serve.add_argument("--no-kernel", action="store_true",
+                       help="answer coalesced batches with the dense rank "
+                            "sweep instead of the blocked GIR kernel")
     serve.add_argument("--no-recover", action="store_true",
                        help="fail instead of rebuilding damaged derived "
                             "index artifacts at startup")

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..algorithms.base import RRQAlgorithm, duplicate_mask
 from ..data.datasets import ProductSet, WeightSet
+from ..errors import InvalidParameterError
 from ..queries.types import RKRResult, RTKResult, make_rkr_result
 from ..stats.counters import OpCounter
 from .approx import Quantizer, quantize_dataset
@@ -75,6 +76,10 @@ class GridIndexRRQ(RRQAlgorithm):
         #: Pre-computed approximate vectors (the paper's P^(A) and W^(A)).
         self.PA = quantize_dataset(self.P, self.p_quantizer)
         self.WA = quantize_dataset(self.W, self.w_quantizer)
+        if chunk < 1:
+            raise InvalidParameterError(
+                f"chunk must be positive, got {chunk}"
+            )
         self.chunk = chunk
         self.use_domin = use_domin
 

@@ -9,8 +9,10 @@ registry, which is what the examples and most downstream users want::
 
 Methods: ``gir`` (the paper's contribution, default), ``sim``, ``bbr``
 (RTK only), ``mpa`` (RKR only), ``rta`` (RTK only), ``naive``,
-``gir-adaptive`` and ``gir-sparse`` (the Section 7 extensions), and
-``auto`` (heuristic planner, see :mod:`repro.queries.planner`).
+``gir-adaptive`` and ``gir-sparse`` (the Section 7 extensions),
+``gir-kernel`` (the weight-blocked vectorized grid filter, see
+:mod:`repro.vectorized.girkernel`), and ``auto`` (heuristic planner,
+see :mod:`repro.queries.planner`).
 """
 
 from __future__ import annotations
@@ -29,10 +31,12 @@ from ..errors import InvalidParameterError
 from ..ext.adaptive_grid import AdaptiveGridIndexRRQ
 from ..ext.sparse import SparseGridIndexRRQ
 from ..queries.types import RKRResult, RTKResult
+from ..vectorized.girkernel import GirKernelRRQ
 from .planner import AutoEngine
 
 _METHODS: Dict[str, Callable[..., RRQAlgorithm]] = {
     "gir": GridIndexRRQ,
+    "gir-kernel": GirKernelRRQ,
     "sim": SimpleScan,
     "bbr": BranchBoundRTK,
     "mpa": MarkedPruningRKR,

@@ -67,6 +67,11 @@ class ServiceMetrics:
         self._batched_requests = 0
         self._max_batch_size = 0
         self._ops = OpCounter()
+        self._kernel_queries = 0
+        self._kernel_stage_s = {"filter": 0.0, "refine": 0.0, "merge": 0.0}
+        self._kernel_pairs = {"total": 0, "case1": 0, "case2": 0,
+                              "refined": 0, "domin_skipped": 0}
+        self._kernel_weights_pruned = 0
         self._mutations_total = 0
         self._mutations_by_op: Dict[str, int] = {}
         self._mutations_rejected = 0
@@ -122,6 +127,22 @@ class ServiceMetrics:
                 return
             self._mutations_total += 1
             self._mutations_by_op[op] = self._mutations_by_op.get(op, 0) + 1
+
+    def record_kernel(self, stats: dict) -> None:
+        """Fold one blocked-kernel stats snapshot into the gauges.
+
+        ``stats`` is the dict produced by
+        :meth:`repro.vectorized.girkernel.KernelStats.snapshot` — queries
+        served, per-stage wall-clock (filter/refine/merge) and the pair
+        classification tallies behind the filter-rate gauge.
+        """
+        with self._lock:
+            self._kernel_queries += stats["queries"]
+            for stage in self._kernel_stage_s:
+                self._kernel_stage_s[stage] += stats["stage_s"][stage]
+            for key in self._kernel_pairs:
+                self._kernel_pairs[key] += stats["pairs"][key]
+            self._kernel_weights_pruned += stats["weights_pruned"]
 
     def record_batch(self, size: int, counter: Optional[OpCounter] = None) -> None:
         """One dispatched micro-batch of ``size`` coalesced requests."""
@@ -190,6 +211,18 @@ class ServiceMetrics:
                     "max_size": self._max_batch_size,
                 },
                 "ops": self._ops.snapshot(),
+                "kernel": {
+                    "queries": self._kernel_queries,
+                    "stage_s": dict(self._kernel_stage_s),
+                    "pairs": dict(self._kernel_pairs),
+                    "weights_pruned": self._kernel_weights_pruned,
+                    "filter_rate": (
+                        (self._kernel_pairs["case1"]
+                         + self._kernel_pairs["case2"])
+                        / self._kernel_pairs["total"]
+                        if self._kernel_pairs["total"] else 0.0
+                    ),
+                },
                 "mutations": {
                     "total": self._mutations_total,
                     "by_op": dict(self._mutations_by_op),

@@ -48,6 +48,7 @@ from ..queries.types import RKRResult, RTKResult, make_rkr_result
 from ..resilience.faults import fire
 from ..stats.counters import OpCounter
 from ..vectorized.batch import DEFAULT_CHUNK_BUDGET, all_ranks_multi
+from ..vectorized.girkernel import GirKernelRRQ
 from .limits import Deadline, ServiceLimits
 from .metrics import ServiceMetrics
 
@@ -92,6 +93,16 @@ class MicroBatchScheduler:
         created when omitted.
     chunk_budget:
         Memory bound forwarded to :func:`all_ranks_multi`.
+    use_kernel:
+        Answer coalesced batches with the weight-blocked GIR kernel
+        (:class:`~repro.vectorized.girkernel.GirKernelRRQ`) instead of
+        the dense ``all_ranks_multi`` sweep.  The kernel is built lazily
+        on the first coalesced batch — wrapping the engine's own grid
+        when it is a :class:`~repro.core.gir.GridIndexRRQ` — and its
+        per-stage timings / filter rates flow into ``/metrics``.
+        Answers are byte-identical either way; this only changes how
+        much arithmetic the batch path performs.  Ignored for dynamic
+        engines (their arrays mutate under the scheduler).
     auto_start:
         Start the dispatcher thread immediately (tests pass ``False`` to
         stage requests deterministically before opening the tap).
@@ -101,6 +112,7 @@ class MicroBatchScheduler:
                  limits: Optional[ServiceLimits] = None,
                  metrics: Optional[ServiceMetrics] = None,
                  chunk_budget: int = DEFAULT_CHUNK_BUDGET,
+                 use_kernel: bool = True,
                  auto_start: bool = True):
         if batch_window_s < 0:
             raise InvalidParameterError("batch_window_s must be >= 0")
@@ -122,6 +134,9 @@ class MicroBatchScheduler:
         else:
             self._P = engine.products.values
             self._W = engine.weights.values
+        self.use_kernel = bool(use_kernel) and not self._dynamic
+        self._kernel: Optional[GirKernelRRQ] = None
+        self._kernel_failed = False
         self._queue: "queue.Queue[_Pending]" = queue.Queue(
             maxsize=self.limits.max_queue_depth
         )
@@ -313,14 +328,57 @@ class MicroBatchScheduler:
         counter.merge(result.counter)
         pending.future.set_result(result)
 
+    def _get_kernel(self) -> Optional[GirKernelRRQ]:
+        """The batch-path kernel, built lazily on first use.
+
+        Wraps the engine's own grid when the engine is (or fronts) a
+        :class:`~repro.core.gir.GridIndexRRQ` — no re-quantization —
+        otherwise quantizes fresh from the static arrays.  A build
+        failure is remembered and the dense sweep is used from then on;
+        serving must not die because an optimization could not start.
+        """
+        if not self.use_kernel or self._kernel_failed:
+            return None
+        if self._kernel is None:
+            try:
+                from ..core.gir import GridIndexRRQ
+
+                algorithm = getattr(self.engine, "algorithm", self.engine)
+                if isinstance(algorithm, GirKernelRRQ):
+                    self._kernel = algorithm
+                elif isinstance(algorithm, GridIndexRRQ):
+                    self._kernel = GirKernelRRQ.from_gir(algorithm)
+                else:
+                    self._kernel = GirKernelRRQ(
+                        self.engine.products, self.engine.weights
+                    )
+            except Exception:
+                self._kernel_failed = True
+                return None
+        return self._kernel
+
     def _answer_batched(self, live: List[_Pending],
                         counter: OpCounter) -> None:
-        """Coalesced path: one shared rank sweep answers every request.
+        """Coalesced path: the blocked kernel, or one shared rank sweep.
 
-        Derivation from the rank vector mirrors
-        :class:`~repro.vectorized.batch.BatchOracle` exactly, so answers
-        are identical to the per-query path.
+        Both produce answers byte-identical to the per-query engine
+        (derivation from the rank vector mirrors
+        :class:`~repro.vectorized.batch.BatchOracle`; the kernel's
+        equivalence is enforced by the property tests), so the HTTP
+        payloads never depend on which path ran.
         """
+        kernel = self._get_kernel()
+        if kernel is not None:
+            for pending in live:
+                if pending.kind == "rtk":
+                    result = kernel.reverse_topk(pending.q, pending.k)
+                else:
+                    result = kernel.reverse_kranks(pending.q, pending.k)
+                counter.merge(result.counter)
+                if kernel.last_stats is not None:
+                    self.metrics.record_kernel(kernel.last_stats.snapshot())
+                pending.future.set_result(result)
+            return
         Q = np.stack([pending.q for pending in live])
         rank_matrix = all_ranks_multi(self._P, self._W, Q, self.chunk_budget)
         # One shared sweep: |P| * |W| pairwise products total, not per query.

@@ -72,6 +72,10 @@ class ServiceConfig:
     ``"degraded": true``.  ``breaker_threshold`` consecutive engine
     failures open the circuit; after ``breaker_reset_s`` one probe
     request tries the primary again (self-healing).
+
+    ``use_kernel`` routes coalesced micro-batches through the
+    weight-blocked GIR kernel (answers are byte-identical either way;
+    see :class:`~repro.service.scheduler.MicroBatchScheduler`).
     """
 
     batch_window_s: float = DEFAULT_BATCH_WINDOW_S
@@ -80,6 +84,7 @@ class ServiceConfig:
     fallback: bool = True
     breaker_threshold: int = DEFAULT_FAILURE_THRESHOLD
     breaker_reset_s: float = DEFAULT_RESET_AFTER_S
+    use_kernel: bool = True
 
 
 def encode_result(result: Union[RTKResult, RKRResult], kind: str) -> dict:
@@ -138,6 +143,7 @@ class QueryService:
             batch_window_s=self.config.batch_window_s,
             limits=self.config.limits,
             metrics=self.metrics,
+            use_kernel=self.config.use_kernel,
         )
         self.breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_threshold,
@@ -318,6 +324,7 @@ class QueryService:
             "max_batch": self.config.limits.max_batch,
             "default_deadline_s": self.config.limits.default_deadline_s,
             "fallback": self.config.fallback,
+            "use_kernel": self.config.use_kernel,
             "breaker_threshold": self.config.breaker_threshold,
             "breaker_reset_s": self.config.breaker_reset_s,
         }

@@ -1,7 +1,10 @@
 """Batch vectorized engines and process-parallel batch execution."""
 
 from .batch import BatchOracle, all_ranks_multi
+from .girkernel import GirKernelRRQ, KernelCore, KernelStats
 from .parallel import BatchStats, answer_batch, answer_batch_stats
+from .shard import ShardedGirRRQ
 
 __all__ = ["BatchOracle", "all_ranks_multi", "answer_batch",
-           "answer_batch_stats", "BatchStats"]
+           "answer_batch_stats", "BatchStats", "GirKernelRRQ",
+           "KernelCore", "KernelStats", "ShardedGirRRQ"]

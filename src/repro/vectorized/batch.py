@@ -31,6 +31,10 @@ def all_ranks_multi(P: np.ndarray, W: np.ndarray, Q: np.ndarray,
     Returns an ``(num_q, |W|)`` int64 array.  Work is chunked over ``W`` so
     at most ``chunk_budget`` score entries exist at a time.
     """
+    if chunk_budget < 1:
+        raise InvalidParameterError(
+            f"chunk_budget must be positive, got {chunk_budget}"
+        )
     P = np.asarray(P, dtype=np.float64)
     W = np.asarray(W, dtype=np.float64)
     Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
@@ -72,6 +76,10 @@ class BatchOracle:
     def __init__(self, products: ProductSet, weights: WeightSet,
                  chunk_budget: int = DEFAULT_CHUNK_BUDGET):
         check_compatible(products, weights)
+        if chunk_budget < 1:
+            raise InvalidParameterError(
+                f"chunk_budget must be positive, got {chunk_budget}"
+            )
         self.products = products
         self.weights = weights
         self.chunk_budget = chunk_budget

@@ -1,0 +1,538 @@
+"""The weight-blocked GIR kernel: grid-bound filtering without a weight loop.
+
+:class:`~repro.core.gir.GridIndexRRQ` drives Algorithm 1 through a Python
+loop over ``W`` — one :func:`~repro.core.gin.gin_topk` call per weight
+vector.  The per-call interpreter overhead is tiny next to ``|P|`` bound
+checks, but multiplied by millions of weights it dwarfs the arithmetic the
+Grid-index was built to avoid.  This module evaluates the same bounds for
+an entire *block* of weights at once:
+
+* the pre-gathered boundary matrices ``alpha_p[PA]`` / ``alpha_p[PA + 1]``
+  (products) and ``alpha_w[WA]`` / ``alpha_w[WA + 1]`` (weights) turn the
+  Equation 3/4 bound sums of every ``(p, w)`` pair in a
+  ``(P-block, W-block)`` tile into one BLAS matrix product — bit-for-bit
+  the same Grid-index cells as the per-pair gathers, assembled wholesale;
+* whole tiles are classified in bulk into definitely-better (Case 1),
+  definitely-worse (Case 2) and undecided pairs with two vectorized
+  comparisons;
+* only the undecided band is refined with exact dot products (one
+  ``einsum`` over the COO pair list), with near-ties re-decided in exact
+  rational arithmetic exactly like every other engine in the library.
+
+Answers are **byte-identical** to :class:`GridIndexRRQ` and
+:class:`~repro.algorithms.naive.NaiveRRQ`: the Domin semantics (k
+strictly dominating products ⇒ empty RTK answer) and the RKR minRank
+feedback (a weight block is pruned when its certain-better count already
+reaches the current k-th best rank) are preserved, and every comparison
+that could be perturbed by BLAS rounding goes through the near-tie band
+of :mod:`repro.core.ties`.  Only the *work* differs, and
+:class:`KernelStats` reports exactly where it went (filter / refine /
+merge stage seconds, pair classification counts).
+
+The compute core is array-only (:class:`KernelCore`) so that
+:mod:`repro.vectorized.shard` can run it inside worker processes over
+``multiprocessing.shared_memory`` views without re-quantizing anything.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, fields
+from time import perf_counter
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.base import RRQAlgorithm, duplicate_mask
+from ..core.approx import Quantizer, quantize_dataset
+from ..core.grid import DEFAULT_PARTITIONS, GridIndex
+from ..core.ties import TIE_REL_TOL, exact_strictly_less
+from ..data.datasets import ProductSet, WeightSet
+from ..errors import InvalidParameterError
+from ..queries.types import RKRResult, RTKResult, make_rkr_result
+from ..stats.counters import OpCounter
+
+#: Weights classified per tile.  1024 weights x 2048 products of float64
+#: bounds is a 16 MB working set — big enough to amortize BLAS dispatch,
+#: small enough to stay cache/RAM friendly.
+DEFAULT_W_BLOCK = 1024
+
+#: Products per tile (rows of the bound matrices), the cap of the
+#: escalating tile schedule.
+DEFAULT_P_BLOCK = 2048
+
+#: First tile of the escalating schedule: small, like gin_topk's scan
+#: chunk, so the k / minRank abort kills most weight columns after a few
+#: hundred products; later tiles quadruple up to ``p_block`` once the
+#: survivor set is thin.
+FIRST_P_TILE = 256
+
+
+@dataclass
+class KernelStats:
+    """Where a kernel query's time and pairs went.
+
+    Attributes
+    ----------
+    queries:
+        Queries accumulated into this stats object.
+    filter_s, refine_s, merge_s:
+        Seconds spent assembling/classifying grid bounds, refining the
+        undecided band with exact dot products, and merging per-block
+        (or per-shard) partial answers.
+    pairs_total:
+        Live ``(p, w)`` pairs that entered bound classification.
+    pairs_case1:
+        Pairs decided "p definitely out-ranks q" by the upper bound.
+    pairs_case2:
+        Pairs decided "q definitely out-ranks p" by the lower bound.
+    pairs_refined:
+        Undecided pairs that needed an exact dot product.
+    pairs_domin_skipped:
+        Pairs never classified because the product strictly dominates
+        the query (counted straight into every weight's rank floor).
+    weights_pruned:
+        Weight vectors dropped without refinement because their
+        certain-better count already met the k / minRank abort threshold.
+    """
+
+    queries: int = 0
+    filter_s: float = 0.0
+    refine_s: float = 0.0
+    merge_s: float = 0.0
+    pairs_total: int = 0
+    pairs_case1: int = 0
+    pairs_case2: int = 0
+    pairs_refined: int = 0
+    pairs_domin_skipped: int = 0
+    weights_pruned: int = 0
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        """Accumulate ``other`` into this object and return ``self``."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    @property
+    def pairs_decided(self) -> int:
+        """Pairs settled by bounds alone (no exact dot product)."""
+        return self.pairs_case1 + self.pairs_case2
+
+    def filter_rate(self) -> float:
+        """Fraction of classified pairs decided without refinement."""
+        if self.pairs_total == 0:
+            return 0.0
+        return self.pairs_decided / self.pairs_total
+
+    def snapshot(self) -> dict:
+        """JSON-ready dict (used by ``/metrics`` and the bench harness)."""
+        return {
+            "queries": self.queries,
+            "stage_s": {
+                "filter": self.filter_s,
+                "refine": self.refine_s,
+                "merge": self.merge_s,
+            },
+            "pairs": {
+                "total": self.pairs_total,
+                "case1": self.pairs_case1,
+                "case2": self.pairs_case2,
+                "refined": self.pairs_refined,
+                "domin_skipped": self.pairs_domin_skipped,
+            },
+            "weights_pruned": self.weights_pruned,
+            "filter_rate": self.filter_rate(),
+        }
+
+
+def _check_block(value: int, name: str) -> int:
+    if int(value) < 1:
+        raise InvalidParameterError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+@dataclass
+class _QueryState:
+    """Per-query prep shared by every weight block of one scan."""
+
+    #: Global row indices of live products, or ``None`` for "all rows"
+    #: (the common case: no duplicates of q, nothing dominating it).
+    rows: Optional[np.ndarray]
+    #: Bound matrices restricted to the live rows.
+    a_lo: np.ndarray
+    a_hi: np.ndarray
+    #: Size of the Domin set — the rank floor under every weight.
+    n_dom: int
+    #: Live products (bound-classified rows).
+    n_live: int
+
+
+class KernelCore:
+    """Array-only compute core of the blocked kernel.
+
+    Deliberately free of dataset/quantizer objects so shard workers can
+    build one directly over shared-memory views.  All arrays are taken
+    as-is (float64, C-contiguous preferred); ``pa_lo``/``pa_hi`` are the
+    pre-gathered product-side boundary matrices ``alpha_p[PA]`` /
+    ``alpha_p[PA + 1]``, and ``wb_lo``/``wb_hi`` the weight-side
+    ``alpha_w[WA]`` / ``alpha_w[WA + 1]``.
+    """
+
+    def __init__(self, P: np.ndarray, W: np.ndarray,
+                 pa_lo: np.ndarray, pa_hi: np.ndarray,
+                 wb_lo: np.ndarray, wb_hi: np.ndarray,
+                 w_block: int = DEFAULT_W_BLOCK,
+                 p_block: int = DEFAULT_P_BLOCK,
+                 use_domin: bool = True):
+        self.P = np.asarray(P, dtype=np.float64)
+        self.W = np.asarray(W, dtype=np.float64)
+        self.pa_lo = np.asarray(pa_lo, dtype=np.float64)
+        self.pa_hi = np.asarray(pa_hi, dtype=np.float64)
+        self.wb_lo = np.asarray(wb_lo, dtype=np.float64)
+        self.wb_hi = np.asarray(wb_hi, dtype=np.float64)
+        self.w_block = _check_block(w_block, "w_block")
+        self.p_block = _check_block(p_block, "p_block")
+        self.use_domin = bool(use_domin)
+
+    # ------------------------------------------------------------------
+    # per-query preparation
+    # ------------------------------------------------------------------
+
+    def prepare(self, q: np.ndarray) -> _QueryState:
+        """Skip mask, Domin floor and live-row bound matrices for ``q``."""
+        excluded = duplicate_mask(self.P, q)
+        n_dom = 0
+        if self.use_domin:
+            # The full Domin set up front: one vectorized pass replaces
+            # Algorithm 1's lazy per-weight discovery.  Every dominator
+            # contributes exactly 1 to every weight's rank either way.
+            domin = np.all(self.P < q, axis=1)
+            n_dom = int(np.count_nonzero(domin))
+            if n_dom:
+                excluded = excluded | domin
+        if excluded.any():
+            rows = np.flatnonzero(~excluded)
+            a_lo, a_hi = self.pa_lo[rows], self.pa_hi[rows]
+        else:
+            rows, a_lo, a_hi = None, self.pa_lo, self.pa_hi
+        n_live = a_lo.shape[0]
+        return _QueryState(rows=rows, a_lo=a_lo, a_hi=a_hi,
+                           n_dom=n_dom, n_live=n_live)
+
+    # ------------------------------------------------------------------
+    # the blocked filter
+    # ------------------------------------------------------------------
+
+    def _classify(self, state: _QueryState, fq: np.ndarray, tol: np.ndarray,
+                  ws: int, we: int, limit: float, counter: OpCounter,
+                  stats: KernelStats,
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Bound-classify the live pairs for weights ``[ws, we)``.
+
+        Returns ``(counts, und_rows, und_cols, alive)``: per-weight
+        certain-better counts (Domin floor included), the COO coordinates
+        of the undecided pairs (``und_rows`` are *global* P row indices,
+        ``und_cols`` block-local weight offsets), and the survivor mask.
+
+        ``limit`` carries the abort semantics of Algorithm 1 into the
+        blocked scan: the certain-better count is a lower bound on the
+        exact rank, so once a weight's count reaches ``limit`` (``k``
+        for RTK, the current k-th best rank for RKR) it can never enter
+        the answer.  Dead weights are compacted out of the remaining
+        tiles — the bulk equivalent of gin_topk's early return, and
+        where most of the speedup over the full sweep comes from.
+        """
+        t0 = perf_counter()
+        B = we - ws
+        d = self.P.shape[1]
+        hi_gate = fq - tol
+        lo_gate = fq + tol
+        counts = np.full(B, state.n_dom, dtype=np.int64)
+        #: Columns still worth classifying, as block-local indices.
+        active = np.flatnonzero(counts < limit)
+        und_rows: List[np.ndarray] = []
+        und_cols: List[np.ndarray] = []
+        for ps, pe in self._tiles(state.n_live):
+            if active.size == 0:
+                break
+            wb_hi = self.wb_hi[ws:we][active]
+            wb_lo = self.wb_lo[ws:we][active]
+            # Equations 3-4 for the whole tile: two dgemms instead of
+            # (pe - ps) * |active| per-pair grid gathers.
+            upper = state.a_hi[ps:pe] @ wb_hi.T
+            case1 = upper < hi_gate[active]
+            counts[active] += case1.sum(axis=0, dtype=np.int64)
+            lower = state.a_lo[ps:pe] @ wb_lo.T
+            undecided = lower <= lo_gate[active]
+            undecided &= ~case1
+            n_pairs = (pe - ps) * active.size
+            n_case1 = int(np.count_nonzero(case1))
+            n_und = int(np.count_nonzero(undecided))
+            counter.approx_accessed += pe - ps
+            counter.grid_lookups += n_pairs * d + (n_pairs - n_case1) * d
+            counter.additions += n_pairs * d + (n_pairs - n_case1) * d
+            counter.filtered_case1 += n_case1
+            counter.filtered_case2 += n_pairs - n_case1 - n_und
+            stats.pairs_total += n_pairs
+            stats.pairs_case1 += n_case1
+            stats.pairs_case2 += n_pairs - n_case1 - n_und
+            if n_und:
+                rr, cc = np.nonzero(undecided)
+                rr = rr + ps
+                if state.rows is not None:
+                    rr = state.rows[rr]
+                und_rows.append(rr)
+                und_cols.append(active[cc])
+            survivors = counts[active] < limit
+            if not survivors.all():
+                active = active[survivors]
+        if und_rows:
+            rows_arr = np.concatenate(und_rows)
+            cols_arr = np.concatenate(und_cols)
+        else:
+            rows_arr = np.empty(0, dtype=np.intp)
+            cols_arr = np.empty(0, dtype=np.intp)
+        alive = counts < limit
+        stats.filter_s += perf_counter() - t0
+        return counts, rows_arr, cols_arr, alive
+
+    def _tiles(self, n_live: int):
+        """The escalating P-tile schedule: ``FIRST_P_TILE`` rows, then
+        quadrupling up to ``p_block`` per tile."""
+        size = min(FIRST_P_TILE, self.p_block)
+        ps = 0
+        while ps < n_live:
+            pe = min(ps + size, n_live)
+            yield ps, pe
+            ps = pe
+            size = min(size * 4, self.p_block)
+
+    def _refine(self, q: np.ndarray, fq: np.ndarray, tol: np.ndarray,
+                ws: int, B: int, und_rows: np.ndarray, und_cols: np.ndarray,
+                alive: np.ndarray, counter: OpCounter, stats: KernelStats,
+                ) -> np.ndarray:
+        """Exact strictly-better counts per weight for the undecided band.
+
+        Only pairs whose weight is still ``alive`` (not pruned by the k /
+        minRank threshold) are scored.  Near-ties are re-decided in exact
+        rational arithmetic, so the counts match every other engine
+        bit-for-bit regardless of which BLAS kernel produced the floats.
+        """
+        t0 = perf_counter()
+        keep = alive[und_cols]
+        rows = und_rows[keep]
+        cols = und_cols[keep]
+        add = np.zeros(B, dtype=np.int64)
+        if rows.size:
+            w_rows = self.W[ws + cols]
+            scores = np.einsum("ij,ij->i", self.P[rows], w_rows)
+            f = fq[cols]
+            t = tol[cols]
+            better = scores < f - t
+            near = np.flatnonzero(np.abs(scores - f) <= t)
+            for i in near:
+                better[i] = exact_strictly_less(w_rows[i], self.P[rows[i]], q)
+            add = np.bincount(cols[better], minlength=B)
+            counter.pairwise += rows.size
+            counter.points_accessed += rows.size
+            counter.refined += rows.size
+            stats.pairs_refined += int(rows.size)
+        stats.refine_s += perf_counter() - t0
+        return add
+
+    def _block_scores(self, q: np.ndarray, ws: int, we: int,
+                      counter: OpCounter) -> Tuple[np.ndarray, np.ndarray]:
+        """``f_w(q)`` and the near-tie half-width for weights ``[ws, we)``."""
+        fq = self.W[ws:we] @ q
+        tol = TIE_REL_TOL * (1.0 + np.abs(fq))
+        counter.pairwise += we - ws
+        return fq, tol
+
+    # ------------------------------------------------------------------
+    # query kinds (range-restricted so shards can reuse them)
+    # ------------------------------------------------------------------
+
+    def rtk_indices(self, q: np.ndarray, k: int, lo: int, hi: int,
+                    counter: OpCounter, stats: KernelStats) -> List[int]:
+        """Weight indices in ``[lo, hi)`` whose rank of ``q`` is below ``k``."""
+        stats.queries += 1
+        state = self.prepare(q)
+        if state.n_dom >= k:
+            # k dominating products out-rank q under *every* weight: the
+            # answer is empty everywhere (Algorithm 2 lines 7-8).
+            stats.pairs_domin_skipped += state.n_dom * (hi - lo)
+            stats.weights_pruned += hi - lo
+            counter.dominated_skips += state.n_dom * (hi - lo)
+            counter.early_terminations += hi - lo
+            return []
+        result: List[int] = []
+        stats.pairs_domin_skipped += state.n_dom * (hi - lo)
+        counter.dominated_skips += state.n_dom * (hi - lo)
+        for ws in range(lo, hi, self.w_block):
+            we = min(ws + self.w_block, hi)
+            B = we - ws
+            fq, tol = self._block_scores(q, ws, we, counter)
+            counts, und_r, und_c, alive = self._classify(
+                state, fq, tol, ws, we, k, counter, stats
+            )
+            n_pruned = B - int(np.count_nonzero(alive))
+            stats.weights_pruned += n_pruned
+            counter.early_terminations += n_pruned
+            counts += self._refine(q, fq, tol, ws, B, und_r, und_c, alive,
+                                   counter, stats)
+            t0 = perf_counter()
+            hits = np.flatnonzero(counts < k)
+            result.extend((hits + ws).tolist())
+            stats.merge_s += perf_counter() - t0
+        return result
+
+    def rkr_pairs(self, q: np.ndarray, k: int, lo: int, hi: int,
+                  counter: OpCounter, stats: KernelStats,
+                  ) -> List[Tuple[int, int]]:
+        """The k best ``(rank, weight index)`` pairs within ``[lo, hi)``.
+
+        Tie-break matches the library contract: among equal ranks the
+        smaller index wins (blocks are scanned in index order and the
+        heap replacement test is strict, like Algorithm 3).
+        """
+        stats.queries += 1
+        state = self.prepare(q)
+        stats.pairs_domin_skipped += state.n_dom * (hi - lo)
+        counter.dominated_skips += state.n_dom * (hi - lo)
+        # Max-heap of the current k best: entries (-rank, -index).
+        heap: List[Tuple[int, int]] = []
+        for ws in range(lo, hi, self.w_block):
+            we = min(ws + self.w_block, hi)
+            B = we - ws
+            min_rank = float("inf") if len(heap) < k else float(-heap[0][0])
+            fq, tol = self._block_scores(q, ws, we, counter)
+            # minRank feedback: the threshold is the one from *before*
+            # this block — minRank only shrinks, so the stale value
+            # prunes less than Algorithm 3's per-weight update, never
+            # wrongly.
+            counts, und_r, und_c, alive = self._classify(
+                state, fq, tol, ws, we, min_rank, counter, stats
+            )
+            n_pruned = B - int(np.count_nonzero(alive))
+            stats.weights_pruned += n_pruned
+            counter.early_terminations += n_pruned
+            counts += self._refine(q, fq, tol, ws, B, und_r, und_c, alive,
+                                   counter, stats)
+            t0 = perf_counter()
+            for j in np.flatnonzero(alive):
+                rnk = int(counts[j])
+                if len(heap) < k:
+                    heapq.heappush(heap, (-rnk, -(ws + int(j))))
+                elif rnk < -heap[0][0]:
+                    heapq.heapreplace(heap, (-rnk, -(ws + int(j))))
+            stats.merge_s += perf_counter() - t0
+        return [(-neg_rank, -neg_idx) for neg_rank, neg_idx in heap]
+
+
+class GirKernelRRQ(RRQAlgorithm):
+    """Grid-index RRQ answered by the weight-blocked kernel.
+
+    Drop-in replacement for :class:`~repro.core.gir.GridIndexRRQ` with
+    identical answers and the same construction surface (``partitions``,
+    ``grid``, quantizer overrides, ``use_domin``), plus the blocking
+    knobs ``w_block`` / ``p_block``.  After every query
+    :attr:`last_stats` holds that query's :class:`KernelStats` (the
+    scheduler feeds these into ``/metrics``).
+    """
+
+    name = "GIR-K"
+
+    def __init__(self, products: ProductSet, weights: WeightSet,
+                 partitions: int = DEFAULT_PARTITIONS,
+                 grid: Optional[GridIndex] = None,
+                 p_quantizer: Optional[Quantizer] = None,
+                 w_quantizer: Optional[Quantizer] = None,
+                 w_block: int = DEFAULT_W_BLOCK,
+                 p_block: int = DEFAULT_P_BLOCK,
+                 use_domin: bool = True):
+        super().__init__(products, weights)
+        if grid is None:
+            # Identical grid recipe to GridIndexRRQ (see the rationale
+            # there): weight-axis resolution spans the observed range.
+            w_range = float(self.W.max())
+            alpha_p = np.linspace(0.0, products.value_range, partitions + 1)
+            alpha_w = np.linspace(0.0, w_range, partitions + 1)
+            grid = GridIndex(alpha_p, alpha_w)
+        self.grid = grid
+        self.p_quantizer = p_quantizer or Quantizer(grid.alpha_p)
+        self.w_quantizer = w_quantizer or Quantizer(grid.alpha_w)
+        self.PA = quantize_dataset(self.P, self.p_quantizer)
+        self.WA = quantize_dataset(self.W, self.w_quantizer)
+        self.core = self._build_core(w_block, p_block, use_domin)
+        #: Stats of the most recent query (None before the first).
+        self.last_stats: Optional[KernelStats] = None
+
+    def _build_core(self, w_block: int, p_block: int,
+                    use_domin: bool) -> KernelCore:
+        pa = self.PA.astype(np.intp, copy=False)
+        wa = self.WA.astype(np.intp, copy=False)
+        return KernelCore(
+            P=self.P, W=self.W,
+            pa_lo=self.grid.alpha_p[pa],
+            pa_hi=self.grid.alpha_p[pa + 1],
+            wb_lo=self.grid.alpha_w[wa],
+            wb_hi=self.grid.alpha_w[wa + 1],
+            w_block=w_block, p_block=p_block, use_domin=use_domin,
+        )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_gir(cls, gir, w_block: int = DEFAULT_W_BLOCK,
+                 p_block: int = DEFAULT_P_BLOCK) -> "GirKernelRRQ":
+        """Wrap an existing :class:`GridIndexRRQ`, reusing its grid and
+        approximate vectors (no re-quantization)."""
+        self = cls.__new__(cls)
+        RRQAlgorithm.__init__(self, gir.products, gir.weights)
+        self.grid = gir.grid
+        self.p_quantizer = gir.p_quantizer
+        self.w_quantizer = gir.w_quantizer
+        self.PA = gir.PA
+        self.WA = gir.WA
+        self.core = self._build_core(w_block, p_block, gir.use_domin)
+        self.last_stats = None
+        return self
+
+    @property
+    def partitions(self) -> int:
+        """Grid resolution ``n``."""
+        return self.grid.partitions
+
+    @property
+    def use_domin(self) -> bool:
+        """Whether the Domin rank floor is applied."""
+        return self.core.use_domin
+
+    def memory_report(self) -> dict:
+        """Bytes held by the grid, codes, and pre-gathered bound matrices."""
+        return {
+            "grid_bytes": self.grid.memory_bytes,
+            "pa_bytes": self.PA.nbytes,
+            "wa_bytes": self.WA.nbytes,
+            "bound_matrix_bytes": (self.core.pa_lo.nbytes
+                                   + self.core.pa_hi.nbytes
+                                   + self.core.wb_lo.nbytes
+                                   + self.core.wb_hi.nbytes),
+            "original_bytes": self.P.nbytes + self.W.nbytes,
+        }
+
+    # ------------------------------------------------------------------
+
+    def _reverse_topk(self, q: np.ndarray, k: int,
+                      counter: OpCounter) -> RTKResult:
+        stats = KernelStats()
+        hits = self.core.rtk_indices(q, k, 0, self.W.shape[0], counter, stats)
+        self.last_stats = stats
+        return RTKResult(weights=frozenset(hits), k=k, counter=counter)
+
+    def _reverse_kranks(self, q: np.ndarray, k: int,
+                        counter: OpCounter) -> RKRResult:
+        stats = KernelStats()
+        pairs = self.core.rkr_pairs(q, k, 0, self.W.shape[0], counter, stats)
+        self.last_stats = stats
+        return make_rkr_result(pairs, k, counter)

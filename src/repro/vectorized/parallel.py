@@ -14,6 +14,7 @@ are deterministic.
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -25,6 +26,17 @@ from ..queries.types import RKRResult, RTKResult
 
 #: Set in each worker by the pool initializer.
 _WORKER_ALGORITHM = None
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank ``q``-quantile — the same convention
+    :func:`repro.service.metrics.percentile` uses (kept local to avoid a
+    vectorized → service import)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
 
 
 @dataclass(frozen=True)
@@ -45,6 +57,10 @@ class BatchStats:
         False when the serial short-circuit ran (one worker or <= 1 query).
     elapsed_s:
         Wall-clock seconds for the whole batch.
+    per_query_p50_s, per_query_p95_s:
+        Nearest-rank percentiles of the individual query times (each
+        query timed where it ran, so worker-side times exclude pool
+        startup and task shipping).  ``0.0`` for an empty batch.
     """
 
     batch_size: int
@@ -52,6 +68,8 @@ class BatchStats:
     workers: int
     parallel: bool
     elapsed_s: float
+    per_query_p50_s: float = 0.0
+    per_query_p95_s: float = 0.0
 
 
 def _init_worker(algorithm) -> None:
@@ -61,9 +79,12 @@ def _init_worker(algorithm) -> None:
 
 def _run_one(task):
     kind, q, k = task
+    start = time.perf_counter()
     if kind == "rtk":
-        return _WORKER_ALGORITHM.reverse_topk(q, k)
-    return _WORKER_ALGORITHM.reverse_kranks(q, k)
+        result = _WORKER_ALGORITHM.reverse_topk(q, k)
+    else:
+        result = _WORKER_ALGORITHM.reverse_kranks(q, k)
+    return result, time.perf_counter() - start
 
 
 def answer_batch(
@@ -118,14 +139,19 @@ def answer_batch_stats(
 
     start = time.perf_counter()
     if chosen == 1 or len(queries) <= 1:
-        if kind == "rtk":
-            results = [algorithm.reverse_topk(q, k) for q in queries]
-        else:
-            results = [algorithm.reverse_kranks(q, k) for q in queries]
+        method = (algorithm.reverse_topk if kind == "rtk"
+                  else algorithm.reverse_kranks)
+        results, times = [], []
+        for q in queries:
+            q_start = time.perf_counter()
+            results.append(method(q, k))
+            times.append(time.perf_counter() - q_start)
         stats = BatchStats(
             batch_size=len(queries), requested_workers=requested,
             workers=1, parallel=False,
             elapsed_s=time.perf_counter() - start,
+            per_query_p50_s=_percentile(times, 0.50),
+            per_query_p95_s=_percentile(times, 0.95),
         )
         return results, stats
 
@@ -135,10 +161,14 @@ def answer_batch_stats(
         initializer=_init_worker,
         initargs=(algorithm,),
     ) as pool:
-        results = list(pool.map(_run_one, tasks))
+        timed = list(pool.map(_run_one, tasks))
+    results = [result for result, _ in timed]
+    times = [elapsed for _, elapsed in timed]
     stats = BatchStats(
         batch_size=len(queries), requested_workers=requested,
         workers=chosen, parallel=True,
         elapsed_s=time.perf_counter() - start,
+        per_query_p50_s=_percentile(times, 0.50),
+        per_query_p95_s=_percentile(times, 0.95),
     )
     return results, stats

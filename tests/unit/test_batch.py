@@ -44,6 +44,12 @@ class TestAllRanksMulti:
         with pytest.raises(InvalidParameterError):
             all_ranks_multi(P.values, W.values, np.zeros((1, 7)))
 
+    @pytest.mark.parametrize("budget", [0, -1, -8_000_000])
+    def test_rejects_non_positive_chunk_budget(self, data, budget):
+        P, W = data
+        with pytest.raises(InvalidParameterError):
+            all_ranks_multi(P.values, W.values, P.values[:2], budget)
+
 
 class TestBatchOracle:
     def test_matches_naive(self, data):
@@ -72,3 +78,8 @@ class TestBatchOracle:
             oracle.reverse_topk(P[0], 0)
         with pytest.raises(DimensionMismatchError):
             oracle.ranks(np.zeros(9))
+
+    def test_rejects_non_positive_chunk_budget(self, data):
+        P, W = data
+        with pytest.raises(InvalidParameterError):
+            BatchOracle(P, W, chunk_budget=0)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.bench.harness (the perf-regression harness)."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    SMOKE_CONFIGS,
+    load_configs,
+    machine_info,
+    run_config,
+    run_harness,
+)
+from repro.errors import DataValidationError, InvalidParameterError
+
+MICRO = {"name": "micro", "p_dist": "UN", "w_dist": "UN",
+         "n_products": 50, "n_weights": 40, "dim": 3, "k": 3,
+         "queries": 2, "partitions": 8}
+
+
+class TestConfigs:
+    def test_smoke_configs_are_valid(self):
+        for cfg in SMOKE_CONFIGS:
+            assert cfg["n_weights"] <= 5000  # smoke must stay tiny
+
+    def test_load_configs_roundtrip(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps([MICRO]))
+        assert load_configs(path) == [MICRO]
+
+    def test_load_configs_missing_file(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            load_configs(tmp_path / "nope.json")
+
+    def test_load_configs_missing_keys(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps([{"name": "x"}]))
+        with pytest.raises(DataValidationError, match="missing keys"):
+            load_configs(path)
+
+    def test_load_configs_not_a_list(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"name": "x"}))
+        with pytest.raises(DataValidationError):
+            load_configs(path)
+
+
+class TestRunConfig:
+    def test_micro_config_verifies(self):
+        record = run_config(MICRO, seed=11, shards=0, verify=True)
+        assert record["verified"]
+        assert record["oracle"] == "naive"
+        assert record["shards"] == 0
+        for kind in ("rtk", "rkr"):
+            assert record[kind]["gir_p50_s"] > 0
+            assert record[kind]["kernel_p50_s"] > 0
+            assert "sharded_p50_s" not in record[kind]
+        assert 0.0 <= record["kernel_stats"]["filter_rate"] <= 1.0
+
+    def test_sharded_numbers_recorded(self):
+        record = run_config(MICRO, seed=11, shards=2, verify=False)
+        assert record["shards"] == 2
+        assert record["rtk"]["sharded_p50_s"] > 0
+        assert record["rtk"]["sharded_speedup_vs_kernel"] > 0
+        # Sharded answers are still compared against the loop's even
+        # with the oracle pass disabled.
+        assert record["verified"]
+
+    def test_rejects_bad_sizes(self):
+        bad = dict(MICRO, queries=0)
+        with pytest.raises(InvalidParameterError):
+            run_config(bad, shards=0)
+
+
+class TestRunHarness:
+    def test_report_shape_and_file(self, tmp_path):
+        out = tmp_path / "BENCH.json"
+        messages = []
+        report = run_harness([MICRO], seed=5, shards=0, verify=True,
+                             out=out, progress=messages.append)
+        assert report["ok"]
+        assert messages  # progress callback fired
+        on_disk = json.loads(out.read_text())
+        assert on_disk["seed"] == 5
+        assert on_disk["machine"] == machine_info() | {
+            "cpu_count": on_disk["machine"]["cpu_count"]}
+        assert [c["name"] for c in on_disk["configs"]] == ["micro"]
+
+    def test_bad_out_fails_before_running(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            run_harness([MICRO], out=tmp_path / "no" / "dir.json")

@@ -92,6 +92,56 @@ class TestModel:
         assert "recommended n   : 32" in out
 
 
+class TestBench:
+    def test_smoke_writes_json_and_verifies(self, tmp_path, capsys):
+        import json
+
+        config = [{"name": "cli-micro", "p_dist": "UN", "w_dist": "UN",
+                   "n_products": 60, "n_weights": 50, "dim": 3, "k": 4,
+                   "queries": 2, "partitions": 8}]
+        config_file = tmp_path / "configs.json"
+        config_file.write_text(json.dumps(config))
+        out = tmp_path / "BENCH_test.json"
+        rc = main(["bench", "--config", str(config_file),
+                   "--out", str(out), "--shards", "0"])
+        assert rc == 0
+        assert "verified=True" in capsys.readouterr().out
+        report = json.loads(out.read_text())
+        assert report["ok"]
+        assert report["machine"]["cpu_count"] >= 1
+        record = report["configs"][0]
+        assert record["oracle"] == "naive"
+        assert record["rtk"]["kernel_p50_s"] > 0
+        assert record["batch"]["per_query_p50_s"] >= 0
+        assert record["kernel_stats"]["pairs"]["total"] >= 0
+
+    def test_missing_config_exits_2(self, tmp_path, capsys):
+        rc = main(["bench", "--config", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_out_dir_exits_2(self, tmp_path, capsys):
+        rc = main(["bench", "--smoke",
+                   "--out", str(tmp_path / "missing" / "b.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_config_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        rc = main(["bench", "--config", str(bad)])
+        assert rc == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+
+class TestServeFlags:
+    def test_no_kernel_flag_parses(self):
+        args = build_parser().parse_args(["serve", "idx/", "--no-kernel"])
+        assert args.no_kernel
+        args = build_parser().parse_args(["serve", "idx/"])
+        assert not args.no_kernel
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

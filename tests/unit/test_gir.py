@@ -39,6 +39,12 @@ class TestConstruction:
         with pytest.raises(InvalidParameterError):
             GridIndexRRQ(P, W, partitions=0)
 
+    @pytest.mark.parametrize("chunk", [0, -1, -256])
+    def test_rejects_non_positive_chunk(self, data, chunk):
+        P, W = data
+        with pytest.raises(InvalidParameterError):
+            GridIndexRRQ(P, W, chunk=chunk)
+
 
 class TestRTK:
     def test_matches_naive(self, data):
@@ -113,6 +119,45 @@ class TestRKR:
         gir.reverse_kranks(P[0], W.size, counter=c_large)
         assert c_small.pairwise < c_large.pairwise
         assert c_small.refined < c_large.refined
+
+
+class TestEdgeConfigs:
+    """Configurations the blocked kernel must also honor (ISSUE 4):
+    answers stay byte-identical to NaiveRRQ at the extremes of every
+    tuning knob."""
+
+    @pytest.mark.parametrize("chunk", [1, 180, 5000])
+    def test_chunk_extremes_match_naive(self, data, chunk):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16, chunk=chunk)
+        naive = NaiveRRQ(P, W)
+        q = P[25]
+        for k in (1, 9):
+            assert (gir.reverse_topk(q, k).weights
+                    == naive.reverse_topk(q, k).weights)
+            assert (gir.reverse_kranks(q, k).entries
+                    == naive.reverse_kranks(q, k).entries)
+
+    def test_use_domin_false_matches_naive(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16, use_domin=False)
+        naive = NaiveRRQ(P, W)
+        q = P.values.max(axis=0) * 0.999  # where Domin would matter most
+        for k in (1, 4, 30):
+            assert (gir.reverse_topk(q, k).weights
+                    == naive.reverse_topk(q, k).weights)
+            assert (gir.reverse_kranks(q, k).entries
+                    == naive.reverse_kranks(q, k).entries)
+
+    def test_k_at_least_weights_matches_naive(self, data):
+        P, W = data
+        gir = GridIndexRRQ(P, W, partitions=16)
+        naive = NaiveRRQ(P, W)
+        for k in (W.size, W.size + 25):
+            assert (gir.reverse_topk(P[7], k).weights
+                    == naive.reverse_topk(P[7], k).weights)
+            assert (gir.reverse_kranks(P[7], k).entries
+                    == naive.reverse_kranks(P[7], k).entries)
 
 
 class TestExactRankHelper:

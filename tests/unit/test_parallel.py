@@ -94,3 +94,24 @@ class TestBatchStats:
         _, stats = answer_batch_stats(gir, queries[:1], 5, "rtk", workers=8)
         assert stats.workers == 1
         assert not stats.parallel
+
+    def test_per_query_percentiles_serial(self, setup):
+        gir, queries = setup
+        _, stats = answer_batch_stats(gir, queries, 5, "rtk", workers=1)
+        assert stats.per_query_p50_s > 0.0
+        assert stats.per_query_p95_s >= stats.per_query_p50_s
+        # Individual query times can't exceed the whole batch's wall clock.
+        assert stats.per_query_p95_s <= stats.elapsed_s
+
+    def test_per_query_percentiles_parallel(self, setup):
+        gir, queries = setup
+        _, stats = answer_batch_stats(gir, queries, 5, "rkr", workers=2)
+        assert stats.parallel
+        assert stats.per_query_p50_s > 0.0
+        assert stats.per_query_p95_s >= stats.per_query_p50_s
+
+    def test_per_query_percentiles_empty_batch(self, setup):
+        gir, _ = setup
+        _, stats = answer_batch_stats(gir, [], 5, "rtk")
+        assert stats.per_query_p50_s == 0.0
+        assert stats.per_query_p95_s == 0.0

@@ -106,6 +106,84 @@ class TestCoalescing:
         assert batched.entries == engine.reverse_kranks(q, 4).entries
 
 
+class TestKernelPath:
+    def test_kernel_batches_match_engine_and_feed_metrics(self, engine):
+        scheduler = make_scheduler(
+            engine, batch_window_s=0.1,
+            limits=ServiceLimits(max_batch=16),
+        )
+        assert scheduler.use_kernel
+        queries = [engine.products[i] for i in (0, 7, 23, 41)]
+        futures = [scheduler.submit(q, "rtk", 8) for q in queries[:2]]
+        futures += [scheduler.submit(q, "rkr", 5) for q in queries[2:]]
+        scheduler.start()
+        try:
+            results = [f.result(timeout=10) for f in futures]
+        finally:
+            scheduler.close()
+        for q, result in zip(queries[:2], results[:2]):
+            assert result.weights == engine.reverse_topk(q, 8).weights
+        for q, result in zip(queries[2:], results[2:]):
+            assert result.entries == engine.reverse_kranks(q, 5).entries
+        kernel = scheduler.metrics.snapshot()["kernel"]
+        assert kernel["queries"] == 4
+        assert kernel["pairs"]["total"] + kernel["pairs"]["domin_skipped"] > 0
+        assert 0.0 <= kernel["filter_rate"] <= 1.0
+        assert kernel["stage_s"]["filter"] >= 0.0
+
+    def test_use_kernel_false_keeps_dense_sweep(self, engine):
+        scheduler = make_scheduler(
+            engine, batch_window_s=0.1, use_kernel=False,
+            limits=ServiceLimits(max_batch=16),
+        )
+        futures = [scheduler.submit(engine.products[i], "rtk", 6)
+                   for i in (1, 2, 3)]
+        scheduler.start()
+        try:
+            results = [f.result(timeout=10) for f in futures]
+        finally:
+            scheduler.close()
+        for i, result in zip((1, 2, 3), results):
+            assert result.weights == engine.reverse_topk(
+                engine.products[i], 6).weights
+        assert scheduler.metrics.snapshot()["kernel"]["queries"] == 0
+
+    def test_kernel_and_dense_payloads_identical(self, engine):
+        """The acceptance bar: flipping the batch path never changes an
+        HTTP response payload."""
+        from repro.service.server import encode_result
+
+        queries = [engine.products[i] for i in (5, 31, 77)]
+        payloads = {}
+        for use_kernel in (True, False):
+            scheduler = make_scheduler(
+                engine, batch_window_s=0.1, use_kernel=use_kernel,
+                limits=ServiceLimits(max_batch=16),
+            )
+            futures = [scheduler.submit(q, "rtk", 7) for q in queries]
+            futures += [scheduler.submit(q, "rkr", 4) for q in queries]
+            scheduler.start()
+            try:
+                answers = [f.result(timeout=10) for f in futures]
+            finally:
+                scheduler.close()
+            payloads[use_kernel] = (
+                [encode_result(a, "rtk") for a in answers[:3]]
+                + [encode_result(a, "rkr") for a in answers[3:]]
+            )
+        assert payloads[True] == payloads[False]
+
+    def test_single_request_stays_on_engine_path(self, engine):
+        scheduler = make_scheduler(engine, batch_window_s=0.0)
+        scheduler.start()
+        try:
+            scheduler.answer(engine.products[9], "rtk", 5)
+        finally:
+            scheduler.close()
+        # Batch of one takes the per-query engine, not the kernel.
+        assert scheduler.metrics.snapshot()["kernel"]["queries"] == 0
+
+
 class TestDeadlines:
     def test_expired_deadline_rejected_at_dispatch(self, engine):
         scheduler = make_scheduler(engine, batch_window_s=0.0)

@@ -1,0 +1,100 @@
+"""Unit tests for repro.vectorized.shard (shared-memory single-query sharding)."""
+
+import pytest
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.errors import InvalidParameterError
+from repro.vectorized.girkernel import GirKernelRRQ
+from repro.vectorized.shard import ShardedGirRRQ
+
+
+@pytest.fixture(scope="module")
+def data():
+    P = uniform_products(150, 4, seed=41)
+    W = uniform_weights(130, 4, seed=42)
+    return P, W
+
+
+@pytest.fixture(scope="module")
+def sharded(data):
+    """One pool for the whole module — worker startup is the slow part."""
+    P, W = data
+    engine = ShardedGirRRQ(P, W, shards=3, partitions=16)
+    yield engine
+    engine.close()
+
+
+class TestEquivalence:
+    def test_rtk_matches_naive(self, data, sharded):
+        P, W = data
+        naive = NaiveRRQ(P, W)
+        for qi in (0, 60, 149):
+            for k in (1, 7, 50):
+                assert (sharded.reverse_topk(P[qi], k).weights
+                        == naive.reverse_topk(P[qi], k).weights)
+
+    def test_rkr_matches_naive(self, data, sharded):
+        P, W = data
+        naive = NaiveRRQ(P, W)
+        for qi in (2, 77):
+            for k in (1, 5, 30):
+                assert (sharded.reverse_kranks(P[qi], k).entries
+                        == naive.reverse_kranks(P[qi], k).entries)
+
+    def test_k_exceeds_weights(self, data, sharded):
+        P, W = data
+        result = sharded.reverse_kranks(P[0], W.size + 10)
+        assert len(result.entries) == W.size
+
+    def test_merged_stats_single_query(self, data, sharded):
+        P, W = data
+        # An undominated point: the Domin floor can't short-circuit, so
+        # every shard must actually classify pairs.
+        q = P.values.min(axis=0) * 0.9
+        sharded.reverse_topk(q, 5)
+        stats = sharded.last_stats
+        assert stats is not None
+        assert stats.queries == 1  # shards merge into one logical scan
+        assert stats.pairs_total > 0
+
+    def test_reuses_supplied_kernel(self, data):
+        P, W = data
+        kernel = GirKernelRRQ(P, W, partitions=8)
+        with ShardedGirRRQ(P, W, shards=2, kernel=kernel) as engine:
+            assert engine.kernel is kernel
+            naive = NaiveRRQ(P, W)
+            assert (engine.reverse_topk(P[5], 9).weights
+                    == naive.reverse_topk(P[5], 9).weights)
+
+
+class TestLifecycle:
+    def test_rejects_bad_shards(self, data):
+        P, W = data
+        with pytest.raises(InvalidParameterError):
+            ShardedGirRRQ(P, W, shards=0)
+
+    def test_post_close_serial_fallback(self, data):
+        P, W = data
+        engine = ShardedGirRRQ(P, W, shards=2, partitions=16)
+        engine.close()
+        naive = NaiveRRQ(P, W)
+        # Still answers, exactly, from the in-process kernel.
+        assert (engine.reverse_kranks(P[3], 7).entries
+                == naive.reverse_kranks(P[3], 7).entries)
+        assert engine.last_stats is not None
+
+    def test_close_idempotent(self, data):
+        P, W = data
+        engine = ShardedGirRRQ(P, W, shards=2, partitions=16)
+        engine.close()
+        engine.close()  # second close is a no-op, not an error
+
+    def test_shards_capped_at_weights(self):
+        P = uniform_products(40, 3, seed=1)
+        W = uniform_weights(2, 3, seed=2)
+        with ShardedGirRRQ(P, W, shards=8) as engine:
+            assert engine.shards <= 2
+            naive = NaiveRRQ(P, W)
+            assert (engine.reverse_topk(P[0], 1).weights
+                    == naive.reverse_topk(P[0], 1).weights)
