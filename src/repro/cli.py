@@ -16,6 +16,8 @@ Installed as ``repro-rrq``.  Subcommands cover the full life cycle:
 * ``bench`` — run the kernel perf-regression harness and write a
   ``BENCH_*.json`` trajectory file (exit 1 if kernel answers diverge
   from the exact oracle);
+* ``profile`` — replay a sampled workload through the blocked kernel
+  and print the Table-4-style filter-effectiveness breakdown;
 * ``wal-dump`` — print every decoded record of a write-ahead log.
 
 Examples::
@@ -27,6 +29,7 @@ Examples::
     repro-rrq model --dim 20 --epsilon 0.01
     repro-rrq serve idx/ --port 8377 --batch-window-ms 2
     repro-rrq bench --smoke --out BENCH_smoke.json
+    repro-rrq profile idx/ --queries 100 --kind both -k 10
     repro-rrq serve wal/ --durable --dim 6 --fsync always
     repro-rrq serve wal2/ --durable --standby-of http://127.0.0.1:8377
     repro-rrq wal-dump wal/
@@ -217,6 +220,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         fallback=not args.no_fallback,
         use_kernel=not args.no_kernel,
+        slow_query_threshold_s=(args.slow_ms / 1000.0
+                                if args.slow_ms > 0 else None),
+        trace_export_path=args.trace_export,
     )
     if args.durable:
         from .durability import DurableDynamicRRQ
@@ -237,8 +243,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{info['products']}x{info['weights']} (d={info['dim']}) "
               f"at {server.url}", flush=True)
         print("endpoints: POST /query /insert /delete /compact /snapshot "
-              "/promote, GET /healthz /metrics /info /replicate",
-              flush=True)
+              "/promote, GET /healthz /metrics /info /replicate /traces "
+              "/slowlog", flush=True)
         try:
             server.serve_forever()
         except KeyboardInterrupt:
@@ -265,7 +271,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if service.degraded_reason:
         print(f"WARNING: degraded mode — {service.degraded_reason}",
               file=sys.stderr)
-    print("endpoints: POST /query, GET /healthz, GET /metrics, GET /info")
+    print("endpoints: POST /query, GET /healthz /metrics /info /traces "
+          "/slowlog")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -378,6 +385,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Replay a workload through the kernel; print the Table-4 breakdown.
+
+    Loads a persisted Grid-index (wrapping its grid, no re-quantization)
+    or raw data (quantizing fresh), samples query points from the
+    product set under a pinned seed, and reports how the grid bounds
+    classified every ``(p, w)`` pair — the live analogue of the paper's
+    Table 4 filter-effectiveness measurements.
+    """
+    import json as _json
+
+    from .obs.profile import format_report, profile_workload, sample_queries
+    from .vectorized.girkernel import GirKernelRRQ
+
+    target = Path(args.index)
+    if (target / "grid.meta").exists():
+        from .core.storage import load_index
+
+        gir = load_index(target)
+        kernel = GirKernelRRQ.from_gir(gir)
+        products = gir.products
+    else:
+        products, weights = _load_data(args.index)
+        kernel = GirKernelRRQ(products, weights,
+                              partitions=args.partitions)
+    kinds = ("rtk", "rkr") if args.kind == "both" else (args.kind,)
+    queries = sample_queries(products, args.queries, seed=args.seed)
+    report = profile_workload(kernel, queries, k=args.k, kinds=kinds)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    return 0
+
+
 def _cmd_wal_dump(args: argparse.Namespace) -> int:
     """Decode and print a WAL; exit 1 on mid-log corruption."""
     from .durability.wal import read_wal, wal_path
@@ -473,6 +515,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the exact-oracle verification pass")
     bench.set_defaults(func=_cmd_bench)
 
+    profile = sub.add_parser(
+        "profile",
+        help="replay a workload; print the Table-4 filter breakdown",
+    )
+    profile.add_argument("index",
+                         help="index directory (or raw data directory)")
+    profile.add_argument("--queries", type=int, default=50,
+                         help="query points sampled from the product set")
+    profile.add_argument("--kind", choices=("rtk", "rkr", "both"),
+                         default="rtk")
+    profile.add_argument("-k", type=int, default=10)
+    profile.add_argument("--seed", type=int, default=7,
+                         help="query-sampling seed")
+    profile.add_argument("--partitions", type=int, default=32,
+                         help="grid resolution when profiling raw data")
+    profile.add_argument("--json", action="store_true",
+                         help="print the full report as JSON")
+    profile.set_defaults(func=_cmd_profile)
+
     wal_dump = sub.add_parser(
         "wal-dump", help="decode a write-ahead log (exit 1 on corruption)"
     )
@@ -505,6 +566,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-recover", action="store_true",
                        help="fail instead of rebuilding damaged derived "
                             "index artifacts at startup")
+    serve.add_argument("--slow-ms", type=float, default=250.0,
+                       help="slow-query log threshold in ms (0 disables)")
+    serve.add_argument("--trace-export", default=None, metavar="FILE",
+                       help="append finished traces to this JSON-lines file")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request")
     serve.add_argument("--durable", action="store_true",

@@ -82,6 +82,11 @@ class GridIndexRRQ(RRQAlgorithm):
             )
         self.chunk = chunk
         self.use_domin = use_domin
+        #: Classification profile of the most recent query: how many
+        #: (p, w) checks the grid bounds decided (Case 1 / Case 2), how
+        #: many fell through to refinement, and the resulting filter
+        #: rate — the live per-query view of the paper's Table 4.
+        self.last_filter_profile: Optional[dict] = None
 
     # ------------------------------------------------------------------
 
@@ -104,40 +109,71 @@ class GridIndexRRQ(RRQAlgorithm):
 
     # ------------------------------------------------------------------
 
+    def _mark_profile(self, counter: OpCounter) -> tuple:
+        """Counter state before a query, for :meth:`_set_filter_profile`."""
+        return (counter.filtered_case1, counter.filtered_case2,
+                counter.refined, counter.dominated_skips)
+
+    def _set_filter_profile(self, counter: OpCounter, before: tuple) -> None:
+        """Freeze this query's classification deltas into the profile."""
+        case1 = counter.filtered_case1 - before[0]
+        case2 = counter.filtered_case2 - before[1]
+        refined = counter.refined - before[2]
+        checked = case1 + case2 + refined
+        self.last_filter_profile = {
+            "case1": case1,
+            "case2": case2,
+            "refined": refined,
+            "dominated_skips": counter.dominated_skips - before[3],
+            "checked": checked,
+            "filter_rate": (case1 + case2) / checked if checked else 0.0,
+        }
+
     def _reverse_topk(self, q: np.ndarray, k: int,
                       counter: OpCounter) -> RTKResult:
         """Algorithm 2 (GIRTop-k)."""
-        ctx = self._context(q)
-        result: List[int] = []
-        for j in range(self.W.shape[0]):
-            rnk = gin_topk(ctx, self.W[j], self.WA[j], k, counter)
-            if rnk != ABORTED:
-                result.append(j)
-            if ctx.domin_count >= k:
-                # k dominating products out-rank q under *every* weight
-                # vector, so the true answer is empty (lines 7-8).
-                return RTKResult(weights=frozenset(), k=k, counter=counter)
-        return RTKResult(weights=frozenset(result), k=k, counter=counter)
+        before = self._mark_profile(counter)
+        try:
+            ctx = self._context(q)
+            result: List[int] = []
+            for j in range(self.W.shape[0]):
+                rnk = gin_topk(ctx, self.W[j], self.WA[j], k, counter)
+                if rnk != ABORTED:
+                    result.append(j)
+                if ctx.domin_count >= k:
+                    # k dominating products out-rank q under *every* weight
+                    # vector, so the true answer is empty (lines 7-8).
+                    return RTKResult(weights=frozenset(), k=k,
+                                     counter=counter)
+            return RTKResult(weights=frozenset(result), k=k, counter=counter)
+        finally:
+            self._set_filter_profile(counter, before)
 
     def _reverse_kranks(self, q: np.ndarray, k: int,
                         counter: OpCounter) -> RKRResult:
         """Algorithm 3 (GIRk-Rank)."""
-        ctx = self._context(q)
-        # Max-heap of the current k best: entries (-rank, -index).  Weights
-        # are scanned in index order, so on rank ties the incumbent always
-        # has the smaller index and correctly survives.
-        heap: List[Tuple[int, int]] = []
-        for j in range(self.W.shape[0]):
-            min_rank = float("inf") if len(heap) < k else float(-heap[0][0])
-            rnk = gin_topk(ctx, self.W[j], self.WA[j], min_rank, counter)
-            if rnk == ABORTED:
-                continue
-            if len(heap) < k:
-                heapq.heappush(heap, (-rnk, -j))
-            elif rnk < -heap[0][0]:
-                heapq.heapreplace(heap, (-rnk, -j))
-        pairs = [(-neg_rank, -neg_idx) for neg_rank, neg_idx in heap]
-        return make_rkr_result(pairs, k, counter)
+        before = self._mark_profile(counter)
+        try:
+            ctx = self._context(q)
+            # Max-heap of the current k best: entries (-rank, -index).
+            # Weights are scanned in index order, so on rank ties the
+            # incumbent always has the smaller index and correctly
+            # survives.
+            heap: List[Tuple[int, int]] = []
+            for j in range(self.W.shape[0]):
+                min_rank = (float("inf") if len(heap) < k
+                            else float(-heap[0][0]))
+                rnk = gin_topk(ctx, self.W[j], self.WA[j], min_rank, counter)
+                if rnk == ABORTED:
+                    continue
+                if len(heap) < k:
+                    heapq.heappush(heap, (-rnk, -j))
+                elif rnk < -heap[0][0]:
+                    heapq.heapreplace(heap, (-rnk, -j))
+            pairs = [(-neg_rank, -neg_idx) for neg_rank, neg_idx in heap]
+            return make_rkr_result(pairs, k, counter)
+        finally:
+            self._set_filter_profile(counter, before)
 
     # ------------------------------------------------------------------
 

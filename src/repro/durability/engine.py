@@ -38,6 +38,7 @@ from ..data.datasets import check_query_point
 from ..data.io import atomic_write_bytes
 from ..errors import DataValidationError, InvalidParameterError
 from ..ext.dynamic import DynamicRRQEngine
+from ..obs.trace import span
 from ..resilience.faults import fire
 from .snapshot import load_snapshot, sweep_orphans, write_snapshot
 from .wal import WalRecord, WalWriter, read_wal, wal_path
@@ -303,7 +304,10 @@ class DurableDynamicRRQ:
         """validate -> append (ack) -> apply; returns (lsn, apply result)."""
         with self.lock:
             self._validate(op, data)
-            record = self._wal.append(op, data)
+            with span("wal.append") as sp:
+                sp.annotate("op", op)
+                record = self._wal.append(op, data)
+                sp.annotate("lsn", record.lsn)
             result = self._apply(record)
             self._wal_records.append(record)
             self._feed.append(record)

@@ -129,7 +129,7 @@ class ReplicaTailer:
             self._applied += applied
             self._lag = max(0, int(feed.get("last_lsn", 0))
                             - self.engine.last_lsn)
-            self._last_poll_at = time.time()
+            self._last_poll_at = time.time()  # wall-clock: display only
             self._last_error = ""
         return applied
 

@@ -1,0 +1,56 @@
+"""repro.obs — observability: tracing, Prometheus exposition, slow queries.
+
+The cross-cutting layer every other subsystem reports into:
+
+* :mod:`.trace` — trace ids and spans, propagated from HTTP ingress
+  through the scheduler, kernel, and durability layers via a
+  ContextVar; finished traces land in a bounded ring (``GET /traces``)
+  with optional JSON-lines export.  Instrumentation is free when no
+  trace is active.
+* :mod:`.prom` — Prometheus text exposition
+  (``GET /metrics?format=prometheus``): counters, gauges, histograms
+  with trace-id exemplars, plus the lint parser CI scrapes with.
+* :mod:`.slowlog` — the structured slow-query log (threshold
+  configurable; entries carry the span tree and kernel stats).
+* :mod:`.profile` — live filter-effectiveness profiling (the paper's
+  Table 4 over a replayed workload; ``repro-rrq profile``).  Imported
+  lazily by its callers — it pulls in the vectorized kernel, which
+  itself uses :mod:`.trace`.
+
+Everything here is stdlib-only, so any layer may depend on it without
+cycles.
+"""
+
+from .prom import (
+    FILTER_RATE_BUCKETS,
+    LATENCY_BUCKETS_S,
+    Exposition,
+    Histogram,
+    lint_exposition,
+)
+from .slowlog import (
+    DEFAULT_SLOW_THRESHOLD_S,
+    DEFAULT_SLOWLOG_CAPACITY,
+    SlowQueryLog,
+)
+from .trace import (
+    DEFAULT_TRACE_CAPACITY,
+    Span,
+    Trace,
+    Tracer,
+    current,
+    current_trace_id,
+    new_trace_id,
+    sanitize_trace_id,
+    span,
+    use_context,
+)
+
+__all__ = [
+    "Tracer", "Trace", "Span", "span", "current", "current_trace_id",
+    "use_context", "new_trace_id", "sanitize_trace_id",
+    "DEFAULT_TRACE_CAPACITY",
+    "Histogram", "Exposition", "lint_exposition",
+    "LATENCY_BUCKETS_S", "FILTER_RATE_BUCKETS",
+    "SlowQueryLog", "DEFAULT_SLOW_THRESHOLD_S", "DEFAULT_SLOWLOG_CAPACITY",
+]

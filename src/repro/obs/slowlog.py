@@ -1,0 +1,112 @@
+"""The slow-query log: structured JSON records of the worst requests.
+
+Latency percentiles say *that* the tail is bad; the slow-query log says
+*why*.  Every request whose service-side latency crosses the configured
+threshold is recorded with its trace id, full span tree (including the
+scheduler and kernel spans with their annotations — batch size, kernel
+pair tallies), and query parameters, into a bounded in-memory ring
+readable at ``GET /slowlog`` plus an optional JSON-lines file sink.
+
+Entries are plain dicts so the HTTP layer can serialize them verbatim;
+``logged_at`` is the one wall-clock field (a human-readable timestamp),
+every duration in an entry comes from the monotonic/perf_counter clocks
+upstream.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import List, Optional
+
+from ..errors import InvalidParameterError
+
+#: Default latency threshold, in seconds, above which a query is logged.
+DEFAULT_SLOW_THRESHOLD_S = 0.25
+
+#: Entries retained in memory by default.
+DEFAULT_SLOWLOG_CAPACITY = 128
+
+
+class SlowQueryLog:
+    """Bounded, thread-safe ring of slow-query records.
+
+    Parameters
+    ----------
+    threshold_s:
+        Requests at or above this service-side latency are recorded.
+        ``None`` disables the log entirely (:meth:`should_log` is always
+        False), which is also the zero-overhead configuration.
+    capacity:
+        In-memory entries retained (oldest evicted first).
+    path:
+        Optional JSON-lines sink; every recorded entry is appended as
+        one line.  Sink failures never break serving; they are counted.
+    """
+
+    def __init__(self, threshold_s: Optional[float] = DEFAULT_SLOW_THRESHOLD_S,
+                 capacity: int = DEFAULT_SLOWLOG_CAPACITY,
+                 path: Optional[str] = None):
+        if threshold_s is not None and threshold_s < 0:
+            raise InvalidParameterError(
+                "slow-query threshold must be >= 0 (or None to disable)"
+            )
+        self.threshold_s = threshold_s
+        self.capacity = max(1, int(capacity))
+        self.path = path
+        self._lock = threading.Lock()
+        self._ring: "deque[dict]" = deque(maxlen=self.capacity)
+        self.recorded_total = 0
+        self.sink_errors = 0
+
+    def should_log(self, latency_s: float) -> bool:
+        """True when a request of this latency belongs in the log."""
+        return self.threshold_s is not None and latency_s >= self.threshold_s
+
+    def record(self, entry: dict) -> None:
+        """Store one slow-query record (caller builds the body)."""
+        entry = dict(entry)
+        entry.setdefault("logged_at", time.time())  # wall-clock timestamp
+        entry.setdefault("threshold_s", self.threshold_s)
+        with self._lock:
+            self._ring.append(entry)
+            self.recorded_total += 1
+        if self.path is not None:
+            try:
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(json.dumps(entry, sort_keys=True,
+                                        default=str) + "\n")
+            except (OSError, ValueError):
+                with self._lock:
+                    self.sink_errors += 1
+
+    def entries(self, limit: Optional[int] = None) -> List[dict]:
+        """Recorded entries, most recent first."""
+        with self._lock:
+            recent = list(self._ring)
+        recent.reverse()
+        if limit is not None:
+            recent = recent[:max(0, int(limit))]
+        return recent
+
+    def snapshot(self, limit: Optional[int] = None) -> dict:
+        """The ``GET /slowlog`` body."""
+        return {
+            "threshold_s": self.threshold_s,
+            "capacity": self.capacity,
+            "recorded_total": self.recorded_total,
+            "sink_errors": self.sink_errors,
+            "entries": self.entries(limit),
+        }
+
+    def stats(self) -> dict:
+        """Cheap counters for the JSON ``/metrics`` body."""
+        with self._lock:
+            return {
+                "threshold_s": self.threshold_s,
+                "recorded_total": self.recorded_total,
+                "in_ring": len(self._ring),
+                "sink_errors": self.sink_errors,
+            }

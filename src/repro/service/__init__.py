@@ -5,8 +5,16 @@ scheduler coalesces concurrent requests into shared BLAS sweeps
 (:mod:`.scheduler`), an LRU cache short-circuits repeated queries
 (:mod:`.cache`), admission limits shed load with structured 429/504
 rejections (:mod:`.limits`), and live qps/latency/batch/cache counters
-feed ``GET /metrics`` (:mod:`.metrics`).  :mod:`.server` wires it all
-behind a stdlib JSON/HTTP frontend and :mod:`.client` talks to it.
+feed ``GET /metrics`` (:mod:`.metrics`) — as JSON or, with
+``?format=prometheus``, as Prometheus text exposition with trace-id
+exemplars.  :mod:`.server` wires it all behind a stdlib JSON/HTTP
+frontend and :mod:`.client` talks to it.
+
+Observability (:mod:`repro.obs`): every HTTP request runs under a trace
+(``X-Trace-Id`` in/out) whose span tree — ingress, scheduler dispatch,
+kernel execution, WAL append — is readable at ``GET /traces``; requests
+over the slow-query threshold land in ``GET /slowlog`` with their spans
+and kernel stats attached.  See ``docs/observability.md``.
 
 Quick start::
 

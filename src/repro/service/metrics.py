@@ -4,53 +4,62 @@ The library already counts algorithmic work (:class:`repro.stats.counters.
 OpCounter`) and wall-clock samples (:class:`repro.stats.timing.Timer`);
 this module aggregates both across *requests* and adds the serving-side
 dimensions the paper never needed: throughput (qps), latency percentiles,
-micro-batch sizes, admission rejections, and the cache hit rate.
+micro-batch sizes, admission rejections, and the cache hit rate.  Both
+renderings — the original JSON body and the Prometheus text exposition
+(``?format=prometheus``, built with :mod:`repro.obs.prom`) — come from
+the same counters, so they can never disagree.
 
 Everything is guarded by one lock — the snapshot is cheap (a few hundred
 floats at most) and taken far less often than it is updated, so a single
-mutex beats cleverness.  Latency samples are bounded so a long-running
-server cannot grow without limit; percentiles therefore describe the most
-recent ``max_samples`` requests, which is what an operator wants anyway.
+mutex beats cleverness.  :meth:`snapshot` builds every nested dict fresh
+*under that lock*, so a concurrent ``/metrics`` read can never observe a
+half-folded kernel or stage map (the concurrency test hammers exactly
+this).  Latency samples are bounded so a long-running server cannot grow
+without limit; percentiles therefore describe the most recent
+``max_samples`` requests, which is what an operator wants anyway.
+
+Clock discipline: every duration (uptime, qps denominators, latencies)
+is computed from :func:`time.monotonic` / :func:`time.perf_counter`.
+Wall-clock time appears exactly once, as the human-readable
+``started_at`` timestamp — a backwards NTP step can therefore never
+yield negative uptime or a skewed qps (the regression test pins it).
 """
 
 from __future__ import annotations
 
-import math
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
+from ..obs.prom import (
+    FILTER_RATE_BUCKETS,
+    LATENCY_BUCKETS_S,
+    Exposition,
+    Histogram,
+)
 from ..stats.counters import OpCounter
-from ..stats.timing import Timer
+from ..stats.timing import Timer, percentile
+
+__all__ = ["ServiceMetrics", "percentile", "DEFAULT_MAX_SAMPLES"]
 
 #: Latency samples retained for percentile estimation.
 DEFAULT_MAX_SAMPLES = 4096
-
-
-def percentile(samples: List[float], q: float) -> float:
-    """The ``q``-quantile (0 < q <= 1) of ``samples`` by nearest-rank.
-
-    Nearest-rank is the conventional choice for operational latency
-    reporting: the result is always an observed sample.
-    """
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = max(1, math.ceil(q * len(ordered)))
-    return ordered[rank - 1]
 
 
 class ServiceMetrics:
     """Aggregated request/batch/cache statistics for one service.
 
     The scheduler reports batches, the service frontend reports request
-    outcomes, and :meth:`snapshot` renders both into the flat dict the
-    ``/metrics`` endpoint serializes.
+    outcomes, and :meth:`snapshot` / :meth:`prometheus` render both into
+    the ``/metrics`` bodies.  ``record_request`` and ``record_kernel``
+    accept the request's trace id, which becomes the exemplar on the
+    matching Prometheus histogram bucket — the hop from a latency spike
+    on a dashboard back to the exact trace in ``GET /traces``.
     """
 
     def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES):
         self._lock = threading.Lock()
-        self._started = time.time()
+        self._started = time.time()  # wall-clock: display timestamp only
         self._started_mono = time.monotonic()
         self._latency = Timer()
         self._max_samples = max_samples
@@ -75,6 +84,8 @@ class ServiceMetrics:
         self._mutations_total = 0
         self._mutations_by_op: Dict[str, int] = {}
         self._mutations_rejected = 0
+        self._latency_hist = Histogram(LATENCY_BUCKETS_S)
+        self._filter_rate_hist = Histogram(FILTER_RATE_BUCKETS)
 
     # ------------------------------------------------------------------
     # recording
@@ -82,8 +93,13 @@ class ServiceMetrics:
 
     def record_request(self, kind: str, latency_s: float,
                        cache_hit: bool = False,
-                       degraded: bool = False) -> None:
-        """One successfully answered request (``degraded`` = via fallback)."""
+                       degraded: bool = False,
+                       trace_id: Optional[str] = None) -> None:
+        """One successfully answered request (``degraded`` = via fallback).
+
+        ``trace_id`` (when the request was traced) becomes the exemplar
+        on the latency-histogram bucket this observation lands in.
+        """
         with self._lock:
             self._requests_total += 1
             self._requests_by_kind[kind] = (
@@ -96,6 +112,7 @@ class ServiceMetrics:
             self._latency.samples.append(latency_s)
             if len(self._latency.samples) > self._max_samples:
                 del self._latency.samples[: -self._max_samples]
+            self._latency_hist.observe(latency_s, exemplar=trace_id)
 
     def record_rejection(self, overload: bool) -> None:
         """One admission rejection (429 when ``overload`` else 504)."""
@@ -128,13 +145,16 @@ class ServiceMetrics:
             self._mutations_total += 1
             self._mutations_by_op[op] = self._mutations_by_op.get(op, 0) + 1
 
-    def record_kernel(self, stats: dict) -> None:
+    def record_kernel(self, stats: dict,
+                      trace_id: Optional[str] = None) -> None:
         """Fold one blocked-kernel stats snapshot into the gauges.
 
         ``stats`` is the dict produced by
         :meth:`repro.vectorized.girkernel.KernelStats.snapshot` — queries
         served, per-stage wall-clock (filter/refine/merge) and the pair
-        classification tallies behind the filter-rate gauge.
+        classification tallies behind the filter-rate gauge.  The
+        per-query filter rate feeds the effectiveness histogram, with
+        ``trace_id`` as its exemplar.
         """
         with self._lock:
             self._kernel_queries += stats["queries"]
@@ -143,6 +163,9 @@ class ServiceMetrics:
             for key in self._kernel_pairs:
                 self._kernel_pairs[key] += stats["pairs"][key]
             self._kernel_weights_pruned += stats["weights_pruned"]
+            if stats["pairs"]["total"]:
+                self._filter_rate_hist.observe(stats["filter_rate"],
+                                               exemplar=trace_id)
 
     def record_batch(self, size: int, counter: Optional[OpCounter] = None) -> None:
         """One dispatched micro-batch of ``size`` coalesced requests."""
@@ -161,7 +184,11 @@ class ServiceMetrics:
     # ------------------------------------------------------------------
 
     def uptime_s(self) -> float:
-        """Seconds since the metrics object (≈ the service) was created."""
+        """Seconds since the metrics object (≈ the service) was created.
+
+        Monotonic by construction: wall-clock steps (NTP corrections,
+        manual clock changes) cannot make this negative or jump.
+        """
         return time.monotonic() - self._started_mono
 
     def snapshot(self, cache_stats: Optional[dict] = None,
@@ -169,7 +196,10 @@ class ServiceMetrics:
                  replication: Optional[dict] = None) -> dict:
         """A JSON-ready dict of everything ``/metrics`` exposes.
 
-        ``durability`` (WAL/snapshot counters from
+        Every nested dict is freshly built under the lock (the kernel
+        stage/pair maps are copied, never aliased), so the caller owns
+        the result outright and no concurrent ``record_*`` can mutate or
+        tear it.  ``durability`` (WAL/snapshot counters from
         :meth:`~repro.durability.engine.DurableDynamicRRQ.
         durability_stats`) and ``replication`` (standby tailer status)
         are attached verbatim when the serving stack provides them.
@@ -236,3 +266,168 @@ class ServiceMetrics:
         if replication is not None:
             snap["replication"] = replication
         return snap
+
+    def prometheus(self, cache_stats: Optional[dict] = None,
+                   durability: Optional[dict] = None,
+                   replication: Optional[dict] = None,
+                   slowlog: Optional[dict] = None,
+                   traces: Optional[dict] = None) -> str:
+        """The ``GET /metrics?format=prometheus`` body.
+
+        Histogram state is captured under the lock; rendering happens
+        outside it.  Metric names and labels are documented in
+        ``docs/observability.md`` — change them there first.
+        """
+        with self._lock:
+            uptime = time.monotonic() - self._started_mono
+            qps = self._requests_total / uptime if uptime > 0 else 0.0
+            by_kind = dict(self._requests_by_kind)
+            rejections = {
+                "overload": self._rejected_overload,
+                "deadline": self._rejected_deadline,
+                "unavailable": self._rejected_unavailable,
+            }
+            errors = self._errors
+            cache_hits = self._cache_hits
+            degraded = self._degraded
+            batches = self._batches
+            coalesced = self._coalesced_batches
+            batched_requests = self._batched_requests
+            max_batch = self._max_batch_size
+            kernel_queries = self._kernel_queries
+            stage_s = dict(self._kernel_stage_s)
+            kernel_pairs = dict(self._kernel_pairs)
+            weights_pruned = self._kernel_weights_pruned
+            filter_rate = (
+                (kernel_pairs["case1"] + kernel_pairs["case2"])
+                / kernel_pairs["total"] if kernel_pairs["total"] else 0.0
+            )
+            mutations_by_op = dict(self._mutations_by_op)
+            mutations_rejected = self._mutations_rejected
+            latency_hist = self._latency_hist.snapshot()
+            rate_hist = self._filter_rate_hist.snapshot()
+
+        exp = Exposition()
+        exp.gauge("rrq_uptime_seconds",
+                  "Seconds since the service started (monotonic clock).",
+                  uptime)
+        exp.gauge("rrq_qps", "Requests per second over the uptime window.",
+                  qps)
+        for kind in sorted(by_kind):
+            exp.counter("rrq_requests_total",
+                        "Successfully answered requests by query kind.",
+                        by_kind[kind], labels={"kind": kind})
+        if not by_kind:
+            exp.counter("rrq_requests_total",
+                        "Successfully answered requests by query kind.",
+                        0, labels={"kind": "rtk"})
+        for reason in ("overload", "deadline", "unavailable"):
+            exp.counter("rrq_requests_rejected_total",
+                        "Requests rejected at admission, by reason "
+                        "(429 overload, 504 deadline, 503 unavailable).",
+                        rejections[reason], labels={"reason": reason})
+        exp.counter("rrq_request_errors_total",
+                    "Requests that failed for a non-admission reason.",
+                    errors)
+        exp.counter("rrq_cache_hits_total",
+                    "Requests answered from the LRU result cache.",
+                    cache_hits)
+        exp.counter("rrq_degraded_responses_total",
+                    "Responses served by the degraded fallback path.",
+                    degraded)
+        exp.histogram("rrq_request_latency_seconds",
+                      "Service-side request latency; bucket exemplars "
+                      "carry the trace id of the last request observed.",
+                      latency_hist)
+        exp.counter("rrq_batches_total",
+                    "Micro-batches dispatched by the scheduler.", batches)
+        exp.counter("rrq_batches_coalesced_total",
+                    "Micro-batches that coalesced more than one request.",
+                    coalesced)
+        exp.counter("rrq_batched_requests_total",
+                    "Requests answered through micro-batches.",
+                    batched_requests)
+        exp.gauge("rrq_batch_size_max",
+                  "Largest micro-batch dispatched so far.", max_batch)
+        exp.counter("rrq_kernel_queries_total",
+                    "Queries answered by the blocked GIR kernel.",
+                    kernel_queries)
+        for stage in ("filter", "refine", "merge"):
+            exp.counter("rrq_kernel_stage_seconds_total",
+                        "Cumulative kernel wall-clock by stage.",
+                        stage_s[stage], labels={"stage": stage})
+        for klass in ("total", "case1", "case2", "refined",
+                      "domin_skipped"):
+            exp.counter("rrq_kernel_pairs_total",
+                        "(p, w) pairs by grid-bound classification "
+                        "outcome (the paper's Table-4 accounting).",
+                        kernel_pairs[klass], labels={"class": klass})
+        exp.counter("rrq_kernel_weights_pruned_total",
+                    "Weight vectors pruned by the k/minRank abort before "
+                    "refinement.", weights_pruned)
+        exp.gauge("rrq_kernel_filter_rate",
+                  "Fraction of classified pairs decided by bounds alone.",
+                  filter_rate)
+        exp.histogram("rrq_query_filter_rate",
+                      "Per-query filter effectiveness (fraction of pairs "
+                      "decided without an inner product).", rate_hist)
+        for op in sorted(mutations_by_op):
+            exp.counter("rrq_mutations_total",
+                        "Durable mutations applied, by operation.",
+                        mutations_by_op[op], labels={"op": op})
+        exp.counter("rrq_mutations_rejected_total",
+                    "Mutations refused by role checks (sent to a standby).",
+                    mutations_rejected)
+        if cache_stats is not None:
+            exp.gauge("rrq_cache_entries", "Entries in the result cache.",
+                      cache_stats.get("entries", 0))
+            exp.gauge("rrq_cache_capacity", "Result cache capacity.",
+                      cache_stats.get("capacity", 0))
+            exp.counter("rrq_cache_lookup_hits_total",
+                        "Result-cache lookup hits.",
+                        cache_stats.get("hits", 0))
+            exp.counter("rrq_cache_lookup_misses_total",
+                        "Result-cache lookup misses.",
+                        cache_stats.get("misses", 0))
+            exp.counter("rrq_cache_invalidations_total",
+                        "Result-cache invalidations (mutations flush).",
+                        cache_stats.get("invalidations", 0))
+        if durability is not None:
+            wal = durability.get("wal", {})
+            exp.gauge("rrq_wal_last_lsn",
+                      "Highest acknowledged WAL log sequence number.",
+                      durability.get("last_lsn", 0))
+            exp.gauge("rrq_snapshot_lsn",
+                      "LSN of the latest committed snapshot.",
+                      durability.get("snapshot_lsn", 0))
+            exp.counter("rrq_wal_appends_total",
+                        "Records appended to the write-ahead log.",
+                        wal.get("appends", 0))
+            exp.counter("rrq_wal_fsyncs_total",
+                        "fsync calls issued by the WAL writer.",
+                        wal.get("fsyncs", 0))
+        if replication is not None:
+            exp.gauge("rrq_replication_lag",
+                      "Primary LSN minus local LSN at the last poll "
+                      "(-1 before the first successful poll).",
+                      replication.get("lag", -1))
+            exp.counter("rrq_replication_applied_total",
+                        "Replicated records applied by the tailer.",
+                        replication.get("applied_records", 0))
+            exp.counter("rrq_replication_errors_total",
+                        "Replication poll errors.",
+                        replication.get("poll_errors", 0))
+        if slowlog is not None:
+            exp.counter("rrq_slow_queries_total",
+                        "Requests recorded by the slow-query log.",
+                        slowlog.get("recorded_total", 0))
+            threshold = slowlog.get("threshold_s")
+            if threshold is not None:
+                exp.gauge("rrq_slow_query_threshold_seconds",
+                          "Latency threshold of the slow-query log.",
+                          threshold)
+        if traces is not None:
+            exp.counter("rrq_traces_finished_total",
+                        "Traces completed and stored in the ring.",
+                        traces.get("finished_total", 0))
+        return exp.render()

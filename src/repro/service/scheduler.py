@@ -44,6 +44,7 @@ from ..errors import (
     ServiceOverloadError,
     ServiceUnavailableError,
 )
+from ..obs.trace import current, current_trace_id, span, use_context
 from ..queries.types import RKRResult, RTKResult, make_rkr_result
 from ..resilience.faults import fire
 from ..stats.counters import OpCounter
@@ -63,13 +64,19 @@ _KINDS = ("rtk", "rkr")
 
 @dataclass
 class _Pending:
-    """One admitted request waiting for dispatch."""
+    """One admitted request waiting for dispatch.
+
+    ``ctx`` is the submitter's span context (or ``None`` when tracing is
+    dark), captured at admission so the dispatcher thread can re-enter
+    the request's trace — a ContextVar does not cross threads by itself.
+    """
 
     q: np.ndarray
     kind: str
     k: int
     deadline: Deadline
     future: "Future" = field(default_factory=Future)
+    ctx: Optional[object] = None
 
 
 class MicroBatchScheduler:
@@ -229,6 +236,7 @@ class MicroBatchScheduler:
         pending = _Pending(
             q=q_arr, kind=kind, k=int(k),
             deadline=self.limits.deadline(deadline_s),
+            ctx=current(),
         )
         try:
             self._queue.put_nowait(pending)
@@ -313,18 +321,24 @@ class MicroBatchScheduler:
         self.metrics.record_batch(len(live), counter)
 
     def _answer_single(self, pending: _Pending, counter: OpCounter) -> None:
-        """Low-load fast path: straight through the per-query engine."""
-        lock = self._engine_lock
-        if lock is not None:
-            lock.acquire()
-        try:
-            if pending.kind == "rtk":
-                result = self.engine.reverse_topk(pending.q, pending.k)
-            else:
-                result = self.engine.reverse_kranks(pending.q, pending.k)
-        finally:
+        """Low-load fast path: straight through the per-query engine.
+
+        The span closes before the future resolves, so the submitting
+        thread never reads a trace whose dispatch span is still open.
+        """
+        with use_context(pending.ctx), span("engine.query") as sp:
+            sp.annotate("kind", pending.kind)
+            lock = self._engine_lock
             if lock is not None:
-                lock.release()
+                lock.acquire()
+            try:
+                if pending.kind == "rtk":
+                    result = self.engine.reverse_topk(pending.q, pending.k)
+                else:
+                    result = self.engine.reverse_kranks(pending.q, pending.k)
+            finally:
+                if lock is not None:
+                    lock.release()
         counter.merge(result.counter)
         pending.future.set_result(result)
 
@@ -370,13 +384,20 @@ class MicroBatchScheduler:
         kernel = self._get_kernel()
         if kernel is not None:
             for pending in live:
-                if pending.kind == "rtk":
-                    result = kernel.reverse_topk(pending.q, pending.k)
-                else:
-                    result = kernel.reverse_kranks(pending.q, pending.k)
+                with use_context(pending.ctx), span("kernel.query") as sp:
+                    sp.annotate("kind", pending.kind)
+                    sp.annotate("batch_size", len(live))
+                    if pending.kind == "rtk":
+                        result = kernel.reverse_topk(pending.q, pending.k)
+                    else:
+                        result = kernel.reverse_kranks(pending.q, pending.k)
+                    if kernel.last_stats is not None:
+                        stats = kernel.last_stats.snapshot()
+                        sp.annotate("kernel_stats", stats)
+                        self.metrics.record_kernel(
+                            stats, trace_id=current_trace_id()
+                        )
                 counter.merge(result.counter)
-                if kernel.last_stats is not None:
-                    self.metrics.record_kernel(kernel.last_stats.snapshot())
                 pending.future.set_result(result)
             return
         Q = np.stack([pending.q for pending in live])
@@ -384,12 +405,16 @@ class MicroBatchScheduler:
         # One shared sweep: |P| * |W| pairwise products total, not per query.
         counter.pairwise += self._P.shape[0] * self._W.shape[0]
         for pending, row in zip(live, rank_matrix):
-            if pending.kind == "rtk":
-                qualifying = frozenset(
-                    int(i) for i in np.nonzero(row < pending.k)[0]
-                )
-                result = RTKResult(weights=qualifying, k=pending.k)
-            else:
-                pairs = [(int(r), int(i)) for i, r in enumerate(row)]
-                result = make_rkr_result(pairs, pending.k, OpCounter())
+            with use_context(pending.ctx), span("batch.derive") as sp:
+                sp.annotate("kind", pending.kind)
+                sp.annotate("batch_size", len(live))
+                sp.annotate("shared_sweep", True)
+                if pending.kind == "rtk":
+                    qualifying = frozenset(
+                        int(i) for i in np.nonzero(row < pending.k)[0]
+                    )
+                    result = RTKResult(weights=qualifying, k=pending.k)
+                else:
+                    pairs = [(int(r), int(i)) for i, r in enumerate(row)]
+                    result = make_rkr_result(pairs, pending.k, OpCounter())
             pending.future.set_result(result)

@@ -17,8 +17,18 @@ Two layers, deliberately separable:
                          optional ``"timeout_ms"``)
   GET        /healthz    liveness probe
   GET        /metrics    qps, latency percentiles, batch + cache stats
+                         (``?format=prometheus`` for text exposition
+                         with trace-id exemplars)
   GET        /info       data set sizes, method, tuning parameters
+  GET        /traces     recent request traces (``?id=`` one trace,
+                         ``?limit=`` cap the listing)
+  GET        /slowlog    slow-query log entries (``?limit=``)
   =========  ==========  ===========================================
+
+Every ``/query``/mutation response carries an ``X-Trace-Id`` header —
+the id minted at ingress (or accepted from the request's own
+``X-Trace-Id``), under which the request's span tree is readable at
+``GET /traces?id=...``.
 
 Answers are canonical JSON (sorted keys): a served RTK/RKR answer is
 byte-identical to :func:`encode_result` of the corresponding
@@ -46,6 +56,18 @@ from ..errors import (
     ReproError,
     ServiceError,
     ServiceUnavailableError,
+)
+from ..obs.slowlog import (
+    DEFAULT_SLOW_THRESHOLD_S,
+    DEFAULT_SLOWLOG_CAPACITY,
+    SlowQueryLog,
+)
+from ..obs.trace import (
+    DEFAULT_TRACE_CAPACITY,
+    Tracer,
+    current,
+    current_trace_id,
+    span,
 )
 from ..queries.types import RKRResult, RTKResult
 from ..resilience.breaker import (
@@ -76,6 +98,13 @@ class ServiceConfig:
     ``use_kernel`` routes coalesced micro-batches through the
     weight-blocked GIR kernel (answers are byte-identical either way;
     see :class:`~repro.service.scheduler.MicroBatchScheduler`).
+
+    The observability knobs: ``trace_capacity`` bounds the in-memory
+    ring behind ``GET /traces`` (``trace_export_path`` additionally
+    appends finished traces as JSON lines); requests at or above
+    ``slow_query_threshold_s`` land in the slow-query log
+    (``None`` disables it), bounded by ``slowlog_capacity`` with an
+    optional ``slowlog_path`` JSON-lines sink.
     """
 
     batch_window_s: float = DEFAULT_BATCH_WINDOW_S
@@ -85,6 +114,11 @@ class ServiceConfig:
     breaker_threshold: int = DEFAULT_FAILURE_THRESHOLD
     breaker_reset_s: float = DEFAULT_RESET_AFTER_S
     use_kernel: bool = True
+    trace_capacity: int = DEFAULT_TRACE_CAPACITY
+    trace_export_path: Optional[str] = None
+    slow_query_threshold_s: Optional[float] = DEFAULT_SLOW_THRESHOLD_S
+    slowlog_capacity: int = DEFAULT_SLOWLOG_CAPACITY
+    slowlog_path: Optional[str] = None
 
 
 def encode_result(result: Union[RTKResult, RKRResult], kind: str) -> dict:
@@ -137,6 +171,13 @@ class QueryService:
             engine, "name", type(engine).__name__
         ).lower()
         self.metrics = ServiceMetrics()
+        self.tracer = Tracer(capacity=self.config.trace_capacity,
+                             export_path=self.config.trace_export_path)
+        self.slowlog = SlowQueryLog(
+            threshold_s=self.config.slow_query_threshold_s,
+            capacity=self.config.slowlog_capacity,
+            path=self.config.slowlog_path,
+        )
         self.cache = ResultCache(self.config.cache_capacity)
         self.scheduler = MicroBatchScheduler(
             engine,
@@ -235,6 +276,38 @@ class QueryService:
                                                  self.engine.weights)
             return self._fallback_engine
 
+    def _finish(self, kind: str, k: int, start: float, *,
+                cache_hit: bool = False, degraded: bool = False) -> None:
+        """Close out one answered request: metrics, exemplar, slow log.
+
+        The active trace id (if any) becomes the latency-histogram
+        exemplar; a request at or above the slow-query threshold is
+        recorded with its span tree and any kernel stats the scheduler
+        annotated onto its spans.
+        """
+        latency_s = perf_counter() - start
+        self.metrics.record_request(kind, latency_s, cache_hit=cache_hit,
+                                    degraded=degraded,
+                                    trace_id=current_trace_id())
+        if not self.slowlog.should_log(latency_s):
+            return
+        entry = {
+            "kind": kind,
+            "k": int(k),
+            "latency_s": latency_s,
+            "cache_hit": cache_hit,
+            "degraded": degraded,
+        }
+        ctx = current()
+        if ctx is not None:
+            entry["trace_id"] = ctx.trace.trace_id
+            entry["spans"] = ctx.trace.span_tree()
+            for recorded in ctx.trace.spans():
+                if "kernel_stats" in recorded.annotations:
+                    entry["kernel"] = recorded.annotations["kernel_stats"]
+                    break
+        self.slowlog.record(entry)
+
     def query(self, vector=None, *, product: Optional[int] = None,
               kind: str = "rtk", k: int = 10,
               deadline_s: Optional[float] = None) -> dict:
@@ -247,6 +320,12 @@ class QueryService:
         one is configured; with fallback disabled they surface as
         :class:`ServiceUnavailableError` (HTTP 503).
         Treat the returned dict as read-only: cache hits share it.
+
+        When a trace is active (the HTTP frontend opens one per request)
+        the whole call is a ``service.query`` span; the trace id rides
+        into the scheduler and kernel, the latency histogram's exemplar,
+        and the slow-query log.  Embedded callers that never start a
+        trace pay only a ContextVar read.
         """
         start = perf_counter()
         fire("service.query")
@@ -254,18 +333,34 @@ class QueryService:
             raise InvalidParameterError("kind must be 'rtk' or 'rkr'")
         if int(k) <= 0:
             raise InvalidParameterError("k must be positive")
+        # The span closes (joining the trace) before _finish runs, so a
+        # slow-query record sees the full service/scheduler span tree.
+        with span("service.query") as sp:
+            sp.annotate("kind", kind)
+            sp.annotate("k", int(k))
+            encoded, cache_hit, degraded = self._answer(
+                sp, vector, product, kind, int(k), deadline_s
+            )
+        self._finish(kind, k, start, cache_hit=cache_hit, degraded=degraded)
+        return encoded
+
+    def _answer(self, sp, vector, product, kind: str, k: int,
+                deadline_s: Optional[float]):
+        """The cache/scheduler/fallback pipeline behind :meth:`query`.
+
+        Returns ``(encoded_answer, cache_hit, degraded)``; runs inside
+        the ``service.query`` span (``sp``).
+        """
         q_arr = self.resolve_query_point(vector, product)
-        key = make_key(q_arr, kind, int(k), self.method)
+        key = make_key(q_arr, kind, k, self.method)
         cached = self.cache.get(key)
         if cached is not None:
-            self.metrics.record_request(kind, perf_counter() - start,
-                                        cache_hit=True)
-            return cached
+            sp.annotate("cache_hit", True)
+            return cached, True, False
         primary_error: Optional[Exception] = None
         if self.breaker.allow():
             try:
-                result = self.scheduler.answer(q_arr, kind, int(k),
-                                               deadline_s)
+                result = self.scheduler.answer(q_arr, kind, k, deadline_s)
             except ServiceError:
                 # Load shedding (overload/deadline/shutdown) is not an
                 # engine failure; don't trip the breaker or degrade.
@@ -280,11 +375,7 @@ class QueryService:
                 if self.degraded_reason is not None:
                     encoded["degraded"] = True
                 self.cache.put(key, encoded)
-                self.metrics.record_request(
-                    kind, perf_counter() - start,
-                    degraded=self.degraded_reason is not None,
-                )
-                return encoded
+                return encoded, False, self.degraded_reason is not None
         # Degraded path: breaker open (or the primary just failed) —
         # answer exactly via the naive scan rather than failing.
         fallback = self._fallback()
@@ -294,16 +385,15 @@ class QueryService:
             raise ServiceUnavailableError(
                 "engine unavailable (circuit open) and fallback disabled"
             )
+        sp.annotate("fallback", True)
         if kind == "rtk":
-            result = fallback.reverse_topk(q_arr, int(k))
+            result = fallback.reverse_topk(q_arr, k)
         else:
-            result = fallback.reverse_kranks(q_arr, int(k))
+            result = fallback.reverse_kranks(q_arr, k)
         encoded = encode_result(result, kind)
         encoded["degraded"] = True
         # Not cached: a healthy engine must not serve flagged answers.
-        self.metrics.record_request(kind, perf_counter() - start,
-                                    degraded=True)
-        return encoded
+        return encoded, False, True
 
     def info(self) -> dict:
         """Static facts about the served engine (the ``/info`` body)."""
@@ -330,8 +420,27 @@ class QueryService:
         }
 
     def metrics_snapshot(self) -> dict:
-        """Live counters (the ``/metrics`` body)."""
-        return self.metrics.snapshot(cache_stats=self.cache.stats())
+        """Live counters (the JSON ``/metrics`` body)."""
+        snap = self.metrics.snapshot(cache_stats=self.cache.stats())
+        snap["slowlog"] = self.slowlog.stats()
+        snap["traces"] = self.tracer.stats()
+        return snap
+
+    def prometheus_text(self) -> str:
+        """The ``GET /metrics?format=prometheus`` body (text exposition)."""
+        return self.metrics.prometheus(
+            cache_stats=self.cache.stats(),
+            slowlog=self.slowlog.stats(),
+            traces=self.tracer.stats(),
+        )
+
+    def traces_snapshot(self, trace_id: Optional[str] = None,
+                        limit: Optional[int] = None) -> dict:
+        """The ``GET /traces`` body (``?id=`` selects one trace)."""
+        if trace_id is not None:
+            trace = self.tracer.get(trace_id)
+            return {"trace": trace, "found": trace is not None}
+        return self.tracer.snapshot(limit)
 
     def healthz(self) -> dict:
         """Liveness body: cheap, allocation-light, never blocks on the queue.
@@ -534,10 +643,22 @@ class DurableQueryService(QueryService):
         return body
 
     def metrics_snapshot(self) -> dict:
-        return self.metrics.snapshot(
+        snap = self.metrics.snapshot(
             cache_stats=self.cache.stats(),
             durability=self.engine.durability_stats(),
             replication=self.replication_status(),
+        )
+        snap["slowlog"] = self.slowlog.stats()
+        snap["traces"] = self.tracer.stats()
+        return snap
+
+    def prometheus_text(self) -> str:
+        return self.metrics.prometheus(
+            cache_stats=self.cache.stats(),
+            durability=self.engine.durability_stats(),
+            replication=self.replication_status(),
+            slowlog=self.slowlog.stats(),
+            traces=self.tracer.stats(),
         )
 
     def healthz(self) -> dict:
@@ -561,7 +682,14 @@ class DurableQueryService(QueryService):
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
-    """Routes the four endpoints; all bodies are canonical JSON."""
+    """Routes the endpoints; bodies are canonical JSON (or Prometheus text).
+
+    Every ``/query`` and mutation request runs under a root trace span:
+    the id comes from the caller's ``X-Trace-Id`` header when well-formed
+    (else a fresh one is minted) and is echoed back as the response's
+    ``X-Trace-Id`` — never inside the JSON body, which stays byte-exact
+    across execution paths.
+    """
 
     server_version = "repro-rrq"
     protocol_version = "HTTP/1.1"
@@ -574,10 +702,22 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def service(self) -> QueryService:
         return self.server.service
 
-    def _send_json(self, status: int, obj: dict) -> None:
+    def _send_json(self, status: int, obj: dict,
+                   trace_id: Optional[str] = None) -> None:
         body = canonical_json(obj)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if trace_id is not None:
+            self.send_header("X-Trace-Id", trace_id)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -589,12 +729,42 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self._send_json(404, {"error": "NotFound", "message": path,
                               "status": 404})
 
+    @staticmethod
+    def _int_param(params, name: str) -> Optional[int]:
+        raw = params.get(name, [None])[0]
+        return int(raw) if raw is not None else None
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         parsed = urlsplit(self.path)
         if parsed.path == "/healthz":
             self._send_json(200, self.service.healthz())
         elif parsed.path == "/metrics":
-            self._send_json(200, self.service.metrics_snapshot())
+            params = parse_qs(parsed.query)
+            if params.get("format", [None])[0] == "prometheus":
+                self._send_text(200, self.service.prometheus_text())
+            else:
+                self._send_json(200, self.service.metrics_snapshot())
+        elif parsed.path == "/traces":
+            try:
+                params = parse_qs(parsed.query)
+                body = self.service.traces_snapshot(
+                    trace_id=params.get("id", [None])[0],
+                    limit=self._int_param(params, "limit"),
+                )
+            except Exception as exc:  # structured, never a traceback
+                self._send_json(http_status(exc), rejection_body(exc))
+                return
+            self._send_json(200, body)
+        elif parsed.path == "/slowlog":
+            try:
+                params = parse_qs(parsed.query)
+                body = self.service.slowlog.snapshot(
+                    limit=self._int_param(params, "limit")
+                )
+            except Exception as exc:  # structured, never a traceback
+                self._send_json(http_status(exc), rejection_body(exc))
+                return
+            self._send_json(200, body)
         elif parsed.path == "/info":
             self._send_json(200, self.service.info())
         elif parsed.path == "/replicate" and hasattr(self.service,
@@ -622,30 +792,41 @@ class _RequestHandler(BaseHTTPRequestHandler):
         if path != "/query" and not is_mutation:
             self._not_found(path)
             return
-        try:
-            length = int(self.headers.get("Content-Length") or 0)
-            payload = json.loads(self.rfile.read(length) or b"{}")
-            if not isinstance(payload, dict):
-                raise InvalidParameterError("request body must be an object")
-            if is_mutation:
-                answer = self.service.handle_mutation_request(path, payload)
-            else:
-                timeout_ms = payload.get("timeout_ms")
-                answer = self.service.query(
-                    payload.get("vector"),
-                    product=payload.get("product"),
-                    kind=payload.get("kind", "rtk"),
-                    k=payload.get("k", 10),
-                    deadline_s=(float(timeout_ms) / 1000.0
-                                if timeout_ms is not None else None),
-                )
-        except Exception as exc:  # structured rejection, never a traceback
-            status = http_status(exc)
-            if status >= 500:
-                self.service.metrics.record_error()
-            self._send_json(status, rejection_body(exc))
-            return
-        self._send_json(200, answer)
+        root_name = "http.mutate" if is_mutation else "http.query"
+        with self.service.tracer.trace(
+            root_name, trace_id=self.headers.get("X-Trace-Id")
+        ) as root:
+            root.annotate("path", path)
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+                payload = json.loads(self.rfile.read(length) or b"{}")
+                if not isinstance(payload, dict):
+                    raise InvalidParameterError(
+                        "request body must be an object"
+                    )
+                if is_mutation:
+                    answer = self.service.handle_mutation_request(path,
+                                                                  payload)
+                else:
+                    timeout_ms = payload.get("timeout_ms")
+                    answer = self.service.query(
+                        payload.get("vector"),
+                        product=payload.get("product"),
+                        kind=payload.get("kind", "rtk"),
+                        k=payload.get("k", 10),
+                        deadline_s=(float(timeout_ms) / 1000.0
+                                    if timeout_ms is not None else None),
+                    )
+            except Exception as exc:  # structured rejection, no traceback
+                root.status = "error"
+                root.error = f"{type(exc).__name__}: {exc}"
+                status = http_status(exc)
+                if status >= 500:
+                    self.service.metrics.record_error()
+                self._send_json(status, rejection_body(exc),
+                                trace_id=root.trace_id)
+                return
+            self._send_json(200, answer, trace_id=root.trace_id)
 
 
 class ReverseRankHTTPServer(ThreadingHTTPServer):

@@ -2,9 +2,9 @@
 
 from .counters import NULL_COUNTER, OpCounter
 from .report import print_table, render_table, speedup
-from .timing import LapClock, Timer, best_of, time_once
+from .timing import LapClock, Timer, best_of, percentile, time_once
 
 __all__ = [
     "OpCounter", "NULL_COUNTER", "Timer", "LapClock", "time_once", "best_of",
-    "render_table", "print_table", "speedup",
+    "percentile", "render_table", "print_table", "speedup",
 ]

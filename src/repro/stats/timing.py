@@ -8,11 +8,42 @@ library level (pytest-benchmark is used only inside ``benchmarks/``).
 
 from __future__ import annotations
 
+import math
 import statistics
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional, Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (``0.0 <= q <= 1.0``) of ``samples`` by
+    nearest-rank.
+
+    Nearest-rank is the conventional choice for operational latency
+    reporting: the result is always an observed sample.  This is the one
+    shared implementation — :mod:`repro.service.metrics` and
+    :class:`repro.vectorized.parallel.BatchStats` both use it.
+
+    Edge cases are pinned by tests: an empty sample list returns 0.0,
+    a single sample is every quantile of itself, ``q=0.0`` is the
+    minimum and ``q=1.0`` the maximum, non-finite samples (NaN/inf
+    leaking in from faulted requests) are dropped before ranking, and an
+    out-of-range ``q`` raises ``ValueError`` rather than silently
+    clamping.
+    """
+    if math.isnan(q) or not 0.0 <= q <= 1.0:
+        from ..errors import InvalidParameterError
+
+        raise InvalidParameterError(
+            f"quantile q must be in [0.0, 1.0], got {q}"
+        )
+    finite = [s for s in samples if math.isfinite(s)]
+    if not finite:
+        return 0.0
+    ordered = sorted(finite)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
 
 
 @dataclass

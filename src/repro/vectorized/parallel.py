@@ -14,7 +14,6 @@ are deterministic.
 
 from __future__ import annotations
 
-import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -23,20 +22,10 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from ..errors import InvalidParameterError
 from ..queries.types import RKRResult, RTKResult
+from ..stats.timing import percentile
 
 #: Set in each worker by the pool initializer.
 _WORKER_ALGORITHM = None
-
-
-def _percentile(samples: Sequence[float], q: float) -> float:
-    """Nearest-rank ``q``-quantile — the same convention
-    :func:`repro.service.metrics.percentile` uses (kept local to avoid a
-    vectorized → service import)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = max(1, math.ceil(q * len(ordered)))
-    return ordered[rank - 1]
 
 
 @dataclass(frozen=True)
@@ -150,8 +139,8 @@ def answer_batch_stats(
             batch_size=len(queries), requested_workers=requested,
             workers=1, parallel=False,
             elapsed_s=time.perf_counter() - start,
-            per_query_p50_s=_percentile(times, 0.50),
-            per_query_p95_s=_percentile(times, 0.95),
+            per_query_p50_s=percentile(times, 0.50),
+            per_query_p95_s=percentile(times, 0.95),
         )
         return results, stats
 
@@ -168,7 +157,7 @@ def answer_batch_stats(
         batch_size=len(queries), requested_workers=requested,
         workers=chosen, parallel=True,
         elapsed_s=time.perf_counter() - start,
-        per_query_p50_s=_percentile(times, 0.50),
-        per_query_p95_s=_percentile(times, 0.95),
+        per_query_p50_s=percentile(times, 0.50),
+        per_query_p95_s=percentile(times, 0.95),
     )
     return results, stats

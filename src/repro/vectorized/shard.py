@@ -40,6 +40,7 @@ import numpy as np
 from ..algorithms.base import RRQAlgorithm
 from ..data.datasets import ProductSet, WeightSet
 from ..errors import InvalidParameterError
+from ..obs.trace import span
 from ..queries.types import RKRResult, RTKResult, make_rkr_result
 from ..stats.counters import OpCounter
 from .girkernel import (
@@ -237,27 +238,32 @@ class ShardedGirRRQ(RRQAlgorithm):
                         counter: OpCounter) -> List[list]:
         """Fan one query across the shard pool; collect partial payloads."""
         stats = KernelStats()
-        if self._pool is None:
-            # Closed engine: serve in-process so callers holding a
-            # reference keep getting exact answers.
-            payload, csnap, ssnap = _serial_shard(self.kernel.core, kind, q,
-                                                  k, self.W.shape[0])
-            _merge_snapshots(counter, stats, csnap, ssnap)
+        with span("shard.scatter_gather") as sp:
+            sp.annotate("kind", kind)
+            if self._pool is None:
+                # Closed engine: serve in-process so callers holding a
+                # reference keep getting exact answers.
+                sp.annotate("shards", 1)
+                sp.annotate("in_process", True)
+                payload, csnap, ssnap = _serial_shard(self.kernel.core, kind,
+                                                      q, k, self.W.shape[0])
+                _merge_snapshots(counter, stats, csnap, ssnap)
+                self.last_stats = stats
+                return [payload]
+            sp.annotate("shards", len(self._ranges))
+            futures = [
+                self._pool.submit(_run_shard, (kind, q, k, lo, hi))
+                for lo, hi in self._ranges
+            ]
+            payloads = []
+            for future in futures:
+                payload, csnap, ssnap = future.result()
+                payloads.append(payload)
+                _merge_snapshots(counter, stats, csnap, ssnap)
+            # The shards ran concurrently; queries counts as one scan.
+            stats.queries = 1
             self.last_stats = stats
-            return [payload]
-        futures = [
-            self._pool.submit(_run_shard, (kind, q, k, lo, hi))
-            for lo, hi in self._ranges
-        ]
-        payloads = []
-        for future in futures:
-            payload, csnap, ssnap = future.result()
-            payloads.append(payload)
-            _merge_snapshots(counter, stats, csnap, ssnap)
-        # The shards ran concurrently; queries counts as one scan.
-        stats.queries = 1
-        self.last_stats = stats
-        return payloads
+            return payloads
 
     def _reverse_topk(self, q: np.ndarray, k: int,
                       counter: OpCounter) -> RTKResult:
