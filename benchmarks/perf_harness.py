@@ -17,6 +17,14 @@ Examples::
     PYTHONPATH=src python benchmarks/perf_harness.py --smoke
     PYTHONPATH=src python benchmarks/perf_harness.py --out BENCH_kernel.json
     PYTHONPATH=src python benchmarks/perf_harness.py --configs my_configs.json
+    PYTHONPATH=src python benchmarks/perf_harness.py \
+        --out BENCH_kernel_ci.json --baseline BENCH_kernel.json
+
+With ``--baseline`` the run becomes a **regression gate**: each config's
+kernel p50 (rtk and rkr) is compared against the committed baseline by
+config name, and the script exits 1 when any metric is more than
+``--max-regress-pct`` (default 25) percent slower — CI runs exactly
+this against ``BENCH_kernel.json``.
 """
 
 from __future__ import annotations
@@ -45,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "(0 disables; default max(2, cpu_count))")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the exact-oracle verification pass")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="committed BENCH_*.json to gate against: "
+                             "exit 1 when any kernel p50 regresses past "
+                             "--max-regress-pct")
+    parser.add_argument("--max-regress-pct", type=float, default=None,
+                        help="regression budget for --baseline "
+                             "(default 25)")
     return parser
 
 
@@ -88,6 +103,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: kernel answers diverged from the oracle",
               file=sys.stderr)
         return 1
+    if args.baseline is not None:
+        import json
+
+        from repro.bench.harness import (
+            DEFAULT_MAX_REGRESS_PCT,
+            check_regression,
+        )
+
+        try:
+            baseline = json.loads(open(args.baseline).read())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        budget = (args.max_regress_pct if args.max_regress_pct is not None
+                  else DEFAULT_MAX_REGRESS_PCT)
+        verdict = check_regression(report, baseline, budget)
+        for check in verdict["checks"]:
+            marker = "ok" if check["ok"] else "REGRESSED"
+            print(f"gate {check['config']}/{check['kind']} "
+                  f"{check['metric']}: {check['baseline_s']*1000:.2f}ms -> "
+                  f"{check['current_s']*1000:.2f}ms "
+                  f"({check['regress_pct']:+.1f}%) {marker}")
+        if not verdict["ok"]:
+            if verdict["compared"] == 0:
+                print("error: regression gate compared nothing — config "
+                      "names do not overlap the baseline", file=sys.stderr)
+            else:
+                print(f"error: kernel p50 regressed more than "
+                      f"{budget:.0f}% vs {args.baseline}", file=sys.stderr)
+            return 1
+        print(f"gate ok ({verdict['compared']} metrics within "
+              f"{budget:.0f}% of {args.baseline})")
     return 0
 
 

@@ -299,3 +299,66 @@ def run_harness(configs: Optional[Sequence[dict]] = None,
     if out is not None:
         out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
+
+
+#: (kind, metric) pairs the regression gate compares, config by config.
+GATED_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("rtk", "kernel_p50_s"),
+    ("rkr", "kernel_p50_s"),
+)
+
+#: Default regression budget: fail CI past this p50 slowdown.
+DEFAULT_MAX_REGRESS_PCT = 25.0
+
+
+def check_regression(report: dict, baseline: dict,
+                     max_regress_pct: float = DEFAULT_MAX_REGRESS_PCT
+                     ) -> dict:
+    """Gate ``report`` against a committed ``baseline`` (BENCH_kernel.json).
+
+    Configs are matched by name; for each match the gated metrics
+    (kernel p50 per kind) may be at most ``max_regress_pct`` percent
+    slower than the baseline.  Faster is always fine — the gate is
+    one-sided, a regression detector rather than a noise detector.
+
+    Returns a JSON-ready verdict::
+
+        {"ok": bool, "max_regress_pct": float, "compared": int,
+         "checks": [{"config", "kind", "metric", "baseline_s",
+                     "current_s", "regress_pct", "ok"}, ...]}
+
+    ``ok`` is False when any check fails **or when nothing could be
+    compared at all** — a gate silently comparing zero metrics (e.g.
+    smoke configs against the full-size baseline) would pass forever
+    without gating anything.
+    """
+    if max_regress_pct < 0:
+        raise InvalidParameterError("max_regress_pct must be >= 0")
+    baseline_by_name = {cfg.get("name"): cfg
+                        for cfg in baseline.get("configs", [])}
+    checks: List[dict] = []
+    for record in report.get("configs", []):
+        base = baseline_by_name.get(record.get("name"))
+        if base is None:
+            continue
+        for kind, metric in GATED_METRICS:
+            old = base.get(kind, {}).get(metric)
+            new = record.get(kind, {}).get(metric)
+            if old is None or new is None or old <= 0:
+                continue
+            regress_pct = (float(new) - float(old)) / float(old) * 100.0
+            checks.append({
+                "config": record["name"],
+                "kind": kind,
+                "metric": metric,
+                "baseline_s": float(old),
+                "current_s": float(new),
+                "regress_pct": regress_pct,
+                "ok": regress_pct <= max_regress_pct,
+            })
+    return {
+        "ok": bool(checks) and all(check["ok"] for check in checks),
+        "max_regress_pct": float(max_regress_pct),
+        "compared": len(checks),
+        "checks": checks,
+    }

@@ -13,6 +13,8 @@ Installed as ``repro-rrq``.  Subcommands cover the full life cycle:
 * ``serve`` — run the JSON/HTTP query service over an index or data set,
   or (``--durable``) a write-ahead-logged dynamic engine with mutation
   endpoints and optional hot-standby replication (``--standby-of``);
+* ``cluster`` — launch N local durable workers plus the scatter-gather
+  coordinator front door (dev/test form of ``repro.cluster``);
 * ``bench`` — run the kernel perf-regression harness and write a
   ``BENCH_*.json`` trajectory file (exit 1 if kernel answers diverge
   from the exact oracle);
@@ -280,6 +282,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         service.close()
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Launch N local durable workers + the scatter-gather coordinator.
+
+    A dev/test convenience: production deployments start workers
+    individually (``serve --durable``) and point a coordinator at their
+    URLs via a topology manifest; this subcommand does all of it in one
+    process tree over a generated or on-disk data set.
+    """
+    from .cluster import LocalCluster
+
+    products, weights = _load_data(args.data)
+    cluster = LocalCluster(
+        products, weights,
+        num_workers=args.workers,
+        partitioner=args.partitioner,
+        base_dir=args.dirs,
+        fsync=args.fsync,
+        host=args.host,
+        coordinator_port=args.port,
+        shard_timeout_s=args.shard_timeout_ms / 1000.0,
+        fallback=not args.no_fallback,
+    )
+    try:
+        print(f"cluster: {args.workers} workers ({args.partitioner} "
+              f"partitioner) over {products.size}x{weights.size} "
+              f"(d={products.dim})", flush=True)
+        for shard_id, worker in enumerate(cluster.workers):
+            count = cluster.topology.shard(shard_id).weight_count
+            print(f"  shard {shard_id}: {worker.url}  "
+                  f"({count} weights, pid {worker.proc.pid})", flush=True)
+        print(f"coordinator at {cluster.url}", flush=True)
+        print("endpoints: POST /query /insert /delete /rebuild /snapshot "
+              "/promote, GET /healthz /metrics /info /traces /slowlog "
+              "/cluster/healthz /cluster/topology", flush=True)
+        while True:
+            time.sleep(1.0)
+            dead = [i for i, w in enumerate(cluster.workers) if not w.alive]
+            if dead and not getattr(args, "_warned", None):
+                args._warned = True
+                print(f"WARNING: worker shard(s) {dead} exited; queries "
+                      "continue degraded", file=sys.stderr)
+    except KeyboardInterrupt:
+        print("\nshutting down cluster")
+    finally:
+        cluster.close()
     return 0
 
 
@@ -591,6 +641,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run as a hot standby tailing this primary's "
                             "/replicate feed (reads OK, writes 409)")
     serve.set_defaults(func=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="launch N local durable workers + a scatter-gather coordinator",
+    )
+    cluster.add_argument("data", help="data directory from 'generate'")
+    cluster.add_argument("--workers", type=int, default=3,
+                         help="worker process count (one shard each)")
+    cluster.add_argument("--partitioner", choices=("range", "mod"),
+                         default="range",
+                         help="weight partition function (see "
+                              "docs/operations.md)")
+    cluster.add_argument("--dirs", default=None, metavar="DIR",
+                         help="parent directory for per-worker durability "
+                              "dirs (default: a fresh temp dir)")
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=8378,
+                         help="coordinator port (workers use ephemeral "
+                              "ports)")
+    cluster.add_argument("--fsync", choices=("always", "interval", "never"),
+                         default="never",
+                         help="worker WAL fsync policy (dev default: never)")
+    cluster.add_argument("--shard-timeout-ms", type=float, default=5000.0,
+                         help="per-shard sub-request timeout")
+    cluster.add_argument("--no-fallback", action="store_true",
+                         help="omit a failed shard's slice (flagged) "
+                              "instead of answering it from a local "
+                              "exact fallback")
+    cluster.set_defaults(func=_cmd_cluster)
     return parser
 
 

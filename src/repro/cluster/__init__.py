@@ -1,0 +1,49 @@
+"""Scatter-gather serving of reverse rank queries over worker processes.
+
+The paper's answers compose exactly across any partition of ``W``
+(RTK = union, RKR = k-smallest merge with the library tie-break), so a
+cluster of workers each owning a weight slice answers byte-identically
+to a single node over the full data — this package is that composition
+promoted from the in-process :mod:`repro.vectorized.shard` engine to a
+process/HTTP boundary:
+
+* :mod:`~repro.cluster.topology` — the membership manifest, the
+  ``range``/``mod`` weight partitioners, and rebalance plans;
+* :mod:`~repro.cluster.coordinator` — concurrent fan-out, exact merge,
+  per-shard circuit breakers, degraded-but-exact partial failure, and
+  ownership-aware mutation routing;
+* :mod:`~repro.cluster.router_server` — the HTTP front door (single-node
+  JSON API plus ``/cluster/healthz`` and ``/cluster/topology``), with
+  ``X-Trace-Id`` propagated into every shard sub-request;
+* :mod:`~repro.cluster.launcher` — N local worker subprocesses + the
+  coordinator, for dev, tests, and ``repro-rrq cluster``.
+"""
+
+from .coordinator import ClusterCoordinator
+from .launcher import LocalCluster, WorkerProcess
+from .router_server import (
+    ClusterHTTPServer,
+    ClusterService,
+    make_cluster_server,
+    serve_cluster_in_background,
+)
+from .topology import (
+    PARTITIONERS,
+    ClusterTopology,
+    ShardSpec,
+    partition_weight_indices,
+)
+
+__all__ = [
+    "PARTITIONERS",
+    "ClusterCoordinator",
+    "ClusterHTTPServer",
+    "ClusterService",
+    "ClusterTopology",
+    "LocalCluster",
+    "ShardSpec",
+    "WorkerProcess",
+    "make_cluster_server",
+    "partition_weight_indices",
+    "serve_cluster_in_background",
+]

@@ -1,0 +1,544 @@
+"""The scatter-gather coordinator: one query in, N shard sub-requests out.
+
+For every RTK/RKR request the coordinator fans the query to each shard's
+:class:`~repro.service.client.ServiceClient` concurrently, translates
+the shard-local weight indices in each partial answer back to global
+indices through the :class:`~repro.cluster.topology.ClusterTopology`,
+and merges with the exact semantics proven in-process by
+:meth:`repro.vectorized.shard.ShardedGirRRQ._scatter_gather`:
+
+* RTK — per-shard answers are disjoint global index sets; the merged
+  answer is their union;
+* RKR — each shard returns its local top-k ``(rank, index)`` pairs with
+  exact ranks (``rank(w, q)`` never depends on other weights); the
+  global answer is the k lexicographically smallest pairs — byte-
+  identical to the single-node heap's tie-break (smaller global index
+  wins on equal ranks).
+
+Partial failure is survived, never hidden.  Each shard has its own
+:class:`~repro.resilience.breaker.CircuitBreaker`; a shard that fails
+(transport error, per-shard deadline, open breaker) is answered by the
+coordinator's **degraded-but-exact** local fallback — a naive scan over
+just that shard's weight slice — and the response is flagged with
+``"degraded": true`` and ``"degraded_shards": [ids]``.  Without local
+fallback data (or once cluster mutations have made it stale) the failed
+shard's slice is *omitted* and the same flags mark the answer partial.
+Healthy responses carry neither key, so they stay byte-identical to a
+single-node :class:`~repro.vectorized.girkernel.GirKernelRRQ` /
+:class:`~repro.algorithms.naive.NaiveRRQ` serving the full ``W``.
+
+Writes route by ownership: weight mutations go to the owning shard's
+primary (the per-shard client's 409 rotate-on-standby failover from the
+durability layer applies unchanged), product mutations broadcast to all
+shards (every worker holds the full ``P``), and ``compact`` is refused
+— it would renumber shard-local indices under the topology's feet; the
+documented procedure is a rebalance.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.datasets import check_query_point
+from ..errors import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    ServiceUnavailableError,
+)
+from ..obs.trace import current, current_trace_id, span, use_context
+from ..queries.types import RTKResult, make_rkr_result
+from ..resilience.breaker import CircuitBreaker
+from ..service.client import ServiceClient
+from ..service.limits import Deadline
+from ..service.server import encode_result
+from ..stats.counters import OpCounter
+from .topology import ClusterTopology
+
+#: Default per-shard sub-request socket timeout, seconds.
+DEFAULT_SHARD_TIMEOUT_S = 5.0
+
+#: Default consecutive sub-request failures that open a shard's breaker.
+DEFAULT_SHARD_BREAKER_THRESHOLD = 3
+
+#: Default cool-down before a shard breaker admits a half-open probe.
+DEFAULT_SHARD_BREAKER_RESET_S = 5.0
+
+#: Mutation ops applied on every shard (all workers hold the full ``P``).
+_BROADCAST_OPS = ("insert_product", "delete_product", "rebuild", "snapshot")
+
+
+class ClusterCoordinator:
+    """Scatter-gather over the shards of one :class:`ClusterTopology`.
+
+    Parameters
+    ----------
+    topology:
+        The membership manifest (endpoints, partitioner, counts).
+    products, weights:
+        The full data sets, when available (the local launcher always
+        has them).  They power the degraded-but-exact fallback: a failed
+        shard's partial answer is recomputed locally over exactly its
+        weight slice, keeping the merged answer byte-identical.  Omit
+        them and a failed shard's slice is omitted from (flagged)
+        answers instead.
+    shard_timeout_s:
+        Per-shard sub-request socket timeout; each sub-request is
+        additionally capped by the request's remaining deadline budget.
+    retries:
+        Per-shard sub-request retries (default 0: fail fast to the
+        fallback instead of stalling the merge behind backoff sleeps).
+    default_deadline_s:
+        Deadline applied to queries that do not carry their own.
+    """
+
+    def __init__(self, topology: ClusterTopology,
+                 products=None, weights=None,
+                 shard_timeout_s: float = DEFAULT_SHARD_TIMEOUT_S,
+                 retries: int = 0,
+                 default_deadline_s: Optional[float] = None,
+                 breaker_threshold: int = DEFAULT_SHARD_BREAKER_THRESHOLD,
+                 breaker_reset_s: float = DEFAULT_SHARD_BREAKER_RESET_S):
+        if shard_timeout_s <= 0:
+            raise InvalidParameterError("shard_timeout_s must be positive")
+        self.topology = topology
+        self.products = products
+        self.weights = weights
+        self.shard_timeout_s = float(shard_timeout_s)
+        self.default_deadline_s = default_deadline_s
+        self.clients: List[ServiceClient] = [
+            ServiceClient(list(spec.endpoints), timeout_s=shard_timeout_s,
+                          retries=retries, annotate_endpoint=True)
+            for spec in topology.shards
+        ]
+        self.breakers: List[CircuitBreaker] = [
+            CircuitBreaker(failure_threshold=breaker_threshold,
+                           reset_after_s=breaker_reset_s)
+            for _ in topology.shards
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, topology.num_shards),
+            thread_name_prefix="rrq-cluster",
+        )
+        self._lock = threading.Lock()
+        self._fallbacks: Dict[int, object] = {}
+        #: Global index the next routed weight insert will receive.
+        self._next_global = topology.total_weights
+        #: Cluster mutations applied through this coordinator; once the
+        #: cluster state has diverged from the construction-time data
+        #: sets, the local fallback would be stale-exact — worse than
+        #: honestly partial — so it is disabled.
+        self.mutations_routed = 0
+        #: Queries answered with at least one degraded shard.
+        self.degraded_queries = 0
+
+    # ------------------------------------------------------------------
+    # fallback (degraded-but-exact partials)
+    # ------------------------------------------------------------------
+
+    def _fallback_available(self) -> bool:
+        return (self.products is not None and self.weights is not None
+                and self.mutations_routed == 0)
+
+    def _fallback_engine(self, shard_id: int):
+        """A lazily built naive scan over exactly one shard's W slice."""
+        from ..algorithms.naive import NaiveRRQ
+        from ..data.datasets import ProductSet, WeightSet
+
+        with self._lock:
+            engine = self._fallbacks.get(shard_id)
+            if engine is None:
+                owned = self.topology.owned_globals(shard_id)
+                engine = NaiveRRQ(
+                    ProductSet(self.products.values,
+                               value_range=self.products.value_range),
+                    WeightSet(self.weights.values[owned]),
+                )
+                self._fallbacks[shard_id] = engine
+            return engine
+
+    def _fallback_payload(self, shard_id: int, q: np.ndarray,
+                          kind: str, k: int) -> List[Tuple[int, int]]:
+        """The failed shard's partial answer, computed locally and exact."""
+        engine = self._fallback_engine(shard_id)
+        owned = self.topology.owned_globals(shard_id)
+        if kind == "rtk":
+            local = engine.reverse_topk(q, k).weights
+            return [int(owned[j]) for j in local]
+        entries = engine.reverse_kranks(q, k).entries
+        return [(int(rank), int(owned[j])) for rank, j in entries]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _resolve_query_point(self, vector, product) -> np.ndarray:
+        """Canonicalize the query point for the local fallback path."""
+        if product is not None:
+            size = self.products.size
+            if not 0 <= int(product) < size:
+                raise InvalidParameterError(
+                    f"product index must be in [0, {size})"
+                )
+            vector = self.products[int(product)]
+        return check_query_point(vector, self.products.dim)
+
+    def _shard_query(self, ctx, trace_id: Optional[str], shard_id: int,
+                     vector, product, kind: str, k: int,
+                     deadline: Deadline) -> list:
+        """One shard sub-request on a pool thread; returns global-id payload.
+
+        Raises on any failure (open breaker, transport, timeout); the
+        caller decides between fallback and omission.
+        """
+        with use_context(ctx):
+            with span("cluster.shard_query") as sp:
+                sp.annotate("shard", shard_id)
+                breaker = self.breakers[shard_id]
+                if not breaker.allow():
+                    sp.annotate("breaker_open", True)
+                    raise ServiceUnavailableError(
+                        f"shard {shard_id}: circuit open"
+                    )
+                remaining = deadline.remaining()
+                timeout_s = self.shard_timeout_s
+                if remaining is not None:
+                    if remaining <= 0:
+                        raise DeadlineExceededError(
+                            f"shard {shard_id}: deadline exhausted before "
+                            "the sub-request was sent"
+                        )
+                    timeout_s = min(timeout_s, remaining)
+                headers = ({"X-Trace-Id": trace_id}
+                           if trace_id is not None else None)
+                try:
+                    answer = self.clients[shard_id].query(
+                        vector=vector, product=product, kind=kind, k=k,
+                        timeout_s=timeout_s, headers=headers,
+                        timeout_ms=timeout_s * 1000.0,
+                    )
+                except Exception:
+                    breaker.record_failure()
+                    raise
+                breaker.record_success()
+                endpoint = answer.get("_endpoint")
+                if endpoint is not None:
+                    sp.annotate("endpoint", endpoint)
+                if kind == "rtk":
+                    return [self.topology.to_global(shard_id, int(j))
+                            for j in answer["weights"]]
+                return [(int(rank),
+                         self.topology.to_global(shard_id, int(j)))
+                        for rank, j in answer["entries"]]
+
+    def query(self, vector=None, *, product: Optional[int] = None,
+              kind: str = "rtk", k: int = 10,
+              deadline_s: Optional[float] = None) -> dict:
+        """Answer one RTK/RKR query over the whole cluster.
+
+        Returns the JSON-ready answer dict — byte-identical to a
+        single-node engine over the full ``W`` when every shard (or its
+        exact fallback) contributed, with ``"degraded"`` /
+        ``"degraded_shards"`` added whenever a shard sub-request failed.
+        """
+        if kind not in ("rtk", "rkr"):
+            raise InvalidParameterError("kind must be 'rtk' or 'rkr'")
+        k = int(k)
+        if k <= 0:
+            raise InvalidParameterError("k must be positive")
+        if (vector is None) == (product is None):
+            raise InvalidParameterError(
+                "provide exactly one of 'vector' or 'product'"
+            )
+        budget = deadline_s if deadline_s is not None else \
+            self.default_deadline_s
+        deadline = Deadline.after(budget)
+        deadline.check()
+        ctx = current()
+        trace_id = current_trace_id()
+        with span("cluster.scatter_gather") as sp:
+            sp.annotate("kind", kind)
+            sp.annotate("shards", self.topology.num_shards)
+            futures = {
+                shard_id: self._pool.submit(
+                    self._shard_query, ctx, trace_id, shard_id,
+                    vector, product, kind, k, deadline,
+                )
+                for shard_id in range(self.topology.num_shards)
+            }
+            payloads: List[list] = []
+            failed: Dict[int, Exception] = {}
+            for shard_id, future in futures.items():
+                try:
+                    payloads.append(future.result())
+                except Exception as exc:
+                    failed[shard_id] = exc
+            degraded_shards = sorted(failed)
+            if failed:
+                sp.annotate("degraded_shards", degraded_shards)
+                if self._fallback_available():
+                    q_arr = self._resolve_query_point(vector, product)
+                    for shard_id in degraded_shards:
+                        with span("cluster.shard_fallback") as fb:
+                            fb.annotate("shard", shard_id)
+                            payloads.append(self._fallback_payload(
+                                shard_id, q_arr, kind, k))
+                elif len(failed) == self.topology.num_shards:
+                    # Nothing answered and nothing to fall back on.
+                    raise ServiceUnavailableError(
+                        "no shard answered: " + "; ".join(
+                            f"shard {sid}: {exc}"
+                            for sid, exc in sorted(failed.items()))
+                    )
+            t0 = perf_counter()
+            counter = OpCounter()
+            if kind == "rtk":
+                qualifying = frozenset(g for payload in payloads
+                                       for g in payload)
+                result = RTKResult(weights=qualifying, k=k, counter=counter)
+            else:
+                pairs = [tuple(pair) for payload in payloads
+                         for pair in payload]
+                result = make_rkr_result(pairs, k, counter)
+            sp.annotate("merge_s", perf_counter() - t0)
+        encoded = encode_result(result, kind)
+        if degraded_shards:
+            with self._lock:
+                self.degraded_queries += 1
+            encoded["degraded"] = True
+            encoded["degraded_shards"] = degraded_shards
+        return encoded
+
+    # ------------------------------------------------------------------
+    # mutation routing
+    # ------------------------------------------------------------------
+
+    def _broadcast(self, op: str, call) -> Dict[int, dict]:
+        """Run ``call(client)`` on every shard concurrently; all or error."""
+        futures = {
+            shard_id: self._pool.submit(call, self.clients[shard_id])
+            for shard_id in range(self.topology.num_shards)
+        }
+        receipts: Dict[int, dict] = {}
+        failures: Dict[int, Exception] = {}
+        for shard_id, future in futures.items():
+            try:
+                receipts[shard_id] = future.result()
+            except Exception as exc:
+                failures[shard_id] = exc
+        if failures:
+            applied = sorted(receipts)
+            raise ServiceUnavailableError(
+                f"broadcast {op} failed on shard(s) " + ", ".join(
+                    f"{sid} ({exc})" for sid, exc in sorted(failures.items()))
+                + (f"; already applied on shard(s) {applied} — the cluster "
+                   "needs repair before further writes" if applied else "")
+            )
+        return receipts
+
+    def route_mutation(self, path: str, payload: dict) -> dict:
+        """Map one mutation route onto the owning shard(s).
+
+        Weight writes go to the owning shard's primary (the per-shard
+        client rotates on 409 until it finds the primary — the PR-3
+        failover reused verbatim); product writes and
+        ``rebuild``/``snapshot`` broadcast to every shard; ``compact``
+        is refused (it renumbers shard-local indices; rebalance
+        instead); ``/promote`` targets one shard's named endpoint.
+        """
+        payload = payload or {}
+        with span("cluster.mutate") as sp:
+            sp.annotate("path", path)
+            if path == "/promote":
+                return self._route_promote(payload)
+            if path == "/compact":
+                raise InvalidParameterError(
+                    "compact is not cluster-safe: it renumbers shard-local "
+                    "weight indices under the topology; run a rebalance "
+                    "instead (see docs/operations.md)"
+                )
+            if path in ("/rebuild", "/snapshot"):
+                op = path[1:]
+                receipts = self._broadcast(
+                    op, lambda client: client._request(
+                        "POST", path, {}, mutation=True))
+                self._note_mutation()
+                return {"op": op, "shards": {str(sid): receipt
+                                             for sid, receipt
+                                             in sorted(receipts.items())}}
+            if path in ("/insert", "/delete"):
+                target = payload.get("type", "product")
+                if target not in ("product", "weight"):
+                    raise InvalidParameterError(
+                        "'type' must be 'product' or 'weight'"
+                    )
+                if target == "product":
+                    return self._route_product(path, payload)
+                return self._route_weight(path, payload)
+            raise InvalidParameterError(f"unknown mutation route {path}")
+
+    def _note_mutation(self) -> None:
+        with self._lock:
+            self.mutations_routed += 1
+            # The construction-time data sets no longer describe the
+            # cluster; drop any built fallbacks so they cannot serve.
+            self._fallbacks.clear()
+
+    def _route_promote(self, payload: dict) -> dict:
+        if "shard" not in payload:
+            raise InvalidParameterError(
+                "cluster promote requires 'shard' (and optionally "
+                "'endpoint', one of that shard's replica URLs)"
+            )
+        shard_id = int(payload["shard"])
+        spec = self.topology.shard(shard_id)
+        endpoint = payload.get("endpoint")
+        if endpoint is not None and endpoint.rstrip("/") not in spec.endpoints:
+            raise InvalidParameterError(
+                f"endpoint {endpoint!r} is not a replica of shard {shard_id}"
+            )
+        receipt = self.clients[shard_id].promote(endpoint)
+        return {"op": "promote", "shard": shard_id, "receipt": receipt}
+
+    def _route_product(self, path: str, payload: dict) -> dict:
+        """Product mutations broadcast: every worker holds the full ``P``."""
+        if path == "/insert":
+            vector = payload.get("vector")
+            if vector is None:
+                raise InvalidParameterError("insert requires 'vector'")
+            receipts = self._broadcast(
+                "insert_product",
+                lambda client: client.insert_product(vector))
+            op = "insert_product"
+        else:
+            if "index" not in payload:
+                raise InvalidParameterError("delete requires 'index'")
+            index = int(payload["index"])
+            receipts = self._broadcast(
+                "delete_product",
+                lambda client: client.delete_product(index))
+            op = "delete_product"
+        indices = {receipt.get("index") for receipt in receipts.values()}
+        if len(indices) != 1:
+            raise ServiceUnavailableError(
+                f"{op}: shards disagree on the product index ({sorted(indices)}); "
+                "the replicated product sets have diverged — repair before "
+                "further writes"
+            )
+        self._note_mutation()
+        return {"op": op, "index": indices.pop(),
+                "shards": {str(sid): receipt
+                           for sid, receipt in sorted(receipts.items())}}
+
+    def _route_weight(self, path: str, payload: dict) -> dict:
+        """Weight mutations go to exactly the owning shard's primary."""
+        if path == "/insert":
+            vector = payload.get("vector")
+            if vector is None:
+                raise InvalidParameterError("insert requires 'vector'")
+            with self._lock:
+                next_global = self._next_global
+            shard_id = self.topology.insert_owner(next_global)
+            receipt = self.clients[shard_id].insert_weight(
+                vector, renormalize=bool(payload.get("renormalize", False)))
+            global_index = self.topology.to_global(shard_id,
+                                                   int(receipt["index"]))
+            with self._lock:
+                self._next_global = max(self._next_global, global_index) + 1
+            self._note_mutation()
+            return {"op": "insert_weight", "shard": shard_id,
+                    "index": global_index,
+                    "local_index": int(receipt["index"]),
+                    "lsn": receipt.get("lsn")}
+        if "index" not in payload:
+            raise InvalidParameterError("delete requires 'index'")
+        global_index = int(payload["index"])
+        if not 0 <= global_index:
+            raise InvalidParameterError("'index' must be >= 0")
+        shard_id, local = self.topology.to_local(global_index)
+        receipt = self.clients[shard_id].delete_weight(local)
+        self._note_mutation()
+        return {"op": "delete_weight", "shard": shard_id,
+                "index": global_index, "local_index": local,
+                "lsn": receipt.get("lsn")}
+
+    # ------------------------------------------------------------------
+    # health / introspection
+    # ------------------------------------------------------------------
+
+    def shard_health(self, timeout_s: float = 1.0) -> dict:
+        """Fan ``/healthz`` out to every shard (the ``/cluster/healthz`` body).
+
+        A shard is ``ok`` when its worker answers healthily, ``degraded``
+        when it answers but reports trouble, and ``unreachable`` when it
+        does not answer at all; the aggregate ``status`` is the worst of
+        them.  Never raises — health must be readable mid-outage.
+        """
+        def probe(shard_id: int) -> dict:
+            entry = {
+                "shard_id": shard_id,
+                "endpoints": list(self.topology.shard(shard_id).endpoints),
+                "breaker": self.breakers[shard_id].snapshot()["state"],
+            }
+            try:
+                health = self.clients[shard_id].healthz(
+                    timeout_s=timeout_s, retries=0)
+            except Exception as exc:
+                entry["status"] = "unreachable"
+                entry["error"] = f"{type(exc).__name__}: {exc}"
+                return entry
+            entry["status"] = health.get("status", "ok")
+            entry["worker"] = health
+            return entry
+
+        futures = [self._pool.submit(probe, shard_id)
+                   for shard_id in range(self.topology.num_shards)]
+        shards = [future.result() for future in futures]
+        worst = "ok"
+        if any(s["status"] == "degraded" for s in shards):
+            worst = "degraded"
+        if any(s["status"] == "unreachable" for s in shards):
+            worst = "unreachable"
+        with self._lock:
+            degraded_queries = self.degraded_queries
+            mutations_routed = self.mutations_routed
+        return {
+            "status": worst,
+            "shards": shards,
+            "degraded_queries": degraded_queries,
+            "mutations_routed": mutations_routed,
+            "fallback": self._fallback_available(),
+        }
+
+    def stats(self) -> dict:
+        """Cheap coordinator counters for ``/metrics`` and ``/info``."""
+        with self._lock:
+            return {
+                "shards": self.topology.num_shards,
+                "partitioner": self.topology.partitioner,
+                "total_weights": self.topology.total_weights,
+                "next_global": self._next_global,
+                "degraded_queries": self.degraded_queries,
+                "mutations_routed": self.mutations_routed,
+                "fallback_available": (self.products is not None
+                                       and self.weights is not None
+                                       and self.mutations_routed == 0),
+                "breakers": {str(i): b.snapshot()["state"]
+                             for i, b in enumerate(self.breakers)},
+            }
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (idempotent)."""
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

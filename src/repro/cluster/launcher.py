@@ -1,0 +1,225 @@
+"""Stand up a whole local cluster: N worker processes + the coordinator.
+
+:class:`LocalCluster` is the dev/test harness behind the
+``repro-rrq cluster`` subcommand and the cluster integration suite.  It
+
+1. slices the global weight set with the topology's partitioner and
+   seeds one durability directory per worker via
+   :meth:`~repro.durability.engine.DurableDynamicRRQ.bootstrap`
+   (products fully replicated, weights partitioned);
+2. spawns each worker as a **real subprocess** running
+   ``repro-rrq serve --durable`` on an ephemeral port — the same entry
+   point production workers use, no in-process shortcuts — and parses
+   the serve banner for its URL;
+3. builds the :class:`~repro.cluster.topology.ClusterTopology` from the
+   live worker URLs and serves the coordinator's HTTP front door over
+   it on a daemon thread.
+
+Workers can be SIGKILLed individually (:meth:`LocalCluster.kill_worker`)
+to exercise the degraded-shard path; :meth:`close` tears the whole
+cluster down, surviving workers first, coordinator last.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from ..data.datasets import WeightSet
+from ..errors import ServiceUnavailableError
+from ..service.client import ServiceClient
+from .coordinator import ClusterCoordinator
+from .router_server import (
+    ClusterService,
+    make_cluster_server,
+)
+from .topology import ClusterTopology, partition_weight_indices
+
+#: How long a worker may take to print its serve banner / become healthy.
+WORKER_START_TIMEOUT_S = 30.0
+
+
+class WorkerProcess:
+    """One ``repro-rrq serve --durable`` subprocess with a parsed URL."""
+
+    def __init__(self, directory, *extra_args,
+                 start_timeout_s: float = WORKER_START_TIMEOUT_S):
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (src_root if not existing
+                             else src_root + os.pathsep + existing)
+        env.setdefault("PYTHONUNBUFFERED", "1")
+        self.directory = Path(directory)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", str(directory),
+             "--durable", "--port", "0", "--batch-window-ms", "0",
+             *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        self.url = self._parse_banner(start_timeout_s)
+
+    def _parse_banner(self, timeout_s: float) -> str:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise ServiceUnavailableError(
+                    f"worker for {self.directory} exited before serving "
+                    f"(rc={self.proc.poll()})"
+                )
+            if line.startswith("serving durable") and " at http" in line:
+                return line.rsplit(" at ", 1)[1].strip()
+        raise ServiceUnavailableError(
+            f"worker for {self.directory} printed no serve banner within "
+            f"{timeout_s}s"
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def kill9(self) -> None:
+        """SIGKILL — no goodbye, no flush; the chaos path."""
+        if self.alive:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait(timeout=10)
+
+    def terminate(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+        if self.proc.stdout is not None:
+            self.proc.stdout.close()
+
+
+class LocalCluster:
+    """N durable workers + a coordinator front door, all on localhost.
+
+    Parameters
+    ----------
+    products, weights:
+        The full data sets.  Products are replicated to every worker;
+        weights are partitioned.  They are also handed to the
+        coordinator (unless ``fallback=False``) so a SIGKILLed worker's
+        slice can be answered exactly by the local fallback.
+    num_workers:
+        Worker process count (one shard each).
+    partitioner:
+        ``"range"`` or ``"mod"`` (see :mod:`repro.cluster.topology`).
+    base_dir:
+        Parent for the per-worker durability directories (a fresh
+        temporary directory when omitted; remembered but never deleted —
+        callers pass ``tmp_path`` in tests).
+    fsync:
+        Worker WAL fsync policy.  ``"never"`` by default: the launcher
+        targets dev/test clusters, where startup speed beats crash
+        durability; production workers are started individually.
+    """
+
+    def __init__(self, products, weights, num_workers: int = 3,
+                 partitioner: str = "range",
+                 base_dir=None, fsync: str = "never",
+                 host: str = "127.0.0.1", coordinator_port: int = 0,
+                 shard_timeout_s: float = 5.0, fallback: bool = True,
+                 start_timeout_s: float = WORKER_START_TIMEOUT_S):
+        from ..durability import DurableDynamicRRQ
+
+        self.base_dir = Path(base_dir) if base_dir is not None else \
+            Path(tempfile.mkdtemp(prefix="rrq-cluster-"))
+        self.base_dir.mkdir(parents=True, exist_ok=True)
+        self.workers: List[WorkerProcess] = []
+        self._server = None
+        self._thread = None
+        self.service: Optional[ClusterService] = None
+        try:
+            owned = partition_weight_indices(weights.size, num_workers,
+                                             partitioner)
+            for shard_id in range(num_workers):
+                worker_dir = self.base_dir / f"shard{shard_id}"
+                seed = DurableDynamicRRQ.bootstrap(
+                    worker_dir, products,
+                    WeightSet(weights.values[owned[shard_id]]),
+                    fsync=fsync,
+                )
+                seed.close()
+                self.workers.append(WorkerProcess(
+                    worker_dir, "--fsync", fsync,
+                    start_timeout_s=start_timeout_s,
+                ))
+            for worker in self.workers:
+                ServiceClient(worker.url, retries=0).wait_until_healthy(
+                    timeout_s=start_timeout_s)
+            self.topology = ClusterTopology.build(
+                [[worker.url] for worker in self.workers],
+                weights.size, partitioner,
+            )
+            self.coordinator = ClusterCoordinator(
+                self.topology,
+                products=products if fallback else None,
+                weights=weights if fallback else None,
+                shard_timeout_s=shard_timeout_s,
+            )
+            self.service = ClusterService(self.coordinator)
+            self._server = make_cluster_server(self.service, host=host,
+                                               port=coordinator_port)
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="rrq-cluster-router", daemon=True)
+            self._thread.start()
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def url(self) -> str:
+        """The coordinator front door's base URL."""
+        return self._server.url
+
+    def worker_url(self, shard_id: int) -> str:
+        return self.workers[shard_id].url
+
+    def client(self, **kwargs) -> ServiceClient:
+        """A client pointed at the coordinator."""
+        return ServiceClient(self.url, **kwargs)
+
+    def kill_worker(self, shard_id: int) -> None:
+        """SIGKILL one worker; subsequent answers flag the shard degraded."""
+        self.workers[shard_id].kill9()
+
+    def close(self) -> None:
+        """Tear the cluster down: workers first, then the front door."""
+        for worker in self.workers:
+            try:
+                worker.terminate()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+            self._server = None
+            self._thread = None
+        if self.service is not None:
+            self.service.close()
+            self.service = None
+        elif getattr(self, "coordinator", None) is not None:
+            self.coordinator.close()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

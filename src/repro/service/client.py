@@ -87,13 +87,20 @@ class ServiceClient:
         attempts and sleeps; ``None`` leaves only per-attempt timeouts.
     rng:
         Jitter source; pass ``random.Random(seed)`` for reproducibility.
+    annotate_endpoint:
+        When True every decoded answer dict gains an ``"_endpoint"`` key
+        naming the base URL that actually answered (after any failover
+        rotation).  Off by default so answer dicts stay byte-identical
+        to the server's canonical JSON; the cluster coordinator turns it
+        on to attribute each partial answer to a shard replica.
     """
 
     def __init__(self, base_url, timeout_s: float = 30.0,
                  retries: int = 2, backoff_base_s: float = 0.05,
                  backoff_cap_s: float = 2.0,
                  total_deadline_s: Optional[float] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 annotate_endpoint: bool = False):
         urls = [base_url] if isinstance(base_url, str) else list(base_url)
         if not urls:
             raise InvalidParameterError("at least one base URL is required")
@@ -105,6 +112,7 @@ class ServiceClient:
         self.backoff_cap_s = backoff_cap_s
         self.total_deadline_s = total_deadline_s
         self._rng = rng or random.Random()
+        self.annotate_endpoint = bool(annotate_endpoint)
 
     @property
     def base_url(self) -> str:
@@ -131,9 +139,15 @@ class ServiceClient:
         return True
 
     def _attempt(self, request: urllib.request.Request,
-                 deadline: Deadline) -> dict:
-        """One HTTP round trip, deadline-capped at the socket level."""
-        timeout = self.timeout_s
+                 deadline: Deadline,
+                 timeout_s: Optional[float] = None) -> dict:
+        """One HTTP round trip, deadline-capped at the socket level.
+
+        ``timeout_s`` overrides the client-wide socket timeout for this
+        attempt (the cluster coordinator budgets a per-shard deadline
+        out of the request's remaining time).
+        """
+        timeout = self.timeout_s if timeout_s is None else float(timeout_s)
         remaining = deadline.remaining()
         if remaining is not None:
             if remaining <= 0:
@@ -149,19 +163,27 @@ class ServiceClient:
                  total_deadline_s: Optional[float] = None,
                  retries: Optional[int] = None,
                  mutation: bool = False,
-                 endpoint: Optional[str] = None) -> dict:
+                 endpoint: Optional[str] = None,
+                 timeout_s: Optional[float] = None,
+                 headers: Optional[dict] = None) -> dict:
         """One logical request, with retries and endpoint failover.
 
         ``mutation=True`` makes a 409 answer (standby) rotate to the
         next endpoint — without consuming a retry attempt — until every
         endpoint has refused.  ``endpoint`` pins the request to one URL
         (used by :meth:`promote`, which must target a *specific* node).
+        ``timeout_s`` overrides the per-attempt socket timeout for this
+        call only; ``headers`` adds extra request headers (e.g. an
+        ``X-Trace-Id`` to propagate a trace across processes).
         """
         data = json.dumps(payload).encode() if payload is not None else None
         budget = (total_deadline_s if total_deadline_s is not None
                   else self.total_deadline_s)
         deadline = Deadline.after(None if budget is None else max(0.0, budget))
         attempts = 1 + (self.retries if retries is None else max(0, retries))
+        request_headers = {"Content-Type": "application/json"}
+        if headers:
+            request_headers.update(headers)
         last_error: Optional[Exception] = None
         attempt = 0
         not_primary_rotations = 0
@@ -169,10 +191,13 @@ class ServiceClient:
             url = endpoint if endpoint is not None else self.base_url
             request = urllib.request.Request(
                 url + path, data=data, method=method,
-                headers={"Content-Type": "application/json"},
+                headers=dict(request_headers),
             )
             try:
-                return self._attempt(request, deadline)
+                body = self._attempt(request, deadline, timeout_s)
+                if self.annotate_endpoint and isinstance(body, dict):
+                    body["_endpoint"] = url
+                return body
             except urllib.error.HTTPError as exc:
                 # The server answered: an HTTP-level rejection, with a
                 # structured JSON body when it came from our frontend.
@@ -218,8 +243,16 @@ class ServiceClient:
 
     def query(self, vector: Optional[Sequence[float]] = None, *,
               product: Optional[int] = None, kind: str = "rtk",
-              k: int = 10, timeout_ms: Optional[float] = None) -> dict:
-        """``POST /query``; returns the decoded answer dict."""
+              k: int = 10, timeout_ms: Optional[float] = None,
+              timeout_s: Optional[float] = None,
+              headers: Optional[dict] = None) -> dict:
+        """``POST /query``; returns the decoded answer dict.
+
+        ``timeout_ms`` is the *server-side* deadline (rides in the JSON
+        body); ``timeout_s`` overrides this client's socket timeout for
+        this call only; ``headers`` adds request headers (e.g.
+        ``X-Trace-Id``).
+        """
         payload: dict = {"kind": kind, "k": k}
         if vector is not None:
             payload["vector"] = [float(x) for x in vector]
@@ -227,7 +260,8 @@ class ServiceClient:
             payload["product"] = int(product)
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
-        return self._request("POST", "/query", payload)
+        return self._request("POST", "/query", payload,
+                             timeout_s=timeout_s, headers=headers)
 
     def reverse_topk(self, vector, k: int = 10) -> frozenset:
         """Sugar: the RTK answer as the library's frozenset of indices."""
@@ -238,9 +272,11 @@ class ServiceClient:
         answer = self.query(vector, kind="rkr", k=k)
         return tuple((rank, idx) for rank, idx in answer["entries"])
 
-    def healthz(self) -> dict:
-        """``GET /healthz``."""
-        return self._request("GET", "/healthz")
+    def healthz(self, timeout_s: Optional[float] = None,
+                retries: Optional[int] = None) -> dict:
+        """``GET /healthz`` (``timeout_s``/``retries`` per-call overrides)."""
+        return self._request("GET", "/healthz", timeout_s=timeout_s,
+                             retries=retries)
 
     def metrics(self) -> dict:
         """``GET /metrics``."""

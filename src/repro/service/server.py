@@ -793,6 +793,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self._not_found(path)
             return
         root_name = "http.mutate" if is_mutation else "http.query"
+        # The response is sent *after* the trace context closes, so the
+        # finished trace is already in the ring by the time the caller
+        # sees the answer — a client may GET /traces?id=... immediately.
         with self.service.tracer.trace(
             root_name, trace_id=self.headers.get("X-Trace-Id")
         ) as root:
@@ -817,16 +820,15 @@ class _RequestHandler(BaseHTTPRequestHandler):
                         deadline_s=(float(timeout_ms) / 1000.0
                                     if timeout_ms is not None else None),
                     )
+                status, body = 200, answer
             except Exception as exc:  # structured rejection, no traceback
                 root.status = "error"
                 root.error = f"{type(exc).__name__}: {exc}"
                 status = http_status(exc)
                 if status >= 500:
                     self.service.metrics.record_error()
-                self._send_json(status, rejection_body(exc),
-                                trace_id=root.trace_id)
-                return
-            self._send_json(200, answer, trace_id=root.trace_id)
+                body = rejection_body(exc)
+        self._send_json(status, body, trace_id=root.trace_id)
 
 
 class ReverseRankHTTPServer(ThreadingHTTPServer):

@@ -206,16 +206,25 @@ class ShardedGirRRQ(RRQAlgorithm):
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down and unlink the shared segments."""
-        pool, self._pool = self._pool, None
+        """Shut the worker pool down and unlink the shared segments.
+
+        Idempotent and safe on half-built instances: a constructor that
+        raised before ``_pool``/``_segments`` existed still gets
+        garbage-collected through :meth:`__del__` → ``close()``, and at
+        interpreter shutdown GC may run after module teardown — so every
+        attribute access is guarded instead of assumed.
+        """
+        pool = getattr(self, "_pool", None)
+        self._pool = None
         if pool is not None:
             pool.shutdown(wait=True)
-        segments, self._segments = self._segments, []
+        segments = getattr(self, "_segments", None) or []
+        self._segments = []
         for shm in segments:
             try:
                 shm.close()
                 shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
+            except (FileNotFoundError, OSError):  # pragma: no cover - gone
                 pass
 
     def __enter__(self) -> "ShardedGirRRQ":
@@ -225,9 +234,12 @@ class ShardedGirRRQ(RRQAlgorithm):
         self.close()
 
     def __del__(self):  # pragma: no cover - GC safety net
+        # BaseException: at interpreter exit pool.shutdown can raise
+        # RuntimeError subclasses or partially-torn-down builtins; a
+        # destructor must never let anything escape.
         try:
             self.close()
-        except Exception:
+        except BaseException:
             pass
 
     # ------------------------------------------------------------------

@@ -89,3 +89,68 @@ class TestRunHarness:
     def test_bad_out_fails_before_running(self, tmp_path):
         with pytest.raises(DataValidationError):
             run_harness([MICRO], out=tmp_path / "no" / "dir.json")
+
+
+def _report(name="micro", rtk_p50=1.0, rkr_p50=2.0):
+    return {"configs": [{"name": name,
+                         "rtk": {"kernel_p50_s": rtk_p50},
+                         "rkr": {"kernel_p50_s": rkr_p50}}]}
+
+
+class TestCheckRegression:
+    def test_within_budget_passes(self):
+        from repro.bench.harness import check_regression
+
+        verdict = check_regression(_report(rtk_p50=1.2, rkr_p50=2.4),
+                                   _report(), max_regress_pct=25.0)
+        assert verdict["ok"]
+        assert verdict["compared"] == 2
+        assert all(c["ok"] for c in verdict["checks"])
+
+    def test_past_budget_fails_and_names_the_metric(self):
+        from repro.bench.harness import check_regression
+
+        verdict = check_regression(_report(rtk_p50=1.3), _report(),
+                                   max_regress_pct=25.0)
+        assert not verdict["ok"]
+        failed = [c for c in verdict["checks"] if not c["ok"]]
+        assert len(failed) == 1
+        assert failed[0]["kind"] == "rtk"
+        assert failed[0]["regress_pct"] == pytest.approx(30.0)
+
+    def test_faster_is_never_a_failure(self):
+        from repro.bench.harness import check_regression
+
+        verdict = check_regression(_report(rtk_p50=0.1, rkr_p50=0.2),
+                                   _report(), max_regress_pct=0.0)
+        assert verdict["ok"]
+
+    def test_no_overlap_fails_loudly(self):
+        # Smoke configs gated against the full-size baseline compare
+        # nothing; a vacuous pass would gate nothing forever.
+        from repro.bench.harness import check_regression
+
+        verdict = check_regression(_report(name="smoke"),
+                                   _report(name="full"))
+        assert not verdict["ok"]
+        assert verdict["compared"] == 0
+
+    def test_negative_budget_rejected(self):
+        from repro.bench.harness import check_regression
+
+        with pytest.raises(InvalidParameterError):
+            check_regression(_report(), _report(), max_regress_pct=-1)
+
+    def test_gate_against_committed_baseline_shape(self):
+        # The committed BENCH_kernel.json must stay gateable: identical
+        # report vs itself is a clean pass with all metrics compared.
+        from pathlib import Path
+
+        from repro.bench.harness import check_regression
+
+        baseline = json.loads(
+            Path(__file__).resolve().parents[2].joinpath(
+                "BENCH_kernel.json").read_text())
+        verdict = check_regression(baseline, baseline)
+        assert verdict["ok"]
+        assert verdict["compared"] == 2 * len(baseline["configs"])

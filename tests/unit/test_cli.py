@@ -142,6 +142,33 @@ class TestServeFlags:
         assert not args.no_kernel
 
 
+class TestClusterFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["cluster", "data/"])
+        assert args.workers == 3
+        assert args.partitioner == "range"
+        assert args.fsync == "never"
+        assert args.port == 8378
+        assert args.shard_timeout_ms == 5000.0
+        assert not args.no_fallback
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["cluster", "data/", "--workers", "5", "--partitioner", "mod",
+             "--fsync", "always", "--shard-timeout-ms", "250",
+             "--no-fallback"])
+        assert args.workers == 5
+        assert args.partitioner == "mod"
+        assert args.fsync == "always"
+        assert args.shard_timeout_ms == 250.0
+        assert args.no_fallback
+
+    def test_bad_partitioner_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "data/", "--partitioner", "hash"])
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,123 @@
+"""Unit tests for the ServiceClient per-call knobs the coordinator uses.
+
+Covers the per-call ``timeout_s`` override, extra request ``headers``
+(trace propagation), and the opt-in ``"_endpoint"`` answer annotation.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.data.synthetic import uniform_products, uniform_weights
+from repro.errors import ServiceUnavailableError
+from repro.service.client import ServiceClient
+from repro.service.server import (
+    QueryService,
+    canonical_json,
+    encode_result,
+    serve_in_background,
+)
+
+
+@pytest.fixture(scope="module")
+def served():
+    products = uniform_products(size=60, dim=3, seed=91)
+    weights = uniform_weights(size=50, dim=3, seed=92)
+    service = QueryService.from_datasets(products, weights, method="naive")
+    with serve_in_background(service) as server:
+        yield server, service, products, weights
+
+
+class TestEndpointAnnotation:
+    def test_off_by_default_answers_stay_canonical(self, served):
+        server, service, products, _ = served
+        client = ServiceClient(server.url)
+        answer = client.query(list(products[0]), kind="rtk", k=5)
+        assert "_endpoint" not in answer
+        expected = encode_result(
+            service.engine.reverse_topk(products[0], 5), "rtk")
+        assert canonical_json(answer) == canonical_json(expected)
+
+    def test_opt_in_names_the_answering_endpoint(self, served):
+        server, _, products, _ = served
+        client = ServiceClient(server.url, annotate_endpoint=True)
+        answer = client.query(list(products[0]), kind="rtk", k=5)
+        assert answer["_endpoint"] == server.url
+        health = client.healthz()
+        assert health["_endpoint"] == server.url
+
+    def test_annotation_survives_failover(self, served):
+        server, _, products, _ = served
+        client = ServiceClient(["http://127.0.0.1:9", server.url],
+                               annotate_endpoint=True, retries=1,
+                               backoff_base_s=0.0, backoff_cap_s=0.0)
+        answer = client.query(list(products[0]), kind="rtk", k=3)
+        # The dead first endpoint rotated away; the annotation names the
+        # replica that actually answered.
+        assert answer["_endpoint"] == server.url
+
+
+@pytest.fixture
+def silent_server():
+    """A socket that accepts connections but never answers.
+
+    Requests hang at the read, so only the *socket timeout* can end
+    them — which is exactly what the per-call override must control.
+    """
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(8)
+    yield f"http://127.0.0.1:{sock.getsockname()[1]}"
+    sock.close()
+
+
+class TestPerCallTimeout:
+    def test_override_caps_the_socket_wait(self, silent_server):
+        import time
+
+        # Client default of 30s; the per-call override must win, or
+        # this test visibly hangs.
+        client = ServiceClient(silent_server, timeout_s=30.0, retries=0)
+        start = time.monotonic()
+        with pytest.raises(ServiceUnavailableError):
+            client.query([0.1, 0.1, 0.1], kind="rtk", k=5, timeout_s=0.2)
+        assert time.monotonic() - start < 10.0
+
+    def test_client_default_still_works_without_override(self, served):
+        server, _, products, _ = served
+        client = ServiceClient(server.url, timeout_s=30.0, retries=0)
+        assert client.query(list(products[0]), kind="rtk", k=5)["kind"] \
+            == "rtk"
+
+    def test_healthz_per_call_override(self, served, silent_server):
+        import time
+
+        server, _, _, _ = served
+        client = ServiceClient(silent_server, timeout_s=30.0, retries=2)
+        start = time.monotonic()
+        with pytest.raises(ServiceUnavailableError):
+            client.healthz(timeout_s=0.2, retries=0)
+        assert time.monotonic() - start < 10.0
+        assert ServiceClient(server.url).healthz(
+            timeout_s=10.0)["status"] == "ok"
+
+
+class TestHeaderPropagation:
+    def test_trace_id_header_reaches_the_server(self, served):
+        server, service, products, _ = served
+        client = ServiceClient(server.url)
+        trace_id = "clienttestid42"
+        client.query(list(products[1]), kind="rkr", k=4,
+                     headers={"X-Trace-Id": trace_id})
+        snapshot = service.traces_snapshot(trace_id=trace_id)
+        assert snapshot["found"] is True
+
+    def test_content_type_not_clobbered_by_extra_headers(self, served):
+        server, _, products, _ = served
+        client = ServiceClient(server.url)
+        answer = client.query(list(products[2]), kind="rtk", k=3,
+                              headers={"X-Extra": "1"})
+        assert answer["kind"] == "rtk"

@@ -98,3 +98,48 @@ class TestLifecycle:
             naive = NaiveRRQ(P, W)
             assert (engine.reverse_topk(P[0], 1).weights
                     == naive.reverse_topk(P[0], 1).weights)
+
+
+class TestShutdownSafety:
+    """Regressions for GC/interpreter-exit crashes in close()/__del__."""
+
+    def test_half_built_instance_closes_cleanly(self):
+        # A constructor that raises before _pool/_segments exist still
+        # gets __del__ -> close(); neither may raise AttributeError.
+        engine = ShardedGirRRQ.__new__(ShardedGirRRQ)
+        engine.close()
+        engine.__del__()
+
+    def test_failed_constructor_leaves_no_raising_garbage(self, data):
+        import gc
+
+        P, W = data
+        with pytest.raises(InvalidParameterError):
+            ShardedGirRRQ(P, W, shards=0)
+        gc.collect()  # collects the half-built instance; must not raise
+
+    def test_interpreter_exit_without_close_is_silent(self):
+        # An engine alive at interpreter shutdown is torn down by GC
+        # after arbitrary module teardown; "Exception ignored" on stderr
+        # is the failure mode this guards against.
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.data.synthetic import uniform_products, "
+            "uniform_weights\n"
+            "from repro.vectorized.shard import ShardedGirRRQ\n"
+            "P = uniform_products(30, 3, seed=1)\n"
+            "W = uniform_weights(20, 3, seed=2)\n"
+            "engine = ShardedGirRRQ(P, W, shards=2, partitions=8)\n"
+            "engine.reverse_topk(P[0], 3)\n"
+            "# deliberately no close(): exit with the pool still up\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, timeout=120,
+            env={**__import__("os").environ, "PYTHONPATH": "src"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Exception ignored" not in result.stderr
+        assert "Traceback" not in result.stderr
