@@ -70,6 +70,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny config (seconds) for a quick check")
+    parser.add_argument("--hedge", action="store_true",
+                        help="also bench hedged vs unhedged reads against "
+                             "a cluster whose shard-0 primary straggles "
+                             "(each shard gets one standby)")
+    parser.add_argument("--straggle-ms", type=float, default=150.0,
+                        help="injected per-query latency on the shard-0 "
+                             "primary in --hedge mode (default 150)")
     parser.add_argument("--out", default="BENCH_cluster.json")
     return parser
 
@@ -204,6 +211,66 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     report["single"] = single
     report["cluster"] = cluster_report
+
+    # --- hedged reads vs an injected straggler ------------------------
+    # Same data, same queries, but the shard-0 primary answers every
+    # query args.straggle_ms late and every shard carries one standby.
+    # Unhedged, the scatter-gather can never beat the straggler; hedged,
+    # the coordinator's backup probe to the standby should mask it —
+    # without changing a single answer byte.
+    if args.hedge:
+        report["params"]["straggle_ms"] = args.straggle_ms
+        straggler = {0: ("--chaos-latency-ms",
+                         str(int(args.straggle_ms)))}
+        hedge_report = {}
+        for label, hedged in (("unhedged", False), ("hedged", True)):
+            progress(f"{label} straggler cluster: starting "
+                     f"{args.workers} primaries + standbys...")
+            start = time.perf_counter()
+            with LocalCluster(products, weights,
+                              num_workers=args.workers,
+                              base_dir=base / f"hedge-{label}",
+                              fsync="never",
+                              shard_timeout_s=SHARD_TIMEOUT_S,
+                              start_timeout_s=120.0,
+                              replicas=1, hedge=hedged,
+                              worker_extra_args=straggler) as cluster:
+                client = cluster.client(retries=0)
+                entry = {"startup_s": time.perf_counter() - start}
+                progress(f"  up in {entry['startup_s']:.1f}s")
+                mismatches = 0
+                for kind in ("rtk", "rkr"):
+                    latencies, answers = timed_queries(
+                        client, queries, args.k, kind, progress)
+                    for got, want in zip(answers, single_answers[kind]):
+                        if "degraded" in got or \
+                                canonical_json(got) != \
+                                canonical_json(want):
+                            mismatches += 1
+                    entry[kind] = {
+                        "p50_s": percentile(latencies, 0.50),
+                        "p95_s": percentile(latencies, 0.95),
+                        "max_s": max(latencies),
+                    }
+                entry["mismatches"] = mismatches
+                if hedged:
+                    stats = cluster.coordinator.stats()["hedge"]
+                    entry["hedged_probes"] = stats["probes"]
+                    entry["hedge_wins"] = stats["wins"]
+                hedge_report[label] = entry
+                report["mismatches"] += mismatches
+                report["ok"] = report["mismatches"] == 0
+        for kind in ("rtk", "rkr"):
+            slow = hedge_report["unhedged"][kind]["p95_s"]
+            fast = hedge_report["hedged"][kind]["p95_s"]
+            hedge_report[f"{kind}_tail_cut"] = \
+                (slow / fast) if fast > 0 else 0.0
+            progress(f"hedge {kind}: unhedged p95 {slow:.3f}s -> "
+                     f"hedged p95 {fast:.3f}s "
+                     f"(x{hedge_report[f'{kind}_tail_cut']:.2f} tail cut, "
+                     f"{hedge_report['hedged']['hedge_wins']} wins / "
+                     f"{hedge_report['hedged']['hedged_probes']} probes)")
+        report["hedge"] = hedge_report
 
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

@@ -43,6 +43,7 @@ Invalid paths and malformed inputs exit with code 2 and a one-line
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from pathlib import Path
@@ -211,6 +212,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import ServiceConfig, ServiceLimits
     from .service.server import QueryService, make_server
 
+    if getattr(args, "chaos_latency_ms", None):
+        # Deterministic straggler mode for hedging benchmarks/tests: every
+        # query through this worker pays a fixed extra latency.
+        from .resilience.faults import FaultInjector, FaultPlan, set_injector
+
+        plan = FaultPlan().add("service.query", "latency", times=None,
+                               latency_s=args.chaos_latency_ms / 1000.0)
+        set_injector(FaultInjector(plan))
+        print(f"chaos: +{args.chaos_latency_ms:g}ms latency on every query",
+              flush=True)
     config = ServiceConfig(
         batch_window_s=args.batch_window_ms / 1000.0,
         cache_capacity=args.cache_size,
@@ -295,6 +306,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     """
     from .cluster import LocalCluster
 
+    # SIGTERM (``kill``, service managers) must tear down the whole
+    # worker process tree exactly like Ctrl-C, not orphan it.
+    def _sigterm_as_interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm_as_interrupt)
+
     products, weights = _load_data(args.data)
     cluster = LocalCluster(
         products, weights,
@@ -306,21 +324,32 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         coordinator_port=args.port,
         shard_timeout_s=args.shard_timeout_ms / 1000.0,
         fallback=not args.no_fallback,
+        replicas=args.replicas,
+        supervise=args.supervise,
+        hedge=args.hedge,
     )
     try:
         print(f"cluster: {args.workers} workers ({args.partitioner} "
-              f"partitioner) over {products.size}x{weights.size} "
+              f"partitioner, {args.replicas} standby(s)/shard"
+              f"{', supervised' if args.supervise else ''}"
+              f"{', hedged reads' if args.hedge else ''}) over "
+              f"{products.size}x{weights.size} "
               f"(d={products.dim})", flush=True)
         for shard_id, worker in enumerate(cluster.workers):
             count = cluster.topology.shard(shard_id).weight_count
             print(f"  shard {shard_id}: {worker.url}  "
                   f"({count} weights, pid {worker.proc.pid})", flush=True)
+            for standby in cluster.standbys[shard_id]:
+                print(f"    standby: {standby.url}  "
+                      f"(pid {standby.proc.pid})", flush=True)
         print(f"coordinator at {cluster.url}", flush=True)
         print("endpoints: POST /query /insert /delete /rebuild /snapshot "
               "/promote, GET /healthz /metrics /info /traces /slowlog "
               "/cluster/healthz /cluster/topology", flush=True)
         while True:
             time.sleep(1.0)
+            if args.supervise:
+                continue  # the supervisor restarts dead workers itself
             dead = [i for i, w in enumerate(cluster.workers) if not w.alive]
             if dead and not getattr(args, "_warned", None):
                 args._warned = True
@@ -637,6 +666,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--snapshot-every", type=int, default=0,
                        help="auto-snapshot after this many mutations "
                             "(0 disables; --durable only)")
+    serve.add_argument("--chaos-latency-ms", type=float, default=0.0,
+                       metavar="MS",
+                       help="inject a fixed extra latency into every query "
+                            "(deterministic straggler for hedging "
+                            "benchmarks; 0 disables)")
     serve.add_argument("--standby-of", default=None, metavar="URL",
                        help="run as a hot standby tailing this primary's "
                             "/replicate feed (reads OK, writes 409)")
@@ -669,6 +703,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="omit a failed shard's slice (flagged) "
                               "instead of answering it from a local "
                               "exact fallback")
+    cluster.add_argument("--replicas", type=int, default=0,
+                         help="hot standbys per shard, each tailing its "
+                              "primary's WAL feed (0 disables)")
+    cluster.add_argument("--supervise", action="store_true",
+                         help="run the self-healing supervisor: detect "
+                              "dead primaries, promote the freshest "
+                              "standby, flip routing, restart the corpse "
+                              "as a standby (needs --replicas >= 1)")
+    cluster.add_argument("--hedge", action="store_true",
+                         help="hedged reads: probe a standby when the "
+                              "primary is slower than the cluster p95")
     cluster.set_defaults(func=_cmd_cluster)
     return parser
 

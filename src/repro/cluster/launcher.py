@@ -11,13 +11,23 @@
    ``repro-rrq serve --durable`` on an ephemeral port — the same entry
    point production workers use, no in-process shortcuts — and parses
    the serve banner for its URL;
-3. builds the :class:`~repro.cluster.topology.ClusterTopology` from the
-   live worker URLs and serves the coordinator's HTTP front door over
-   it on a daemon thread.
+3. optionally boots ``replicas`` standbys per shard: each gets its own
+   durability directory seeded with the *same* slice (identical LSN
+   lineage, so tailing starts incremental, not with a full-state
+   reset) and runs ``--standby-of <primary>`` to tail the primary's
+   WAL feed;
+4. builds the :class:`~repro.cluster.topology.ClusterTopology` from the
+   live worker URLs (primary first per shard) and serves the
+   coordinator's HTTP front door over it on a daemon thread;
+5. with ``supervise=True``, attaches a
+   :class:`~repro.cluster.supervision.ClusterSupervisor` whose restart
+   hook respawns a dead worker *as a standby* from its own data
+   directory — the full self-healing loop.
 
-Workers can be SIGKILLed individually (:meth:`LocalCluster.kill_worker`)
-to exercise the degraded-shard path; :meth:`close` tears the whole
-cluster down, surviving workers first, coordinator last.
+Workers can be SIGKILLed individually (:meth:`LocalCluster.kill_worker`,
+:meth:`kill_standby`) to exercise the degraded-shard and failover
+paths; :meth:`close` tears the whole cluster down, supervisor first,
+workers next, coordinator last.
 """
 
 from __future__ import annotations
@@ -30,16 +40,17 @@ import tempfile
 import threading
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..data.datasets import WeightSet
-from ..errors import ServiceUnavailableError
+from ..errors import InvalidParameterError, ServiceUnavailableError
 from ..service.client import ServiceClient
 from .coordinator import ClusterCoordinator
 from .router_server import (
     ClusterService,
     make_cluster_server,
 )
+from .supervision import ClusterSupervisor, FailureDetector
 from .topology import ClusterTopology, partition_weight_indices
 
 #: How long a worker may take to print its serve banner / become healthy.
@@ -116,6 +127,10 @@ class LocalCluster:
         slice can be answered exactly by the local fallback.
     num_workers:
         Worker process count (one shard each).
+    replicas:
+        Hot standbys per shard.  Each tails its primary's WAL feed from
+        its own durability directory; the coordinator routes queries to
+        the primary first and rotates to standbys on transport errors.
     partitioner:
         ``"range"`` or ``"mod"`` (see :mod:`repro.cluster.topology`).
     base_dir:
@@ -126,6 +141,23 @@ class LocalCluster:
         Worker WAL fsync policy.  ``"never"`` by default: the launcher
         targets dev/test clusters, where startup speed beats crash
         durability; production workers are started individually.
+    supervise:
+        Attach a :class:`ClusterSupervisor` that fails dead primaries
+        over to their freshest standby and restarts the corpse as a new
+        standby from its own directory.
+    supervisor_autostart:
+        Run the supervisor's background thread (default).  Chaos tests
+        pass ``False`` and drive :meth:`ClusterSupervisor.tick`
+        manually for deterministic, bounded failover.
+    detector_kwargs:
+        Overrides for the supervisor's :class:`FailureDetector`
+        (``probe_timeout_s``, ``suspect_after``, ``dead_after``, ...).
+    hedge:
+        Enable coordinator hedged reads against the standbys.
+    worker_extra_args:
+        Per-shard extra CLI args for that shard's *primary* worker
+        (e.g. ``{0: ["--chaos-latency-ms", "200"]}`` to make shard 0 a
+        deterministic straggler for hedging benchmarks).
     """
 
     def __init__(self, products, weights, num_workers: int = 3,
@@ -133,36 +165,64 @@ class LocalCluster:
                  base_dir=None, fsync: str = "never",
                  host: str = "127.0.0.1", coordinator_port: int = 0,
                  shard_timeout_s: float = 5.0, fallback: bool = True,
-                 start_timeout_s: float = WORKER_START_TIMEOUT_S):
-        from ..durability import DurableDynamicRRQ
-
+                 start_timeout_s: float = WORKER_START_TIMEOUT_S,
+                 replicas: int = 0,
+                 supervise: bool = False,
+                 supervisor_autostart: bool = True,
+                 detector_kwargs: Optional[dict] = None,
+                 hedge: bool = False,
+                 max_inflight: Optional[int] = None,
+                 worker_extra_args: Optional[Dict[int, Sequence[str]]] = None):
+        if replicas < 0:
+            raise InvalidParameterError("replicas must be >= 0")
+        if supervise and replicas < 1:
+            raise InvalidParameterError(
+                "supervise=True needs replicas >= 1: failover promotes a "
+                "standby, and a shard without one has nothing to promote"
+            )
         self.base_dir = Path(base_dir) if base_dir is not None else \
             Path(tempfile.mkdtemp(prefix="rrq-cluster-"))
         self.base_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self._start_timeout_s = start_timeout_s
         self.workers: List[WorkerProcess] = []
+        self.standbys: List[List[WorkerProcess]] = []
+        #: Every process ever spawned (including restarted ones), for
+        #: teardown; entries are never removed.
+        self._procs: List[WorkerProcess] = []
         self._server = None
         self._thread = None
         self.service: Optional[ClusterService] = None
+        self.supervisor: Optional[ClusterSupervisor] = None
+        worker_extra_args = worker_extra_args or {}
         try:
             owned = partition_weight_indices(weights.size, num_workers,
                                              partitioner)
             for shard_id in range(num_workers):
-                worker_dir = self.base_dir / f"shard{shard_id}"
-                seed = DurableDynamicRRQ.bootstrap(
-                    worker_dir, products,
-                    WeightSet(weights.values[owned[shard_id]]),
-                    fsync=fsync,
+                slice_weights = WeightSet(weights.values[owned[shard_id]])
+                primary = self._spawn(
+                    self.base_dir / f"shard{shard_id}",
+                    products, slice_weights,
+                    extra_args=tuple(worker_extra_args.get(shard_id, ())),
                 )
-                seed.close()
-                self.workers.append(WorkerProcess(
-                    worker_dir, "--fsync", fsync,
-                    start_timeout_s=start_timeout_s,
-                ))
-            for worker in self.workers:
-                ServiceClient(worker.url, retries=0).wait_until_healthy(
+                self.workers.append(primary)
+                shard_standbys = []
+                for j in range(replicas):
+                    # Seeded with the same slice: identical LSN lineage,
+                    # so tailing starts incremental (no full-state reset).
+                    shard_standbys.append(self._spawn(
+                        self.base_dir / f"shard{shard_id}-r{j}",
+                        products, slice_weights,
+                        extra_args=("--standby-of", primary.url),
+                    ))
+                self.standbys.append(shard_standbys)
+            for proc in self._procs:
+                ServiceClient(proc.url, retries=0).wait_until_healthy(
                     timeout_s=start_timeout_s)
             self.topology = ClusterTopology.build(
-                [[worker.url] for worker in self.workers],
+                [[self.workers[shard_id].url]
+                 + [s.url for s in self.standbys[shard_id]]
+                 for shard_id in range(num_workers)],
                 weights.size, partitioner,
             )
             self.coordinator = ClusterCoordinator(
@@ -170,8 +230,22 @@ class LocalCluster:
                 products=products if fallback else None,
                 weights=weights if fallback else None,
                 shard_timeout_s=shard_timeout_s,
+                hedge=hedge,
+                **({"max_inflight": max_inflight}
+                   if max_inflight is not None else {}),
             )
-            self.service = ClusterService(self.coordinator)
+            if supervise:
+                detector = FailureDetector(self.coordinator,
+                                           **(detector_kwargs or {}))
+                self.supervisor = ClusterSupervisor(
+                    self.coordinator,
+                    restart_worker=self._restart_worker,
+                    detector=detector,
+                )
+                if supervisor_autostart:
+                    self.supervisor.start()
+            self.service = ClusterService(self.coordinator,
+                                          supervisor=self.supervisor)
             self._server = make_cluster_server(self.service, host=host,
                                                port=coordinator_port)
             self._thread = threading.Thread(
@@ -181,6 +255,45 @@ class LocalCluster:
         except BaseException:
             self.close()
             raise
+
+    def _spawn(self, worker_dir: Path, products, slice_weights,
+               extra_args: Sequence[str] = ()) -> WorkerProcess:
+        """Bootstrap (once) and spawn one worker over ``worker_dir``."""
+        from ..durability import DurableDynamicRRQ
+
+        worker_dir = Path(worker_dir)
+        if not (worker_dir / "engine.json").exists():
+            seed = DurableDynamicRRQ.bootstrap(
+                worker_dir, products, slice_weights, fsync=self.fsync)
+            seed.close()
+        proc = WorkerProcess(worker_dir, "--fsync", self.fsync, *extra_args,
+                             start_timeout_s=self._start_timeout_s)
+        self._procs.append(proc)
+        return proc
+
+    def _restart_worker(self, shard_id: int, dead_url: str,
+                        primary_url: str) -> Optional[str]:
+        """Supervisor restart hook: respawn the corpse as a standby.
+
+        The dead worker's durability directory already holds its WAL and
+        snapshots, so the respawned process recovers locally first and
+        then catches up on the tail through the new primary's feed.
+        """
+        directory = None
+        for proc in self._procs:
+            if proc.url == dead_url:
+                directory = proc.directory
+                break
+        if directory is None:
+            return None
+        proc = WorkerProcess(directory, "--fsync", self.fsync,
+                             "--standby-of", primary_url,
+                             start_timeout_s=self._start_timeout_s)
+        self._procs.append(proc)
+        self.standbys[shard_id].append(proc)
+        ServiceClient(proc.url, retries=0).wait_until_healthy(
+            timeout_s=self._start_timeout_s)
+        return proc.url
 
     @property
     def url(self) -> str:
@@ -195,14 +308,25 @@ class LocalCluster:
         return ServiceClient(self.url, **kwargs)
 
     def kill_worker(self, shard_id: int) -> None:
-        """SIGKILL one worker; subsequent answers flag the shard degraded."""
+        """SIGKILL one primary; subsequent answers flag the shard degraded
+        (or, under supervision, trigger automatic failover)."""
         self.workers[shard_id].kill9()
 
+    def kill_standby(self, shard_id: int, index: int = 0) -> None:
+        """SIGKILL one standby (chaos path for replica loss)."""
+        self.standbys[shard_id][index].kill9()
+
     def close(self) -> None:
-        """Tear the cluster down: workers first, then the front door."""
-        for worker in self.workers:
+        """Tear down: supervisor first, workers next, front door last."""
+        if self.supervisor is not None:
             try:
-                worker.terminate()
+                self.supervisor.stop()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+            self.supervisor = None
+        for proc in self._procs:
+            try:
+                proc.terminate()
             except Exception:  # pragma: no cover - teardown best-effort
                 pass
         if self._server is not None:

@@ -60,6 +60,7 @@ class ClusterService:
     """
 
     def __init__(self, coordinator: ClusterCoordinator,
+                 supervisor=None,
                  trace_capacity: int = DEFAULT_TRACE_CAPACITY,
                  trace_export_path: Optional[str] = None,
                  slow_query_threshold_s: Optional[float] =
@@ -67,6 +68,11 @@ class ClusterService:
                  slowlog_capacity: int = DEFAULT_SLOWLOG_CAPACITY,
                  slowlog_path: Optional[str] = None):
         self.coordinator = coordinator
+        #: Optional :class:`~repro.cluster.supervision.ClusterSupervisor`;
+        #: when present its status rides along in ``/cluster/healthz``
+        #: and ``/metrics`` so failovers are observable from the front
+        #: door.
+        self.supervisor = supervisor
         self.metrics = ServiceMetrics()
         self.tracer = Tracer(capacity=trace_capacity,
                              export_path=trace_export_path)
@@ -135,7 +141,10 @@ class ClusterService:
 
     def cluster_healthz(self) -> dict:
         """The ``GET /cluster/healthz`` body: live per-shard probes."""
-        return self.coordinator.shard_health()
+        body = self.coordinator.shard_health()
+        if self.supervisor is not None:
+            body["supervision"] = self.supervisor.status()
+        return body
 
     def topology_snapshot(self) -> dict:
         """The ``GET /cluster/topology`` body: the membership manifest."""
@@ -168,6 +177,8 @@ class ClusterService:
         snap["slowlog"] = self.slowlog.stats()
         snap["traces"] = self.tracer.stats()
         snap["cluster"] = self.coordinator.stats()
+        if self.supervisor is not None:
+            snap["supervision"] = self.supervisor.status()
         return snap
 
     def prometheus_text(self) -> str:
@@ -192,6 +203,35 @@ class ClusterService:
             lines.append(
                 f'rrq_cluster_breaker_open{{shard="{shard_id}"}} {value}'
             )
+        lines += [
+            "# HELP rrq_cluster_failovers Primary routing flips applied.",
+            "# TYPE rrq_cluster_failovers counter",
+            f"rrq_cluster_failovers {stats['failovers']}",
+            "# HELP rrq_cluster_hedged_probes Backup probes issued to"
+            " standbys.",
+            "# TYPE rrq_cluster_hedged_probes counter",
+            f"rrq_cluster_hedged_probes {stats['hedge']['probes']}",
+            "# HELP rrq_cluster_hedge_wins Hedged probes answered before"
+            " the primary.",
+            "# TYPE rrq_cluster_hedge_wins counter",
+            f"rrq_cluster_hedge_wins {stats['hedge']['wins']}",
+            "# HELP rrq_cluster_shed_queries Queries rejected by the"
+            " in-flight bound.",
+            "# TYPE rrq_cluster_shed_queries counter",
+            f"rrq_cluster_shed_queries {stats['shedding']['shed_queries']}",
+        ]
+        if self.supervisor is not None:
+            status = self.supervisor.status()
+            lines += [
+                "# HELP rrq_cluster_promotions Standby promotions performed"
+                " by the supervisor.",
+                "# TYPE rrq_cluster_promotions counter",
+                f"rrq_cluster_promotions {status['promotions']}",
+                "# HELP rrq_cluster_worker_restarts Dead workers restarted"
+                " as standbys.",
+                "# TYPE rrq_cluster_worker_restarts counter",
+                f"rrq_cluster_worker_restarts {status['restarts']}",
+            ]
         return text + "\n".join(lines) + "\n"
 
     def traces_snapshot(self, trace_id: Optional[str] = None,
@@ -202,6 +242,8 @@ class ClusterService:
         return self.tracer.snapshot(limit)
 
     def close(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.stop()
         self.coordinator.close()
 
     def __enter__(self) -> "ClusterService":

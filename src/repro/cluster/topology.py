@@ -79,9 +79,26 @@ class ShardSpec:
         """The endpoint writes go to first."""
         return self.endpoints[0]
 
+    @property
+    def replicas(self) -> Tuple[str, ...]:
+        """The shard's standby endpoints (everything after the primary).
+
+        Failover promotes one of these; hedged reads probe them while
+        the primary is merely slow.
+        """
+        return self.endpoints[1:]
+
+    def with_endpoints(self, endpoints: Sequence[str]) -> "ShardSpec":
+        """This spec with a new endpoint list (a failover routing flip)."""
+        return ShardSpec(shard_id=self.shard_id,
+                         endpoints=tuple(url.rstrip("/")
+                                         for url in endpoints),
+                         weight_count=self.weight_count)
+
     def to_dict(self) -> dict:
         return {"shard_id": self.shard_id,
                 "endpoints": list(self.endpoints),
+                "replicas": list(self.replicas),
                 "weight_count": int(self.weight_count)}
 
 
@@ -292,6 +309,25 @@ class ClusterTopology:
             for i, urls in enumerate(endpoints)
         )
         return cls(partitioner=partitioner, shards=shards)
+
+    def with_shard_endpoints(self, shard_id: int,
+                             endpoints: Sequence[str]) -> "ClusterTopology":
+        """A new topology with one shard's endpoint list replaced.
+
+        The partition (weight counts, bijection) is untouched — this is
+        the supervisor's failover primitive: promote a standby, then
+        swap the shard's routing to ``[new_primary, *standbys]`` in one
+        atomic topology replacement.
+        """
+        spec = self.shard(shard_id)
+        if not endpoints:
+            raise InvalidParameterError(
+                f"shard {shard_id}: at least one endpoint is required"
+            )
+        shards = tuple(spec.with_endpoints(endpoints)
+                       if s.shard_id == shard_id else s
+                       for s in self.shards)
+        return ClusterTopology(partitioner=self.partitioner, shards=shards)
 
     def rebalance_plan(self, new_endpoints: Sequence[Sequence[str]],
                        partitioner: Optional[str] = None) -> dict:

@@ -71,10 +71,8 @@ class ReplicaTailer:
                  poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
                  batch: int = 512) -> None:
         self.engine = engine
-        if callable(source):
-            self._fetch = source
-        else:
-            self._fetch = http_feed_fetcher(str(source), batch=batch)
+        self._batch = int(batch)
+        self._fetch, self._source_url = self._make_fetch(source)
         self.poll_interval_s = float(poll_interval_s)
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -85,6 +83,25 @@ class ReplicaTailer:
         self._errors = 0
         self._last_error = ""
         self._last_poll_at = 0.0
+
+    def _make_fetch(self, source):
+        if callable(source):
+            return source, None
+        return (http_feed_fetcher(str(source), batch=self._batch),
+                str(source).rstrip("/"))
+
+    def retarget(self, source) -> None:
+        """Tail a different primary from the next poll on (failover).
+
+        The local engine's LSN lineage continues unchanged: the new
+        primary either serves the tail after our ``last_lsn`` or answers
+        with a full-state ``reset`` if we are outside its retained
+        window — both are the normal tailing paths.
+        """
+        fetch, url = self._make_fetch(source)
+        with self._lock:
+            self._fetch = fetch
+            self._source_url = url
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -115,7 +132,9 @@ class ReplicaTailer:
     def poll_once(self) -> int:
         """Fetch and apply one feed batch; returns records applied."""
         fire("replicate.apply")
-        feed = self._fetch(self.engine.last_lsn)
+        with self._lock:
+            fetch = self._fetch
+        feed = fetch(self.engine.last_lsn)
         records = feed.get("records", [])
         applied = 0
         for raw in records:
@@ -159,6 +178,8 @@ class ReplicaTailer:
             return {
                 "running": self.running,
                 "lag": self._lag,
+                "caught_up": self._lag == 0,
+                "source": self._source_url,
                 "applied_records": self._applied,
                 "feed_resets": self._resets,
                 "poll_errors": self._errors,

@@ -61,6 +61,10 @@ site                       where
 ``snapshot.current``       the ``CURRENT`` pointer flip (commit point)
 ``replicate.feed``         entry of the primary's replication feed
 ``replicate.apply``        entry of one standby tailer poll
+``supervision.heartbeat``  before each failure-detector probe (a raise
+                           counts as a missed heartbeat)
+``supervision.promote``    before the supervisor promotes a standby
+``supervision.restart``    before the supervisor restarts a dead worker
 ========================== ====================================================
 """
 

@@ -170,11 +170,16 @@ class ServiceClient:
 
         ``mutation=True`` makes a 409 answer (standby) rotate to the
         next endpoint — without consuming a retry attempt — until every
-        endpoint has refused.  ``endpoint`` pins the request to one URL
-        (used by :meth:`promote`, which must target a *specific* node).
-        ``timeout_s`` overrides the per-attempt socket timeout for this
-        call only; ``headers`` adds extra request headers (e.g. an
-        ``X-Trace-Id`` to propagate a trace across processes).
+        endpoint has refused.  Transport failures (connection reset /
+        refused mid-failover) likewise rotate through each remaining
+        endpoint once before a retry attempt is consumed, so a client
+        caught in the promote window finds the new primary instead of
+        surfacing a hard transport error.  ``endpoint`` pins the request
+        to one URL (used by :meth:`promote`, which must target a
+        *specific* node).  ``timeout_s`` overrides the per-attempt
+        socket timeout for this call only; ``headers`` adds extra
+        request headers (e.g. an ``X-Trace-Id`` to propagate a trace
+        across processes).
         """
         data = json.dumps(payload).encode() if payload is not None else None
         budget = (total_deadline_s if total_deadline_s is not None
@@ -187,6 +192,7 @@ class ServiceClient:
         last_error: Optional[Exception] = None
         attempt = 0
         not_primary_rotations = 0
+        transport_rotations = 0
         while True:
             url = endpoint if endpoint is not None else self.base_url
             request = urllib.request.Request(
@@ -205,9 +211,14 @@ class ServiceClient:
                     body = json.loads(exc.read())
                     message = body.get("message", str(exc))
                 except (json.JSONDecodeError, ValueError):
+                    body = {}
                     message = str(exc)
                 error_class = _STATUS_ERRORS.get(exc.code, ServiceError)
                 error = error_class(message)
+                if isinstance(body, dict) and "retry_after_s" in body:
+                    # Load shedding announces when capacity frees up;
+                    # carry the hint through to the caller.
+                    error.retry_after_s = body["retry_after_s"]
                 if (exc.code == 409 and mutation and endpoint is None
                         and not_primary_rotations < len(self.endpoints) - 1):
                     # A standby refused the write — ask the next replica.
@@ -230,6 +241,13 @@ class ServiceClient:
                 )
                 if endpoint is None and len(self.endpoints) > 1:
                     self._rotate()  # fail over before the next attempt
+                    if transport_rotations < len(self.endpoints) - 1:
+                        # Mid-failover RSTs are expected: each remaining
+                        # replica gets one immediate try before the
+                        # retry budget (and its backoff) is touched.
+                        transport_rotations += 1
+                        if not deadline.expired():
+                            continue
             attempt += 1
             if attempt >= attempts or not self._backoff(attempt - 1,
                                                         deadline):
@@ -245,13 +263,16 @@ class ServiceClient:
               product: Optional[int] = None, kind: str = "rtk",
               k: int = 10, timeout_ms: Optional[float] = None,
               timeout_s: Optional[float] = None,
-              headers: Optional[dict] = None) -> dict:
+              headers: Optional[dict] = None,
+              endpoint: Optional[str] = None) -> dict:
         """``POST /query``; returns the decoded answer dict.
 
         ``timeout_ms`` is the *server-side* deadline (rides in the JSON
         body); ``timeout_s`` overrides this client's socket timeout for
         this call only; ``headers`` adds request headers (e.g.
-        ``X-Trace-Id``).
+        ``X-Trace-Id``); ``endpoint`` pins the request to one replica
+        URL with no failover rotation (the coordinator's hedged backup
+        probe targets a *specific* standby).
         """
         payload: dict = {"kind": kind, "k": k}
         if vector is not None:
@@ -261,7 +282,9 @@ class ServiceClient:
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
         return self._request("POST", "/query", payload,
-                             timeout_s=timeout_s, headers=headers)
+                             timeout_s=timeout_s, headers=headers,
+                             endpoint=(endpoint.rstrip("/")
+                                       if endpoint is not None else None))
 
     def reverse_topk(self, vector, k: int = 10) -> frozenset:
         """Sugar: the RTK answer as the library's frozenset of indices."""
@@ -337,6 +360,20 @@ class ServiceClient:
         if target in self.endpoints:
             self._active = self.endpoints.index(target)
         return body
+
+    def retarget(self, primary_url: str,
+                 endpoint: Optional[str] = None) -> dict:
+        """``POST /retarget`` — point a standby's tailer at a new primary.
+
+        After a failover the surviving standbys of a shard would keep
+        polling the dead primary forever; the supervisor re-points them
+        here.  Like :meth:`promote` this targets one *specific* node
+        (``endpoint``, default the active one) — no failover rotation.
+        """
+        target = (endpoint or self.base_url).rstrip("/")
+        return self._request("POST", "/retarget",
+                             {"primary_url": str(primary_url)},
+                             endpoint=target)
 
     def replicate(self, since: int = 0, limit: Optional[int] = None) -> dict:
         """``GET /replicate?since=N`` — the primary's WAL feed."""

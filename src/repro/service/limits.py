@@ -141,9 +141,30 @@ def http_status(exc: BaseException) -> int:
 
 
 def rejection_body(exc: BaseException) -> dict:
-    """The structured JSON body sent alongside a non-200 status."""
-    return {
+    """The structured JSON body sent alongside a non-200 status.
+
+    An exception carrying a ``retry_after_s`` attribute (load shedding
+    announces when capacity should free up) surfaces it in the body;
+    the HTTP frontend additionally sends it as a ``Retry-After`` header.
+    """
+    body = {
         "error": type(exc).__name__,
         "message": str(exc) or type(exc).__name__,
         "status": http_status(exc),
     }
+    retry_after = retry_after_s(exc)
+    if retry_after is not None:
+        body["retry_after_s"] = retry_after
+    return body
+
+
+def retry_after_s(exc: BaseException) -> Optional[float]:
+    """The exception's retry hint in seconds, when it carries one."""
+    hint = getattr(exc, "retry_after_s", None)
+    if hint is None:
+        return None
+    try:
+        hint = float(hint)
+    except (TypeError, ValueError):  # pragma: no cover - defensive
+        return None
+    return hint if hint >= 0 else None

@@ -589,6 +589,8 @@ class DurableQueryService(QueryService):
         """Map one HTTP mutation route onto :meth:`mutate`/:meth:`promote`."""
         if path == "/promote":
             return self.promote()
+        if path == "/retarget":
+            return self.retarget_primary(payload.get("primary_url"))
         if path in ("/insert", "/delete"):
             target = payload.get("type", "product")
             if target not in ("product", "weight"):
@@ -621,6 +623,24 @@ class DurableQueryService(QueryService):
             self._tailer = None
         self.role = "primary"
         return {"role": self.role, "last_lsn": self.engine.last_lsn}
+
+    def retarget_primary(self, primary_url) -> dict:
+        """Point a standby's tailer at a new primary (``POST /retarget``).
+
+        Used by the cluster supervisor after a failover: surviving
+        standbys must follow the *promoted* replica, not the corpse of
+        the old primary.  Only meaningful on a standby — a primary has
+        no tailer and answers 409 so a misrouted retarget is loud.
+        """
+        if not primary_url:
+            raise InvalidParameterError("/retarget requires 'primary_url'")
+        if self.role != "standby" or self._tailer is None:
+            raise NotPrimaryError(
+                "retarget only applies to a standby with an active tailer"
+            )
+        self._tailer.retarget(str(primary_url))
+        return {"role": self.role, "primary_url": str(primary_url).rstrip("/"),
+                "last_lsn": self.engine.last_lsn}
 
     def replication_status(self) -> Optional[dict]:
         return self._tailer.status() if self._tailer is not None else None
@@ -710,6 +730,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if trace_id is not None:
             self.send_header("X-Trace-Id", trace_id)
+        if status >= 400 and "retry_after_s" in obj:
+            # Load shedding tells well-behaved clients when to come back.
+            self.send_header("Retry-After",
+                             str(max(1, int(round(obj["retry_after_s"])))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -723,7 +747,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     _MUTATION_PATHS = ("/insert", "/delete", "/compact", "/rebuild",
-                       "/snapshot", "/promote")
+                       "/snapshot", "/promote", "/retarget")
 
     def _not_found(self, path: str) -> None:
         self._send_json(404, {"error": "NotFound", "message": path,

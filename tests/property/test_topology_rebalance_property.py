@@ -1,0 +1,124 @@
+"""Property tests for :meth:`ClusterTopology.rebalance_plan`.
+
+The rebalance plan is the operator's contract for membership changes:
+executing its moves must carry *every* weight from its old owner to its
+new owner, exactly once, and the resulting topology must still be a
+bijection between global indices and ``(shard, local)`` pairs.  These
+are exactly the invariants a bug would silently break (a weight listed
+twice gets double-counted in RKR merges; a weight listed nowhere
+vanishes from RTK answers), so they are checked property-style across
+random shard counts, sizes, and both partitioners.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+
+PARTITIONERS = ("range", "mod")
+
+
+def _endpoints(n):
+    return [[f"http://10.0.0.{i}:8377"] for i in range(n)]
+
+
+def _owner_map(topology):
+    """global index -> shard, via the public owner_of."""
+    return {g: topology.owner_of(g)
+            for g in range(topology.total_weights)}
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    total=st.integers(min_value=0, max_value=400),
+    old_shards=st.integers(min_value=1, max_value=8),
+    new_shards=st.integers(min_value=1, max_value=8),
+    old_part=st.sampled_from(PARTITIONERS),
+    new_part=st.sampled_from(PARTITIONERS),
+)
+def test_moves_account_for_every_ownership_change(total, old_shards,
+                                                  new_shards, old_part,
+                                                  new_part):
+    """Each global index whose owner changes appears in exactly one move
+    (and in exactly one of that move's ranges); unchanged indices appear
+    in none.  Moved counts are consistent with the ranges."""
+    old = ClusterTopology.build(_endpoints(old_shards), total, old_part)
+    plan = old.rebalance_plan(_endpoints(new_shards), new_part)
+    new = ClusterTopology.build(_endpoints(new_shards), total, new_part)
+
+    old_owner = _owner_map(old)
+    new_owner = _owner_map(new)
+
+    seen = {}
+    for move in plan["moves"]:
+        assert move["from"] != move["to"]
+        covered = []
+        for lo, hi in move["ranges"]:
+            assert 0 <= lo < hi <= total
+            covered.extend(range(lo, hi))
+        assert len(covered) == move["count"]
+        for g in covered:
+            assert g not in seen, f"global {g} moved twice"
+            seen[g] = (move["from"], move["to"])
+
+    for g in range(total):
+        if old_owner[g] != new_owner[g]:
+            assert seen.get(g) == (old_owner[g], new_owner[g])
+        else:
+            assert g not in seen
+    assert plan["moved_weights"] == len(seen)
+    assert plan["total_weights"] == total
+    assert plan["from_shards"] == old_shards
+    assert plan["to_shards"] == new_shards
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    total=st.integers(min_value=0, max_value=400),
+    shards=st.integers(min_value=1, max_value=8),
+    partitioner=st.sampled_from(PARTITIONERS),
+)
+def test_new_topology_is_a_balanced_bijection(total, shards, partitioner):
+    """The plan's target topology round-trips every global index through
+    ``to_local``/``to_global`` (bijection) and its shard sizes differ by
+    at most one (balance) — for both partitioners."""
+    base = ClusterTopology.build(_endpoints(max(1, shards // 2)), total,
+                                 partitioner)
+    plan = base.rebalance_plan(_endpoints(shards), partitioner)
+    new = ClusterTopology.from_dict(plan["new_topology"])
+
+    seen_pairs = set()
+    for g in range(total):
+        shard_id, local = new.to_local(g)
+        assert 0 <= shard_id < shards
+        assert local >= 0
+        pair = (shard_id, local)
+        assert pair not in seen_pairs, "two globals map to one local slot"
+        seen_pairs.add(pair)
+        assert new.to_global(shard_id, local) == g
+        assert new.owner_of(g) == shard_id
+
+    sizes = [len(new.owned_globals(s)) for s in range(shards)]
+    assert sum(sizes) == total
+    if total:
+        assert max(sizes) - min(sizes) <= 1
+
+    # owned_globals partitions [0, total) exactly.
+    union = np.concatenate([new.owned_globals(s) for s in range(shards)]) \
+        if shards else np.array([], dtype=int)
+    assert sorted(int(g) for g in union) == list(range(total))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    total=st.integers(min_value=1, max_value=300),
+    shards=st.integers(min_value=1, max_value=8),
+    partitioner=st.sampled_from(PARTITIONERS),
+)
+def test_identity_rebalance_moves_nothing(total, shards, partitioner):
+    """Same membership, same partitioner: the plan must be empty."""
+    topology = ClusterTopology.build(_endpoints(shards), total, partitioner)
+    plan = topology.rebalance_plan(_endpoints(shards), partitioner)
+    assert plan["moves"] == []
+    assert plan["moved_weights"] == 0

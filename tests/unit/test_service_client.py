@@ -5,7 +5,10 @@ Covers the per-call ``timeout_s`` override, extra request ``headers``
 """
 
 import json
+import threading
 import urllib.request
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import pytest
 
@@ -121,3 +124,112 @@ class TestHeaderPropagation:
         answer = client.query(list(products[2]), kind="rtk", k=3,
                               headers={"X-Extra": "1"})
         assert answer["kind"] == "rtk"
+
+
+@contextmanager
+def scripted_server(respond):
+    """A throwaway HTTP server whose every answer comes from ``respond``.
+
+    ``respond(method, path) -> (status, body_dict)``; the body is sent
+    as JSON either way, so 4xx/5xx rejections carry the same structured
+    payloads the real frontend emits.
+    """
+    class Handler(BaseHTTPRequestHandler):
+        def _serve(self):
+            length = int(self.headers.get("Content-Length") or 0)
+            if length:
+                self.rfile.read(length)
+            status, body = respond(self.command, self.path)
+            data = json.dumps(body).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        do_GET = do_POST = _serve
+
+        def log_message(self, *args):
+            pass
+
+    server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestPromoteWindowRotation:
+    """A client caught mid-failover must find the new primary itself.
+
+    During the promote window the old primary answers with connection
+    resets/refusals and the surviving standbys may still say 409 to
+    writes; the client's free rotation (no retry budget consumed) is
+    what keeps application traffic flowing while the supervisor flips
+    routing.
+    """
+
+    def test_connection_refused_rotates_for_free(self, served):
+        """retries=0, two dead endpoints ahead of a live one: the query
+        still succeeds, because transport rotation does not consume the
+        retry budget."""
+        server, _, products, _ = served
+        client = ServiceClient(
+            ["http://127.0.0.1:9", "http://127.0.0.1:10", server.url],
+            retries=0, timeout_s=2.0)
+        answer = client.query(list(products[0]), kind="rtk", k=5)
+        assert answer["kind"] == "rtk"
+        # Failover is sticky: the next request starts at the survivor.
+        assert client.base_url == server.url
+
+    def test_mutation_409_rotates_to_the_promoted_primary(self):
+        """The first endpoint still thinks it is a standby (409); the
+        write must land on the next replica without a retry attempt."""
+        hits = {"standby": 0, "primary": 0}
+
+        def standby(method, path):
+            hits["standby"] += 1
+            return 409, {"error": "not_primary",
+                         "message": "standby refuses writes"}
+
+        def primary(method, path):
+            hits["primary"] += 1
+            return 200, {"index": 7, "lsn": 42}
+
+        with scripted_server(standby) as standby_url, \
+                scripted_server(primary) as primary_url:
+            client = ServiceClient([standby_url, primary_url], retries=0)
+            receipt = client.insert_weight([0.2, 0.3, 0.5])
+            assert receipt["lsn"] == 42
+            assert hits == {"standby": 1, "primary": 1}
+
+    def test_reads_pinned_to_an_endpoint_never_rotate(self):
+        """``endpoint=`` pins (the hedged backup probe, promote,
+        retarget): a pinned request must fail rather than wander."""
+        with scripted_server(lambda m, p: (200, {"kind": "rtk",
+                                                 "k": 1,
+                                                 "weights": []})) as live:
+            client = ServiceClient(["http://127.0.0.1:9", live],
+                                   retries=0, timeout_s=1.0)
+            with pytest.raises(ServiceUnavailableError):
+                client.query([0.1, 0.1, 0.1], kind="rtk", k=1,
+                             endpoint="http://127.0.0.1:9")
+            # The pin failing must not have rotated the client either.
+            assert client.base_url == "http://127.0.0.1:9"
+
+    def test_shed_503_carries_the_retry_after_hint(self):
+        """A load-shedding 503 body's ``retry_after_s`` rides on the
+        raised exception so callers can honor the server's pacing."""
+        def shedding(method, path):
+            return 503, {"error": "service_unavailable",
+                         "message": "coordinator at max in-flight",
+                         "retry_after_s": 1.5}
+
+        with scripted_server(shedding) as url:
+            client = ServiceClient(url, retries=0)
+            with pytest.raises(ServiceUnavailableError) as excinfo:
+                client.query([0.1, 0.1, 0.1], kind="rtk", k=1)
+            assert excinfo.value.retry_after_s == 1.5
