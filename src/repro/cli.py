@@ -20,7 +20,10 @@ Installed as ``repro-rrq``.  Subcommands cover the full life cycle:
   from the exact oracle);
 * ``profile`` — replay a sampled workload through the blocked kernel
   and print the Table-4-style filter-effectiveness breakdown;
-* ``wal-dump`` — print every decoded record of a write-ahead log.
+* ``wal-dump`` — print every decoded record of a write-ahead log;
+* ``storage-dump`` — decode a ``--durable`` directory's MVCC segment
+  store: manifest generation/LSN, per-segment row counts and checksum
+  status (exit 1 on corruption).
 
 Examples::
 
@@ -35,6 +38,7 @@ Examples::
     repro-rrq serve wal/ --durable --dim 6 --fsync always
     repro-rrq serve wal2/ --durable --standby-of http://127.0.0.1:8377
     repro-rrq wal-dump wal/
+    repro-rrq storage-dump wal/
 
 Invalid paths and malformed inputs exit with code 2 and a one-line
 ``error:`` message on stderr — never a traceback.
@@ -241,9 +245,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from .durability import DurableDynamicRRQ
         from .service.server import DurableQueryService
 
+        backend = args.storage
+        if backend == "auto" and not (Path(args.index) / "engine.json").exists():
+            # Fresh serve directories get the MVCC segment store; existing
+            # directories keep whatever backend they were created with
+            # (DurableDynamicRRQ resolves the persisted/detected backend).
+            backend = "segmented"
         engine = DurableDynamicRRQ(
             args.index, dim=args.dim, value_range=args.value_range,
             fsync=args.fsync, snapshot_every=args.snapshot_every,
+            backend=backend,
         )
         role = "standby" if args.standby_of else "primary"
         service = DurableQueryService(engine, config=config, role=role,
@@ -251,13 +262,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = make_server(service, host=args.host, port=args.port,
                              verbose=args.verbose)
         info = service.info()
-        print(f"serving durable {info['method']} ({role}, fsync="
-              f"{info['fsync']}, lsn={info['last_lsn']}) over "
+        print(f"serving durable {info['method']} ({role}, "
+              f"storage={engine.backend}, fsync={info['fsync']}, "
+              f"lsn={info['last_lsn']}) over "
               f"{info['products']}x{info['weights']} (d={info['dim']}) "
               f"at {server.url}", flush=True)
-        print("endpoints: POST /query /insert /delete /compact /snapshot "
-              "/promote, GET /healthz /metrics /info /replicate /traces "
-              "/slowlog", flush=True)
+        print("endpoints: POST /query /insert /delete /modify /compact "
+              "/snapshot /promote, GET /healthz /metrics /info /replicate "
+              "/traces /slowlog", flush=True)
         try:
             server.serve_forever()
         except KeyboardInterrupt:
@@ -414,6 +426,15 @@ def _durability_info(path: Path) -> int:
           f"{wal['torn_bytes']} torn bytes  [{wal['status']}]")
     if wal["status"] == "corrupt":
         print(f"{'wal error':18s} {wal['error']} (offset {wal['offset']})")
+    storage = report.get("storage")
+    if storage is not None:
+        if storage["status"] == "ok":
+            print(f"{'storage':18s} segmented: {storage['segments']} "
+                  f"segment(s), generation={storage['generation']}, "
+                  f"lsn={storage['lsn']}, dead={storage['dead_products']}p/"
+                  f"{storage['dead_weights']}w  [ok]")
+        else:
+            print(f"{'storage':18s} segmented: {storage['status']}")
     print(f"{'integrity':18s} {'ok' if report['ok'] else 'DAMAGED'}")
     return 0 if report["ok"] else 1
 
@@ -523,6 +544,63 @@ def _cmd_wal_dump(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_storage_dump(args: argparse.Namespace) -> int:
+    """Decode a segment store's manifest + per-segment checksum status.
+
+    Exit 1 on any corruption — a damaged segment, an unreadable or
+    checksum-failed manifest — so scripts can gate on the result the
+    same way they do with ``wal-dump``.
+    """
+    import json as _json
+
+    from .core.storage import verify_manifest_dir
+    from .durability import SEGMENTS_DIRNAME
+    from .errors import DataValidationError, IndexCorruptionError
+    from .storage.manifest import CURRENT_NAME, read_current_manifest
+    from .storage.segment import META_NAME
+
+    path = Path(args.directory)
+    if (path / SEGMENTS_DIRNAME / CURRENT_NAME).exists():
+        path = path / SEGMENTS_DIRNAME
+    try:
+        manifest = read_current_manifest(path)
+    except IndexCorruptionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if manifest is None:
+        raise DataValidationError(f"{path}: no segment store found")
+    params = manifest.get("params", {})
+    print(f"{'manifest':12s} generation={manifest['generation']}  "
+          f"lsn={manifest['lsn']}  crc32={manifest['crc32']}")
+    print(f"{'params':12s} dim={params.get('dim')}  "
+          f"value_range={params.get('value_range')}  "
+          f"partitions={params.get('partitions')}")
+    print(f"{'ids':12s} next_pid={manifest['next_pid']}  "
+          f"next_wid={manifest['next_wid']}")
+    print(f"{'dead':12s} products={len(manifest['dead_products'])}  "
+          f"weights={len(manifest['dead_weights'])}")
+    corrupt = []
+    print(f"{'SEGMENT':<14s}  {'PRODUCTS':>8s}  {'WEIGHTS':>8s}  STATUS")
+    for name in manifest["segments"]:
+        seg_dir = path / name
+        if not seg_dir.is_dir():
+            corrupt.append(name)
+            print(f"{name:<14s}  {'-':>8s}  {'-':>8s}  MISSING")
+            continue
+        report = verify_manifest_dir(seg_dir)
+        if not report["ok"]:
+            corrupt.append(name)
+            damaged = ", ".join(sorted(report["damaged"])) or "manifest"
+            print(f"{name:<14s}  {'-':>8s}  {'-':>8s}  DAMAGED: {damaged}")
+            continue
+        meta = _json.loads((seg_dir / META_NAME).read_text())
+        print(f"{name:<14s}  {meta['n_products']:>8d}  "
+              f"{meta['n_weights']:>8d}  ok")
+    status = f"CORRUPT ({', '.join(corrupt)})" if corrupt else "ok"
+    print(f"{'integrity':12s} {status}")
+    return 1 if corrupt else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-rrq`` argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -620,6 +698,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="durability directory (or a wal.log file)")
     wal_dump.set_defaults(func=_cmd_wal_dump)
 
+    storage_dump = sub.add_parser(
+        "storage-dump",
+        help="decode a segment store manifest (exit 1 on corruption)",
+    )
+    storage_dump.add_argument(
+        "directory",
+        help="durability directory (or its segments/ subdirectory)")
+    storage_dump.set_defaults(func=_cmd_storage_dump)
+
     serve = sub.add_parser("serve", help="run the JSON/HTTP query service")
     serve.add_argument("index", help="index directory (or raw data directory)")
     serve.add_argument("--method", default="gir",
@@ -666,6 +753,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--snapshot-every", type=int, default=0,
                        help="auto-snapshot after this many mutations "
                             "(0 disables; --durable only)")
+    serve.add_argument("--storage", choices=("auto", "flat", "segmented"),
+                       default="auto",
+                       help="durable index backend: 'segmented' is the "
+                            "MVCC segment store, 'flat' the legacy "
+                            "single-index snapshot engine; 'auto' keeps "
+                            "an existing directory's backend and gives "
+                            "fresh directories the segment store "
+                            "(--durable only)")
     serve.add_argument("--chaos-latency-ms", type=float, default=0.0,
                        metavar="MS",
                        help="inject a fixed extra latency into every query "

@@ -71,7 +71,8 @@ class WorkerProcess:
         self.directory = Path(directory)
         self.proc = subprocess.Popen(
             [sys.executable, "-m", "repro.cli", "serve", str(directory),
-             "--durable", "--port", "0", "--batch-window-ms", "0",
+             "--durable", "--storage", "segmented",
+             "--port", "0", "--batch-window-ms", "0",
              *extra_args],
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
             text=True, env=env)
@@ -264,7 +265,8 @@ class LocalCluster:
         worker_dir = Path(worker_dir)
         if not (worker_dir / "engine.json").exists():
             seed = DurableDynamicRRQ.bootstrap(
-                worker_dir, products, slice_weights, fsync=self.fsync)
+                worker_dir, products, slice_weights, fsync=self.fsync,
+                backend="segmented")
             seed.close()
         proc = WorkerProcess(worker_dir, "--fsync", self.fsync, *extra_args,
                              start_timeout_s=self._start_timeout_s)

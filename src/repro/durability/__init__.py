@@ -28,7 +28,7 @@ mutation prefix — an acknowledged write is never lost, an
 unacknowledged write is atomically absent.
 """
 
-from .engine import DurableDynamicRRQ
+from .engine import BACKENDS, SEGMENTS_DIRNAME, DurableDynamicRRQ
 from .replica import ReplicaTailer
 from .snapshot import (
     current_snapshot_lsn,
@@ -45,7 +45,7 @@ from .wal import (
 )
 
 __all__ = [
-    "DurableDynamicRRQ", "ReplicaTailer",
+    "DurableDynamicRRQ", "ReplicaTailer", "BACKENDS", "SEGMENTS_DIRNAME",
     "WalRecord", "WalWriter", "read_wal", "wal_path", "FSYNC_POLICIES",
     "write_snapshot", "load_snapshot", "current_snapshot_lsn",
     "durability_report",

@@ -26,6 +26,7 @@ before applying them, so a promoted standby is itself durable.
 from __future__ import annotations
 
 import json
+import shutil
 import threading
 import time
 from collections import deque
@@ -40,6 +41,8 @@ from ..errors import DataValidationError, InvalidParameterError
 from ..ext.dynamic import DynamicRRQEngine
 from ..obs.trace import span
 from ..resilience.faults import fire
+from ..storage import DEFAULT_SEAL_ROWS, SegmentStore
+from ..storage.manifest import CURRENT_NAME as _STORE_CURRENT_NAME
 from .snapshot import load_snapshot, sweep_orphans, write_snapshot
 from .wal import WalRecord, WalWriter, read_wal, wal_path
 
@@ -47,9 +50,18 @@ PathLike = Union[str, Path]
 
 _PARAMS_NAME = "engine.json"
 
+#: Subdirectory a segmented engine keeps its store in.
+SEGMENTS_DIRNAME = "segments"
+
+#: Storage backends: ``flat`` rebuilds kernel arrays on mutation (the
+#: original DynamicRRQEngine), ``segmented`` is the MVCC segment store,
+#: ``auto`` detects what the directory holds (fresh dirs become flat).
+BACKENDS = ("auto", "flat", "segmented")
+
 #: Every op the WAL may carry (``reset`` is the full-state transfer).
-WAL_OPS = ("insert_product", "delete_product", "insert_weight",
-           "delete_weight", "compact", "rebuild", "reset")
+WAL_OPS = ("insert_product", "delete_product", "modify_product",
+           "insert_weight", "delete_weight", "modify_weight",
+           "compact", "rebuild", "reset")
 
 #: How many applied records are retained in memory for the feed.
 DEFAULT_FEED_RETAIN = 65536
@@ -81,6 +93,15 @@ class DurableDynamicRRQ:
     snapshot_every:
         Take a snapshot automatically after this many applied mutations
         (0 disables; :meth:`snapshot` is always available manually).
+    backend:
+        ``flat`` | ``segmented`` | ``auto`` (detect from the directory;
+        fresh directories default to ``flat``).  The choice is recorded
+        in ``engine.json`` and enforced on reopen.
+    seal_every:
+        Segmented only: seal the delta into a new segment once it holds
+        this many buffered mutations (0 disables auto-seal).
+    auto_compact:
+        Segmented only: run the background compactor thread.
     """
 
     method = "durable-dynamic"
@@ -90,13 +111,18 @@ class DurableDynamicRRQ:
                  chunk: int = 256, fsync: str = "always",
                  fsync_interval_s: float = 0.05,
                  snapshot_every: int = 0,
-                 feed_retain: int = DEFAULT_FEED_RETAIN):
+                 feed_retain: int = DEFAULT_FEED_RETAIN,
+                 backend: str = "auto",
+                 seal_every: int = DEFAULT_SEAL_ROWS,
+                 auto_compact: bool = True):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.lock = threading.RLock()
         self._fsync_policy = fsync
         self._fsync_interval_s = fsync_interval_s
         self.snapshot_every = max(0, int(snapshot_every))
+        self.seal_every = max(0, int(seal_every))
+        self._auto_compact = bool(auto_compact)
         self.snapshots_taken = 0
         self.replayed_records = 0
         self.replay_time_s = 0.0
@@ -104,7 +130,9 @@ class DurableDynamicRRQ:
         self._mutations_since_snapshot = 0
         self._feed: Deque[WalRecord] = deque(maxlen=max(1, int(feed_retain)))
 
+        self._stored_backend: Optional[str] = None
         params = self._load_params()
+        self.backend = self._resolve_backend(backend)
         if params is None:
             if dim is None:
                 raise InvalidParameterError(
@@ -115,8 +143,10 @@ class DurableDynamicRRQ:
                       "partitions": int(partitions), "chunk": int(chunk)}
             self._write_params(params)
         self.params = params
-        self.engine = DynamicRRQEngine(**params)
+        self.engine = self._make_engine(params)
         self._recover()
+        if self.backend == "segmented" and self._auto_compact:
+            self.engine.start_compactor()
 
     # ------------------------------------------------------------------
     # construction / recovery
@@ -131,6 +161,8 @@ class DurableDynamicRRQ:
             return None
         try:
             params = json.loads(target.read_text())
+            if isinstance(params.get("backend"), str):
+                self._stored_backend = params["backend"]
             return {"dim": int(params["dim"]),
                     "value_range": float(params["value_range"]),
                     "partitions": int(params["partitions"]),
@@ -141,22 +173,77 @@ class DurableDynamicRRQ:
             ) from None
 
     def _write_params(self, params: dict) -> None:
+        body = dict(params)
+        body["backend"] = self.backend
         atomic_write_bytes(
             self._params_path(),
-            json.dumps(params, indent=2, sort_keys=True).encode(),
+            json.dumps(body, indent=2, sort_keys=True).encode(),
         )
 
-    def _recover(self) -> None:
-        """Latest committed snapshot + WAL tail replay (LSN-idempotent)."""
-        started = time.perf_counter()
-        snap = load_snapshot(self.directory)
-        applied = 0
-        if snap is not None:
-            self.engine.load_state_arrays(
-                snap["products"], snap["p_alive"],
-                snap["weights"], snap["w_alive"],
+    def _resolve_backend(self, requested: str) -> str:
+        """Reconcile the requested backend with what the directory holds.
+
+        Priority: the backend recorded in ``engine.json``, then what
+        the on-disk layout implies (a store manifest vs. flat snapshot/
+        WAL state), then the request itself — ``auto`` resolving to
+        ``flat`` for a fresh directory.  An explicit request that
+        contradicts existing state is refused rather than silently
+        reinterpreting acknowledged data.
+        """
+        if requested not in BACKENDS:
+            raise InvalidParameterError(
+                f"unknown storage backend {requested!r}; "
+                f"expected one of {BACKENDS}"
             )
-            applied = self.snapshot_lsn = snap["lsn"]
+        persisted = self._stored_backend
+        if persisted is None:
+            seg_current = (self.directory / SEGMENTS_DIRNAME
+                           / _STORE_CURRENT_NAME)
+            if seg_current.exists():
+                persisted = "segmented"
+            elif (self.directory / "CURRENT").exists() or \
+                    any(self.directory.glob("snapshot-*")) or \
+                    wal_path(self.directory).exists():
+                persisted = "flat"
+        if persisted is not None:
+            if requested not in ("auto", persisted):
+                raise InvalidParameterError(
+                    f"{self.directory} holds {persisted!r} storage; "
+                    f"cannot open it with backend={requested!r}"
+                )
+            return persisted
+        return "flat" if requested == "auto" else requested
+
+    def _make_engine(self, params: dict):
+        """Construct (or reopen) the storage engine for ``self.backend``."""
+        if self.backend != "segmented":
+            return DynamicRRQEngine(**params)
+        seg_dir = self.directory / SEGMENTS_DIRNAME
+        if (seg_dir / _STORE_CURRENT_NAME).exists():
+            return SegmentStore.from_directory(seg_dir,
+                                               chunk=params["chunk"])
+        return SegmentStore(directory=seg_dir, **params)
+
+    def _recover(self) -> None:
+        """Committed state + WAL tail replay (LSN-idempotent).
+
+        Flat: load the latest snapshot, replay records past its barrier.
+        Segmented: the store already reopened at its manifest barrier
+        (``applied_lsn``); replay reconstructs the delta — the records
+        past that barrier — with identical global ids every time.
+        """
+        started = time.perf_counter()
+        applied = 0
+        if self.backend == "segmented":
+            applied = self.snapshot_lsn = int(self.engine.applied_lsn)
+        else:
+            snap = load_snapshot(self.directory)
+            if snap is not None:
+                self.engine.load_state_arrays(
+                    snap["products"], snap["p_alive"],
+                    snap["weights"], snap["w_alive"],
+                )
+                applied = self.snapshot_lsn = snap["lsn"]
         records, valid_bytes, _torn = read_wal(wal_path(self.directory))
         self._wal_records: List[WalRecord] = list(records)
         for record in records:
@@ -187,7 +274,8 @@ class DurableDynamicRRQ:
     def bootstrap(cls, directory: PathLike, products, weights,
                   partitions: int = 32, chunk: int = 256,
                   fsync: str = "always",
-                  snapshot_every: int = 0) -> "DurableDynamicRRQ":
+                  snapshot_every: int = 0,
+                  backend: str = "auto") -> "DurableDynamicRRQ":
         """Seed a fresh durability directory from static containers.
 
         The whole initial state is logged as one ``reset`` record (so a
@@ -201,7 +289,8 @@ class DurableDynamicRRQ:
                            snapshot_every=snapshot_every,
                            dim=products.dim,
                            value_range=products.value_range,
-                           partitions=partitions, chunk=chunk)
+                           partitions=partitions, chunk=chunk,
+                           backend=backend)
         if durable.last_lsn:
             return durable  # directory already had history: recover wins
         state = engine.state_arrays()
@@ -250,6 +339,24 @@ class DurableDynamicRRQ:
                 raise DataValidationError(
                     f"weight vector sums to {total:.6f}, expected 1.0"
                 )
+        elif op == "modify_product":
+            row = check_query_point(data["vector"], dim)
+            if row.max(initial=0.0) >= self.params["value_range"]:
+                raise DataValidationError(
+                    "product values must lie in [0, value_range)"
+                )
+            self.engine.products[int(data["index"])]  # raises if not live
+        elif op == "modify_weight":
+            row = check_query_point(data["vector"], dim)
+            total = float(row.sum())
+            if data.get("renormalize"):
+                if total <= 0:
+                    raise DataValidationError("weight vector sums to zero")
+            elif abs(total - 1.0) > 1e-6:
+                raise DataValidationError(
+                    f"weight vector sums to {total:.6f}, expected 1.0"
+                )
+            self.engine.weights[int(data["index"])]
         elif op == "delete_product":
             self.engine.products[int(data["index"])]  # raises if not live
         elif op == "delete_weight":
@@ -259,18 +366,33 @@ class DurableDynamicRRQ:
 
     def _apply(self, record: WalRecord):
         """Apply one (already validated/logged) record to the engine."""
+        result = self._dispatch(record)
+        if self.backend == "segmented":
+            self.engine.note_lsn(record.lsn)
+        return result
+
+    def _dispatch(self, record: WalRecord):
         op, data = record.op, record.data
         if op == "insert_product":
             return self.engine.insert_product(
                 np.asarray(data["vector"], dtype=np.float64))
         if op == "delete_product":
             return self.engine.delete_product(int(data["index"]))
+        if op == "modify_product":
+            return self.engine.modify_product(
+                int(data["index"]),
+                np.asarray(data["vector"], dtype=np.float64))
         if op == "insert_weight":
             return self.engine.insert_weight(
                 np.asarray(data["vector"], dtype=np.float64),
                 renormalize=bool(data.get("renormalize", False)))
         if op == "delete_weight":
             return self.engine.delete_weight(int(data["index"]))
+        if op == "modify_weight":
+            return self.engine.modify_weight(
+                int(data["index"]),
+                np.asarray(data["vector"], dtype=np.float64),
+                renormalize=bool(data.get("renormalize", False)))
         if op == "compact":
             return self.engine.compact()
         if op == "rebuild":
@@ -288,7 +410,18 @@ class DurableDynamicRRQ:
             listeners = self.engine._change_listeners
             self.params = params
             self._write_params(params)
-            self.engine = DynamicRRQEngine(**params)
+            if self.backend == "segmented":
+                # A reset replaces the lineage wholesale: drop the old
+                # store directory and start a fresh one (the caller
+                # checkpoints right after, recommitting the manifest).
+                self.engine.close()
+                seg_dir = self.directory / SEGMENTS_DIRNAME
+                shutil.rmtree(seg_dir, ignore_errors=True)
+                self.engine = SegmentStore(directory=seg_dir, **params)
+                if self._auto_compact:
+                    self.engine.start_compactor()
+            else:
+                self.engine = DynamicRRQEngine(**params)
             self.engine._change_listeners = listeners
         dim = params["dim"]
         products = np.asarray(data["products"],
@@ -312,6 +445,11 @@ class DurableDynamicRRQ:
             self._wal_records.append(record)
             self._feed.append(record)
             self._mutations_since_snapshot += 1
+            if self.backend == "segmented" and self.seal_every and \
+                    self.engine.delta_rows() >= self.seal_every:
+                # Non-blocking: if the compactor holds the maintenance
+                # lock the seal simply waits for a later mutation.
+                self.engine.seal(blocking=False)
             if self.snapshot_every and \
                     self._mutations_since_snapshot >= self.snapshot_every:
                 self.snapshot()
@@ -349,13 +487,47 @@ class DurableDynamicRRQ:
         lsn, _ = self._log_and_apply("delete_weight", {"index": int(index)})
         return lsn
 
+    def modify_product(self, index: int, vector) -> Tuple[int, int]:
+        """Durably replace a product; returns ``(new index, lsn)``.
+
+        Logged as one record, applied as one atomic tombstone+insert —
+        no snapshot or replica ever observes the in-between state.
+        """
+        lsn, idx = self._log_and_apply(
+            "modify_product",
+            {"index": int(index),
+             "vector": _vector_list(
+                 np.asarray(vector, dtype=np.float64).reshape(-1))})
+        return idx, lsn
+
+    def modify_weight(self, index: int, vector,
+                      renormalize: bool = False) -> Tuple[int, int]:
+        """Durably replace a preference; returns ``(new index, lsn)``."""
+        lsn, idx = self._log_and_apply(
+            "modify_weight",
+            {"index": int(index),
+             "vector": _vector_list(
+                 np.asarray(vector, dtype=np.float64).reshape(-1)),
+             "renormalize": bool(renormalize)})
+        return idx, lsn
+
     def compact(self):
-        """Durably drop tombstones; returns ``(p_map, w_map, lsn)``.
+        """Drop tombstones; returns ``(p_map, w_map, lsn)``.
 
         The maps give, per old stable index, the new index or -1 — so
         callers (and replicas, which replay the same op) keep stable
         ids across the physical reshuffle.
+
+        Flat backend: logged, because compaction *renumbers* ids and a
+        replica must replay the identical reshuffle.  Segmented
+        backend: purely physical (ids are stable), so nothing is
+        logged — the store seals, merges every segment, and the maps
+        are identity for live ids.
         """
+        if self.backend == "segmented":
+            with self.lock:
+                p_map, w_map = self.engine.compact()
+                return p_map, w_map, self.last_lsn
         lsn, maps = self._log_and_apply("compact", {})
         return maps[0], maps[1], lsn
 
@@ -378,13 +550,18 @@ class DurableDynamicRRQ:
         with self.lock:
             self._wal.sync()
             barrier = self.last_lsn
-            state = self.engine.state_arrays()
-            write_snapshot(
-                self.directory, lsn=barrier,
-                products=state["products"], p_alive=state["p_alive"],
-                weights=state["weights"], w_alive=state["w_alive"],
-                meta=dict(self.params),
-            )
+            if self.backend == "segmented":
+                # Seal the delta and advance the manifest barrier: the
+                # store's CURRENT flip is the commit point here.
+                self.engine.checkpoint(barrier)
+            else:
+                state = self.engine.state_arrays()
+                write_snapshot(
+                    self.directory, lsn=barrier,
+                    products=state["products"], p_alive=state["p_alive"],
+                    weights=state["weights"], w_alive=state["w_alive"],
+                    meta=dict(self.params),
+                )
             self._wal.truncate_through(barrier, self._wal_records)
             self._wal_records = [r for r in self._wal_records
                                  if r.lsn > barrier]
@@ -497,6 +674,23 @@ class DurableDynamicRRQ:
         with self.lock:
             return self.engine.reverse_kranks(q, k, counter)
 
+    def pin_snapshot(self):
+        """Pin an MVCC read snapshot (segmented only; ``None`` on flat).
+
+        The caller owns the pin: queries against the returned
+        :class:`~repro.storage.snapshot.StoreSnapshot` never take the
+        engine lock and never observe later mutations.  Release it.
+        """
+        if self.backend == "segmented":
+            return self.engine.pin()
+        return None
+
+    def storage_stats(self) -> Optional[dict]:
+        """The segment store's health dict (``None`` on the flat backend)."""
+        if self.backend == "segmented":
+            return self.engine.storage_stats()
+        return None
+
     # ------------------------------------------------------------------
     # introspection / lifecycle
     # ------------------------------------------------------------------
@@ -505,6 +699,7 @@ class DurableDynamicRRQ:
         """JSON-ready WAL/snapshot/replay counters (``/metrics``, ``info``)."""
         with self.lock:
             return {
+                "backend": self.backend,
                 "wal": self._wal.stats(),
                 "last_lsn": self.last_lsn,
                 "snapshot_lsn": self.snapshot_lsn,
@@ -518,6 +713,8 @@ class DurableDynamicRRQ:
         """Flush and close the WAL; the engine stays queryable in memory."""
         with self.lock:
             self._wal.close()
+        if self.backend == "segmented":
+            self.engine.close()  # stops the compactor thread
 
     def __enter__(self) -> "DurableDynamicRRQ":
         return self

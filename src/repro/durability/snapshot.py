@@ -256,4 +256,21 @@ def durability_report(directory: PathLike) -> dict:
             "last_lsn": records[-1].lsn if records else 0,
             "torn_bytes": int(torn),
         }
+    seg_dir = base / "segments"
+    if (seg_dir / CURRENT_NAME).exists():
+        from ..storage.manifest import read_current_manifest
+
+        try:
+            manifest = read_current_manifest(seg_dir)
+            report["storage"] = {
+                "status": "ok",
+                "generation": int(manifest["generation"]),
+                "lsn": int(manifest["lsn"]),
+                "segments": len(manifest["segments"]),
+                "dead_products": len(manifest["dead_products"]),
+                "dead_weights": len(manifest["dead_weights"]),
+            }
+        except IndexCorruptionError as exc:
+            report["storage"] = {"status": f"corrupt: {exc}"}
+            report["ok"] = False
     return report

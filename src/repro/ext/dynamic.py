@@ -43,27 +43,50 @@ MIN_CAPACITY = 16
 
 
 class _GrowableMatrix:
-    """A float64 matrix with amortized O(1) row appends and tombstones."""
+    """A float64 matrix with amortized O(1) row appends and tombstones.
+
+    Concurrency contract (the ``LiveView`` read-during-append fix): the
+    buffers and the row count are published together as one ``_state``
+    tuple, replaced in a single reference assignment only after the new
+    row is fully written.  Growth is copy-on-grow — a fresh buffer is
+    allocated and the old one is never resized or written again — so any
+    view handed out earlier stays byte-stable no matter how many appends
+    follow.  A reader that grabs ``_state`` once therefore always sees a
+    coherent ``(rows, alive, count)`` triple; it can never pair a new
+    liveness mask with an old data buffer (the historical crash:
+    ``view[alive]`` with mismatched lengths).  Tombstones mutate the
+    alive mask in place (no length change); readers needing isolation
+    from them copy the mask, which :meth:`snapshot_state` does.
+    """
 
     def __init__(self, dim: int):
         self.dim = dim
-        self._data = np.empty((MIN_CAPACITY, dim))
-        self._alive = np.zeros(MIN_CAPACITY, dtype=bool)
-        self._used = 0
+        #: (data buffer, alive buffer, used count) — one atomic publish.
+        self._state = (
+            np.empty((MIN_CAPACITY, dim)),
+            np.zeros(MIN_CAPACITY, dtype=bool),
+            0,
+        )
+        #: Bumped on every copy-on-grow reallocation; lets callers pin a
+        #: buffer generation and detect that older views are frozen.
+        self.generation = 0
 
     def append(self, row: np.ndarray) -> int:
-        if self._used == self._data.shape[0]:
-            new_cap = self._data.shape[0] * 2
-            data = np.empty((new_cap, self.dim))
-            data[: self._used] = self._data[: self._used]
-            alive = np.zeros(new_cap, dtype=bool)
-            alive[: self._used] = self._alive[: self._used]
-            self._data, self._alive = data, alive
-        idx = self._used
-        self._data[idx] = row
-        self._alive[idx] = True
-        self._used += 1
-        return idx
+        data, alive, used = self._state
+        if used == data.shape[0]:
+            new_cap = data.shape[0] * 2
+            grown = np.empty((new_cap, self.dim))
+            grown[:used] = data[:used]
+            grown_alive = np.zeros(new_cap, dtype=bool)
+            grown_alive[:used] = alive[:used]
+            data, alive = grown, grown_alive
+            self.generation += 1
+        data[used] = row
+        alive[used] = True
+        # Publish only after the row is fully written: a concurrent
+        # reader sees either the old count or the complete new row.
+        self._state = (data, alive, used + 1)
+        return used
 
     def kill(self, idx: int) -> None:
         """Tombstone row ``idx``; structured errors, never a raw IndexError.
@@ -73,33 +96,46 @@ class _GrowableMatrix:
         double delete.
         """
         idx = int(idx)
-        if not 0 <= idx < self._used:
+        _, alive, used = self._state
+        if not 0 <= idx < used:
             raise InvalidParameterError(
-                f"index {idx} out of range [0, {self._used})"
+                f"index {idx} out of range [0, {used})"
             )
-        if not self._alive[idx]:
+        if not alive[idx]:
             raise InvalidParameterError(
                 f"index {idx} is already deleted (tombstoned)"
             )
-        self._alive[idx] = False
+        alive[idx] = False
+
+    def snapshot_state(self) -> Tuple[np.ndarray, np.ndarray, int]:
+        """One coherent ``(rows view, alive copy, count)`` triple.
+
+        The rows view is stable under later appends (copy-on-grow); the
+        alive mask is copied because tombstones flip it in place.
+        """
+        data, alive, used = self._state
+        return data[:used], alive[:used].copy(), used
 
     @property
     def view(self) -> np.ndarray:
         """All appended rows (including tombstones)."""
-        return self._data[: self._used]
+        data, _, used = self._state
+        return data[:used]
 
     @property
     def alive(self) -> np.ndarray:
         """Liveness mask over :attr:`view`."""
-        return self._alive[: self._used]
+        _, alive, used = self._state
+        return alive[:used]
 
     @property
     def live_count(self) -> int:
-        return int(self.alive.sum())
+        _, alive, used = self._state
+        return int(alive[:used].sum())
 
     @property
     def total_count(self) -> int:
-        return self._used
+        return self._state[2]
 
 
 class LiveView:
@@ -135,21 +171,29 @@ class LiveView:
 
     def live_indices(self) -> np.ndarray:
         """Stable indices of the live rows, ascending."""
-        return np.flatnonzero(self._matrix.alive)
+        _, alive, _ = self._matrix.snapshot_state()
+        return np.flatnonzero(alive)
 
     def live_values(self) -> np.ndarray:
-        """A copy of the live rows, in stable-index order."""
-        return self._matrix.view[self._matrix.alive].copy()
+        """A copy of the live rows, in stable-index order.
+
+        Rows and mask come from one coherent state read — a concurrent
+        append (even one that grows the buffer) can never pair a longer
+        mask with a shorter row view here.
+        """
+        rows, alive, _ = self._matrix.snapshot_state()
+        return rows[alive].copy()
 
     def __getitem__(self, idx: int) -> np.ndarray:
         idx = int(idx)
-        if not 0 <= idx < self._matrix.total_count:
+        rows, alive, used = self._matrix.snapshot_state()
+        if not 0 <= idx < used:
             raise InvalidParameterError(
-                f"index {idx} out of range [0, {self._matrix.total_count})"
+                f"index {idx} out of range [0, {used})"
             )
-        if not self._matrix.alive[idx]:
+        if not alive[idx]:
             raise InvalidParameterError(f"index {idx} is deleted")
-        return self._matrix.view[idx].copy()
+        return rows[idx].copy()
 
     def __len__(self) -> int:
         return self.size
@@ -280,6 +324,49 @@ class DynamicRRQEngine:
         """Tombstone a preference."""
         self._weights.kill(idx)
         self._notify_change()
+
+    def modify_product(self, idx: int, vector) -> int:
+        """Replace product ``idx``: tombstone it, insert the new row.
+
+        Validation runs before anything mutates, so a bad replacement
+        leaves the old row live.  Returns the replacement's (new)
+        stable index; the old index stays tombstoned, so a reader
+        holding it gets a structured error rather than a changed row.
+        """
+        row = check_query_point(vector, self.dim)
+        if row.max(initial=0.0) >= self.value_range:
+            raise DataValidationError(
+                "product values must lie in [0, value_range)"
+            )
+        self._products.kill(idx)
+        new_idx = self._products.append(row)
+        self._ensure_code_capacity()
+        self._pa[new_idx] = self._p_quantizer.quantize(row).astype(np.int64)
+        self._pa_low = None
+        self._notify_change()
+        return new_idx
+
+    def modify_weight(self, idx: int, vector,
+                      renormalize: bool = False) -> int:
+        """Replace preference ``idx`` (same contract as modify_product)."""
+        row = check_query_point(vector, self.dim)
+        total = float(row.sum())
+        if renormalize:
+            if total <= 0:
+                raise DataValidationError("weight vector sums to zero")
+            row = row / total
+        elif abs(total - 1.0) > 1e-6:
+            raise DataValidationError(
+                f"weight vector sums to {total:.6f}, expected 1.0"
+            )
+        self._weights.kill(idx)
+        new_idx = self._weights.append(row)
+        self._ensure_code_capacity()
+        if float(row.max()) > self._w_range:
+            self._rebuild_weight_axis()
+        self._wa[new_idx] = self._w_quantizer.quantize(row).astype(np.int64)
+        self._notify_change()
+        return new_idx
 
     #: Mutation-op aliases matching the WAL vocabulary
     #: (``insert_product``/``delete_product``/...).

@@ -193,7 +193,8 @@ class ServiceMetrics:
 
     def snapshot(self, cache_stats: Optional[dict] = None,
                  durability: Optional[dict] = None,
-                 replication: Optional[dict] = None) -> dict:
+                 replication: Optional[dict] = None,
+                 storage: Optional[dict] = None) -> dict:
         """A JSON-ready dict of everything ``/metrics`` exposes.
 
         Every nested dict is freshly built under the lock (the kernel
@@ -201,8 +202,9 @@ class ServiceMetrics:
         the result outright and no concurrent ``record_*`` can mutate or
         tear it.  ``durability`` (WAL/snapshot counters from
         :meth:`~repro.durability.engine.DurableDynamicRRQ.
-        durability_stats`) and ``replication`` (standby tailer status)
-        are attached verbatim when the serving stack provides them.
+        durability_stats`), ``replication`` (standby tailer status) and
+        ``storage`` (the segment store's health dict) are attached
+        verbatim when the serving stack provides them.
         """
         with self._lock:
             samples = list(self._latency.samples)
@@ -265,13 +267,16 @@ class ServiceMetrics:
             snap["durability"] = durability
         if replication is not None:
             snap["replication"] = replication
+        if storage is not None:
+            snap["storage"] = storage
         return snap
 
     def prometheus(self, cache_stats: Optional[dict] = None,
                    durability: Optional[dict] = None,
                    replication: Optional[dict] = None,
                    slowlog: Optional[dict] = None,
-                   traces: Optional[dict] = None) -> str:
+                   traces: Optional[dict] = None,
+                   storage: Optional[dict] = None) -> str:
         """The ``GET /metrics?format=prometheus`` body.
 
         Histogram state is captured under the lock; rendering happens
@@ -430,4 +435,42 @@ class ServiceMetrics:
             exp.counter("rrq_traces_finished_total",
                         "Traces completed and stored in the ring.",
                         traces.get("finished_total", 0))
+        if storage is not None:
+            exp.gauge("rrq_storage_segments",
+                      "Immutable segments in the store.",
+                      storage.get("segments", 0))
+            exp.gauge("rrq_storage_delta_rows",
+                      "Buffered delta mutations since the last seal.",
+                      storage.get("delta_rows", 0))
+            exp.gauge("rrq_storage_live_fraction",
+                      "Fraction of physically stored rows that are live.",
+                      storage.get("live_fraction", 1.0))
+            exp.gauge("rrq_storage_dead_fraction",
+                      "Fraction of physically stored rows that are dead "
+                      "(the compaction trigger).",
+                      storage.get("dead_fraction", 0.0))
+            exp.gauge("rrq_storage_pinned_snapshots",
+                      "MVCC snapshots currently pinned by readers.",
+                      storage.get("pinned_snapshots", 0))
+            exp.gauge("rrq_storage_retired_segments_pending",
+                      "Retired segments kept alive by pinned snapshots.",
+                      storage.get("retired_pending", 0))
+            exp.gauge("rrq_storage_manifest_generation",
+                      "Committed store manifest generation.",
+                      storage.get("manifest_generation", 0))
+            exp.gauge("rrq_storage_manifest_lsn",
+                      "WAL barrier of the committed store manifest.",
+                      storage.get("manifest_lsn", 0))
+            exp.counter("rrq_storage_seals_total",
+                        "Delta seals (new segments committed).",
+                        storage.get("seals_total", 0))
+            exp.counter("rrq_storage_compactions_total",
+                        "Segment-merge compactions committed.",
+                        storage.get("compactions_total", 0))
+            exp.counter("rrq_storage_compaction_seconds_total",
+                        "Cumulative wall-clock spent compacting.",
+                        storage.get("compaction_seconds_total", 0.0))
+            exp.counter("rrq_storage_segments_retired_total",
+                        "Segments superseded by compaction.",
+                        storage.get("segments_retired_total", 0))
         return exp.render()

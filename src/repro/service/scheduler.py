@@ -144,6 +144,16 @@ class MicroBatchScheduler:
         self.use_kernel = bool(use_kernel) and not self._dynamic
         self._kernel: Optional[GirKernelRRQ] = None
         self._kernel_failed = False
+        # MVCC engines (the segmented store) pin one immutable snapshot
+        # per batch: queries run against it without the engine lock and
+        # never observe mutations that land mid-batch.  Coalesced
+        # batches may additionally densify the snapshot into a blocked
+        # kernel, cached until the store generation moves.
+        self._pin_snapshot = getattr(engine, "pin_snapshot", None)
+        self._use_snapshot_kernel = bool(use_kernel) and \
+            self._pin_snapshot is not None
+        self._snap_kernel = None
+        self._snap_kernel_failed = False
         self._queue: "queue.Queue[_Pending]" = queue.Queue(
             maxsize=self.limits.max_queue_depth
         )
@@ -308,8 +318,16 @@ class MicroBatchScheduler:
         try:
             fire("scheduler.dispatch")
             if self._dynamic:
-                for pending in live:
-                    self._answer_single(pending, counter)
+                snap = (self._pin_snapshot()
+                        if self._pin_snapshot is not None else None)
+                if snap is not None:
+                    try:
+                        self._answer_snapshot(live, snap, counter)
+                    finally:
+                        snap.release()
+                else:
+                    for pending in live:
+                        self._answer_single(pending, counter)
             elif len(live) == 1:
                 self._answer_single(live[0], counter)
             else:
@@ -341,6 +359,56 @@ class MicroBatchScheduler:
                     lock.release()
         counter.merge(result.counter)
         pending.future.set_result(result)
+
+    def _answer_snapshot(self, live: List[_Pending], snap,
+                         counter: OpCounter) -> None:
+        """MVCC path: the whole batch reads one pinned snapshot.
+
+        No engine lock is taken — writers proceed concurrently and the
+        batch still sees one consistent state.  A coalesced batch may
+        run through a densified :class:`~repro.storage.SnapshotKernel`
+        (byte-identical answers, BLAS arithmetic); a batch of one uses
+        the snapshot's merge path directly.
+        """
+        kernel = self._get_snapshot_kernel(snap) if len(live) > 1 else None
+        for pending in live:
+            with use_context(pending.ctx), span("snapshot.query") as sp:
+                sp.annotate("kind", pending.kind)
+                sp.annotate("batch_size", len(live))
+                sp.annotate("generation", snap.generation)
+                backend = kernel if kernel is not None else snap
+                if pending.kind == "rtk":
+                    result = backend.reverse_topk(pending.q, pending.k)
+                else:
+                    result = backend.reverse_kranks(pending.q, pending.k)
+                if kernel is not None and kernel.last_stats is not None:
+                    stats = kernel.last_stats.snapshot()
+                    sp.annotate("kernel_stats", stats)
+                    self.metrics.record_kernel(
+                        stats, trace_id=current_trace_id()
+                    )
+            counter.merge(result.counter)
+            pending.future.set_result(result)
+
+    def _get_snapshot_kernel(self, snap):
+        """Densified kernel for ``snap``, cached across coalesced batches.
+
+        Rebuilt only when the store generation moved; a build failure is
+        remembered and the merge path serves from then on.
+        """
+        if not self._use_snapshot_kernel or self._snap_kernel_failed:
+            return None
+        cached = self._snap_kernel
+        if cached is not None and cached.matches(snap):
+            return cached
+        try:
+            from ..storage import SnapshotKernel
+
+            self._snap_kernel = SnapshotKernel.build(snap)
+        except Exception:
+            self._snap_kernel_failed = True
+            self._snap_kernel = None
+        return self._snap_kernel
 
     def _get_kernel(self) -> Optional[GirKernelRRQ]:
         """The batch-path kernel, built lazily on first use.

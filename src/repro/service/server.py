@@ -506,7 +506,8 @@ class DurableQueryService(QueryService):
 
     #: Mutation operations accepted over HTTP, keyed by (path, type).
     MUTATION_OPS = ("insert_product", "insert_weight", "delete_product",
-                    "delete_weight", "compact", "rebuild", "snapshot")
+                    "delete_weight", "modify_product", "modify_weight",
+                    "compact", "rebuild", "snapshot")
 
     def __init__(self, engine, config: Optional[ServiceConfig] = None,
                  role: str = "primary", primary_url=None,
@@ -570,6 +571,19 @@ class DurableQueryService(QueryService):
                 raise InvalidParameterError(f"{op} requires 'index'")
             lsn = getattr(engine, op)(int(payload["index"]))
             body = {"op": op, "index": int(payload["index"]), "lsn": lsn}
+        elif op in ("modify_product", "modify_weight"):
+            if "index" not in payload:
+                raise InvalidParameterError(f"{op} requires 'index'")
+            kwargs = {}
+            if op == "modify_weight":
+                kwargs["renormalize"] = bool(payload.get("renormalize",
+                                                         False))
+            index, lsn = getattr(engine, op)(
+                int(payload["index"]), payload.get("vector"), **kwargs
+            )
+            # ``index`` is the replacement row's (new) stable id.
+            body = {"op": op, "index": index,
+                    "old_index": int(payload["index"]), "lsn": lsn}
         elif op == "compact":
             p_map, w_map, lsn = engine.compact()
             # Per old stable index: the new index, or -1 if removed.
@@ -591,7 +605,7 @@ class DurableQueryService(QueryService):
             return self.promote()
         if path == "/retarget":
             return self.retarget_primary(payload.get("primary_url"))
-        if path in ("/insert", "/delete"):
+        if path in ("/insert", "/delete", "/modify"):
             target = payload.get("type", "product")
             if target not in ("product", "weight"):
                 raise InvalidParameterError(
@@ -649,6 +663,11 @@ class DurableQueryService(QueryService):
     # observability overrides
     # ------------------------------------------------------------------
 
+    def _storage_stats(self) -> Optional[dict]:
+        """The segment store's health dict (``None`` on the flat backend)."""
+        getter = getattr(self.engine, "storage_stats", None)
+        return getter() if getter is not None else None
+
     def info(self) -> dict:
         body = super().info()
         stats = self.engine.durability_stats()
@@ -656,10 +675,15 @@ class DurableQueryService(QueryService):
             role=self.role,
             durable=True,
             directory=str(self.engine.directory),
+            backend=stats.get("backend", "flat"),
             fsync=stats["wal"]["fsync_policy"],
             last_lsn=stats["last_lsn"],
             snapshot_lsn=stats["snapshot_lsn"],
         )
+        storage = self._storage_stats()
+        if storage is not None:
+            body["segments"] = storage["segments"]
+            body["delta_rows"] = storage["delta_rows"]
         return body
 
     def metrics_snapshot(self) -> dict:
@@ -667,6 +691,7 @@ class DurableQueryService(QueryService):
             cache_stats=self.cache.stats(),
             durability=self.engine.durability_stats(),
             replication=self.replication_status(),
+            storage=self._storage_stats(),
         )
         snap["slowlog"] = self.slowlog.stats()
         snap["traces"] = self.tracer.stats()
@@ -679,6 +704,7 @@ class DurableQueryService(QueryService):
             replication=self.replication_status(),
             slowlog=self.slowlog.stats(),
             traces=self.tracer.stats(),
+            storage=self._storage_stats(),
         )
 
     def healthz(self) -> dict:
@@ -746,8 +772,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    _MUTATION_PATHS = ("/insert", "/delete", "/compact", "/rebuild",
-                       "/snapshot", "/promote", "/retarget")
+    _MUTATION_PATHS = ("/insert", "/delete", "/modify", "/compact",
+                       "/rebuild", "/snapshot", "/promote", "/retarget")
 
     def _not_found(self, path: str) -> None:
         self._send_json(404, {"error": "NotFound", "message": path,

@@ -1,0 +1,36 @@
+"""repro.storage — segmented MVCC index storage.
+
+Immutable grid-indexed segments + a small mutable delta, sealed and
+compacted behind an atomic CRC32 manifest flip, with snapshot-isolated
+readers pinned via refcounts.  See :mod:`repro.storage.store` for the
+architecture and the crash contract.
+"""
+
+from .delta import MutableDelta
+from .kernel import SnapshotKernel
+from .manifest import (
+    CURRENT_NAME,
+    MANIFEST_FORMAT,
+    manifest_name,
+    read_current_manifest,
+    sweep_store_orphans,
+    write_manifest,
+)
+from .segment import Segment, load_segment
+from .snapshot import StoreSnapshot
+from .store import (
+    DEFAULT_COMPACT_DEAD_FRACTION,
+    DEFAULT_COMPACT_MAX_SEGMENTS,
+    DEFAULT_COMPACT_SMALL_ROWS,
+    DEFAULT_SEAL_ROWS,
+    SegmentStore,
+)
+
+__all__ = [
+    "MutableDelta", "SnapshotKernel", "Segment", "load_segment",
+    "StoreSnapshot", "SegmentStore", "read_current_manifest",
+    "write_manifest", "sweep_store_orphans", "manifest_name",
+    "CURRENT_NAME", "MANIFEST_FORMAT", "DEFAULT_SEAL_ROWS",
+    "DEFAULT_COMPACT_MAX_SEGMENTS", "DEFAULT_COMPACT_DEAD_FRACTION",
+    "DEFAULT_COMPACT_SMALL_ROWS",
+]

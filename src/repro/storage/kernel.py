@@ -1,0 +1,86 @@
+"""Blocked-kernel execution over a pinned snapshot.
+
+The merge path in :mod:`repro.storage.snapshot` is exact but scalar —
+one GInTop-k call per (weight, segment).  When the scheduler coalesces
+a batch of queries against one snapshot, it pays off to densify: gather
+the snapshot's live rows once, build a
+:class:`~repro.vectorized.girkernel.GirKernelRRQ` over them, and run
+every query of the batch through the BLAS kernel.  Answers come back in
+*local* (dense) indices; this wrapper maps them to the snapshot's
+stable global ids.
+
+The remap preserves byte-identical tie-breaking: live rows are gathered
+in ascending global-id order, so local order *is* global order and the
+kernel's lexicographic ``(rank, index)`` truncation commutes with the
+id map.
+
+Build cost is O((|P| + |W|) d) quantization — amortized via
+:meth:`SnapshotKernel.matches`: the scheduler caches the kernel and
+rebuilds only when the store generation moved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..data.datasets import ProductSet, WeightSet
+from ..queries.types import RKRResult, RTKResult
+from ..stats.counters import OpCounter
+from ..vectorized.girkernel import GirKernelRRQ
+from .snapshot import StoreSnapshot
+
+
+class SnapshotKernel:
+    """A :class:`GirKernelRRQ` over one snapshot's live rows, id-remapped.
+
+    Construct through :meth:`build` (returns None when the snapshot is
+    empty on either side — the merge path handles those).
+    """
+
+    def __init__(self, kernel: GirKernelRRQ, p_gids, w_gids,
+                 generation: int):
+        self.kernel = kernel
+        self.p_gids = p_gids
+        self.w_gids = w_gids
+        #: Store generation the kernel was built from.
+        self.generation = int(generation)
+
+    @classmethod
+    def build(cls, snapshot: StoreSnapshot,
+              use_domin: bool = True) -> Optional["SnapshotKernel"]:
+        p_rows, p_gids = snapshot.live_products()
+        w_rows, w_gids = snapshot.live_weights()
+        if p_rows.shape[0] == 0 or w_rows.shape[0] == 0:
+            return None
+        kernel = GirKernelRRQ(
+            ProductSet(p_rows, value_range=snapshot.value_range),
+            WeightSet(w_rows),
+            partitions=max(1, snapshot.segments[0].partitions
+                           if snapshot.segments else 32),
+            use_domin=use_domin,
+        )
+        return cls(kernel, p_gids, w_gids, snapshot.generation)
+
+    def matches(self, snapshot: StoreSnapshot) -> bool:
+        """True when ``snapshot`` shows the exact state this was built on."""
+        return snapshot.generation == self.generation
+
+    # ------------------------------------------------------------------
+
+    def reverse_topk(self, q, k: int,
+                     counter: Optional[OpCounter] = None) -> RTKResult:
+        res = self.kernel.reverse_topk(q, k, counter)
+        remapped = frozenset(int(self.w_gids[j]) for j in res.weights)
+        return RTKResult(weights=remapped, k=res.k, counter=res.counter)
+
+    def reverse_kranks(self, q, k: int,
+                       counter: Optional[OpCounter] = None) -> RKRResult:
+        res = self.kernel.reverse_kranks(q, k, counter)
+        entries = tuple(
+            (rank, int(self.w_gids[j])) for rank, j in res.entries
+        )
+        return RKRResult(entries=entries, k=res.k, counter=res.counter)
+
+    @property
+    def last_stats(self):
+        return self.kernel.last_stats

@@ -1,0 +1,283 @@
+"""Immutable index segments — the sealed unit of the MVCC store.
+
+A :class:`Segment` is a frozen slice of the catalogue: product and
+weight rows together with their **stable global ids**, plus everything
+the Grid-index scan needs prebuilt — the per-segment
+:class:`~repro.core.grid.GridIndex`, the quantized product codes
+``P^(A)``, and the pre-gathered boundary matrices ``alpha_p[PA]`` /
+``alpha_p[PA+1]`` that turn the Equation 3/4 bound sums into BLAS inner
+products.  Once built, nothing in a segment ever changes; deletes are
+recorded *outside* it (in the store's dead sets) and applied at query
+time through the ``skip`` mask, so an arbitrary number of readers can
+scan one segment concurrently with zero coordination.
+
+On disk a segment is a directory committed through the generic CRC32
+manifest machinery (:func:`repro.core.storage.write_manifest_dir`):
+every artifact lands via temp-file + fsync + rename and
+``MANIFEST.json`` is written last, so a crash at any byte leaves a
+directory that either verifies completely or is provably damaged —
+:func:`load_segment` refuses the latter with a structured
+:class:`~repro.errors.IndexCorruptionError`.  Derived state (grid,
+codes, gathered boundaries) is *recomputed* on load rather than stored:
+the rebuild is deterministic, and not persisting it keeps the checksum
+surface to the raw rows and ids.
+
+Weight-axis note: each segment's ``alpha_w`` spans
+``[0, max(1, observed w max)]`` at seal time.  A query-time weight from
+*another* segment can exceed that span (renormalization tolerance, a
+later re-span); :meth:`Segment.weight_codes` then returns ``None`` and
+the caller falls back to an exact scan of the segment — slower, never
+wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.base import duplicate_mask
+from ..core.approx import Quantizer
+from ..core.gin import DEFAULT_CHUNK, GinContext
+from ..core.grid import GridIndex
+from ..core.storage import verify_manifest_dir, write_manifest_dir
+from ..data.io import load_matrix, matrix_to_bytes
+from ..errors import IndexCorruptionError, InvalidParameterError
+
+#: Format tag stored in every segment's metadata.
+SEGMENT_FORMAT = "rrq-segment-v1"
+
+#: Artifact names inside a segment directory.
+META_NAME = "segment.json"
+PRODUCTS_NAME = "products.mat"
+PIDS_NAME = "pids.bin"
+WEIGHTS_NAME = "weights.mat"
+WIDS_NAME = "wids.bin"
+
+_IDS_MAGIC = b"RRQI"
+
+
+def _ids_to_bytes(ids: np.ndarray) -> bytes:
+    arr = np.ascontiguousarray(ids, dtype="<i8")
+    return _IDS_MAGIC + struct.pack("<HI", 1, arr.shape[0]) + arr.tobytes()
+
+
+def _ids_from_bytes(data: bytes, path: Path) -> np.ndarray:
+    head = len(_IDS_MAGIC) + struct.calcsize("<HI")
+    if len(data) < head or data[: len(_IDS_MAGIC)] != _IDS_MAGIC:
+        raise IndexCorruptionError(f"{path}: not an RRQ id file")
+    _, count = struct.unpack("<HI", data[len(_IDS_MAGIC):head])
+    body = np.frombuffer(data[head:], dtype="<i8")
+    if body.shape[0] != count:
+        raise IndexCorruptionError(
+            f"{path}: id count mismatch (header {count}, payload {body.shape[0]})"
+        )
+    return body.astype(np.int64)
+
+
+class Segment:
+    """One immutable (products, weights, grid) slice with stable ids.
+
+    Parameters
+    ----------
+    name:
+        Directory-style identifier (``seg-00000007``); unique per store.
+    p_rows, p_ids:
+        Product rows ``(m, d)`` and their ascending global ids ``(m,)``.
+    w_rows, w_ids:
+        Weight rows and ids, same shape contract.
+    value_range:
+        Product attribute range (fixes ``alpha_p``, shared store-wide).
+    partitions, chunk:
+        Grid resolution and scan block size.
+    w_range:
+        Weight-axis span; defaults to ``max(1, observed max)`` so most
+        normalized weights from other segments still quantize here.
+    """
+
+    def __init__(self, name: str, p_rows: np.ndarray, p_ids: np.ndarray,
+                 w_rows: np.ndarray, w_ids: np.ndarray, value_range: float,
+                 partitions: int, chunk: int = DEFAULT_CHUNK,
+                 w_range: Optional[float] = None,
+                 directory: Optional[Path] = None):
+        self.name = str(name)
+        self.p_rows = np.ascontiguousarray(p_rows, dtype=np.float64)
+        self.p_ids = np.ascontiguousarray(p_ids, dtype=np.int64)
+        self.w_rows = np.ascontiguousarray(w_rows, dtype=np.float64)
+        self.w_ids = np.ascontiguousarray(w_ids, dtype=np.int64)
+        for ids, rows, kind in ((self.p_ids, self.p_rows, "product"),
+                                (self.w_ids, self.w_rows, "weight")):
+            if ids.shape[0] != rows.shape[0]:
+                raise InvalidParameterError(
+                    f"{kind} ids/rows length mismatch in segment {name}"
+                )
+            if ids.size > 1 and np.any(np.diff(ids) <= 0):
+                raise InvalidParameterError(
+                    f"{kind} ids must be strictly ascending in segment {name}"
+                )
+        self.value_range = float(value_range)
+        self.partitions = int(partitions)
+        self.chunk = int(chunk)
+        if w_range is None:
+            observed = float(self.w_rows.max()) if self.w_rows.size else 0.0
+            w_range = max(1.0, observed)
+        self.w_range = float(w_range)
+
+        alpha_p = np.linspace(0.0, self.value_range, self.partitions + 1)
+        alpha_w = np.linspace(0.0, self.w_range, self.partitions + 1)
+        self.grid = GridIndex(alpha_p, alpha_w)
+        self.w_quantizer = Quantizer(self.grid.alpha_w)
+        p_quantizer = Quantizer(self.grid.alpha_p)
+        self.pa = p_quantizer.quantize(self.p_rows).astype(np.int64)
+        self.pa_low = self.grid.alpha_p[self.pa]
+        self.pa_high = self.grid.alpha_p[self.pa + 1]
+        for arr in (self.p_rows, self.p_ids, self.w_rows, self.w_ids,
+                    self.pa, self.pa_low, self.pa_high):
+            arr.setflags(write=False)
+
+        #: Refcount of live snapshots holding this segment; guarded by
+        #: the owning store's lock.  A retired segment's directory is
+        #: deleted only once the count drains to zero.
+        self.pins = 0
+        #: Set when a compaction supersedes this segment.
+        self.retired = False
+        #: On-disk home (None for a memory-only store).
+        self.directory = directory
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_products(self) -> int:
+        return self.p_rows.shape[0]
+
+    @property
+    def n_weights(self) -> int:
+        return self.w_rows.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.p_rows.shape[1] if self.p_rows.ndim == 2 else 0
+
+    def nbytes(self) -> int:
+        """In-memory footprint of the raw rows (stats only)."""
+        return int(self.p_rows.nbytes + self.w_rows.nbytes
+                   + self.pa_low.nbytes + self.pa_high.nbytes)
+
+    # ------------------------------------------------------------------
+    # query-side helpers
+    # ------------------------------------------------------------------
+
+    def make_context(self, q: np.ndarray, dead_mask: np.ndarray) -> GinContext:
+        """Fresh per-query GInTop-k context over this segment's products.
+
+        ``dead_mask`` is the snapshot's view of which of this segment's
+        rows are deleted; it joins the duplicate mask in ``skip`` so the
+        scan never counts (or Domin-collects) a dead row.
+        """
+        return GinContext(
+            P=self.p_rows, PA=self.pa, grid=self.grid, q=q,
+            domin=np.zeros(self.n_products, dtype=bool),
+            skip=duplicate_mask(self.p_rows, q) | dead_mask,
+            chunk=self.chunk,
+            pa_low=self.pa_low, pa_high=self.pa_high,
+        )
+
+    def weight_codes(self, w: np.ndarray) -> Optional[np.ndarray]:
+        """``w``'s approximate vector under this segment's weight axis.
+
+        Returns ``None`` when ``w`` falls outside the axis span — the
+        caller must then use the exact-scan fallback for this segment.
+        """
+        if w.size and float(w.max()) > self.w_range + 1e-12:
+            return None
+        return self.w_quantizer.quantize(w).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory) -> None:
+        """Commit this segment to ``directory`` (CRC32 manifest protocol)."""
+        meta = {
+            "format": SEGMENT_FORMAT,
+            "name": self.name,
+            "dim": self.dim,
+            "value_range": self.value_range,
+            "partitions": self.partitions,
+            "chunk": self.chunk,
+            "w_range": self.w_range,
+            "n_products": self.n_products,
+            "n_weights": self.n_weights,
+        }
+        payloads = {
+            META_NAME: json.dumps(meta, indent=2, sort_keys=True).encode(),
+            PRODUCTS_NAME: matrix_to_bytes(self.p_rows),
+            PIDS_NAME: _ids_to_bytes(self.p_ids),
+            WEIGHTS_NAME: matrix_to_bytes(self.w_rows),
+            WIDS_NAME: _ids_to_bytes(self.w_ids),
+        }
+        write_manifest_dir(directory, payloads, site_prefix="storage.segment")
+        self.directory = Path(directory)
+
+    def stats(self, dead_products: int = 0, dead_weights: int = 0) -> dict:
+        """JSON-ready summary (``storage-dump``, ``/metrics``)."""
+        return {
+            "name": self.name,
+            "products": self.n_products,
+            "weights": self.n_weights,
+            "dead_products": int(dead_products),
+            "dead_weights": int(dead_weights),
+            "w_range": self.w_range,
+            "bytes": self.nbytes(),
+            "pins": self.pins,
+            "retired": self.retired,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Segment({self.name}, p={self.n_products}, "
+                f"w={self.n_weights}, pins={self.pins})")
+
+
+def load_segment(directory, chunk: int = DEFAULT_CHUNK) -> Segment:
+    """Load and verify one segment directory; raise on any corruption.
+
+    Every artifact is checksum-verified against the segment's
+    ``MANIFEST.json`` before a byte of it is parsed, so a torn write
+    (crash mid-seal before the manifest landed) surfaces as a structured
+    error naming the damaged files — never a garbage index.
+    """
+    path = Path(directory)
+    report = verify_manifest_dir(path)
+    if not report["ok"]:
+        raise IndexCorruptionError(
+            f"segment {path.name} failed verification: "
+            f"damaged={report['damaged']}"
+        )
+    try:
+        meta = json.loads((path / META_NAME).read_text())
+    except (ValueError, OSError) as exc:
+        raise IndexCorruptionError(
+            f"segment {path.name}: unreadable metadata ({exc})"
+        ) from exc
+    if meta.get("format") != SEGMENT_FORMAT:
+        raise IndexCorruptionError(
+            f"segment {path.name}: unknown format {meta.get('format')!r}"
+        )
+    p_rows = load_matrix(path / PRODUCTS_NAME)
+    w_rows = load_matrix(path / WEIGHTS_NAME)
+    p_ids = _ids_from_bytes((path / PIDS_NAME).read_bytes(), path / PIDS_NAME)
+    w_ids = _ids_from_bytes((path / WIDS_NAME).read_bytes(), path / WIDS_NAME)
+    if (p_rows.shape[0] != meta["n_products"]
+            or w_rows.shape[0] != meta["n_weights"]):
+        raise IndexCorruptionError(
+            f"segment {path.name}: row counts disagree with metadata"
+        )
+    return Segment(
+        meta["name"], p_rows, p_ids, w_rows, w_ids,
+        value_range=meta["value_range"], partitions=meta["partitions"],
+        chunk=int(meta.get("chunk", chunk)), w_range=meta["w_range"],
+        directory=path,
+    )

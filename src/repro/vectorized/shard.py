@@ -179,6 +179,8 @@ class ShardedGirRRQ(RRQAlgorithm):
         #: The serial kernel — source of the shared arrays, and the
         #: in-process fallback after :meth:`close`.
         self.kernel = kernel
+        #: Local→global id map for snapshot-built engines (None = identity).
+        self._w_gids: Optional[np.ndarray] = None
         self.shards = int(min(shards, self.W.shape[0]) or 1)
         #: Stats of the most recent query, merged across shards.
         self.last_stats: Optional[KernelStats] = None
@@ -200,6 +202,40 @@ class ShardedGirRRQ(RRQAlgorithm):
         self._ranges = [(int(lo), int(hi))
                         for lo, hi in zip(bounds[:-1], bounds[1:])
                         if hi > lo]
+
+    @classmethod
+    def from_snapshot(cls, snapshot, shards: Optional[int] = None,
+                      partitions: Optional[int] = None,
+                      w_block: int = DEFAULT_W_BLOCK,
+                      p_block: int = DEFAULT_P_BLOCK,
+                      use_domin: bool = True) -> "ShardedGirRRQ":
+        """Build a sharded engine over one pinned MVCC store snapshot.
+
+        The snapshot's live rows are gathered in ascending global-id
+        order, densified into the kernel arrays, and answers are mapped
+        back to the snapshot's stable global ids.  The id map is
+        monotone, so the kernel's lexicographic ``(rank, index)``
+        tie-break commutes with it — answers stay byte-identical to the
+        snapshot's own merge path.  The caller keeps the snapshot
+        pinned for as long as it wants the ids to stay meaningful; the
+        engine itself copies everything it needs at build time.
+        """
+        p_rows, p_gids = snapshot.live_products()
+        w_rows, w_gids = snapshot.live_weights()
+        if p_rows.shape[0] == 0 or w_rows.shape[0] == 0:
+            raise InvalidParameterError(
+                "cannot build a sharded engine over an empty snapshot "
+                f"({p_rows.shape[0]} products, {w_rows.shape[0]} weights)"
+            )
+        if partitions is None and snapshot.segments:
+            partitions = snapshot.segments[0].partitions
+        engine = cls(
+            ProductSet(p_rows, value_range=snapshot.value_range),
+            WeightSet(w_rows), shards=shards, partitions=partitions,
+            w_block=w_block, p_block=p_block, use_domin=use_domin,
+        )
+        engine._w_gids = np.asarray(w_gids, dtype=np.int64)
+        return engine
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -281,7 +317,11 @@ class ShardedGirRRQ(RRQAlgorithm):
                       counter: OpCounter) -> RTKResult:
         payloads = self._scatter_gather("rtk", q, k, counter)
         t0 = perf_counter()
-        qualifying = frozenset(j for payload in payloads for j in payload)
+        if self._w_gids is not None:
+            qualifying = frozenset(int(self._w_gids[j])
+                                   for payload in payloads for j in payload)
+        else:
+            qualifying = frozenset(j for payload in payloads for j in payload)
         if self.last_stats is not None:
             self.last_stats.merge_s += perf_counter() - t0
         return RTKResult(weights=qualifying, k=k, counter=counter)
@@ -292,6 +332,14 @@ class ShardedGirRRQ(RRQAlgorithm):
         t0 = perf_counter()
         pairs = [tuple(pair) for payload in payloads for pair in payload]
         result = make_rkr_result(pairs, k, counter)
+        if self._w_gids is not None:
+            # The id map is monotone, so remapping after the merge keeps
+            # the lexicographic (rank, index) truncation intact.
+            result = RKRResult(
+                entries=tuple((rank, int(self._w_gids[j]))
+                              for rank, j in result.entries),
+                k=result.k, counter=result.counter,
+            )
         if self.last_stats is not None:
             self.last_stats.merge_s += perf_counter() - t0
         return result

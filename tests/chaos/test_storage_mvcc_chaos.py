@@ -1,0 +1,356 @@
+"""Chaos tests for the MVCC segment store under a durable engine.
+
+The contract under attack (ISSUE acceptance): SIGKILL at **every**
+seal/compaction fault site recovers to a valid manifest with zero
+acked-write loss.  Seals and compactions commit disk-first behind an
+atomic ``CURRENT`` flip, so a crash at any point leaves either the old
+or the new manifest — never a torn one — and the WAL tail replays the
+delta the dead process never sealed.  Torn *artifacts* (segment files,
+manifest bodies) must be swept as orphans on recovery; the one place a
+torn write can land on a committed path (a non-atomic ``CURRENT``
+overwrite, which the real temp+rename writer cannot produce) must
+refuse with a structured error — silent wrong answers are the only
+forbidden outcome.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.data.datasets import ProductSet, WeightSet
+from repro.durability import DurableDynamicRRQ, durability_report
+from repro.errors import IndexCorruptionError
+from repro.ext.dynamic import DynamicRRQEngine
+from repro.resilience.faults import FaultPlan, InjectedCrashError, inject
+
+DIM = 3
+
+#: Artifact payloads a dying seal/compaction can tear on disk.
+SEGMENT_ARTIFACT_SITES = (
+    "storage.segment.products.mat",
+    "storage.segment.weights.mat",
+    "storage.segment.segment.json",
+    "storage.segment.MANIFEST.json",
+)
+#: Control-flow crash points around the store-manifest commit.
+MANIFEST_SITES = ("storage.manifest.write", "storage.manifest.current")
+
+
+def _stream(rng, count):
+    """Deterministic mixed mutations; ids align between both engines."""
+    ops = []
+    for i in range(count):
+        roll = rng.random()
+        if roll < 0.45:
+            ops.append(("insert_product", list(rng.random(DIM) * 0.9)))
+        elif roll < 0.7:
+            w = rng.random(DIM) + 1e-3
+            ops.append(("insert_weight", list(w / w.sum())))
+        elif roll < 0.85:
+            ops.append(("delete_product", None))
+        else:
+            ops.append(("modify_product", list(rng.random(DIM) * 0.9)))
+    return ops
+
+
+def _apply(engine, ops):
+    """Apply ops to a durable engine or a bare dynamic engine."""
+    for op, payload in ops:
+        if op == "insert_product":
+            engine.insert_product(payload)
+        elif op == "insert_weight":
+            engine.insert_weight(payload)
+        elif op == "delete_product":
+            live = engine.products.live_indices()
+            if len(live):
+                getattr(engine, "delete_product",
+                        getattr(engine, "remove_product", None))(int(live[0]))
+            else:
+                engine.insert_product([0.5] * DIM)
+        else:
+            live = engine.products.live_indices()
+            if len(live):
+                engine.modify_product(int(live[-1]), payload)
+            else:
+                engine.insert_product(payload)
+
+
+def _reference(ops):
+    reference = DynamicRRQEngine(dim=DIM, value_range=1.0)
+    _apply(reference, ops)
+    return reference
+
+
+def assert_zero_acked_loss(recovered, reference, rng, k=5):
+    """Recovered segmented answers == reference == exact scan (gids align:
+    neither engine ever renumbered, so stable ids coincide)."""
+    assert recovered.num_products == reference.num_products
+    assert recovered.num_weights == reference.num_weights
+    pv, wv = reference.products, reference.weights
+    if pv.live_count == 0 or wv.live_count == 0:
+        return
+    naive = NaiveRRQ(ProductSet(pv.live_values(), value_range=1.0),
+                     WeightSet(wv.live_values()))
+    w_map = list(wv.live_indices())
+    for _ in range(4):
+        q = rng.random(DIM) * 0.9
+        expected = frozenset(int(w_map[j])
+                             for j in naive.reverse_topk(q, k).weights)
+        assert recovered.reverse_topk(q, k).weights == expected
+
+
+def _segmented(path, **kwargs):
+    return DurableDynamicRRQ(path, dim=DIM, fsync="always",
+                             backend="segmented", seal_every=0,
+                             auto_compact=False, **kwargs)
+
+
+@pytest.fixture
+def ops(chaos_seed):
+    return _stream(np.random.default_rng(chaos_seed), 40)
+
+
+@pytest.mark.timeout(120)
+class TestCrashMidSeal:
+    @pytest.mark.parametrize("site", SEGMENT_ARTIFACT_SITES)
+    def test_torn_segment_artifact_is_swept_and_nothing_acked_is_lost(
+            self, tmp_path, chaos_seed, ops, site):
+        engine = _segmented(tmp_path / "db")
+        _apply(engine, ops[:20])
+        assert engine.engine.seal(force=True) is not None  # clean segment
+        _apply(engine, ops[20:])
+        acked = engine.last_lsn
+
+        plan = FaultPlan(seed=chaos_seed).add(site, "partial_write")
+        with inject(plan) as injector:
+            with pytest.raises((InjectedCrashError, OSError)):
+                engine.engine.seal(force=True)
+        assert injector.fired() == 1
+        engine.close()  # the dying process never sealed
+
+        recovered = _segmented(tmp_path / "db")
+        assert recovered.last_lsn == acked
+        assert recovered.replayed_records > 0  # the unsealed delta came back
+        stats = recovered.storage_stats()
+        assert stats["segments"] == 1  # the torn second segment was swept
+        report = durability_report(tmp_path / "db")
+        assert report["ok"] and report["storage"]["status"] == "ok"
+        assert_zero_acked_loss(recovered, _reference(ops),
+                               np.random.default_rng(chaos_seed + 1))
+        recovered.close()
+
+    @pytest.mark.parametrize("site", MANIFEST_SITES)
+    def test_crash_before_manifest_commit_keeps_the_old_lineage(
+            self, tmp_path, chaos_seed, ops, site):
+        engine = _segmented(tmp_path / "db")
+        _apply(engine, ops)
+        acked = engine.last_lsn
+        barrier_before = engine.engine.applied_lsn
+        assert engine.storage_stats()["manifest_lsn"] < barrier_before
+
+        plan = FaultPlan(seed=chaos_seed).add(site, "io_error")
+        with inject(plan) as injector:
+            with pytest.raises(OSError):
+                engine.engine.seal(force=True)
+        assert injector.fired() == 1
+        engine.close()
+
+        recovered = _segmented(tmp_path / "db")
+        assert recovered.last_lsn == acked
+        # The old manifest barrier survived; the WAL replayed everything.
+        assert recovered.storage_stats()["manifest_lsn"] < barrier_before + 1
+        report = durability_report(tmp_path / "db")
+        assert report["ok"] and report["storage"]["status"] == "ok"
+        assert_zero_acked_loss(recovered, _reference(ops),
+                               np.random.default_rng(chaos_seed + 2))
+        recovered.close()
+
+
+@pytest.mark.timeout(120)
+class TestCrashMidCompaction:
+    @pytest.mark.parametrize(
+        "site", SEGMENT_ARTIFACT_SITES[:2] + MANIFEST_SITES)
+    def test_every_compaction_fault_site_recovers_valid(
+            self, tmp_path, chaos_seed, ops, site):
+        engine = _segmented(tmp_path / "db")
+        _apply(engine, ops[:20])
+        engine.engine.seal(force=True)
+        _apply(engine, ops[20:])
+        engine.snapshot()  # checkpoint: seals + truncates the WAL
+        acked = engine.last_lsn
+        segments_before = engine.storage_stats()["segments"]
+        assert segments_before >= 2
+
+        kind = ("partial_write" if site.startswith("storage.segment")
+                else "io_error")
+        plan = FaultPlan(seed=chaos_seed).add(site, kind)
+        with inject(plan) as injector:
+            with pytest.raises(OSError):
+                engine.compact()
+        assert injector.fired() >= 1
+        engine.close()
+
+        recovered = _segmented(tmp_path / "db")
+        assert recovered.last_lsn == acked
+        stats = recovered.storage_stats()
+        # Old segment lineage intact, the half-merged orphan swept.
+        assert stats["segments"] == segments_before
+        seg_dirs = [d for d in (tmp_path / "db" / "segments").iterdir()
+                    if d.is_dir()]
+        assert len(seg_dirs) == segments_before
+        report = durability_report(tmp_path / "db")
+        assert report["ok"] and report["storage"]["status"] == "ok"
+        assert_zero_acked_loss(recovered, _reference(ops),
+                               np.random.default_rng(chaos_seed + 3))
+        recovered.close()
+
+    def test_clean_compaction_after_recovery_still_converges(
+            self, tmp_path, chaos_seed, ops):
+        """After a crashed compaction, the next clean one finishes the
+        job — the store is not wedged."""
+        engine = _segmented(tmp_path / "db")
+        _apply(engine, ops)
+        engine.engine.seal(force=True)
+        _apply(engine, ops[:10])
+        engine.snapshot()
+        plan = FaultPlan(seed=chaos_seed).add(
+            "storage.manifest.current", "io_error")
+        with inject(plan):
+            with pytest.raises(OSError):
+                engine.compact()
+        engine.close()
+
+        recovered = _segmented(tmp_path / "db")
+        recovered.compact()
+        assert recovered.storage_stats()["segments"] == 1
+        assert_zero_acked_loss(recovered, _reference(ops + ops[:10]),
+                               np.random.default_rng(chaos_seed + 4))
+        recovered.close()
+
+
+@pytest.mark.timeout(120)
+class TestTornCommitPointer:
+    def test_torn_current_refuses_with_a_structured_error(
+            self, tmp_path, chaos_seed, ops):
+        """A torn ``CURRENT`` (only producible by a non-atomic writer)
+        must refuse recovery — never serve from a garbage manifest."""
+        engine = _segmented(tmp_path / "db")
+        _apply(engine, ops[:15])
+        plan = FaultPlan(seed=chaos_seed).add(
+            "storage.manifest.current", "partial_write", keep_fraction=0.3)
+        with inject(plan):
+            with pytest.raises(InjectedCrashError):
+                engine.engine.seal(force=True)
+        engine.close()
+
+        report = durability_report(tmp_path / "db")
+        assert not report["ok"]
+        assert report["storage"]["status"].startswith("corrupt")
+        with pytest.raises(IndexCorruptionError):
+            _segmented(tmp_path / "db")
+
+
+@pytest.mark.timeout(120)
+class TestPinnedReaderUnderChaos:
+    def test_pin_survives_a_crashed_seal_and_a_real_compaction(
+            self, tmp_path, chaos_seed, ops):
+        engine = _segmented(tmp_path / "db")
+        _apply(engine, ops)
+        engine.engine.seal(force=True)
+        snap = engine.pin_snapshot()
+        assert snap is not None
+        rng = np.random.default_rng(chaos_seed + 5)
+        queries = [rng.random(DIM) * 0.9 for _ in range(3)]
+        before = [snap.reverse_kranks(q, 5).entries for q in queries]
+
+        plan = FaultPlan(seed=chaos_seed).add(
+            "storage.manifest.write", "io_error")
+        _apply(engine, ops[:20])
+        with inject(plan):
+            with pytest.raises(OSError):
+                engine.engine.seal(force=True)
+        engine.engine.seal(force=True)  # clean retry
+        engine.compact()
+
+        after = [snap.reverse_kranks(q, 5).entries for q in queries]
+        assert after == before  # the pin saw none of it
+        snap.release()
+        engine.close()
+
+
+@pytest.mark.chaos_serial
+@pytest.mark.timeout(120)
+class TestKill9SegmentedServe:
+    def test_sigkill_mid_traffic_recovers_the_segmented_store(
+            self, tmp_path, chaos_seed):
+        """End to end, no in-process shortcuts: a fresh ``serve
+        --durable`` directory comes up on the segmented backend, eats
+        acked traffic (including /modify and a /snapshot checkpoint),
+        dies by real SIGKILL, and recovers every acknowledged write."""
+        from .test_kill9_recovery import (
+            ServeProcess,
+            _get,
+            _post,
+            wait_healthy,
+        )
+
+        rng = np.random.default_rng(chaos_seed + 11)
+        db = tmp_path / "db"
+        server = ServeProcess(db, "--dim", str(DIM), "--fsync", "always",
+                              "--storage", "segmented")
+        try:
+            wait_healthy(server.url)
+            info = _get(server.url + "/info")
+            assert info["backend"] == "segmented"
+            acked = 0
+            first_product = None
+            for i in range(30):
+                if i % 5 == 4:
+                    w = rng.random(DIM) + 1e-3
+                    reply = _post(server.url + "/insert",
+                                  {"type": "weight",
+                                   "vector": list(w / w.sum())})
+                else:
+                    reply = _post(server.url + "/insert",
+                                  {"type": "product",
+                                   "vector": list(rng.random(DIM) * 0.9)})
+                    if first_product is None:
+                        first_product = reply["index"]
+                acked = reply["lsn"]
+            reply = _post(server.url + "/modify",
+                          {"type": "product", "index": first_product,
+                           "vector": list(rng.random(DIM) * 0.9)})
+            acked = reply["lsn"]
+            _post(server.url + "/snapshot", {})  # checkpoint mid-history
+            for _ in range(5):
+                reply = _post(server.url + "/insert",
+                              {"type": "product",
+                               "vector": list(rng.random(DIM) * 0.9)})
+                acked = reply["lsn"]
+            server.kill9()
+        finally:
+            server.terminate()
+
+        recovered = DurableDynamicRRQ(db, fsync="always")
+        assert recovered.backend == "segmented"
+        assert recovered.last_lsn == acked
+        report = durability_report(db)
+        assert report["ok"] and report["storage"]["status"] == "ok"
+        pv, wv = recovered.products, recovered.weights
+        naive = NaiveRRQ(ProductSet(pv.live_values(), value_range=1.0),
+                         WeightSet(wv.live_values()))
+        w_map = list(wv.live_indices())
+        for _ in range(3):
+            q = rng.random(DIM) * 0.9
+            expected = frozenset(int(w_map[j])
+                                 for j in naive.reverse_topk(q, 5).weights)
+            assert recovered.reverse_topk(q, 5).weights == expected
+        recovered.close()
+
+        reborn = ServeProcess(db, "--fsync", "always")
+        try:
+            health = wait_healthy(reborn.url)
+            assert health["last_lsn"] == acked
+            assert _get(reborn.url + "/info")["backend"] == "segmented"
+        finally:
+            reborn.terminate()

@@ -176,3 +176,97 @@ class TestCompact:
         assert p_map[0] == -1
         assert p_map[1] == 0  # shifted down
         assert np.all(w_map == np.arange(len(w_map)))
+
+
+class TestModify:
+    def test_modify_product_tombstones_and_reinserts(self, seeded_engine):
+        engine, P, _ = seeded_engine
+        replacement = np.clip(P.values[1] * 0.5, 0, 0.9)
+        new_idx = engine.modify_product(3, replacement)
+        assert new_idx == engine.products.size - 1
+        with pytest.raises(InvalidParameterError):
+            engine.products[3]
+        np.testing.assert_array_equal(engine.products[new_idx], replacement)
+        assert_agrees(engine, P.values[10], 5)
+
+    def test_modify_weight_renormalizes(self, seeded_engine):
+        engine, P, _ = seeded_engine
+        raw = np.ones(4) * 2.5
+        new_idx = engine.modify_weight(2, raw, renormalize=True)
+        np.testing.assert_allclose(engine.weights[new_idx], np.full(4, 0.25))
+        with pytest.raises(InvalidParameterError):
+            engine.weights[2]
+        assert_agrees(engine, P.values[11], 5)
+
+    def test_modify_validates_before_mutating(self, seeded_engine):
+        engine, _, _ = seeded_engine
+        with pytest.raises(DataValidationError):
+            engine.modify_product(3, np.full(4, 2.0))  # out of range
+        engine.products[3]  # still live: validation ran first
+        with pytest.raises(DataValidationError):
+            engine.modify_weight(2, np.full(4, 0.5))  # sums to 2.0
+        engine.weights[2]
+
+
+class TestLiveViewConcurrency:
+    def test_read_during_append_is_coherent(self):
+        """Regression: a reader racing appends (including buffer growth)
+        must never pair a new alive mask with an old data buffer, tear a
+        half-written row, or crash.  Rows are constant-valued so any torn
+        or misaligned read shows up as a non-constant row."""
+        import threading
+
+        from repro.ext.dynamic import MIN_CAPACITY, _GrowableMatrix, LiveView
+
+        dim = 4
+        total = MIN_CAPACITY * 64  # force several copy-on-grow cycles
+        matrix = _GrowableMatrix(dim)
+        view = LiveView(matrix, value_range=1.0)
+        errors = []
+        done = threading.Event()
+
+        def reader():
+            while not done.is_set():
+                try:
+                    rows = view.live_values()
+                    if rows.size:
+                        # Every published row is constant-valued.
+                        if not np.all(rows == rows[:, :1]):
+                            errors.append("torn row observed")
+                            return
+                    idx = matrix.total_count - 1
+                    if idx >= 0:
+                        row = view[idx]
+                        if not np.all(row == row[0]):
+                            errors.append(f"torn row at {idx}")
+                            return
+                except Exception as exc:  # pragma: no cover - the bug
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(total):
+                matrix.append(np.full(dim, (i % 97) / 97.0))
+        finally:
+            done.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert not errors, errors
+        assert matrix.generation >= 5  # growth actually happened
+        assert view.live_count == total
+
+    def test_old_views_frozen_after_growth(self):
+        from repro.ext.dynamic import MIN_CAPACITY, _GrowableMatrix
+
+        matrix = _GrowableMatrix(2)
+        for i in range(MIN_CAPACITY):
+            matrix.append(np.full(2, float(i)))
+        rows_before, alive_before, used = matrix.snapshot_state()
+        frozen = rows_before.copy()
+        for i in range(MIN_CAPACITY * 3):  # grows at least twice
+            matrix.append(np.full(2, -1.0))
+        np.testing.assert_array_equal(rows_before, frozen)
+        assert used == MIN_CAPACITY

@@ -302,3 +302,89 @@ class TestValidation:
         for i in range(8):
             assert results[i].weights == engine.reverse_topk(
                 engine.products[i], 7).weights
+
+
+class TestSnapshotBatchPath:
+    """Coalesced batches over an MVCC engine pin one snapshot: no engine
+    lock for the whole batch, answers byte-identical to the engine."""
+
+    @pytest.fixture
+    def durable(self, tmp_path):
+        import numpy as np
+
+        from repro.durability import DurableDynamicRRQ
+
+        rng = np.random.default_rng(911)
+        engine = DurableDynamicRRQ(tmp_path / "db", dim=4,
+                                   backend="segmented", seal_every=16,
+                                   auto_compact=False, fsync="never")
+        for _ in range(60):
+            engine.insert_product(rng.uniform(0, 0.9, 4))
+        for _ in range(40):
+            w = rng.uniform(0.1, 1.0, 4)
+            engine.insert_weight(w / w.sum())
+        yield engine
+        engine.close()
+
+    def test_batch_pins_one_snapshot_and_matches_engine(self, durable):
+        scheduler = make_scheduler(
+            durable, batch_window_s=0.1,
+            limits=ServiceLimits(max_batch=16),
+        )
+        assert scheduler._use_snapshot_kernel
+        queries = [durable.products[i] for i in (0, 7, 23, 41)]
+        futures = [scheduler.submit(q, "rtk", 8) for q in queries[:2]]
+        futures += [scheduler.submit(q, "rkr", 5) for q in queries[2:]]
+        scheduler.start()
+        try:
+            results = [f.result(timeout=10) for f in futures]
+        finally:
+            scheduler.close()
+        for q, result in zip(queries[:2], results[:2]):
+            assert result.weights == durable.reverse_topk(q, 8).weights
+        for q, result in zip(queries[2:], results[2:]):
+            assert result.entries == durable.reverse_kranks(q, 5).entries
+        # The densified snapshot kernel answered the batch.
+        assert scheduler.metrics.snapshot()["kernel"]["queries"] == 4
+        assert scheduler._snap_kernel is not None
+
+    def test_kernel_cache_rebuilds_only_when_the_store_moves(self, durable):
+        import numpy as np
+
+        scheduler = make_scheduler(
+            durable, batch_window_s=0.1,
+            limits=ServiceLimits(max_batch=16),
+        )
+        queries = [durable.products[i] for i in (1, 5, 9)]
+
+        def run_batch():
+            futures = [scheduler.submit(q, "rtk", 6) for q in queries]
+            scheduler.start()
+            return [f.result(timeout=10) for f in futures]
+
+        run_batch()
+        first = scheduler._snap_kernel
+        assert first is not None
+        # Same store generation -> the cached kernel is reused.
+        futures = [scheduler.submit(q, "rkr", 4) for q in queries]
+        [f.result(timeout=10) for f in futures]
+        assert scheduler._snap_kernel is first
+
+        durable.insert_product(np.full(4, 0.42))  # writer never blocked
+        futures = [scheduler.submit(q, "rtk", 6) for q in queries]
+        results = [f.result(timeout=10) for f in futures]
+        scheduler.close()
+        assert scheduler._snap_kernel is not first  # generation moved
+        for q, result in zip(queries, results):
+            assert result.weights == durable.reverse_topk(q, 6).weights
+
+    def test_single_request_uses_snapshot_without_kernel(self, durable):
+        scheduler = make_scheduler(durable, batch_window_s=0.0)
+        scheduler.start()
+        try:
+            got = scheduler.answer(durable.products[3], "rtk", 5)
+        finally:
+            scheduler.close()
+        assert got.weights == durable.reverse_topk(
+            durable.products[3], 5).weights
+        assert scheduler.metrics.snapshot()["kernel"]["queries"] == 0
