@@ -71,3 +71,44 @@ def test_kernel_vs_loop(benchmark, kernel_rows):
     kernel = GirKernelRRQ(P, W)
     q = sample_queries(P, count=1, seed=3)[0]
     benchmark(lambda: kernel.reverse_topk(q, DEFAULT_K))
+
+
+FUSED_Q = 8
+
+
+@pytest.fixture(scope="module")
+def fused_rows():
+    rows = []
+    size_p = max(300, scaled_size(300))
+    for size_w in W_SIZES:
+        P, W = make_workload("UN", "UN", 6, size_p=size_p, size_w=size_w,
+                             seed=size_w)
+        queries = sample_queries(P, count=FUSED_Q, seed=size_w)
+        kernel = GirKernelRRQ(P, W)
+        seq_timer, fused_timer = Timer(), Timer()
+        with seq_timer.measure():
+            seq = [kernel.reverse_topk(q, DEFAULT_K) for q in queries]
+        with fused_timer.measure():
+            fused = kernel.reverse_topk_batch(queries, DEFAULT_K)
+        assert fused == seq  # byte-identical or bust
+        rows.append([size_w, ms(seq_timer.mean), ms(fused_timer.mean),
+                     round(seq_timer.mean / fused_timer.mean, 2)])
+    return rows
+
+
+def test_fused_batch_vs_sequential(benchmark, fused_rows):
+    banner(f"Fused Q={FUSED_Q} batch vs sequential kernel (d=6, RTK)")
+    record_table(
+        "fused_batch_vs_sequential",
+        ["|W|", f"{FUSED_Q}x sequential ms", "fused batch ms", "speedup"],
+        fused_rows,
+        "Fused multi-query kernel — shared tile matmuls across the batch",
+    )
+
+    # Headline benchmark: the fused batch at the largest |W|.
+    size_p = max(300, scaled_size(300))
+    P, W = make_workload("UN", "UN", 6, size_p=size_p, size_w=W_SIZES[-1],
+                         seed=W_SIZES[-1])
+    kernel = GirKernelRRQ(P, W)
+    queries = sample_queries(P, count=FUSED_Q, seed=5)
+    benchmark(lambda: kernel.reverse_topk_batch(queries, DEFAULT_K))

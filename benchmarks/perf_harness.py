@@ -7,7 +7,11 @@ is ``repro-rrq bench``).  Two modes:
 * default — the committed trajectory configs (|W| = 100k), writes
   ``BENCH_kernel.json`` next to the repo root;
 * ``--smoke`` — tiny pinned-seed configs for CI (seconds, always
-  verified against the naive oracle), writes ``BENCH_smoke.json``.
+  verified against the naive oracle), writes ``BENCH_smoke.json``;
+* ``--fused`` — the fused multi-query batch + mmap cold-start harness
+  instead (writes ``BENCH_fused.json``, or ``BENCH_fused_smoke.json``
+  with ``--smoke``); ``--baseline`` then gates the fused wall times and
+  the mmap cold-start load time.
 
 Exit codes: 0 on success, **1 when any kernel answer diverged from the
 per-weight GIR loop or the oracle**, 2 on bad paths/config files.
@@ -53,6 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(0 disables; default max(2, cpu_count))")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the exact-oracle verification pass")
+    parser.add_argument("--fused", action="store_true",
+                        help="run the fused multi-query batch + mmap "
+                             "cold-start harness instead")
     parser.add_argument("--baseline", default=None, metavar="FILE",
                         help="committed BENCH_*.json to gate against: "
                              "exit 1 when any kernel p50 regresses past "
@@ -66,38 +73,59 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.bench.harness import (
         DEFAULT_SEED,
+        FUSED_SMOKE_CONFIGS,
         SMOKE_CONFIGS,
         load_configs,
+        run_fused_harness,
         run_harness,
     )
     from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
-    out = args.out or ("BENCH_smoke.json" if args.smoke
-                       else "BENCH_kernel.json")
+    if args.fused:
+        out = args.out or ("BENCH_fused_smoke.json" if args.smoke
+                           else "BENCH_fused.json")
+    else:
+        out = args.out or ("BENCH_smoke.json" if args.smoke
+                           else "BENCH_kernel.json")
     try:
         configs = None
         if args.configs is not None:
             configs = load_configs(args.configs)
         elif args.smoke:
-            configs = list(SMOKE_CONFIGS)
-        report = run_harness(
-            configs=configs,
-            seed=args.seed if args.seed is not None else DEFAULT_SEED,
-            shards=args.shards,
-            verify=not args.no_verify,
-            out=out,
-            progress=lambda message: print(message, flush=True),
-        )
+            configs = list(FUSED_SMOKE_CONFIGS if args.fused
+                           else SMOKE_CONFIGS)
+        seed = args.seed if args.seed is not None else DEFAULT_SEED
+        if args.fused:
+            report = run_fused_harness(
+                configs=configs, seed=seed, verify=not args.no_verify,
+                out=out,
+                progress=lambda message: print(message, flush=True),
+            )
+        else:
+            report = run_harness(
+                configs=configs, seed=seed, shards=args.shards,
+                verify=not args.no_verify, out=out,
+                progress=lambda message: print(message, flush=True),
+            )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     for record in report["configs"]:
-        rtk, rkr = record["rtk"], record["rkr"]
-        print(f"{record['name']}: rtk x{rtk['kernel_speedup']:.1f} "
-              f"rkr x{rkr['kernel_speedup']:.1f} "
-              f"filter_rate={record['kernel_stats']['filter_rate']:.3f} "
-              f"verified={record['verified']}")
+        if args.fused:
+            cold = record["cold_start"]
+            print(f"{record['name']}: "
+                  f"rtk wall x{record['fused_rtk']['wall_speedup']:.2f} "
+                  f"rkr wall x{record['fused_rkr']['wall_speedup']:.2f} "
+                  f"cold-start x{cold['speedup']:.1f} "
+                  f"verified={record['verified']}")
+        else:
+            rtk, rkr = record["rtk"], record["rkr"]
+            print(f"{record['name']}: rtk x{rtk['kernel_speedup']:.1f} "
+                  f"rkr x{rkr['kernel_speedup']:.1f} "
+                  f"filter_rate="
+                  f"{record['kernel_stats']['filter_rate']:.3f} "
+                  f"verified={record['verified']}")
     print(f"wrote {out} (ok={report['ok']})")
     if not report["ok"]:
         print("error: kernel answers diverged from the oracle",
@@ -108,6 +136,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         from repro.bench.harness import (
             DEFAULT_MAX_REGRESS_PCT,
+            FUSED_GATED_METRICS,
             check_regression,
         )
 
@@ -119,7 +148,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         budget = (args.max_regress_pct if args.max_regress_pct is not None
                   else DEFAULT_MAX_REGRESS_PCT)
-        verdict = check_regression(report, baseline, budget)
+        if args.fused:
+            verdict = check_regression(report, baseline, budget,
+                                       metrics=FUSED_GATED_METRICS)
+        else:
+            verdict = check_regression(report, baseline, budget)
         for check in verdict["checks"]:
             marker = "ok" if check["ok"] else "REGRESSED"
             print(f"gate {check['config']}/{check['kind']} "

@@ -17,7 +17,8 @@ Installed as ``repro-rrq``.  Subcommands cover the full life cycle:
   coordinator front door (dev/test form of ``repro.cluster``);
 * ``bench`` — run the kernel perf-regression harness and write a
   ``BENCH_*.json`` trajectory file (exit 1 if kernel answers diverge
-  from the exact oracle);
+  from the exact oracle); ``--fused`` runs the fused multi-query batch
+  and mmap cold-start harness instead;
 * ``profile`` — replay a sampled workload through the blocked kernel
   and print the Table-4-style filter-effectiveness breakdown;
 * ``wal-dump`` — print every decoded record of a write-ahead log;
@@ -33,7 +34,9 @@ Examples::
     repro-rrq compare data/ --product 17 -k 10
     repro-rrq model --dim 20 --epsilon 0.01
     repro-rrq serve idx/ --port 8377 --batch-window-ms 2
+    repro-rrq serve idx/ --kernel-cache cache/   # mmap warm starts
     repro-rrq bench --smoke --out BENCH_smoke.json
+    repro-rrq bench --fused --smoke              # fused batch + mmap gate
     repro-rrq profile idx/ --queries 100 --kind both -k 10
     repro-rrq serve wal/ --durable --dim 6 --fsync always
     repro-rrq serve wal2/ --durable --standby-of http://127.0.0.1:8377
@@ -240,6 +243,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slow_query_threshold_s=(args.slow_ms / 1000.0
                                 if args.slow_ms > 0 else None),
         trace_export_path=args.trace_export,
+        kernel_cache_dir=args.kernel_cache,
     )
     if args.durable:
         from .durability import DurableDynamicRRQ
@@ -390,6 +394,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
             print(f"{name:18s} {size:.3%}")
         else:
             print(f"{name:18s} {size:>12,} bytes")
+    _kernel_store_info(path)
     integrity = verify_index(args.index)
     if integrity["ok"]:
         print("integrity          ok")
@@ -400,6 +405,30 @@ def _cmd_info(args: argparse.Namespace) -> int:
         print(f"integrity          DAMAGED: {damaged}{hint}")
         return 1
     return 0
+
+
+def _kernel_store_info(path: Path) -> None:
+    """Report packed kernel stores (mmap warm start) under ``path``.
+
+    A store lives either directly in the directory or in the cache
+    layout ``serve --kernel-cache`` maintains (``static``/``gen-<N>``
+    subdirectories); each one is a single mmap away from a warm kernel.
+    """
+    from .vectorized.kernelstore import kernel_store_size
+
+    candidates = [path] + sorted(
+        child for child in path.iterdir()
+        if child.is_dir() and (child.name == "static"
+                               or child.name.startswith("gen-")))
+    stores = [c for c in candidates
+              if (c / "kernel.bin").exists() and (c / "kernel.meta").exists()]
+    if not stores:
+        return
+    total = sum(kernel_store_size(c) for c in stores)
+    where = ", ".join("." if c == path else c.name for c in stores)
+    print(f"{'kernel store':18s} {total:>12,} bytes "
+          f"({len(stores)} store(s): {where})")
+    print(f"{'warm start':18s} mmap (zero-copy, O(1) load)")
 
 
 def _durability_info(path: Path) -> int:
@@ -448,6 +477,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     """
     from .bench.harness import (
         DEFAULT_SEED,
+        FUSED_SMOKE_CONFIGS,
         SMOKE_CONFIGS,
         load_configs,
         run_harness,
@@ -457,7 +487,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.config is not None:
         configs = load_configs(args.config)
     elif args.smoke:
-        configs = list(SMOKE_CONFIGS)
+        configs = list(FUSED_SMOKE_CONFIGS if args.fused
+                       else SMOKE_CONFIGS)
+    if args.fused:
+        return _bench_fused(args, configs)
     out = args.out or ("BENCH_smoke.json" if args.smoke
                        else "BENCH_kernel.json")
     report = run_harness(
@@ -481,6 +514,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not report["ok"]:
         print("error: kernel answers diverged from the oracle",
               file=sys.stderr)
+        return 1
+    return 0
+
+
+def _bench_fused(args: argparse.Namespace, configs) -> int:
+    """``bench --fused``: the fused-batch + mmap cold-start harness."""
+    from .bench.harness import DEFAULT_SEED, run_fused_harness
+
+    out = args.out or ("BENCH_fused_smoke.json" if args.smoke
+                       else "BENCH_fused.json")
+    report = run_fused_harness(
+        configs=configs,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        verify=not args.no_verify,
+        out=out,
+        progress=lambda message: print(message, flush=True),
+    )
+    for record in report["configs"]:
+        cold = record["cold_start"]
+        print(f"{record['name']}: "
+              f"rtk wall x{record['fused_rtk']['wall_speedup']:.2f} "
+              f"filter x{record['fused_rtk']['filter_speedup']:.2f}  "
+              f"rkr wall x{record['fused_rkr']['wall_speedup']:.2f} "
+              f"filter x{record['fused_rkr']['filter_speedup']:.2f}  "
+              f"cold-start x{cold['speedup']:.1f} "
+              f"(rebuild {cold['rebuild_s']*1000:.1f}ms, "
+              f"mmap {cold['mmap_load_s']*1000:.2f}ms, "
+              f"store {cold['store_bytes']:,}B) "
+              f"verified={record['verified']}")
+    print(f"wrote {out} (ok={report['ok']})")
+    if not report["ok"]:
+        print("error: fused answers diverged from the sequential kernel "
+              "or the oracle", file=sys.stderr)
         return 1
     return 0
 
@@ -670,6 +736,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sharded-engine worker count (0 disables)")
     bench.add_argument("--no-verify", action="store_true",
                        help="skip the exact-oracle verification pass")
+    bench.add_argument("--fused", action="store_true",
+                       help="run the fused multi-query batch + mmap "
+                            "cold-start harness instead (writes "
+                            "BENCH_fused*.json)")
     bench.set_defaults(func=_cmd_bench)
 
     profile = sub.add_parser(
@@ -736,6 +806,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="slow-query log threshold in ms (0 disables)")
     serve.add_argument("--trace-export", default=None, metavar="FILE",
                        help="append finished traces to this JSON-lines file")
+    serve.add_argument("--kernel-cache", default=None, metavar="DIR",
+                       help="persist built kernels as packed mmap stores "
+                            "under this directory for O(1) warm starts")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request")
     serve.add_argument("--durable", action="store_true",

@@ -79,7 +79,8 @@ class ServiceMetrics:
         self._kernel_queries = 0
         self._kernel_stage_s = {"filter": 0.0, "refine": 0.0, "merge": 0.0}
         self._kernel_pairs = {"total": 0, "case1": 0, "case2": 0,
-                              "refined": 0, "domin_skipped": 0}
+                              "refined": 0, "domin_skipped": 0, "f32": 0}
+        self._kernel_fused = {"batches": 0, "queries": 0}
         self._kernel_weights_pruned = 0
         self._mutations_total = 0
         self._mutations_by_op: Dict[str, int] = {}
@@ -161,7 +162,10 @@ class ServiceMetrics:
             for stage in self._kernel_stage_s:
                 self._kernel_stage_s[stage] += stats["stage_s"][stage]
             for key in self._kernel_pairs:
-                self._kernel_pairs[key] += stats["pairs"][key]
+                self._kernel_pairs[key] += stats["pairs"].get(key, 0)
+            fused = stats.get("fused", {})
+            self._kernel_fused["batches"] += fused.get("batches", 0)
+            self._kernel_fused["queries"] += fused.get("queries", 0)
             self._kernel_weights_pruned += stats["weights_pruned"]
             if stats["pairs"]["total"]:
                 self._filter_rate_hist.observe(stats["filter_rate"],
@@ -247,6 +251,7 @@ class ServiceMetrics:
                     "queries": self._kernel_queries,
                     "stage_s": dict(self._kernel_stage_s),
                     "pairs": dict(self._kernel_pairs),
+                    "fused": dict(self._kernel_fused),
                     "weights_pruned": self._kernel_weights_pruned,
                     "filter_rate": (
                         (self._kernel_pairs["case1"]
@@ -302,6 +307,7 @@ class ServiceMetrics:
             kernel_queries = self._kernel_queries
             stage_s = dict(self._kernel_stage_s)
             kernel_pairs = dict(self._kernel_pairs)
+            kernel_fused = dict(self._kernel_fused)
             weights_pruned = self._kernel_weights_pruned
             filter_rate = (
                 (kernel_pairs["case1"] + kernel_pairs["case2"])
@@ -362,11 +368,19 @@ class ServiceMetrics:
                         "Cumulative kernel wall-clock by stage.",
                         stage_s[stage], labels={"stage": stage})
         for klass in ("total", "case1", "case2", "refined",
-                      "domin_skipped"):
+                      "domin_skipped", "f32"):
             exp.counter("rrq_kernel_pairs_total",
                         "(p, w) pairs by grid-bound classification "
-                        "outcome (the paper's Table-4 accounting).",
+                        "outcome (the paper's Table-4 accounting; 'f32' "
+                        "counts pairs classified by the float32 prefilter).",
                         kernel_pairs[klass], labels={"class": klass})
+        exp.counter("rrq_kernel_fused_batches_total",
+                    "Fused multi-query kernel passes (one shared "
+                    "gather/matmul pipeline per coalesced batch).",
+                    kernel_fused["batches"])
+        exp.counter("rrq_kernel_fused_queries_total",
+                    "Queries answered inside a fused multi-query pass.",
+                    kernel_fused["queries"])
         exp.counter("rrq_kernel_weights_pruned_total",
                     "Weight vectors pruned by the k/minRank abort before "
                     "refinement.", weights_pruned)

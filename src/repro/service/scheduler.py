@@ -107,9 +107,20 @@ class MicroBatchScheduler:
         on the first coalesced batch — wrapping the engine's own grid
         when it is a :class:`~repro.core.gir.GridIndexRRQ` — and its
         per-stage timings / filter rates flow into ``/metrics``.
-        Answers are byte-identical either way; this only changes how
-        much arithmetic the batch path performs.  Ignored for dynamic
-        engines (their arrays mutate under the scheduler).
+        Coalesced batches of more than one request run through the
+        *fused* multi-query kernel path (one shared gather/matmul
+        pipeline for the whole batch), with the per-query kernel loop
+        preserved as the fallback.  Answers are byte-identical either
+        way; this only changes how much arithmetic the batch path
+        performs.  Ignored for dynamic engines (their arrays mutate
+        under the scheduler).
+    kernel_cache_dir:
+        Directory for mmap kernel warm starts
+        (:mod:`repro.vectorized.kernelstore`).  Static engines persist
+        their lazily built kernel under ``<dir>/static`` and reload it
+        zero-copy on the next process start (validated against the
+        engine's arrays); MVCC engines key snapshot kernels by store
+        generation under ``<dir>/gen-<N>``.  ``None`` disables caching.
     auto_start:
         Start the dispatcher thread immediately (tests pass ``False`` to
         stage requests deterministically before opening the tap).
@@ -120,6 +131,7 @@ class MicroBatchScheduler:
                  metrics: Optional[ServiceMetrics] = None,
                  chunk_budget: int = DEFAULT_CHUNK_BUDGET,
                  use_kernel: bool = True,
+                 kernel_cache_dir: Optional[str] = None,
                  auto_start: bool = True):
         if batch_window_s < 0:
             raise InvalidParameterError("batch_window_s must be >= 0")
@@ -142,6 +154,7 @@ class MicroBatchScheduler:
             self._P = engine.products.values
             self._W = engine.weights.values
         self.use_kernel = bool(use_kernel) and not self._dynamic
+        self.kernel_cache_dir = kernel_cache_dir
         self._kernel: Optional[GirKernelRRQ] = None
         self._kernel_failed = False
         # MVCC engines (the segmented store) pin one immutable snapshot
@@ -371,6 +384,9 @@ class MicroBatchScheduler:
         the snapshot's merge path directly.
         """
         kernel = self._get_snapshot_kernel(snap) if len(live) > 1 else None
+        if kernel is not None and len(live) > 1 and \
+                self._answer_fused(live, kernel, counter):
+            return
         for pending in live:
             with use_context(pending.ctx), span("snapshot.query") as sp:
                 sp.annotate("kind", pending.kind)
@@ -390,6 +406,50 @@ class MicroBatchScheduler:
             counter.merge(result.counter)
             pending.future.set_result(result)
 
+    def _answer_fused(self, live: List[_Pending], backend,
+                      counter: OpCounter) -> bool:
+        """Answer the whole batch through the fused multi-query kernel.
+
+        Requests are grouped by kind and each group runs as *one*
+        ``reverse_topk_batch`` / ``reverse_kranks_batch`` call, sharing
+        the (P-block × W-block) boundary matmuls across every query of
+        the group — byte-identical to the per-query path (the property
+        suite enforces it).  Returns False (with no futures touched) on
+        any failure, so the caller's per-query loop remains the
+        fallback.
+        """
+        if not hasattr(backend, "reverse_topk_batch"):
+            return False
+        groups: dict = {}
+        for idx, pending in enumerate(live):
+            groups.setdefault(pending.kind, []).append(idx)
+        try:
+            results: List[Optional[object]] = [None] * len(live)
+            fused_stats = []
+            for kind, idxs in groups.items():
+                queries = [live[i].q for i in idxs]
+                ks = [live[i].k for i in idxs]
+                if kind == "rtk":
+                    answers = backend.reverse_topk_batch(queries, ks)
+                else:
+                    answers = backend.reverse_kranks_batch(queries, ks)
+                for i, res in zip(idxs, answers):
+                    results[i] = res
+                if backend.last_stats is not None:
+                    fused_stats.append(backend.last_stats.snapshot())
+        except Exception:
+            return False
+        for stats in fused_stats:
+            self.metrics.record_kernel(stats)
+        for pending, result in zip(live, results):
+            with use_context(pending.ctx), span("kernel.fused") as sp:
+                sp.annotate("kind", pending.kind)
+                sp.annotate("batch_size", len(live))
+                sp.annotate("fused", True)
+            counter.merge(result.counter)
+            pending.future.set_result(result)
+        return True
+
     def _get_snapshot_kernel(self, snap):
         """Densified kernel for ``snap``, cached across coalesced batches.
 
@@ -404,7 +464,9 @@ class MicroBatchScheduler:
         try:
             from ..storage import SnapshotKernel
 
-            self._snap_kernel = SnapshotKernel.build(snap)
+            self._snap_kernel = SnapshotKernel.build(
+                snap, cache_dir=self.kernel_cache_dir
+            )
         except Exception:
             self._snap_kernel_failed = True
             self._snap_kernel = None
@@ -423,6 +485,9 @@ class MicroBatchScheduler:
             return None
         if self._kernel is None:
             try:
+                self._kernel = self._load_cached_static_kernel()
+                if self._kernel is not None:
+                    return self._kernel
                 from ..core.gir import GridIndexRRQ
 
                 algorithm = getattr(self.engine, "algorithm", self.engine)
@@ -434,10 +499,53 @@ class MicroBatchScheduler:
                     self._kernel = GirKernelRRQ(
                         self.engine.products, self.engine.weights
                     )
+                self._save_static_kernel(self._kernel)
             except Exception:
                 self._kernel_failed = True
                 return None
         return self._kernel
+
+    def _load_cached_static_kernel(self) -> Optional[GirKernelRRQ]:
+        """mmap warm start for the static-engine kernel, if cached.
+
+        The ``<cache_dir>/static`` entry is trusted only after its
+        mapped ``P``/``W`` arrays compare equal to the engine's own
+        (a memcmp-speed scan — far cheaper than re-validating,
+        re-quantizing and re-gathering the bound matrices); answers are
+        byte-identical regardless of which grid built the cached kernel,
+        so a stale grid config can at worst change speed, never output.
+        """
+        if self.kernel_cache_dir is None:
+            return None
+        try:
+            from ..vectorized.kernelstore import load_kernel
+
+            import os
+            kernel = load_kernel(
+                os.path.join(self.kernel_cache_dir, "static")
+            )
+            if kernel.P.shape == self._P.shape and \
+                    kernel.W.shape == self._W.shape and \
+                    np.array_equal(kernel.P, self._P) and \
+                    np.array_equal(kernel.W, self._W):
+                return kernel
+        except Exception:
+            pass
+        return None
+
+    def _save_static_kernel(self, kernel: Optional[GirKernelRRQ]) -> None:
+        if self.kernel_cache_dir is None or kernel is None:
+            return
+        try:
+            import os
+
+            from ..vectorized.kernelstore import save_kernel
+
+            save_kernel(os.path.join(self.kernel_cache_dir, "static"),
+                        kernel)
+        except Exception:
+            # Cache persistence is best-effort; serving never depends on it.
+            pass
 
     def _answer_batched(self, live: List[_Pending],
                         counter: OpCounter) -> None:
@@ -451,6 +559,8 @@ class MicroBatchScheduler:
         """
         kernel = self._get_kernel()
         if kernel is not None:
+            if len(live) > 1 and self._answer_fused(live, kernel, counter):
+                return
             for pending in live:
                 with use_context(pending.ctx), span("kernel.query") as sp:
                     sp.annotate("kind", pending.kind)

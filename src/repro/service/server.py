@@ -114,6 +114,7 @@ class ServiceConfig:
     breaker_threshold: int = DEFAULT_FAILURE_THRESHOLD
     breaker_reset_s: float = DEFAULT_RESET_AFTER_S
     use_kernel: bool = True
+    kernel_cache_dir: Optional[str] = None
     trace_capacity: int = DEFAULT_TRACE_CAPACITY
     trace_export_path: Optional[str] = None
     slow_query_threshold_s: Optional[float] = DEFAULT_SLOW_THRESHOLD_S
@@ -185,6 +186,7 @@ class QueryService:
             limits=self.config.limits,
             metrics=self.metrics,
             use_kernel=self.config.use_kernel,
+            kernel_cache_dir=self.config.kernel_cache_dir,
         )
         self.breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_threshold,
@@ -415,6 +417,7 @@ class QueryService:
             "default_deadline_s": self.config.limits.default_deadline_s,
             "fallback": self.config.fallback,
             "use_kernel": self.config.use_kernel,
+            "kernel_cache_dir": self.config.kernel_cache_dir,
             "breaker_threshold": self.config.breaker_threshold,
             "breaker_reset_s": self.config.breaker_reset_s,
         }

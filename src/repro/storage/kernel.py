@@ -14,20 +14,34 @@ in ascending global-id order, so local order *is* global order and the
 kernel's lexicographic ``(rank, index)`` truncation commutes with the
 id map.
 
-Build cost is O((|P| + |W|) d) quantization — amortized via
-:meth:`SnapshotKernel.matches`: the scheduler caches the kernel and
-rebuilds only when the store generation moved.
+Build cost is O((|P| + |W|) d) quantization — amortized two ways:
+
+* :meth:`SnapshotKernel.matches`: the scheduler caches the kernel and
+  rebuilds only when the store generation moved;
+* ``cache_dir``: each generation's densified kernel (plus its id maps)
+  is persisted through :mod:`repro.vectorized.kernelstore`, so a
+  *process restart* against an unchanged store re-acquires the kernel
+  by memory-mapping ``<cache_dir>/gen-<N>`` instead of rebuilding —
+  O(mmap) warm start.  Older generations are pruned after each save.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import shutil
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
 
 from ..data.datasets import ProductSet, WeightSet
+from ..errors import DataValidationError, IndexCorruptionError
 from ..queries.types import RKRResult, RTKResult
 from ..stats.counters import OpCounter
 from ..vectorized.girkernel import GirKernelRRQ
+from ..vectorized.kernelstore import load_kernel_bundle, save_kernel
 from .snapshot import StoreSnapshot
+
+PathLike = Union[str, Path]
 
 
 class SnapshotKernel:
@@ -38,16 +52,32 @@ class SnapshotKernel:
     """
 
     def __init__(self, kernel: GirKernelRRQ, p_gids, w_gids,
-                 generation: int):
+                 generation: int, mmap_loaded: bool = False):
         self.kernel = kernel
         self.p_gids = p_gids
         self.w_gids = w_gids
         #: Store generation the kernel was built from.
         self.generation = int(generation)
+        #: True when this kernel came off the mmap cache, False when it
+        #: was densified from the snapshot (observability only).
+        self.mmap_loaded = bool(mmap_loaded)
 
     @classmethod
-    def build(cls, snapshot: StoreSnapshot,
-              use_domin: bool = True) -> Optional["SnapshotKernel"]:
+    def build(cls, snapshot: StoreSnapshot, use_domin: bool = True,
+              cache_dir: Optional[PathLike] = None,
+              ) -> Optional["SnapshotKernel"]:
+        """Densify ``snapshot`` into a kernel, via the mmap cache if warm.
+
+        With ``cache_dir`` set, ``<cache_dir>/gen-<generation>`` is
+        tried first: a hit memory-maps the previously densified arrays
+        (O(mmap), no gather/quantize/validate work); a miss — or a
+        corrupt / parameter-mismatched entry — falls through to a fresh
+        build whose result is saved back (and older generations pruned).
+        """
+        if cache_dir is not None:
+            cached = cls._load_cached(snapshot, use_domin, cache_dir)
+            if cached is not None:
+                return cached
         p_rows, p_gids = snapshot.live_products()
         w_rows, w_gids = snapshot.live_weights()
         if p_rows.shape[0] == 0 or w_rows.shape[0] == 0:
@@ -59,7 +89,47 @@ class SnapshotKernel:
                            if snapshot.segments else 32),
             use_domin=use_domin,
         )
-        return cls(kernel, p_gids, w_gids, snapshot.generation)
+        built = cls(kernel, p_gids, w_gids, snapshot.generation)
+        if cache_dir is not None:
+            built.persist(cache_dir)
+        return built
+
+    # ------------------------------------------------------------------
+    # mmap cache
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _gen_dir(cache_dir: PathLike, generation: int) -> Path:
+        return Path(cache_dir) / f"gen-{int(generation)}"
+
+    @classmethod
+    def _load_cached(cls, snapshot: StoreSnapshot, use_domin: bool,
+                     cache_dir: PathLike) -> Optional["SnapshotKernel"]:
+        gen_dir = cls._gen_dir(cache_dir, snapshot.generation)
+        try:
+            kernel, extras = load_kernel_bundle(gen_dir)
+        except (IndexCorruptionError, DataValidationError, OSError):
+            return None
+        if kernel.core.use_domin != use_domin or \
+                "p_gids" not in extras or "w_gids" not in extras:
+            return None
+        return cls(kernel, np.asarray(extras["p_gids"]),
+                   np.asarray(extras["w_gids"]),
+                   snapshot.generation, mmap_loaded=True)
+
+    def persist(self, cache_dir: PathLike) -> Path:
+        """Save this kernel to ``<cache_dir>/gen-<generation>`` and prune
+        entries for other (stale) generations.  Returns the entry path."""
+        gen_dir = self._gen_dir(cache_dir, self.generation)
+        save_kernel(gen_dir, self.kernel, extras={
+            "p_gids": np.asarray(self.p_gids, dtype=np.int64),
+            "w_gids": np.asarray(self.w_gids, dtype=np.int64),
+        })
+        root = Path(cache_dir)
+        for entry in root.glob("gen-*"):
+            if entry != gen_dir and entry.is_dir():
+                shutil.rmtree(entry, ignore_errors=True)
+        return gen_dir
 
     def matches(self, snapshot: StoreSnapshot) -> bool:
         """True when ``snapshot`` shows the exact state this was built on."""
@@ -80,6 +150,24 @@ class SnapshotKernel:
             (rank, int(self.w_gids[j])) for rank, j in res.entries
         )
         return RKRResult(entries=entries, k=res.k, counter=res.counter)
+
+    # ------------------------------------------------------------------
+    # fused multi-query entry points (id-remapped like the scalar ones)
+    # ------------------------------------------------------------------
+
+    def reverse_topk_batch(self, queries, k):
+        results = self.kernel.reverse_topk_batch(queries, k)
+        return [RTKResult(weights=frozenset(int(self.w_gids[j])
+                                            for j in res.weights),
+                          k=res.k, counter=res.counter)
+                for res in results]
+
+    def reverse_kranks_batch(self, queries, k):
+        results = self.kernel.reverse_kranks_batch(queries, k)
+        return [RKRResult(entries=tuple((rank, int(self.w_gids[j]))
+                                        for rank, j in res.entries),
+                          k=res.k, counter=res.counter)
+                for res in results]
 
     @property
     def last_stats(self):

@@ -39,7 +39,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, fields
 from time import perf_counter
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -66,6 +66,32 @@ DEFAULT_P_BLOCK = 2048
 #: hundred products; later tiles quadruple up to ``p_block`` once the
 #: survivor set is thin.
 FIRST_P_TILE = 256
+
+#: Filter dtypes the kernel accepts.  ``float32`` halves the memory
+#: traffic of the bound matmuls (the ~85% filter stage) and is proven
+#: safe by widening the classification gates by :func:`f32_gamma` — any
+#: pair the widened float32 bounds cannot decide falls through to the
+#: float64/rational refinement path, so answers stay byte-identical.
+FILTER_DTYPES = ("float64", "float32")
+
+
+def f32_gamma(dim: int) -> float:
+    """Relative error bound of a float32 bound product over ``dim`` terms.
+
+    The six kernel arrays are non-negative, so a single-precision
+    evaluation of the Eq. 3/4 boundary products ``sum_i a_i * b_i``
+    carries a pure *relative* error: casting each f64 operand to f32
+    contributes one ulp per operand (``(1+u)^2`` per term) and the
+    accumulation another ``dim`` ulps, for a standard forward bound of
+    ``gamma_{dim+2} = (dim+2)u / (1 - (dim+2)u)`` with ``u = 2^-24``.
+    We return four times that (safety margin for non-sequential BLAS
+    accumulation orders, FMA contraction, and the f32 gate cast), which
+    is still ~1e-5 at d=32 — four orders of magnitude below the
+    near-tie band no genuine score gap lives in.
+    """
+    u = 2.0 ** -24
+    n = dim + 2
+    return 4.0 * (n * u) / (1.0 - n * u)
 
 
 @dataclass
@@ -94,6 +120,15 @@ class KernelStats:
     weights_pruned:
         Weight vectors dropped without refinement because their
         certain-better count already met the k / minRank abort threshold.
+    pairs_f32:
+        Pairs whose bound classification ran through the float32
+        prefilter (a subset of ``pairs_total``).
+    fused_batches:
+        Fused multi-query passes executed (one per coalesced batch and
+        query kind).
+    fused_queries:
+        Queries answered inside a fused pass (each shares its batch's
+        gather/matmul work instead of paying for its own).
     """
 
     queries: int = 0
@@ -106,6 +141,9 @@ class KernelStats:
     pairs_refined: int = 0
     pairs_domin_skipped: int = 0
     weights_pruned: int = 0
+    pairs_f32: int = 0
+    fused_batches: int = 0
+    fused_queries: int = 0
 
     def merge(self, other: "KernelStats") -> "KernelStats":
         """Accumulate ``other`` into this object and return ``self``."""
@@ -139,9 +177,14 @@ class KernelStats:
                 "case2": self.pairs_case2,
                 "refined": self.pairs_refined,
                 "domin_skipped": self.pairs_domin_skipped,
+                "f32": self.pairs_f32,
             },
             "weights_pruned": self.weights_pruned,
             "filter_rate": self.filter_rate(),
+            "fused": {
+                "batches": self.fused_batches,
+                "queries": self.fused_queries,
+            },
         }
 
 
@@ -149,6 +192,33 @@ def _check_block(value: int, name: str) -> int:
     if int(value) < 1:
         raise InvalidParameterError(f"{name} must be positive, got {value}")
     return int(value)
+
+
+def _count_sorted(S: np.ndarray, G: np.ndarray, strict: bool) -> np.ndarray:
+    """Per-row gate counts off row-sorted scores, all queries at once.
+
+    ``S`` is ``(cols, rows)`` with each row ascending; ``G`` is
+    ``(cols, nq)`` gates.  Returns the exact ``(cols, nq)`` tally of
+    entries ``< G`` (``strict``) or ``<= G`` — identical to a dense
+    compare-and-count, via a vectorized binary lift: ``log2(rows)``
+    rounds of one gather + one compare over ``cols * nq`` cells,
+    instead of ``nq`` sweeps over ``cols * rows``.
+    """
+    n_cols, n = S.shape
+    flat = S.ravel()
+    base = np.arange(n_cols, dtype=np.intp)[:, None] * n
+    pos = np.zeros((n_cols, G.shape[1]), dtype=np.intp)
+    step = 1
+    while step * 2 <= n:
+        step *= 2
+    while step:
+        cand = pos + step
+        vals = np.take(flat, base + np.minimum(cand, n) - 1)
+        hit = (vals < G) if strict else (vals <= G)
+        hit &= cand <= n
+        pos = np.where(hit, cand, pos)
+        step >>= 1
+    return pos
 
 
 @dataclass
@@ -165,6 +235,29 @@ class _QueryState:
     n_dom: int
     #: Live products (bound-classified rows).
     n_live: int
+    #: float32 views of ``a_lo`` / ``a_hi`` (None on the float64 path).
+    a_lo32: Optional[np.ndarray] = None
+    a_hi32: Optional[np.ndarray] = None
+
+
+@dataclass
+class _BatchState:
+    """Per-batch prep for one fused multi-query pass.
+
+    Unlike :class:`_QueryState`, the fused path never compacts product
+    rows per query — the whole point is that every query shares one
+    gather/matmul per (P-block, W-block) tile — so each query instead
+    carries the *sorted global indices* of its excluded rows (duplicates
+    of q plus, with ``use_domin``, its dominators), masked out of that
+    query's classification after the shared tile products are formed.
+    """
+
+    #: Stacked query matrix, shape ``(nq, d)``.
+    QM: np.ndarray
+    #: Per-query sorted excluded-row indices (None when nothing excluded).
+    excl: List[Optional[np.ndarray]]
+    #: Per-query Domin-set sizes (the rank floor under every weight).
+    n_dom: List[int]
 
 
 class KernelCore:
@@ -183,7 +276,8 @@ class KernelCore:
                  wb_lo: np.ndarray, wb_hi: np.ndarray,
                  w_block: int = DEFAULT_W_BLOCK,
                  p_block: int = DEFAULT_P_BLOCK,
-                 use_domin: bool = True):
+                 use_domin: bool = True,
+                 filter_dtype: str = "float32"):
         self.P = np.asarray(P, dtype=np.float64)
         self.W = np.asarray(W, dtype=np.float64)
         self.pa_lo = np.asarray(pa_lo, dtype=np.float64)
@@ -193,6 +287,31 @@ class KernelCore:
         self.w_block = _check_block(w_block, "w_block")
         self.p_block = _check_block(p_block, "p_block")
         self.use_domin = bool(use_domin)
+        if filter_dtype not in FILTER_DTYPES:
+            raise InvalidParameterError(
+                f"filter_dtype must be one of {FILTER_DTYPES}, "
+                f"got {filter_dtype!r}"
+            )
+        # The float32 safety argument (see f32_gamma) requires purely
+        # non-negative operands; the library's data model guarantees it,
+        # but a hand-built core with exotic bounds silently falls back
+        # to the always-safe float64 filter instead of mis-filtering.
+        if filter_dtype == "float32" and (
+                float(self.pa_lo.min(initial=0.0)) < 0.0
+                or float(self.wb_lo.min(initial=0.0)) < 0.0):
+            filter_dtype = "float64"
+        self.filter_dtype = filter_dtype
+        self._f32 = filter_dtype == "float32"
+        if self._f32:
+            self._gamma = f32_gamma(self.P.shape[1])
+            self.pa_lo32 = self.pa_lo.astype(np.float32)
+            self.pa_hi32 = self.pa_hi.astype(np.float32)
+            self.wb_lo32 = self.wb_lo.astype(np.float32)
+            self.wb_hi32 = self.wb_hi.astype(np.float32)
+        else:
+            self._gamma = 0.0
+            self.pa_lo32 = self.pa_hi32 = None
+            self.wb_lo32 = self.wb_hi32 = None
 
     # ------------------------------------------------------------------
     # per-query preparation
@@ -210,14 +329,47 @@ class KernelCore:
             n_dom = int(np.count_nonzero(domin))
             if n_dom:
                 excluded = excluded | domin
+        a_lo32 = a_hi32 = None
         if excluded.any():
             rows = np.flatnonzero(~excluded)
             a_lo, a_hi = self.pa_lo[rows], self.pa_hi[rows]
+            if self._f32:
+                a_lo32, a_hi32 = self.pa_lo32[rows], self.pa_hi32[rows]
         else:
             rows, a_lo, a_hi = None, self.pa_lo, self.pa_hi
+            if self._f32:
+                a_lo32, a_hi32 = self.pa_lo32, self.pa_hi32
         n_live = a_lo.shape[0]
         return _QueryState(rows=rows, a_lo=a_lo, a_hi=a_hi,
-                           n_dom=n_dom, n_live=n_live)
+                           n_dom=n_dom, n_live=n_live,
+                           a_lo32=a_lo32, a_hi32=a_hi32)
+
+    def _f32_gates(self, hi_gate: np.ndarray, lo_gate: np.ndarray):
+        """Widen the classification gates for the float32 prefilter.
+
+        A float32 bound product carries at most ``gamma`` relative error
+        (:func:`f32_gamma`) and is non-negative, so
+
+        * ``upper32 < hi_gate * (1 - gamma)`` implies the true upper
+          bound clears ``hi_gate`` (Case 1 is safe: if ``hi_gate`` is
+          negative the scaled gate stays negative and no non-negative
+          ``upper32`` passes it);
+        * ``lower32 > lo_gate * (1 + gamma)`` implies the true lower
+          bound clears ``lo_gate`` (Case 2 is safe; ``lo_gate =
+          f_w(q) + tol`` is always non-negative).
+
+        The f64→f32 cast of the gates themselves is made conservative
+        with one ``nextafter`` step in the safe direction.  Everything
+        the widened gates cannot decide lands in the undecided band and
+        is refined in float64/rational arithmetic — which is the whole
+        byte-identity proof.
+        """
+        g = self._gamma
+        hi_eff = np.nextafter((hi_gate * (1.0 - g)).astype(np.float32),
+                              np.float32(-np.inf))
+        lo_eff = np.nextafter((lo_gate * (1.0 + g)).astype(np.float32),
+                              np.float32(np.inf))
+        return hi_eff, lo_eff
 
     # ------------------------------------------------------------------
     # the blocked filter
@@ -247,6 +399,14 @@ class KernelCore:
         d = self.P.shape[1]
         hi_gate = fq - tol
         lo_gate = fq + tol
+        if self._f32:
+            hi_cmp, lo_cmp = self._f32_gates(hi_gate, lo_gate)
+            a_hi_f, a_lo_f = state.a_hi32, state.a_lo32
+            wb_hi_all, wb_lo_all = self.wb_hi32, self.wb_lo32
+        else:
+            hi_cmp, lo_cmp = hi_gate, lo_gate
+            a_hi_f, a_lo_f = state.a_hi, state.a_lo
+            wb_hi_all, wb_lo_all = self.wb_hi, self.wb_lo
         counts = np.full(B, state.n_dom, dtype=np.int64)
         #: Columns still worth classifying, as block-local indices.
         active = np.flatnonzero(counts < limit)
@@ -255,17 +415,20 @@ class KernelCore:
         for ps, pe in self._tiles(state.n_live):
             if active.size == 0:
                 break
-            wb_hi = self.wb_hi[ws:we][active]
-            wb_lo = self.wb_lo[ws:we][active]
-            # Equations 3-4 for the whole tile: two dgemms instead of
-            # (pe - ps) * |active| per-pair grid gathers.
-            upper = state.a_hi[ps:pe] @ wb_hi.T
-            case1 = upper < hi_gate[active]
+            wb_hi = wb_hi_all[ws:we][active]
+            wb_lo = wb_lo_all[ws:we][active]
+            # Equations 3-4 for the whole tile: two gemms instead of
+            # (pe - ps) * |active| per-pair grid gathers (sgemm on the
+            # float32 prefilter path, dgemm otherwise).
+            upper = a_hi_f[ps:pe] @ wb_hi.T
+            case1 = upper < hi_cmp[active]
             counts[active] += case1.sum(axis=0, dtype=np.int64)
-            lower = state.a_lo[ps:pe] @ wb_lo.T
-            undecided = lower <= lo_gate[active]
+            lower = a_lo_f[ps:pe] @ wb_lo.T
+            undecided = lower <= lo_cmp[active]
             undecided &= ~case1
             n_pairs = (pe - ps) * active.size
+            if self._f32:
+                stats.pairs_f32 += n_pairs
             n_case1 = int(np.count_nonzero(case1))
             n_und = int(np.count_nonzero(undecided))
             counter.approx_accessed += pe - ps
@@ -428,6 +591,309 @@ class KernelCore:
             stats.merge_s += perf_counter() - t0
         return [(-neg_rank, -neg_idx) for neg_rank, neg_idx in heap]
 
+    # ------------------------------------------------------------------
+    # the fused multi-query path
+    # ------------------------------------------------------------------
+
+    def prepare_batch(self, QM: np.ndarray) -> _BatchState:
+        """Per-query skip masks and Domin floors for one fused pass.
+
+        ``QM`` stacks the batch's query points as rows.  The §5.3 cost
+        model observation behind the fused path: the Eq. 3/4 boundary
+        products per (P-block, W-block) tile are *query independent*, so
+        one gather + one matmul can serve every query of the batch; only
+        the per-query gates, exclusions and refinement bands differ.
+        """
+        QM = np.asarray(QM, dtype=np.float64)
+        excl: List[Optional[np.ndarray]] = []
+        n_dom: List[int] = []
+        for qi in range(QM.shape[0]):
+            q = QM[qi]
+            excluded = duplicate_mask(self.P, q)
+            nd = 0
+            if self.use_domin:
+                domin = np.all(self.P < q, axis=1)
+                nd = int(np.count_nonzero(domin))
+                if nd:
+                    excluded = excluded | domin
+            excl.append(np.flatnonzero(excluded) if excluded.any() else None)
+            n_dom.append(nd)
+        return _BatchState(QM=QM, excl=excl, n_dom=n_dom)
+
+    def classify_batch(self, batch: _BatchState, ws: int, we: int,
+                       limits: np.ndarray, counters: List[OpCounter],
+                       stats: KernelStats):
+        """Bound-classify one W-block for *all* queries off shared tiles.
+
+        One ``(P-tile × W-block)`` gemm pair per tile is shared by every
+        query; per-query work is reduced to the cheap elementwise gate
+        comparisons, exclusion masking and undecided-pair extraction.
+        Per-query column pruning carries over from the per-query path:
+        the shared gemm is compacted to the **union** of the queries'
+        still-active columns (so the fused pass never multiplies more
+        columns than the per-query scans would in total, while the
+        gather/matmul itself is paid once), and each query's gate
+        comparisons run over only *its* active slice of that union.
+
+        Returns ``(counts, FQ, TOL, und_rows, und_cols)``: per-query
+        certain-better counts (Domin floor included, shape ``(nq, B)``),
+        the per-query scores/tolerances (shape ``(B, nq)``), and
+        per-query COO undecided-pair lists (global P rows, block-local
+        weight columns).
+        """
+        t0 = perf_counter()
+        B = we - ws
+        nq = batch.QM.shape[0]
+        d = self.P.shape[1]
+        FQ = self.W[ws:we] @ batch.QM.T
+        TOL = TIE_REL_TOL * (1.0 + np.abs(FQ))
+        hi_gate = FQ - TOL
+        lo_gate = FQ + TOL
+        if self._f32:
+            hi_cmp, lo_cmp = self._f32_gates(hi_gate, lo_gate)
+            pa_hi_f, pa_lo_f = self.pa_hi32, self.pa_lo32
+            wb_hi_t = self.wb_hi32[ws:we].T
+            wb_lo_t = self.wb_lo32[ws:we].T
+        else:
+            hi_cmp, lo_cmp = hi_gate, lo_gate
+            pa_hi_f, pa_lo_f = self.pa_hi, self.pa_lo
+            wb_hi_t = self.wb_hi[ws:we].T
+            wb_lo_t = self.wb_lo[ws:we].T
+        for counter in counters:
+            counter.pairwise += B
+        counts = np.empty((nq, B), dtype=np.int64)
+        for qi in range(nq):
+            counts[qi] = batch.n_dom[qi]
+        # The low-side/case-1 tally gap accumulates per column; a
+        # nonzero gap locates every undecided pair at block end.
+        gap = np.zeros((nq, B), dtype=np.int64)
+        active = counts < limits[:, None]
+        und_rows: List[List[np.ndarray]] = [[] for _ in range(nq)]
+        und_cols: List[List[np.ndarray]] = [[] for _ in range(nq)]
+        neg_inf = np.float32(-np.inf) if self._f32 else -np.inf
+        wb_hi_all = self.wb_hi32[ws:we] if self._f32 else self.wb_hi[ws:we]
+        wb_lo_all = self.wb_lo32[ws:we] if self._f32 else self.wb_lo[ws:we]
+        #: Tile score matrices, kept for the deferred undecided-pair
+        #: extraction (the refine step only ever touches columns alive
+        #: at block end, so extraction waits until then).
+        tile_scores: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        for ps, pe in self._tiles(self.P.shape[0]):
+            # Union compaction: a column enters the shared gemm while
+            # *any* query still needs it (block-local sorted indices).
+            live_cols = np.flatnonzero(active.any(axis=0))
+            if live_cols.size == 0:
+                break
+            full = live_cols.size == B
+            wb_hi_sel = wb_hi_all if full else wb_hi_all[live_cols]
+            wb_lo_sel = wb_lo_all if full else wb_lo_all[live_cols]
+            # The amortized work, transposed so each weight column is a
+            # contiguous row: one gemm pair per tile feeds every query.
+            uT = wb_hi_sel @ pa_hi_f[ps:pe].T          # (U, rows)
+            lT = wb_lo_sel @ pa_lo_f[ps:pe].T
+            tile_scores.append((ps, live_cols, uT, lT))
+            # The tile's scores are query-independent, so sort them
+            # once per side and answer *all* queries' gate counts by
+            # binary search: O(rows log rows) shared, O(nq log rows)
+            # per column — instead of nq dense compare sweeps.  Both
+            # sides share one stacked sort + one count pass; the
+            # low side's non-strict ``<=`` becomes a strict ``<``
+            # against ``nextafter(gate)`` — exact for floats.
+            stacked = np.concatenate((uT, lT), axis=0)
+            stacked.sort(axis=1)
+            # Gates over the union slice, one (U, nq) matrix per side;
+            # a column another query keeps live but this one has pruned
+            # gets a -inf gate, so it can produce neither case-1 nor
+            # undecided hits — masking is O(cols * nq).
+            act_u = active.T if full else active.T[live_cols]
+            g_hi = np.where(act_u, hi_cmp[live_cols], neg_inf)
+            g_lo = np.where(act_u, lo_cmp[live_cols], neg_inf)
+            g_lo_open = np.where(act_u,
+                                 np.nextafter(lo_cmp[live_cols], np.inf),
+                                 neg_inf)
+            tallies = _count_sorted(stacked,
+                                    np.concatenate((g_hi, g_lo_open)),
+                                    strict=True)
+            U = uT.shape[0]
+            case1_per_col = tallies[:U]
+            lowhit_per_col = tallies[U:]
+            for qi in range(nq):
+                excl = batch.excl[qi]
+                if excl is None:
+                    continue
+                lo_i, hi_i = np.searchsorted(excl, (ps, pe))
+                if hi_i <= lo_i:
+                    continue
+                # The sorted tallies count every row; subtract the
+                # excluded rows' contributions directly (|excl| is
+                # tiny: dominators and duplicates of one query).
+                local = excl[lo_i:hi_i] - ps
+                case1_per_col[:, qi] -= np.count_nonzero(
+                    uT[:, local] < g_hi[:, qi, None], axis=1)
+                lowhit_per_col[:, qi] -= np.count_nonzero(
+                    lT[:, local] <= g_lo[:, qi, None], axis=1)
+            counts[:, live_cols] += case1_per_col.T
+            # Bounds give lower <= upper, so case-1 implies the
+            # low-side hit: the tally gap *is* the undecided count.
+            diff = lowhit_per_col - case1_per_col
+            gap[:, live_cols] += diff.T
+            n_act_q = np.count_nonzero(act_u, axis=0)          # (nq,)
+            n_case1_q = case1_per_col.sum(axis=0)              # (nq,)
+            n_und_q = diff.sum(axis=0)
+            for qi in range(nq):
+                n_act = int(n_act_q[qi])
+                if n_act == 0:
+                    continue
+                n_pairs = (pe - ps) * n_act
+                n_case1 = int(n_case1_q[qi])
+                n_und = int(n_und_q[qi])
+                counter = counters[qi]
+                counter.approx_accessed += pe - ps
+                counter.grid_lookups += n_pairs * d + (n_pairs - n_case1) * d
+                counter.additions += n_pairs * d + (n_pairs - n_case1) * d
+                counter.filtered_case1 += n_case1
+                counter.filtered_case2 += n_pairs - n_case1 - n_und
+                stats.pairs_total += n_pairs
+                stats.pairs_case1 += n_case1
+                stats.pairs_case2 += n_pairs - n_case1 - n_und
+                if self._f32:
+                    stats.pairs_f32 += n_pairs
+            np.less(counts, limits[:, None], out=active, where=active)
+        # Deferred undecided-pair extraction: only columns that are
+        # still alive ever reach the refine step (``_refine`` keeps
+        # ``alive[und_cols]``), and an alive column was active in every
+        # tile, so scanning the stashed tile scores reproduces exactly
+        # the pairs a per-tile extraction would have kept — at the cost
+        # of a handful of candidate columns instead of dense sweeps.
+        for qi in range(nq):
+            cand = np.flatnonzero(active[qi] & (gap[qi] > 0))
+            if cand.size == 0:
+                continue
+            g_hi_q = hi_cmp[cand, qi][:, None]
+            g_lo_q = lo_cmp[cand, qi][:, None]
+            excl = batch.excl[qi]
+            for ps, live_cols, uT, lT in tile_scores:
+                pos = np.searchsorted(live_cols, cand)
+                und = lT[pos] <= g_lo_q
+                und &= ~(uT[pos] < g_hi_q)
+                if excl is not None:
+                    lo_i, hi_i = np.searchsorted(
+                        excl, (ps, ps + uT.shape[1]))
+                    if hi_i > lo_i:
+                        und[:, excl[lo_i:hi_i] - ps] = False
+                cc, rr = np.nonzero(und)
+                if rr.size:
+                    und_rows[qi].append(rr + ps)
+                    und_cols[qi].append(cand[cc])
+        rows_cat = [np.concatenate(r) if r else np.empty(0, dtype=np.intp)
+                    for r in und_rows]
+        cols_cat = [np.concatenate(c) if c else np.empty(0, dtype=np.intp)
+                    for c in und_cols]
+        stats.filter_s += perf_counter() - t0
+        return counts, FQ, TOL, rows_cat, cols_cat
+
+    def rtk_batch(self, QM: np.ndarray, ks: Sequence[int], lo: int, hi: int,
+                  counters: List[OpCounter],
+                  stats: KernelStats) -> List[List[int]]:
+        """Fused RTK: per-query qualifying weight indices in ``[lo, hi)``.
+
+        Answers are byte-identical to per-query :meth:`rtk_indices` —
+        the shared-tile classification only changes which pairs the
+        bounds decide (everything marginal is refined exactly), never
+        the decisions themselves.
+        """
+        nq = QM.shape[0]
+        stats.queries += nq
+        stats.fused_batches += 1
+        stats.fused_queries += nq
+        batch = self.prepare_batch(QM)
+        results: List[List[int]] = [[] for _ in range(nq)]
+        limits = np.empty(nq, dtype=np.float64)
+        done = np.zeros(nq, dtype=bool)
+        for qi in range(nq):
+            limits[qi] = ks[qi]
+            stats.pairs_domin_skipped += batch.n_dom[qi] * (hi - lo)
+            counters[qi].dominated_skips += batch.n_dom[qi] * (hi - lo)
+            if batch.n_dom[qi] >= ks[qi]:
+                # k dominators out-rank q under every weight: empty
+                # answer everywhere (Algorithm 2 lines 7-8).
+                done[qi] = True
+                stats.weights_pruned += hi - lo
+                counters[qi].early_terminations += hi - lo
+        if done.all():
+            return results
+        for ws in range(lo, hi, self.w_block):
+            we = min(ws + self.w_block, hi)
+            B = we - ws
+            counts, FQ, TOL, und_r, und_c = self.classify_batch(
+                batch, ws, we, limits, counters, stats
+            )
+            for qi in range(nq):
+                if done[qi]:
+                    continue
+                alive = counts[qi] < ks[qi]
+                n_pruned = B - int(np.count_nonzero(alive))
+                stats.weights_pruned += n_pruned
+                counters[qi].early_terminations += n_pruned
+                total = counts[qi] + self._refine(
+                    batch.QM[qi], FQ[:, qi], TOL[:, qi], ws, B,
+                    und_r[qi], und_c[qi], alive, counters[qi], stats
+                )
+                t0 = perf_counter()
+                hits = np.flatnonzero(total < ks[qi])
+                results[qi].extend((hits + ws).tolist())
+                stats.merge_s += perf_counter() - t0
+        return results
+
+    def rkr_batch(self, QM: np.ndarray, ks: Sequence[int], lo: int, hi: int,
+                  counters: List[OpCounter],
+                  stats: KernelStats) -> List[List[Tuple[int, int]]]:
+        """Fused RKR: per-query k best ``(rank, index)`` pairs in ``[lo, hi)``.
+
+        Per-query minRank feedback is preserved: each query's threshold
+        entering a block is its k-th best rank from the blocks before it
+        (exactly the per-query :meth:`rkr_pairs` semantics), applied as
+        that query's column-pruning limit inside the shared pass.
+        """
+        nq = QM.shape[0]
+        stats.queries += nq
+        stats.fused_batches += 1
+        stats.fused_queries += nq
+        batch = self.prepare_batch(QM)
+        for qi in range(nq):
+            stats.pairs_domin_skipped += batch.n_dom[qi] * (hi - lo)
+            counters[qi].dominated_skips += batch.n_dom[qi] * (hi - lo)
+        heaps: List[List[Tuple[int, int]]] = [[] for _ in range(nq)]
+        limits = np.empty(nq, dtype=np.float64)
+        for ws in range(lo, hi, self.w_block):
+            we = min(ws + self.w_block, hi)
+            B = we - ws
+            for qi in range(nq):
+                heap = heaps[qi]
+                limits[qi] = (float("inf") if len(heap) < ks[qi]
+                              else float(-heap[0][0]))
+            counts, FQ, TOL, und_r, und_c = self.classify_batch(
+                batch, ws, we, limits, counters, stats
+            )
+            for qi in range(nq):
+                alive = counts[qi] < limits[qi]
+                n_pruned = B - int(np.count_nonzero(alive))
+                stats.weights_pruned += n_pruned
+                counters[qi].early_terminations += n_pruned
+                total = counts[qi] + self._refine(
+                    batch.QM[qi], FQ[:, qi], TOL[:, qi], ws, B,
+                    und_r[qi], und_c[qi], alive, counters[qi], stats
+                )
+                t0 = perf_counter()
+                heap, k = heaps[qi], ks[qi]
+                for j in np.flatnonzero(alive):
+                    rnk = int(total[j])
+                    if len(heap) < k:
+                        heapq.heappush(heap, (-rnk, -(ws + int(j))))
+                    elif rnk < -heap[0][0]:
+                        heapq.heapreplace(heap, (-rnk, -(ws + int(j))))
+                stats.merge_s += perf_counter() - t0
+        return [[(-nr, -ni) for nr, ni in heap] for heap in heaps]
+
 
 class GirKernelRRQ(RRQAlgorithm):
     """Grid-index RRQ answered by the weight-blocked kernel.
@@ -449,7 +915,8 @@ class GirKernelRRQ(RRQAlgorithm):
                  w_quantizer: Optional[Quantizer] = None,
                  w_block: int = DEFAULT_W_BLOCK,
                  p_block: int = DEFAULT_P_BLOCK,
-                 use_domin: bool = True):
+                 use_domin: bool = True,
+                 filter_dtype: str = "float32"):
         super().__init__(products, weights)
         if grid is None:
             # Identical grid recipe to GridIndexRRQ (see the rationale
@@ -463,12 +930,13 @@ class GirKernelRRQ(RRQAlgorithm):
         self.w_quantizer = w_quantizer or Quantizer(grid.alpha_w)
         self.PA = quantize_dataset(self.P, self.p_quantizer)
         self.WA = quantize_dataset(self.W, self.w_quantizer)
-        self.core = self._build_core(w_block, p_block, use_domin)
+        self.core = self._build_core(w_block, p_block, use_domin,
+                                     filter_dtype)
         #: Stats of the most recent query (None before the first).
         self.last_stats: Optional[KernelStats] = None
 
-    def _build_core(self, w_block: int, p_block: int,
-                    use_domin: bool) -> KernelCore:
+    def _build_core(self, w_block: int, p_block: int, use_domin: bool,
+                    filter_dtype: str = "float32") -> KernelCore:
         pa = self.PA.astype(np.intp, copy=False)
         wa = self.WA.astype(np.intp, copy=False)
         return KernelCore(
@@ -478,13 +946,15 @@ class GirKernelRRQ(RRQAlgorithm):
             wb_lo=self.grid.alpha_w[wa],
             wb_hi=self.grid.alpha_w[wa + 1],
             w_block=w_block, p_block=p_block, use_domin=use_domin,
+            filter_dtype=filter_dtype,
         )
 
     # ------------------------------------------------------------------
 
     @classmethod
     def from_gir(cls, gir, w_block: int = DEFAULT_W_BLOCK,
-                 p_block: int = DEFAULT_P_BLOCK) -> "GirKernelRRQ":
+                 p_block: int = DEFAULT_P_BLOCK,
+                 filter_dtype: str = "float32") -> "GirKernelRRQ":
         """Wrap an existing :class:`GridIndexRRQ`, reusing its grid and
         approximate vectors (no re-quantization)."""
         self = cls.__new__(cls)
@@ -494,7 +964,8 @@ class GirKernelRRQ(RRQAlgorithm):
         self.w_quantizer = gir.w_quantizer
         self.PA = gir.PA
         self.WA = gir.WA
-        self.core = self._build_core(w_block, p_block, gir.use_domin)
+        self.core = self._build_core(w_block, p_block, gir.use_domin,
+                                     filter_dtype)
         self.last_stats = None
         return self
 
@@ -507,6 +978,11 @@ class GirKernelRRQ(RRQAlgorithm):
     def use_domin(self) -> bool:
         """Whether the Domin rank floor is applied."""
         return self.core.use_domin
+
+    @property
+    def filter_dtype(self) -> str:
+        """Dtype of the bound-classification matmuls (filter stage)."""
+        return self.core.filter_dtype
 
     def memory_report(self) -> dict:
         """Bytes held by the grid, codes, and pre-gathered bound matrices."""
@@ -536,3 +1012,67 @@ class GirKernelRRQ(RRQAlgorithm):
         pairs = self.core.rkr_pairs(q, k, 0, self.W.shape[0], counter, stats)
         self.last_stats = stats
         return make_rkr_result(pairs, k, counter)
+
+    # ------------------------------------------------------------------
+    # fused multi-query entry points
+    # ------------------------------------------------------------------
+
+    def _batch_inputs(self, queries: Sequence,
+                      k: Union[int, Sequence[int]]):
+        from ..data.datasets import check_query_point
+
+        QM = np.stack([check_query_point(q, self.P.shape[1])
+                       for q in queries])
+        if isinstance(k, (int, np.integer)):
+            ks = [int(k)] * len(queries)
+        else:
+            ks = [int(kk) for kk in k]
+            if len(ks) != len(queries):
+                raise InvalidParameterError(
+                    f"got {len(queries)} queries but {len(ks)} k values"
+                )
+        if any(kk <= 0 for kk in ks):
+            raise InvalidParameterError("k must be positive")
+        return QM, ks
+
+    def reverse_topk_batch(self, queries: Sequence,
+                           k: Union[int, Sequence[int]]
+                           ) -> List[RTKResult]:
+        """Answer a whole micro-batch of RTK queries in one fused pass.
+
+        Byte-identical to calling :meth:`reverse_topk` per query; the
+        (P-block × W-block) boundary matmuls are computed once per tile
+        and shared by every query (``k`` may be a scalar or per-query).
+        After the call :attr:`last_stats` holds the batch's accumulated
+        :class:`KernelStats` (with ``fused_*`` tallies).
+        """
+        if not len(queries):
+            return []
+        QM, ks = self._batch_inputs(queries, k)
+        stats = KernelStats()
+        counters = [OpCounter() for _ in range(len(queries))]
+        hits = self.core.rtk_batch(QM, ks, 0, self.W.shape[0],
+                                   counters, stats)
+        self.last_stats = stats
+        return [RTKResult(weights=frozenset(h), k=kk, counter=counter)
+                for h, kk, counter in zip(hits, ks, counters)]
+
+    def reverse_kranks_batch(self, queries: Sequence,
+                             k: Union[int, Sequence[int]]
+                             ) -> List[RKRResult]:
+        """Answer a whole micro-batch of RKR queries in one fused pass.
+
+        Byte-identical to calling :meth:`reverse_kranks` per query,
+        per-query minRank feedback included; see
+        :meth:`reverse_topk_batch`.
+        """
+        if not len(queries):
+            return []
+        QM, ks = self._batch_inputs(queries, k)
+        stats = KernelStats()
+        counters = [OpCounter() for _ in range(len(queries))]
+        pairs = self.core.rkr_batch(QM, ks, 0, self.W.shape[0],
+                                    counters, stats)
+        self.last_stats = stats
+        return [make_rkr_result(p, kk, counter)
+                for p, kk, counter in zip(pairs, ks, counters)]

@@ -117,6 +117,17 @@ def _init_shard_worker(specs: Dict[str, ArraySpec], params: dict) -> None:
     _WORKER_CORE = KernelCore(**arrays, **params)
 
 
+def _init_mmap_worker(directory: str, verify: str) -> None:
+    """Pool initializer for store-fed workers: each worker memory-maps
+    the on-disk kernel store directly (``np.load(mmap_mode='r')``), so
+    spawn cost is O(mmap) and all workers share the page-cache copy —
+    no shared-memory segments, no per-worker array materialization."""
+    global _WORKER_CORE
+    from .kernelstore import load_kernel
+
+    _WORKER_CORE = load_kernel(directory, verify=verify).core
+
+
 def _run_shard(task) -> Tuple[list, dict, dict]:
     kind, q, k, lo, hi = task
     counter = OpCounter()
@@ -192,7 +203,8 @@ class ShardedGirRRQ(RRQAlgorithm):
             self._segments.append(shm)
             specs[key] = spec
         params = {"w_block": core.w_block, "p_block": core.p_block,
-                  "use_domin": core.use_domin}
+                  "use_domin": core.use_domin,
+                  "filter_dtype": core.filter_dtype}
         self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
             max_workers=self.shards,
             initializer=_init_shard_worker,
@@ -236,6 +248,45 @@ class ShardedGirRRQ(RRQAlgorithm):
         )
         engine._w_gids = np.asarray(w_gids, dtype=np.int64)
         return engine
+
+    @classmethod
+    def from_store(cls, directory, shards: Optional[int] = None,
+                   verify: str = "size") -> "ShardedGirRRQ":
+        """Build a sharded engine over an on-disk kernel store.
+
+        The parent and every worker memory-map the store written by
+        :func:`repro.vectorized.kernelstore.save_kernel` instead of
+        copying arrays into shared-memory segments: worker spawn cost
+        drops to O(mmap), physical pages are shared through the page
+        cache, and answers stay byte-identical (same arrays, same
+        kernel).  The store must outlive the engine.
+        """
+        from .kernelstore import load_kernel
+
+        kernel = load_kernel(directory, verify=verify)
+        self = cls.__new__(cls)
+        RRQAlgorithm.__init__(self, kernel.products, kernel.weights)
+        if shards is None:
+            shards = os.cpu_count() or 1
+        if shards < 1:
+            raise InvalidParameterError(
+                f"shards must be positive, got {shards}"
+            )
+        self.kernel = kernel
+        self._w_gids = None
+        self.shards = int(min(shards, self.W.shape[0]) or 1)
+        self.last_stats = None
+        self._segments = []
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.shards,
+            initializer=_init_mmap_worker,
+            initargs=(str(directory), verify),
+        )
+        bounds = np.linspace(0, self.W.shape[0], self.shards + 1).astype(int)
+        self._ranges = [(int(lo), int(hi))
+                        for lo, hi in zip(bounds[:-1], bounds[1:])
+                        if hi > lo]
+        return self
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -371,4 +422,8 @@ def _merge_snapshots(counter: OpCounter, stats: KernelStats,
     stats.pairs_case2 += pairs["case2"]
     stats.pairs_refined += pairs["refined"]
     stats.pairs_domin_skipped += pairs["domin_skipped"]
+    stats.pairs_f32 += pairs.get("f32", 0)
     stats.weights_pruned += ssnap["weights_pruned"]
+    fused = ssnap.get("fused", {})
+    stats.fused_batches += fused.get("batches", 0)
+    stats.fused_queries += fused.get("queries", 0)

@@ -208,7 +208,8 @@ class TestTraceIdEndToEnd:
                     continue
                 (root,) = found["trace"]["spans"]
                 names = list(_span_names(root))
-                if "kernel.query" in names or "batch.derive" in names:
+                if "kernel.query" in names or "kernel.fused" in names \
+                        or "batch.derive" in names:
                     kernel_traced.append((tid, names))
             if kernel_traced:
                 break

@@ -1,0 +1,142 @@
+"""Property tests: the fused multi-query kernel is byte-identical to the
+per-query kernel and the naive scan.
+
+The acceptance bar for the fused pass: any coalesced micro-batch —
+Q ∈ {1, 2, 5, 16}, dims 2–8, uniform and clustered data, near-tie
+pressure, float32 and float64 filter paths — must return exactly the
+answers the per-query kernel (and ``NaiveRRQ``) returns, query by
+query.  Sharing tile matmuls, sorted-tally counting and per-query
+minRank feedback across the batch may only move *work*, never results.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.data.datasets import ProductSet, WeightSet
+from repro.data.synthetic import generate_products, generate_weights
+from repro.vectorized.girkernel import GirKernelRRQ
+
+BATCH_SIZES = (1, 2, 5, 16)
+
+
+def _batch(rng, P, nq):
+    """A query batch mixing dataset members and off-grid points."""
+    picks = rng.choice(P.size, size=min(nq, P.size), replace=False)
+    queries = [P[int(i)] for i in picks]
+    while len(queries) < nq:
+        queries.append(rng.uniform(0.05, 0.95, size=P.dim))
+    return queries
+
+
+def _assert_batch_identical(kernel, naive, queries, k, check_naive=True):
+    seq_rtk = [kernel.reverse_topk(q, k) for q in queries]
+    fused_rtk = kernel.reverse_topk_batch(queries, k)
+    assert [r.weights for r in fused_rtk] == [r.weights for r in seq_rtk]
+    seq_rkr = [kernel.reverse_kranks(q, k) for q in queries]
+    fused_rkr = kernel.reverse_kranks_batch(queries, k)
+    assert [r.entries for r in fused_rkr] == [r.entries for r in seq_rkr]
+    if check_naive:
+        for q, rtk, rkr in zip(queries, fused_rtk, fused_rkr):
+            assert rtk.weights == naive.reverse_topk(q, k).weights
+            assert rkr.entries == naive.reverse_kranks(q, k).entries
+
+
+@given(
+    st.sampled_from(BATCH_SIZES),
+    st.sampled_from(["UN", "CL"]),
+    st.integers(2, 8),
+    st.sampled_from(["float32", "float64"]),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_fused_batch_identical(nq, dist, dim, filter_dtype, seed):
+    P = generate_products(dist, 70, dim, seed=seed)
+    W = generate_weights("CL" if dist == "CL" else "UN", 60, dim,
+                         seed=seed + 1)
+    kernel = GirKernelRRQ(P, W, partitions=8, filter_dtype=filter_dtype)
+    naive = NaiveRRQ(P, W)
+    rng = np.random.default_rng(seed + 2)
+    queries = _batch(rng, P, nq)
+    k = int(rng.integers(1, 20))
+    _assert_batch_identical(kernel, naive, queries, k)
+
+
+@given(
+    st.sampled_from(BATCH_SIZES),
+    st.sampled_from(["float32", "float64"]),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=15, deadline=None)
+def test_fused_batch_near_tie_pressure(nq, filter_dtype, seed):
+    """Low-entropy grids: scores collide everywhere, so the fused pass
+    must route exactly the same marginal pairs through the rational
+    tie-break as the per-query pass does."""
+    rng = np.random.default_rng(seed)
+    P = ProductSet(rng.integers(0, 4, size=(60, 3)) / 4.0)
+    W_raw = rng.integers(1, 4, size=(50, 3)).astype(float)
+    W = WeightSet(W_raw / W_raw.sum(axis=1, keepdims=True))
+    kernel = GirKernelRRQ(P, W, partitions=4, filter_dtype=filter_dtype)
+    naive = NaiveRRQ(P, W)
+    queries = _batch(rng, P, nq)
+    for k in (1, 7, 50):
+        _assert_batch_identical(kernel, naive, queries, k)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_fused_domin_pressure(seed):
+    """Batches mixing dominated queries (empty RTK answers via the
+    Domin pre-pass) with ordinary ones: per-query early exits must not
+    disturb the shared pass for the rest of the batch."""
+    P = generate_products("UN", 80, 4, seed=seed)
+    W = generate_weights("UN", 60, 4, seed=seed + 1)
+    kernel = GirKernelRRQ(P, W, partitions=8)
+    naive = NaiveRRQ(P, W)
+    rng = np.random.default_rng(seed + 2)
+    dominated = P.values.max(axis=0) * 0.999
+    queries = [dominated] + _batch(rng, P, 4) + [dominated]
+    for k in (1, 5):
+        _assert_batch_identical(kernel, naive, queries, k)
+
+
+@given(
+    st.sampled_from([(1, 1), (3, 7), (4096, 4096)]),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=10, deadline=None)
+def test_fused_blocking_invariance(blocks, seed):
+    """Fused answers must not depend on tile geometry either."""
+    w_block, p_block = blocks
+    P = generate_products("UN", 60, 4, seed=seed)
+    W = generate_weights("UN", 50, 4, seed=seed + 1)
+    reference = GirKernelRRQ(P, W, partitions=8)
+    blocked = GirKernelRRQ(P, W, partitions=8,
+                           w_block=w_block, p_block=p_block)
+    rng = np.random.default_rng(seed + 2)
+    queries = _batch(rng, P, 5)
+    for k in (2, 9):
+        ref_rtk = reference.reverse_topk_batch(queries, k)
+        blk_rtk = blocked.reverse_topk_batch(queries, k)
+        assert [r.weights for r in blk_rtk] == [r.weights for r in ref_rtk]
+        ref_rkr = reference.reverse_kranks_batch(queries, k)
+        blk_rkr = blocked.reverse_kranks_batch(queries, k)
+        assert [r.entries for r in blk_rkr] == [r.entries for r in ref_rkr]
+
+
+def test_fused_per_query_k_and_empty_batch():
+    """Per-query ``k`` values and the empty batch degenerate cleanly."""
+    P = generate_products("UN", 50, 3, seed=11)
+    W = generate_weights("UN", 40, 3, seed=12)
+    kernel = GirKernelRRQ(P, W, partitions=8)
+    queries = [P[i] for i in (0, 7, 21)]
+    ks = [1, 5, 13]
+    fused = kernel.reverse_topk_batch(queries, ks)
+    for q, k, res in zip(queries, ks, fused):
+        assert res == kernel.reverse_topk(q, k)
+    fused_rkr = kernel.reverse_kranks_batch(queries, ks)
+    for q, k, res in zip(queries, ks, fused_rkr):
+        assert res.entries == kernel.reverse_kranks(q, k).entries
+    assert kernel.reverse_topk_batch([], 5) == []
+    assert kernel.reverse_kranks_batch([], 5) == []

@@ -154,3 +154,99 @@ class TestCheckRegression:
         verdict = check_regression(baseline, baseline)
         assert verdict["ok"]
         assert verdict["compared"] == 2 * len(baseline["configs"])
+
+
+class TestPerKindKernelStats:
+    def test_queries_not_double_counted(self):
+        # Regression: the merged stats object used to report the RTK and
+        # RKR sweeps' query totals *summed* ("queries": 4 for a 2-query
+        # config); the per-kind split must report each sweep's own count.
+        record = run_config(MICRO, seed=11, shards=0, verify=False)
+        stats = record["kernel_stats"]
+        assert stats["rtk"]["queries"] == MICRO["queries"]
+        assert stats["rkr"]["queries"] == MICRO["queries"]
+        assert 0.0 <= stats["filter_rate"] <= 1.0
+
+
+FUSED_MICRO = {"name": "fused-micro", "p_dist": "UN", "w_dist": "UN",
+               "n_products": 60, "n_weights": 50, "dim": 3, "k": 3,
+               "queries": 4, "partitions": 8}
+
+
+class TestFusedHarness:
+    def test_fused_micro_config_verifies(self):
+        from repro.bench.harness import run_fused_config
+
+        record = run_fused_config(FUSED_MICRO, seed=11, verify=True)
+        assert record["verified"]
+        assert record["batch_q"] == 4
+        for kind in ("fused_rtk", "fused_rkr"):
+            numbers = record[kind]
+            assert numbers["sequential_wall_s"] > 0
+            assert numbers["fused_wall_s"] > 0
+            assert numbers["wall_speedup"] > 0
+            stats = numbers["fused_stats"]
+            assert stats["fused"]["batches"] >= 1
+            assert stats["fused"]["queries"] == 4
+        cold = record["cold_start"]
+        assert cold["rebuild_s"] > 0
+        assert cold["mmap_load_s"] > 0
+        assert cold["store_bytes"] > 0
+
+    def test_fused_report_shape_and_file(self, tmp_path):
+        from repro.bench.harness import run_fused_harness
+
+        out = tmp_path / "BENCH_fused.json"
+        report = run_fused_harness([FUSED_MICRO], seed=5, verify=False,
+                                   out=out)
+        assert report["ok"]
+        on_disk = json.loads(out.read_text())
+        assert on_disk["benchmark"] == "girkernel-fused"
+        assert [c["name"] for c in on_disk["configs"]] == ["fused-micro"]
+
+    def test_fused_gate_uses_fused_metrics(self):
+        from repro.bench.harness import (
+            FUSED_GATED_METRICS,
+            check_regression,
+        )
+
+        def fused_report(wall=1.0, cold=0.5):
+            return {"configs": [{
+                "name": "fused-micro",
+                "fused_rtk": {"fused_wall_s": wall},
+                "fused_rkr": {"fused_wall_s": wall},
+                "cold_start": {"mmap_load_s": cold},
+            }]}
+
+        ok = check_regression(fused_report(), fused_report(),
+                              metrics=FUSED_GATED_METRICS)
+        assert ok["ok"] and ok["compared"] == 3
+        slow = check_regression(fused_report(cold=0.9), fused_report(),
+                                metrics=FUSED_GATED_METRICS)
+        assert not slow["ok"]
+        failed = [c for c in slow["checks"] if not c["ok"]]
+        assert failed[0]["kind"] == "cold_start"
+
+    def test_committed_fused_baseline_is_gateable(self):
+        from pathlib import Path
+
+        from repro.bench.harness import (
+            FUSED_GATED_METRICS,
+            check_regression,
+        )
+
+        path = Path(__file__).resolve().parents[2] / "BENCH_fused.json"
+        baseline = json.loads(path.read_text())
+        verdict = check_regression(baseline, baseline,
+                                   metrics=FUSED_GATED_METRICS)
+        assert verdict["ok"]
+        assert verdict["compared"] == 3 * len(baseline["configs"])
+        # The committed numbers must keep the acceptance story honest:
+        # every config shows a fused filter-stage win and a cold-start
+        # mmap win, and every answer was verified against the oracle.
+        assert baseline["ok"]
+        for cfg in baseline["configs"]:
+            assert cfg["verified"]
+            assert cfg["fused_rtk"]["filter_speedup"] > 1.0
+            assert cfg["fused_rkr"]["filter_speedup"] > 1.0
+            assert cfg["cold_start"]["speedup"] > 1.0

@@ -36,6 +36,25 @@ class TestBuildAndInfo:
         assert rc == 0
         out = capsys.readouterr().out
         assert "approx_over_raw" in out
+        assert "kernel store" not in out  # no packed store yet
+
+    def test_info_reports_kernel_store(self, data_dir, tmp_path, capsys):
+        from repro.cli import _load_data
+        from repro.vectorized.girkernel import GirKernelRRQ
+        from repro.vectorized.kernelstore import save_kernel
+
+        idx = tmp_path / "idx"
+        rc = main(["build", str(data_dir), "--index", str(idx)])
+        assert rc == 0
+        products, weights = _load_data(str(data_dir))
+        kernel = GirKernelRRQ(products, weights, partitions=8)
+        save_kernel(idx / "static", kernel)
+        rc = main(["info", str(idx)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kernel store" in out
+        assert "static" in out
+        assert "mmap" in out
 
 
 class TestQuery:
@@ -113,7 +132,9 @@ class TestBench:
         assert record["oracle"] == "naive"
         assert record["rtk"]["kernel_p50_s"] > 0
         assert record["batch"]["per_query_p50_s"] >= 0
-        assert record["kernel_stats"]["pairs"]["total"] >= 0
+        for kind in ("rtk", "rkr"):
+            assert record["kernel_stats"][kind]["pairs"]["total"] >= 0
+            assert record["kernel_stats"][kind]["queries"] == 2
 
     def test_missing_config_exits_2(self, tmp_path, capsys):
         rc = main(["bench", "--config", str(tmp_path / "nope.json")])
@@ -133,6 +154,34 @@ class TestBench:
         assert rc == 2
         assert "invalid JSON" in capsys.readouterr().err
 
+    def test_fused_writes_json_and_verifies(self, tmp_path, capsys):
+        import json
+
+        config = [{"name": "cli-fused-micro", "p_dist": "UN",
+                   "w_dist": "UN", "n_products": 60, "n_weights": 50,
+                   "dim": 3, "k": 3, "queries": 4, "partitions": 8}]
+        config_file = tmp_path / "configs.json"
+        config_file.write_text(json.dumps(config))
+        out = tmp_path / "BENCH_fused_test.json"
+        rc = main(["bench", "--fused", "--config", str(config_file),
+                   "--out", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "verified=True" in printed
+        assert "cold-start" in printed
+        report = json.loads(out.read_text())
+        assert report["ok"]
+        assert report["benchmark"] == "girkernel-fused"
+        record = report["configs"][0]
+        assert record["fused_rtk"]["fused_wall_s"] > 0
+        assert record["cold_start"]["mmap_load_s"] > 0
+
+    def test_fused_smoke_defaults_to_fused_configs(self):
+        args = build_parser().parse_args(["bench", "--fused", "--smoke"])
+        assert args.fused and args.smoke
+        args = build_parser().parse_args(["bench"])
+        assert not args.fused
+
 
 class TestServeFlags:
     def test_no_kernel_flag_parses(self):
@@ -140,6 +189,13 @@ class TestServeFlags:
         assert args.no_kernel
         args = build_parser().parse_args(["serve", "idx/"])
         assert not args.no_kernel
+
+    def test_kernel_cache_flag_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "idx/", "--kernel-cache", "cache/"])
+        assert args.kernel_cache == "cache/"
+        args = build_parser().parse_args(["serve", "idx/"])
+        assert args.kernel_cache is None
 
 
 class TestClusterFlags:

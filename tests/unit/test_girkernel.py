@@ -141,10 +141,11 @@ class TestStats:
         kernel.reverse_kranks(P[0], 5)
         snap = kernel.last_stats.snapshot()
         assert set(snap) == {"queries", "stage_s", "pairs",
-                             "weights_pruned", "filter_rate"}
+                             "weights_pruned", "filter_rate", "fused"}
         assert set(snap["stage_s"]) == {"filter", "refine", "merge"}
         assert set(snap["pairs"]) == {"total", "case1", "case2",
-                                      "refined", "domin_skipped"}
+                                      "refined", "domin_skipped", "f32"}
+        assert set(snap["fused"]) == {"batches", "queries"}
 
     def test_merge_accumulates(self, data):
         P, W = data

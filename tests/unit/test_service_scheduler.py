@@ -131,6 +131,29 @@ class TestKernelPath:
         assert 0.0 <= kernel["filter_rate"] <= 1.0
         assert kernel["stage_s"]["filter"] >= 0.0
 
+    def test_coalesced_batch_dispatches_fused(self, engine):
+        """A coalesced batch runs one fused kernel call per query kind
+        (not one per query), and the answers still match the engine."""
+        scheduler = make_scheduler(
+            engine, batch_window_s=0.1,
+            limits=ServiceLimits(max_batch=16),
+        )
+        queries = [engine.products[i] for i in (3, 11, 29, 57, 88)]
+        futures = [scheduler.submit(q, "rtk", 6) for q in queries[:3]]
+        futures += [scheduler.submit(q, "rkr", 4) for q in queries[3:]]
+        scheduler.start()
+        try:
+            results = [f.result(timeout=10) for f in futures]
+        finally:
+            scheduler.close()
+        for q, result in zip(queries[:3], results[:3]):
+            assert result.weights == engine.reverse_topk(q, 6).weights
+        for q, result in zip(queries[3:], results[3:]):
+            assert result.entries == engine.reverse_kranks(q, 4).entries
+        fused = scheduler.metrics.snapshot()["kernel"]["fused"]
+        assert fused["queries"] == 5
+        assert fused["batches"] == 2  # one rtk group + one rkr group
+
     def test_use_kernel_false_keeps_dense_sweep(self, engine):
         scheduler = make_scheduler(
             engine, batch_window_s=0.1, use_kernel=False,
