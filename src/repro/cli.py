@@ -215,6 +215,52 @@ def _cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Offline auto-tuning: enumerate, score, verify, optionally persist.
+
+    Exit 0 on a verified run, 1 when the winner failed the byte-identity
+    check against the naive oracle (nothing is persisted in that case).
+    """
+    import json as _json
+
+    from .core.grid import DEFAULT_PARTITIONS
+    from .tuning import AutoTuner, CandidateConfig, format_tune_report
+
+    products, weights = _load_data(args.data)
+    current = CandidateConfig(
+        partitions=(args.partitions if args.partitions
+                    else DEFAULT_PARTITIONS))
+    tuner = AutoTuner(products, weights, k=args.k,
+                      probe_queries=args.queries, seed=args.seed,
+                      current=current)
+    report = tuner.tune()
+    if args.json:
+        print(_json.dumps(report, sort_keys=True, indent=2,
+                          default=float))
+    else:
+        print(format_tune_report(report))
+    if not report["verified"]:
+        print("error: winner failed byte-identity verification; "
+              "refusing to persist", file=sys.stderr)
+        return 1
+    if args.kernel_cache:
+        from .vectorized.kernelstore import (config_digest_of,
+                                             config_store_dir,
+                                             save_kernel,
+                                             write_tuned_pointer)
+
+        winner = CandidateConfig.from_dict(report["winner"]["config"])
+        kernel = tuner.build_winner(report)
+        digest = config_digest_of(kernel)
+        save_kernel(config_store_dir(args.kernel_cache, digest), kernel)
+        write_tuned_pointer(args.kernel_cache, digest, winner.as_dict())
+        if not args.json:
+            print(f"persisted winner to {args.kernel_cache}/"
+                  f"cfg-{digest[:12]} (tuned.json flipped; "
+                  f"serve --kernel-cache starts tuned)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import ServiceConfig, ServiceLimits
     from .service.server import QueryService, make_server
@@ -244,6 +290,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                 if args.slow_ms > 0 else None),
         trace_export_path=args.trace_export,
         kernel_cache_dir=args.kernel_cache,
+        auto_tune=args.auto_tune,
+        tune_interval_s=(args.tune_interval if args.auto_tune else 0.0),
     )
     if args.durable:
         from .durability import DurableDynamicRRQ
@@ -272,8 +320,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{info['products']}x{info['weights']} (d={info['dim']}) "
               f"at {server.url}", flush=True)
         print("endpoints: POST /query /insert /delete /modify /compact "
-              "/snapshot /promote, GET /healthz /metrics /info /replicate "
-              "/traces /slowlog", flush=True)
+              "/snapshot /promote /tuner, GET /healthz /metrics /info "
+              "/replicate /traces /slowlog /tuner", flush=True)
         try:
             server.serve_forever()
         except KeyboardInterrupt:
@@ -300,8 +348,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if service.degraded_reason:
         print(f"WARNING: degraded mode — {service.degraded_reason}",
               file=sys.stderr)
-    print("endpoints: POST /query, GET /healthz /metrics /info /traces "
-          "/slowlog")
+    print("endpoints: POST /query /tuner, GET /healthz /metrics /info "
+          "/traces /slowlog /tuner")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -343,6 +391,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         replicas=args.replicas,
         supervise=args.supervise,
         hedge=args.hedge,
+        tune_every=args.auto_tune_every,
     )
     try:
         print(f"cluster: {args.workers} workers ({args.partitioner} "
@@ -411,15 +460,18 @@ def _kernel_store_info(path: Path) -> None:
     """Report packed kernel stores (mmap warm start) under ``path``.
 
     A store lives either directly in the directory or in the cache
-    layout ``serve --kernel-cache`` maintains (``static``/``gen-<N>``
-    subdirectories); each one is a single mmap away from a warm kernel.
+    layout ``serve --kernel-cache`` maintains (``static``/``gen-<N>``/
+    tuner ``cfg-<digest>`` subdirectories); each one is a single mmap
+    away from a warm kernel.  A ``tuned.json`` pointer means the
+    auto-tuner pinned a config — the serve path loads that store first.
     """
-    from .vectorized.kernelstore import kernel_store_size
+    from .vectorized.kernelstore import kernel_store_size, read_tuned_pointer
 
     candidates = [path] + sorted(
         child for child in path.iterdir()
         if child.is_dir() and (child.name == "static"
-                               or child.name.startswith("gen-")))
+                               or child.name.startswith("gen-")
+                               or child.name.startswith("cfg-")))
     stores = [c for c in candidates
               if (c / "kernel.bin").exists() and (c / "kernel.meta").exists()]
     if not stores:
@@ -429,6 +481,13 @@ def _kernel_store_info(path: Path) -> None:
     print(f"{'kernel store':18s} {total:>12,} bytes "
           f"({len(stores)} store(s): {where})")
     print(f"{'warm start':18s} mmap (zero-copy, O(1) load)")
+    pointer = read_tuned_pointer(path)
+    if pointer is not None:
+        config = pointer.get("config") or {}
+        label = (f"n{config.get('partitions')}-{config.get('boundaries')}"
+                 if config else pointer["digest"][:12])
+        print(f"{'tuned config':18s} {label} "
+              f"(cfg-{pointer['digest'][:12]})")
 
 
 def _durability_info(path: Path) -> int:
@@ -716,6 +775,27 @@ def build_parser() -> argparse.ArgumentParser:
     model_p.add_argument("--epsilon", type=float, default=0.01)
     model_p.set_defaults(func=_cmd_model)
 
+    tune = sub.add_parser(
+        "tune",
+        help="score grid configs on a measured probe; print the winner",
+    )
+    tune.add_argument("data", help="data directory from 'generate'")
+    tune.add_argument("-k", type=int, default=10)
+    tune.add_argument("--queries", type=int, default=16,
+                      help="probe queries sampled from the product set")
+    tune.add_argument("--seed", type=int, default=7,
+                      help="probe-sampling seed")
+    tune.add_argument("--partitions", type=int, default=None,
+                      help="current grid resolution (the baseline; "
+                           "default: the library default)")
+    tune.add_argument("--json", action="store_true",
+                      help="print the full report as JSON")
+    tune.add_argument("--kernel-cache", default=None, metavar="DIR",
+                      help="persist the verified winner as a per-config "
+                           "kernel store and flip the tuned.json pointer "
+                           "(serve --kernel-cache DIR starts tuned)")
+    tune.set_defaults(func=_cmd_tune)
+
     info = sub.add_parser("info", help="index size / durability report")
     info.add_argument("index")
     info.set_defaults(func=_cmd_info)
@@ -842,6 +922,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--standby-of", default=None, metavar="URL",
                        help="run as a hot standby tailing this primary's "
                             "/replicate feed (reads OK, writes 409)")
+    serve.add_argument("--auto-tune", action="store_true",
+                       help="run the workload-adaptive auto-tuner in the "
+                            "background: when live filtering is poor, "
+                            "rebuild under a better grid config and "
+                            "hot-swap it (POST /tuner forces a pass)")
+    serve.add_argument("--tune-interval", type=float, default=60.0,
+                       metavar="S",
+                       help="seconds between auto-tune passes "
+                            "(--auto-tune only)")
     serve.set_defaults(func=_cmd_serve)
 
     cluster = sub.add_parser(
@@ -882,6 +971,12 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--hedge", action="store_true",
                          help="hedged reads: probe a standby when the "
                               "primary is slower than the cluster p95")
+    cluster.add_argument("--auto-tune-every", type=int, default=0,
+                         metavar="N",
+                         help="per-shard auto-tuning sweep every N "
+                              "supervisor ticks (0 disables; needs "
+                              "--supervise); grids diverge per local "
+                              "weight partition")
     cluster.set_defaults(func=_cmd_cluster)
     return parser
 

@@ -119,14 +119,39 @@ def worst_case_filtering(d: int, partitions: int) -> float:
     return float(2.0 * norm.sf(z_delta))
 
 
+def ceil_partitions(bound: float) -> int:
+    """Round a real-valued partition bound to a usable grid size.
+
+    The single place Theorem 1's real-valued bound becomes an integer a
+    grid constructor can take: ceil, clamped to at least one partition.
+    Non-finite bounds (NaN/inf from a degenerate model input) raise
+    instead of silently producing a nonsense grid.
+    """
+    try:
+        value = float(bound)
+    except (TypeError, ValueError):
+        raise InvalidParameterError(
+            f"partition bound must be a real number, got {bound!r}")
+    if not math.isfinite(value):
+        raise InvalidParameterError(
+            f"partition bound must be finite, got {value!r}")
+    return max(1, math.ceil(value))
+
+
 def required_partitions(d: int, epsilon: float = 0.01) -> float:
     """Exact (real-valued) bound of Theorem 1: smallest ``n`` with ``F > 1 - eps``.
 
     ``delta`` satisfies ``Phi_tail(delta / 2) = (1 - eps) / 2`` and the
     theorem requires ``n > sqrt(2 sqrt(3 d) / delta)`` (Equation 26).
+    Callers that need an integer grid size should go through
+    :func:`recommend_partitions` (or :func:`ceil_partitions`), never
+    truncate this float themselves.
     """
     if d <= 0:
         raise InvalidParameterError("d must be positive")
+    if not isinstance(epsilon, (int, float)) or not math.isfinite(epsilon):
+        raise InvalidParameterError(
+            f"epsilon must be a finite number, got {epsilon!r}")
     if not 0 < epsilon < 1:
         raise InvalidParameterError("epsilon must be in (0, 1)")
     delta = 2.0 * norm.isf((1.0 - epsilon) / 2.0)
@@ -141,8 +166,7 @@ def recommend_partitions(d: int, epsilon: float = 0.01,
     up to the next power of two — e.g. ``d = 20, eps = 1% -> 32``, the
     Section 5.3 worked example.
     """
-    bound = required_partitions(d, epsilon)
-    n = max(1, math.ceil(bound))
+    n = ceil_partitions(required_partitions(d, epsilon))
     if power_of_two:
         return 1 << (n - 1).bit_length()
     return n

@@ -45,16 +45,28 @@ def quantile_boundaries(values: np.ndarray, partitions: int,
     bounds = np.quantile(flat, qs)
     bounds[0] = low
     bounds[-1] = high
-    # Enforce strict monotonicity: blend any flat run with equal width.
+    # Repair ties monotonically: carry a strictly increasing floor
+    # forward so one flat quantile run never poisons the rest of the
+    # vector.  (The old per-entry blend with the equal-width fallback
+    # could land *below* the running floor, which then tripped the final
+    # guard and discarded every quantile for mildly tied data.)
     fallback = np.linspace(low, high, partitions + 1)
-    for i in range(1, partitions + 1):
-        if bounds[i] <= bounds[i - 1]:
-            bounds[i] = min(
-                high,
-                max(bounds[i - 1] + (high - low) * 1e-9, fallback[i] * 0.5
-                    + bounds[i - 1] * 0.5),
-            )
-    if np.any(np.diff(bounds) <= 0):  # extremely degenerate data
+    step = max((high - low) * 1e-9, np.spacing(max(abs(low), abs(high))))
+    for i in range(1, partitions):
+        floor = bounds[i - 1] + step
+        if bounds[i] < floor:
+            # Stay as close to the true quantile as the floor allows,
+            # leaning toward equal width only to escape the flat run.
+            bounds[i] = min(high, max(floor,
+                                      0.5 * (fallback[i] + bounds[i - 1])))
+        bounds[i] = min(bounds[i], high)
+    # Backward pass: entries clamped against ``high`` need headroom so
+    # the vector stays strictly increasing up to the fixed endpoint.
+    for i in range(partitions - 1, 0, -1):
+        ceiling = bounds[i + 1] - step
+        if bounds[i] > ceiling:
+            bounds[i] = ceiling
+    if np.any(np.diff(bounds) <= 0):  # truly forced: span too small
         bounds = fallback
     return bounds
 

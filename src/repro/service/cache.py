@@ -12,6 +12,15 @@ never changes, so entries live until evicted; when the service fronts a
 :class:`~repro.ext.dynamic.DynamicRRQEngine`, :func:`bind_dynamic`
 subscribes the cache to the engine's mutation events so every insert,
 delete, or compaction flushes stale answers.
+
+Entries are additionally keyed by an **index generation**: every
+:meth:`ResultCache.invalidate` bumps a monotone counter, and a
+:meth:`ResultCache.put` stamped with an older generation is dropped
+instead of stored.  This closes the swap-vs-in-flight race: a query
+that started computing against the old index cannot re-poison the
+cache *after* a rebuild, promote, or tuner hot-swap cleared it —
+without the writer holding any lock across the (slow) answer
+computation.
 """
 
 from __future__ import annotations
@@ -58,6 +67,17 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
+        self._generation = 0
+
+    def generation(self) -> int:
+        """The current index generation (bumped by every invalidate).
+
+        Readers capture this *before* computing an answer and pass it to
+        :meth:`put`; a swap landing in between moves the generation and
+        the stale put is rejected.
+        """
+        with self._lock:
+            return self._generation
 
     def get(self, key: CacheKey) -> Optional[Any]:
         """The cached answer, refreshed to most-recently-used, or None."""
@@ -71,21 +91,36 @@ class ResultCache:
             self._hits += 1
             return value
 
-    def put(self, key: CacheKey, value: Any) -> None:
-        """Insert (or refresh) an answer, evicting the LRU entry if full."""
+    def put(self, key: CacheKey, value: Any,
+            generation: Optional[int] = None) -> None:
+        """Insert (or refresh) an answer, evicting the LRU entry if full.
+
+        ``generation`` (from :meth:`generation`, captured before the
+        answer was computed) makes the insert conditional: if an
+        :meth:`invalidate` has landed since, the answer was computed
+        against a dead index and is silently dropped.
+        """
         if self.capacity == 0:
             return
         with self._lock:
+            if generation is not None and generation != self._generation:
+                return
             self._entries.pop(key, None)
             self._entries[key] = value
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
 
     def invalidate(self) -> None:
-        """Drop every entry (the hook the dynamic update path calls)."""
+        """Drop every entry and bump the generation.
+
+        The hook every index-changing path calls: dynamic mutations
+        (via :func:`bind_dynamic`), standby promotion, and the tuner's
+        hot-swap critical section.
+        """
         with self._lock:
             self._entries.clear()
             self._invalidations += 1
+            self._generation += 1
 
     def __len__(self) -> int:
         with self._lock:

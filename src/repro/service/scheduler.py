@@ -167,6 +167,9 @@ class MicroBatchScheduler:
             self._pin_snapshot is not None
         self._snap_kernel = None
         self._snap_kernel_failed = False
+        #: Tuned snapshot-kernel config (a CandidateConfig), set by the
+        #: auto-tuner's hot-swap on MVCC engines; None = default build.
+        self._snapshot_tuning = None
         self._queue: "queue.Queue[_Pending]" = queue.Queue(
             maxsize=self.limits.max_queue_depth
         )
@@ -459,13 +462,17 @@ class MicroBatchScheduler:
         if not self._use_snapshot_kernel or self._snap_kernel_failed:
             return None
         cached = self._snap_kernel
-        if cached is not None and cached.matches(snap):
+        tuning = self._snapshot_tuning
+        variant = tuning.short() if tuning is not None else None
+        if cached is not None and cached.matches(snap) and \
+                getattr(cached, "variant", None) == variant:
             return cached
         try:
             from ..storage import SnapshotKernel
 
             self._snap_kernel = SnapshotKernel.build(
-                snap, cache_dir=self.kernel_cache_dir
+                snap, cache_dir=self.kernel_cache_dir,
+                tuning=self._snapshot_tuning,
             )
         except Exception:
             self._snap_kernel_failed = True
@@ -505,25 +512,81 @@ class MicroBatchScheduler:
                 return None
         return self._kernel
 
+    def _expected_static_digest(self) -> Optional[str]:
+        """The config digest the static-path kernel build *would* produce.
+
+        Mirrors :meth:`_get_kernel`'s construction recipe without doing
+        any of its work: the engine's own grid when it fronts a
+        GIR/kernel algorithm, otherwise the default equal-width recipe.
+        ``None`` means the recipe cannot be predicted cheaply — callers
+        then refuse the cache rather than trust an unverifiable entry.
+        """
+        try:
+            from ..core.gir import GridIndexRRQ
+            from ..core.grid import DEFAULT_PARTITIONS
+            from ..vectorized.girkernel import (DEFAULT_P_BLOCK,
+                                                DEFAULT_W_BLOCK)
+            from ..vectorized.kernelstore import (config_digest_of,
+                                                  kernel_config_digest)
+
+            algorithm = getattr(self.engine, "algorithm", self.engine)
+            if isinstance(algorithm, GirKernelRRQ):
+                return config_digest_of(algorithm)
+            if isinstance(algorithm, GridIndexRRQ):
+                return kernel_config_digest(
+                    algorithm.grid.alpha_p, algorithm.grid.alpha_w,
+                    DEFAULT_W_BLOCK, DEFAULT_P_BLOCK,
+                    algorithm.use_domin, "float32",
+                )
+            # GirKernelRRQ(products, weights) default construction.
+            w_range = float(self._W.max())
+            alpha_p = np.linspace(0.0, self.engine.products.value_range,
+                                  DEFAULT_PARTITIONS + 1)
+            alpha_w = np.linspace(0.0, w_range, DEFAULT_PARTITIONS + 1)
+            return kernel_config_digest(alpha_p, alpha_w,
+                                        DEFAULT_W_BLOCK, DEFAULT_P_BLOCK,
+                                        True, "float32")
+        except Exception:
+            return None
+
     def _load_cached_static_kernel(self) -> Optional[GirKernelRRQ]:
         """mmap warm start for the static-engine kernel, if cached.
 
-        The ``<cache_dir>/static`` entry is trusted only after its
-        mapped ``P``/``W`` arrays compare equal to the engine's own
-        (a memcmp-speed scan — far cheaper than re-validating,
-        re-quantizing and re-gathering the bound matrices); answers are
-        byte-identical regardless of which grid built the cached kernel,
-        so a stale grid config can at worst change speed, never output.
+        A tuned cache (``tuned.json`` pointer) resolves to its
+        ``cfg-<digest>`` per-config store, loaded only when the store's
+        recorded config digest matches the pointer.  The default
+        ``static/`` entry is loaded only when its recorded digest
+        matches the config this scheduler would build — ``kernel.meta``
+        used to record layout but not boundaries/partitions/f32
+        settings, silently reusing a kernel built under an older grid
+        after a config change.  Either way the mapped ``P``/``W``
+        arrays must still compare equal to the engine's own (a
+        memcmp-speed scan); any mismatch refuses the cache and rebuilds.
         """
         if self.kernel_cache_dir is None:
             return None
         try:
-            from ..vectorized.kernelstore import load_kernel
-
             import os
-            kernel = load_kernel(
-                os.path.join(self.kernel_cache_dir, "static")
-            )
+
+            from ..vectorized.kernelstore import (config_store_dir,
+                                                  load_kernel,
+                                                  read_tuned_pointer)
+
+            pointer = read_tuned_pointer(self.kernel_cache_dir)
+            if pointer is not None:
+                kernel = load_kernel(
+                    config_store_dir(self.kernel_cache_dir,
+                                     pointer["digest"]),
+                    expected_digest=pointer["digest"],
+                )
+            else:
+                expected = self._expected_static_digest()
+                if expected is None:
+                    return None
+                kernel = load_kernel(
+                    os.path.join(self.kernel_cache_dir, "static"),
+                    expected_digest=expected,
+                )
             if kernel.P.shape == self._P.shape and \
                     kernel.W.shape == self._W.shape and \
                     np.array_equal(kernel.P, self._P) and \
@@ -546,6 +609,49 @@ class MicroBatchScheduler:
         except Exception:
             # Cache persistence is best-effort; serving never depends on it.
             pass
+
+    def swap_kernel(self, kernel: GirKernelRRQ, config=None) -> None:
+        """Hot-swap the static batch-path kernel (auto-tuner flip).
+
+        The dispatcher reads ``self._kernel`` once per batch, so a
+        single reference assignment is the whole flip: in-flight
+        batches finish on the old kernel, the next batch sees the new
+        one.  When a kernel cache is configured the tuned kernel is
+        persisted to its own ``cfg-<digest>`` store and ``tuned.json``
+        is flipped to it, so restarts come back up already tuned
+        (persistence is best-effort, the in-memory swap is not).
+        """
+        if self.kernel_cache_dir is not None:
+            try:
+                from ..vectorized.kernelstore import (config_digest_of,
+                                                      config_store_dir,
+                                                      save_kernel,
+                                                      write_tuned_pointer)
+
+                digest = config_digest_of(kernel)
+                save_kernel(config_store_dir(self.kernel_cache_dir, digest),
+                            kernel)
+                write_tuned_pointer(
+                    self.kernel_cache_dir, digest,
+                    config.as_dict() if config is not None else None,
+                )
+            except Exception:
+                pass
+        self._kernel = kernel
+        self._kernel_failed = False
+
+    def set_snapshot_tuning(self, config) -> None:
+        """Adopt a tuned config for snapshot kernels (MVCC engines).
+
+        The next ``_get_snapshot_kernel`` miss rebuilds under
+        ``config`` (a :class:`~repro.tuning.tuner.CandidateConfig`);
+        callers pair this with an engine checkpoint so a fresh
+        generation exists to densify.  Clearing the failure latch lets
+        a previously failed build retry under the new config.
+        """
+        self._snapshot_tuning = config
+        self._snap_kernel = None
+        self._snap_kernel_failed = False
 
     def _answer_batched(self, live: List[_Pending],
                         counter: OpCounter) -> None:

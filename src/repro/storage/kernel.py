@@ -52,7 +52,8 @@ class SnapshotKernel:
     """
 
     def __init__(self, kernel: GirKernelRRQ, p_gids, w_gids,
-                 generation: int, mmap_loaded: bool = False):
+                 generation: int, mmap_loaded: bool = False,
+                 variant: Optional[str] = None):
         self.kernel = kernel
         self.p_gids = p_gids
         self.w_gids = w_gids
@@ -61,10 +62,14 @@ class SnapshotKernel:
         #: True when this kernel came off the mmap cache, False when it
         #: was densified from the snapshot (observability only).
         self.mmap_loaded = bool(mmap_loaded)
+        #: Tuned-config short digest when the auto-tuner chose the grid,
+        #: None for the default build.  The scheduler keys its cache on
+        #: (generation, variant) so a tuner swap forces a rebuild.
+        self.variant = variant
 
     @classmethod
     def build(cls, snapshot: StoreSnapshot, use_domin: bool = True,
-              cache_dir: Optional[PathLike] = None,
+              cache_dir: Optional[PathLike] = None, tuning=None,
               ) -> Optional["SnapshotKernel"]:
         """Densify ``snapshot`` into a kernel, via the mmap cache if warm.
 
@@ -73,23 +78,40 @@ class SnapshotKernel:
         (O(mmap), no gather/quantize/validate work); a miss — or a
         corrupt / parameter-mismatched entry — falls through to a fresh
         build whose result is saved back (and older generations pruned).
+
+        ``tuning`` (a :class:`~repro.tuning.tuner.CandidateConfig`)
+        overrides the default grid recipe: the kernel is built by
+        :func:`~repro.tuning.tuner.build_tuned_kernel` and cached under
+        ``gen-<N>-<variant>`` so tuned and default entries never alias.
         """
+        variant = None
+        if tuning is not None:
+            use_domin = bool(tuning.use_domin)
+            variant = tuning.short()
         if cache_dir is not None:
-            cached = cls._load_cached(snapshot, use_domin, cache_dir)
+            cached = cls._load_cached(snapshot, use_domin, cache_dir,
+                                      variant=variant)
             if cached is not None:
                 return cached
         p_rows, p_gids = snapshot.live_products()
         w_rows, w_gids = snapshot.live_weights()
         if p_rows.shape[0] == 0 or w_rows.shape[0] == 0:
             return None
-        kernel = GirKernelRRQ(
-            ProductSet(p_rows, value_range=snapshot.value_range),
-            WeightSet(w_rows),
-            partitions=max(1, snapshot.segments[0].partitions
-                           if snapshot.segments else 32),
-            use_domin=use_domin,
-        )
-        built = cls(kernel, p_gids, w_gids, snapshot.generation)
+        products = ProductSet(p_rows, value_range=snapshot.value_range)
+        weights = WeightSet(w_rows)
+        if tuning is not None:
+            from ..tuning.tuner import build_tuned_kernel
+
+            kernel = build_tuned_kernel(products, weights, tuning)
+        else:
+            kernel = GirKernelRRQ(
+                products, weights,
+                partitions=max(1, snapshot.segments[0].partitions
+                               if snapshot.segments else 32),
+                use_domin=use_domin,
+            )
+        built = cls(kernel, p_gids, w_gids, snapshot.generation,
+                    variant=variant)
         if cache_dir is not None:
             built.persist(cache_dir)
         return built
@@ -99,13 +121,18 @@ class SnapshotKernel:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _gen_dir(cache_dir: PathLike, generation: int) -> Path:
-        return Path(cache_dir) / f"gen-{int(generation)}"
+    def _gen_dir(cache_dir: PathLike, generation: int,
+                 variant: Optional[str] = None) -> Path:
+        name = f"gen-{int(generation)}"
+        if variant is not None:
+            name = f"{name}-{variant}"
+        return Path(cache_dir) / name
 
     @classmethod
     def _load_cached(cls, snapshot: StoreSnapshot, use_domin: bool,
-                     cache_dir: PathLike) -> Optional["SnapshotKernel"]:
-        gen_dir = cls._gen_dir(cache_dir, snapshot.generation)
+                     cache_dir: PathLike, variant: Optional[str] = None,
+                     ) -> Optional["SnapshotKernel"]:
+        gen_dir = cls._gen_dir(cache_dir, snapshot.generation, variant)
         try:
             kernel, extras = load_kernel_bundle(gen_dir)
         except (IndexCorruptionError, DataValidationError, OSError):
@@ -115,12 +142,12 @@ class SnapshotKernel:
             return None
         return cls(kernel, np.asarray(extras["p_gids"]),
                    np.asarray(extras["w_gids"]),
-                   snapshot.generation, mmap_loaded=True)
+                   snapshot.generation, mmap_loaded=True, variant=variant)
 
     def persist(self, cache_dir: PathLike) -> Path:
         """Save this kernel to ``<cache_dir>/gen-<generation>`` and prune
         entries for other (stale) generations.  Returns the entry path."""
-        gen_dir = self._gen_dir(cache_dir, self.generation)
+        gen_dir = self._gen_dir(cache_dir, self.generation, self.variant)
         save_kernel(gen_dir, self.kernel, extras={
             "p_gids": np.asarray(self.p_gids, dtype=np.int64),
             "w_gids": np.asarray(self.w_gids, dtype=np.int64),

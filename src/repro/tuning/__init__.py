@@ -1,0 +1,37 @@
+"""Workload-adaptive auto-tuning (the paper's §7 future-work loop).
+
+:mod:`repro.tuning.tuner` is the pure offline engine — candidate
+enumeration over grid partitions / boundary families / kernel tiles,
+model-plus-measured scoring, and the mandatory byte-identity check
+against the naive oracle.  :mod:`repro.tuning.service` wires it into a
+live :class:`~repro.service.server.QueryService` with trigger detection
+and the zero-downtime hot-swap.
+"""
+
+from .service import (
+    DEFAULT_MIN_IMPROVEMENT,
+    DEFAULT_TUNE_THRESHOLD,
+    ServiceTuner,
+)
+from .tuner import (
+    AutoTuner,
+    CandidateConfig,
+    build_tuned_kernel,
+    default_config,
+    format_tune_report,
+    poor_filtering,
+    verify_against_naive,
+)
+
+__all__ = [
+    "AutoTuner",
+    "CandidateConfig",
+    "ServiceTuner",
+    "DEFAULT_TUNE_THRESHOLD",
+    "DEFAULT_MIN_IMPROVEMENT",
+    "build_tuned_kernel",
+    "default_config",
+    "format_tune_report",
+    "poor_filtering",
+    "verify_against_naive",
+]

@@ -1,0 +1,402 @@
+"""Workload-adaptive grid auto-tuning (closing the paper's §5.3 loop).
+
+The cost model (:mod:`repro.core.model`) predicts filter effectiveness
+from ``(d, n)`` under the *uniform* assumption of Lemma 1; the profiler
+(:mod:`repro.obs.profile`) measures the live Case-1/2/undecided/refined
+split.  On clustered data the two disagree violently — most values share
+a handful of equal-width cells, Case 3 balloons, and the measured
+undecided+refined fraction dwarfs the model's bound.  The tuner closes
+the loop the paper's §7 sketches:
+
+1. **Detect** — the live filter profile (``KernelStats`` tallies folded
+   into ``/metrics``) and the slow-query log flag poor filtering.
+2. **Enumerate** — candidate configs over grid partitions (via
+   :func:`repro.core.model.recommend_partitions` at several target ε),
+   equal-width vs quantile boundaries (:mod:`repro.ext.adaptive_grid`),
+   the kernel tile schedule and ``use_domin``.
+3. **Score** — every candidate gets the model's worst-case prediction
+   *and* a short measured probe (:func:`repro.bench.harness.probe_filter_profile`)
+   over a sampled workload; measurements dominate, predictions break
+   ties and catch measurement noise.
+4. **Verify** — the winner is proven byte-identical to
+   :class:`~repro.algorithms.naive.NaiveRRQ` on the probe workload
+   before anyone is allowed to serve from it.
+
+:class:`AutoTuner` is the pure, offline engine of that loop (used by
+``repro-rrq tune`` and the bench harness); the serving-side hot-swap
+lives in :mod:`repro.tuning.service`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.naive import NaiveRRQ
+from ..core.grid import DEFAULT_PARTITIONS
+from ..core.model import (
+    recommend_partitions,
+    worst_case_filtering,
+)
+from ..data.datasets import ProductSet, WeightSet
+from ..errors import InvalidParameterError
+from ..ext.adaptive_grid import build_adaptive_grid
+from ..vectorized.girkernel import (
+    DEFAULT_P_BLOCK,
+    DEFAULT_W_BLOCK,
+    GirKernelRRQ,
+)
+
+#: Boundary families a candidate may use.
+BOUNDARY_KINDS = ("uniform", "quantile")
+
+#: Default target-ε ladder for the partition enumeration.
+DEFAULT_EPSILONS = (0.05, 0.01)
+
+#: Default probe size (queries sampled from P, replayed per candidate).
+DEFAULT_PROBE_QUERIES = 16
+
+#: Pinned tuner seed (shared with the bench harness).
+DEFAULT_SEED = 7
+
+
+@dataclass(frozen=True)
+class CandidateConfig:
+    """One complete index configuration the tuner can build and score."""
+
+    partitions: int
+    boundaries: str = "uniform"
+    w_block: int = DEFAULT_W_BLOCK
+    p_block: int = DEFAULT_P_BLOCK
+    use_domin: bool = True
+    filter_dtype: str = "float32"
+
+    def __post_init__(self):
+        if int(self.partitions) < 1:
+            raise InvalidParameterError("partitions must be >= 1")
+        if self.boundaries not in BOUNDARY_KINDS:
+            raise InvalidParameterError(
+                f"boundaries must be one of {BOUNDARY_KINDS}, "
+                f"got {self.boundaries!r}"
+            )
+        if int(self.w_block) < 1 or int(self.p_block) < 1:
+            raise InvalidParameterError("tile blocks must be >= 1")
+
+    def label(self) -> str:
+        """Compact human-readable tag (used in reports and metrics)."""
+        parts = [f"n{self.partitions}", self.boundaries]
+        if not self.use_domin:
+            parts.append("nodomin")
+        if (self.w_block, self.p_block) != (DEFAULT_W_BLOCK,
+                                            DEFAULT_P_BLOCK):
+            parts.append(f"w{self.w_block}p{self.p_block}")
+        if self.filter_dtype != "float32":
+            parts.append(self.filter_dtype)
+        return "-".join(parts)
+
+    def as_dict(self) -> dict:
+        return {
+            "partitions": int(self.partitions),
+            "boundaries": self.boundaries,
+            "w_block": int(self.w_block),
+            "p_block": int(self.p_block),
+            "use_domin": bool(self.use_domin),
+            "filter_dtype": self.filter_dtype,
+        }
+
+    def short(self) -> str:
+        """Stable 12-hex digest of the *requested* config (not the built
+        boundary vectors — quantile boundaries depend on the data; the
+        built kernel's exact digest comes from
+        :func:`repro.vectorized.kernelstore.config_digest_of`)."""
+        payload = json.dumps(self.as_dict(), sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()[:12]
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CandidateConfig":
+        try:
+            return cls(
+                partitions=int(data["partitions"]),
+                boundaries=str(data.get("boundaries", "uniform")),
+                w_block=int(data.get("w_block", DEFAULT_W_BLOCK)),
+                p_block=int(data.get("p_block", DEFAULT_P_BLOCK)),
+                use_domin=bool(data.get("use_domin", True)),
+                filter_dtype=str(data.get("filter_dtype", "float32")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidParameterError(
+                f"malformed candidate config: {exc}") from exc
+
+
+def default_config(partitions: int = DEFAULT_PARTITIONS) -> CandidateConfig:
+    """The library's default serving config (equal-width grid)."""
+    return CandidateConfig(partitions=int(partitions))
+
+
+def build_tuned_kernel(products: ProductSet, weights: WeightSet,
+                       config: CandidateConfig) -> GirKernelRRQ:
+    """Materialize one candidate as a blocked kernel over ``(P, W)``.
+
+    ``quantile`` boundaries come from :mod:`repro.ext.adaptive_grid`
+    (per-axis empirical quantiles); ``uniform`` uses the kernel's own
+    equal-width recipe.  Everything downstream — GInTop-k, Domin, the
+    fused batch paths — is reused unchanged, so answers stay exact for
+    *any* boundary vector.
+    """
+    kwargs = dict(
+        partitions=int(config.partitions),
+        w_block=int(config.w_block),
+        p_block=int(config.p_block),
+        use_domin=bool(config.use_domin),
+        filter_dtype=config.filter_dtype,
+    )
+    if config.boundaries == "quantile":
+        grid, p_quant, w_quant = build_adaptive_grid(
+            products, weights, int(config.partitions)
+        )
+        kwargs.update(grid=grid, p_quantizer=p_quant, w_quantizer=w_quant)
+    return GirKernelRRQ(products, weights, **kwargs)
+
+
+def verify_against_naive(kernel, products: ProductSet, weights: WeightSet,
+                         queries: Sequence[np.ndarray], k: int) -> bool:
+    """True iff ``kernel`` answers byte-identically to ``NaiveRRQ``.
+
+    Both kinds are checked for every probe query; the comparison is on
+    the full answer structure (RTK weight sets, RKR ``(rank, id)``
+    entries), which is exactly what the HTTP layer encodes.
+    """
+    naive = NaiveRRQ(products, weights)
+    for q in queries:
+        expect = naive.reverse_topk(q, k)
+        got = kernel.reverse_topk(q, k)
+        if got.weights != expect.weights or got.k != expect.k:
+            return False
+        expect = naive.reverse_kranks(q, k)
+        got = kernel.reverse_kranks(q, k)
+        if got.entries != expect.entries or got.k != expect.k:
+            return False
+    return True
+
+
+def poor_filtering(profile: dict, threshold: float = 0.35) -> dict:
+    """Detection verdict from one filter profile (Table-4 style dict).
+
+    ``undecided + refined`` is the fraction of classified pairs the grid
+    could *not* settle from bounds — the Case-3 ballooning signal on
+    clustered data.  Returns a JSON-ready verdict the service tuner and
+    CLI both surface.
+    """
+    fractions = profile.get("fractions", {})
+    undecided = float(fractions.get("undecided", 0.0))
+    refined = float(fractions.get("refined", 0.0))
+    fraction = undecided + refined
+    return {
+        "undecided_refined_fraction": fraction,
+        "threshold": float(threshold),
+        "poor": fraction > float(threshold),
+    }
+
+
+@dataclass
+class AutoTuner:
+    """Offline candidate enumeration + scoring over one ``(P, W)`` pair.
+
+    Pure and deterministic under a pinned ``seed``: the probe workload
+    is sampled from the product set, every candidate is built and
+    replayed on it, and the winner must *measure* better — the model
+    prediction is reported but never overrides a measurement.
+    """
+
+    products: ProductSet
+    weights: WeightSet
+    k: int = 10
+    probe_queries: int = DEFAULT_PROBE_QUERIES
+    seed: int = DEFAULT_SEED
+    epsilons: Sequence[float] = DEFAULT_EPSILONS
+    boundaries: Sequence[str] = BOUNDARY_KINDS
+    use_domin_options: Sequence[bool] = (True,)
+    tile_schedules: Sequence = ((DEFAULT_W_BLOCK, DEFAULT_P_BLOCK),)
+    current: Optional[CandidateConfig] = None
+    kinds: Sequence[str] = ("rtk",)
+    _queries: Optional[List[np.ndarray]] = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if int(self.k) < 1:
+            raise InvalidParameterError("k must be positive")
+        if int(self.probe_queries) < 1:
+            raise InvalidParameterError("probe_queries must be positive")
+        if self.current is None:
+            self.current = default_config()
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+
+    def candidate_partitions(self) -> List[int]:
+        """Partition ladder: the current ``n``, Theorem-1 picks, and one
+        doubling step.
+
+        The model's recommendation assumes uniform data (Lemma 1); on
+        clustered data it routinely sits *below* the current ``n`` even
+        while filtering is poor, so the ladder always includes
+        ``2 * current`` (capped) to give the measured probe a
+        hill-climbing direction the model cannot suggest.
+        """
+        d = int(self.products.dim)
+        current = int(self.current.partitions)
+        ns = {current, min(512, 2 * current)}
+        for epsilon in self.epsilons:
+            ns.add(recommend_partitions(d, float(epsilon)))
+        return sorted(ns)
+
+    def candidates(self) -> List[CandidateConfig]:
+        """The full (deduplicated) candidate grid, current config first."""
+        seen = {}
+        ordered: List[CandidateConfig] = []
+
+        def add(config: CandidateConfig) -> None:
+            key = config.short()
+            if key not in seen:
+                seen[key] = config
+                ordered.append(config)
+
+        add(self.current)
+        for n in self.candidate_partitions():
+            for kind in self.boundaries:
+                for use_domin in self.use_domin_options:
+                    for w_block, p_block in self.tile_schedules:
+                        add(CandidateConfig(
+                            partitions=n, boundaries=kind,
+                            w_block=int(w_block), p_block=int(p_block),
+                            use_domin=bool(use_domin),
+                            filter_dtype=self.current.filter_dtype,
+                        ))
+        return ordered
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+
+    def probe_workload(self) -> List[np.ndarray]:
+        """The pinned-seed probe queries (sampled once, shared by every
+        candidate so scores are comparable)."""
+        if self._queries is None:
+            from ..obs.profile import sample_queries
+
+            self._queries = sample_queries(
+                self.products, int(self.probe_queries), seed=int(self.seed)
+            )
+        return self._queries
+
+    def score(self, config: CandidateConfig) -> dict:
+        """Build one candidate and measure it on the probe workload."""
+        from ..bench.harness import probe_filter_profile
+
+        kernel = build_tuned_kernel(self.products, self.weights, config)
+        measured = probe_filter_profile(
+            kernel, self.probe_workload(), k=int(self.k),
+            kinds=tuple(self.kinds),
+        )
+        predicted = worst_case_filtering(int(self.products.dim),
+                                         int(config.partitions))
+        return {
+            "config": config.as_dict(),
+            "label": config.label(),
+            "short": config.short(),
+            "predicted_worst_case_filtering": predicted,
+            "measured": measured,
+        }
+
+    @staticmethod
+    def _score_key(entry: dict):
+        """Ranking: lowest undecided+refined fraction, then filter wall
+        time, then the model's prediction (descending F) as tie-break."""
+        measured = entry["measured"]
+        return (
+            round(measured["undecided_refined_fraction"], 6),
+            round(measured["filter_s"], 6),
+            -entry["predicted_worst_case_filtering"],
+        )
+
+    def tune(self) -> dict:
+        """Enumerate, score, rank, and verify the winner.
+
+        Returns a JSON-ready report: every candidate's score, the
+        baseline (current config), the winner, its measured improvement
+        over the baseline, and the byte-identity verdict.  The winner is
+        *never* reported verified unless it matched ``NaiveRRQ`` on the
+        whole probe workload, both query kinds.
+        """
+        scored = [self.score(config) for config in self.candidates()]
+        by_key = sorted(scored, key=self._score_key)
+        winner = by_key[0]
+        baseline = next(s for s in scored
+                        if s["short"] == self.current.short())
+        improvement = (
+            baseline["measured"]["undecided_refined_fraction"]
+            - winner["measured"]["undecided_refined_fraction"]
+        )
+        winner_config = CandidateConfig.from_dict(winner["config"])
+        kernel = build_tuned_kernel(self.products, self.weights,
+                                    winner_config)
+        verified = verify_against_naive(
+            kernel, self.products, self.weights, self.probe_workload(),
+            int(self.k),
+        )
+        return {
+            "schema": 1,
+            "seed": int(self.seed),
+            "k": int(self.k),
+            "probe_queries": int(self.probe_queries),
+            "dim": int(self.products.dim),
+            "n_products": int(self.products.size),
+            "n_weights": int(self.weights.size),
+            "candidates": scored,
+            "baseline": baseline,
+            "winner": winner,
+            "improvement": improvement,
+            "verified": bool(verified),
+        }
+
+    def build_winner(self, report: dict) -> GirKernelRRQ:
+        """Materialize the report's winning config as a fresh kernel."""
+        config = CandidateConfig.from_dict(report["winner"]["config"])
+        return build_tuned_kernel(self.products, self.weights, config)
+
+
+def format_tune_report(report: dict) -> str:
+    """Human-readable ``repro-rrq tune`` output (aligned with ``model``)."""
+    lines = [
+        f"tuned over {report['probe_queries']} probe queries "
+        f"(k={report['k']}, seed={report['seed']}) on "
+        f"|P|={report['n_products']:,} |W|={report['n_weights']:,} "
+        f"d={report['dim']}",
+        "",
+        f"{'config':<24s} {'undec+ref':>10s} {'filter_s':>9s} "
+        f"{'model F':>8s}",
+    ]
+    for entry in sorted(report["candidates"], key=AutoTuner._score_key):
+        measured = entry["measured"]
+        marker = ""
+        if entry["short"] == report["winner"]["short"]:
+            marker = "  <- winner"
+        elif entry["short"] == report["baseline"]["short"]:
+            marker = "  (current)"
+        lines.append(
+            f"{entry['label']:<24s} "
+            f"{measured['undecided_refined_fraction']:>9.2%} "
+            f"{measured['filter_s']:>9.4f} "
+            f"{entry['predicted_worst_case_filtering']:>8.4f}"
+            f"{marker}"
+        )
+    lines.append("")
+    lines.append(f"improvement (undecided+refined): "
+                 f"{report['improvement']:+.2%}")
+    lines.append(f"winner verified vs naive oracle: "
+                 f"{'yes' if report['verified'] else 'NO'}")
+    return "\n".join(lines)

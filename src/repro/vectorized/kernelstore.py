@@ -35,6 +35,7 @@ e.g. after a restore).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import os
@@ -83,6 +84,105 @@ def _pack_blob(arrays: Dict[str, np.ndarray]):
         }
         blob.extend(contig.tobytes())
     return bytes(blob), layout
+
+
+def kernel_config_digest(alpha_p, alpha_w, w_block: int, p_block: int,
+                         use_domin: bool, filter_dtype: str) -> str:
+    """Digest of everything that shapes a kernel's *answers-per-layout*.
+
+    Grid boundaries (both axes, exact float64 bytes), tile schedule,
+    Domin buffer and filter dtype — the settings ``kernel.meta`` used to
+    omit, letting a cached ``static/`` kernel built under old boundaries
+    be silently reused after a config change.  Two kernels with equal
+    digests filter identically; a digest mismatch means the store must
+    be rebuilt, not trusted.
+    """
+    h = hashlib.sha256()
+    for arr in (alpha_p, alpha_w):
+        a = np.ascontiguousarray(np.asarray(arr, dtype=np.float64))
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    h.update(f"|{int(w_block)}|{int(p_block)}"
+             f"|{bool(use_domin)}|{filter_dtype}".encode())
+    return h.hexdigest()
+
+
+def config_digest_of(kernel: GirKernelRRQ) -> str:
+    """:func:`kernel_config_digest` of a built kernel's own config."""
+    core = kernel.core
+    return kernel_config_digest(
+        kernel.grid.alpha_p, kernel.grid.alpha_w,
+        core.w_block, core.p_block, core.use_domin, core.filter_dtype,
+    )
+
+
+def store_config_digest(directory) -> Optional[str]:
+    """The ``config_digest`` recorded in a store's ``kernel.meta``.
+
+    Returns ``None`` when the store is absent, unreadable, or predates
+    the digest field — callers treat all three as "unknown config" and
+    rebuild rather than trust.
+    """
+    try:
+        meta = json.loads((Path(directory) / _META_NAME).read_text())
+    except (OSError, json.JSONDecodeError, ValueError):
+        return None
+    digest = meta.get("config_digest")
+    return digest if isinstance(digest, str) else None
+
+
+# ----------------------------------------------------------------------
+# per-config store layout (the tuner's `--kernel-cache` extension)
+# ----------------------------------------------------------------------
+
+#: Pointer file naming the active tuned config inside a kernel cache.
+TUNED_POINTER_NAME = "tuned.json"
+
+
+def config_store_dir(cache_dir, digest: str) -> str:
+    """``<cache_dir>/cfg-<digest12>`` — one store per kernel config."""
+    return os.path.join(str(cache_dir), f"cfg-{digest[:12]}")
+
+
+def read_tuned_pointer(cache_dir) -> Optional[dict]:
+    """The active tuned-config pointer, or ``None`` when untuned/damaged.
+
+    A well-formed pointer is ``{"digest": <full config digest>, ...}``;
+    anything unreadable is treated as absent — the scheduler then falls
+    back to the default ``static/`` entry (digest-verified itself), so a
+    torn pointer can cost a rebuild but never a stale kernel.
+    """
+    try:
+        pointer = json.loads(
+            (Path(str(cache_dir)) / TUNED_POINTER_NAME).read_text()
+        )
+    except (OSError, json.JSONDecodeError, ValueError):
+        return None
+    if not isinstance(pointer, dict) or \
+            not isinstance(pointer.get("digest"), str):
+        return None
+    return pointer
+
+
+def write_tuned_pointer(cache_dir, digest: str,
+                        config: Optional[dict] = None) -> None:
+    """Atomically point the cache at ``cfg-<digest12>`` (tmp + rename)."""
+    root = Path(cache_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    payload = {"digest": str(digest)}
+    if config is not None:
+        payload["config"] = dict(config)
+    tmp = root / (TUNED_POINTER_NAME + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, root / TUNED_POINTER_NAME)
+
+
+def clear_tuned_pointer(cache_dir) -> None:
+    """Drop the pointer (revert to the default ``static/`` entry)."""
+    try:
+        os.unlink(os.path.join(str(cache_dir), TUNED_POINTER_NAME))
+    except OSError:
+        pass
 
 
 def _corrupt(directory, msg: str, artifacts=()) -> IndexCorruptionError:
@@ -140,6 +240,7 @@ def save_kernel(directory, kernel: GirKernelRRQ,
         "p_block": core.p_block,
         "use_domin": core.use_domin,
         "filter_dtype": core.filter_dtype,
+        "config_digest": config_digest_of(kernel),
         "extras": sorted(extras),
         "arrays": layout,
     }
@@ -287,24 +388,39 @@ def _core_from_views(arrays: Dict[str, np.ndarray], meta: dict) -> KernelCore:
     return core
 
 
-def load_kernel(directory, mmap: bool = True,
-                verify: str = "size") -> GirKernelRRQ:
+def load_kernel(directory, mmap: bool = True, verify: str = "size",
+                expected_digest: Optional[str] = None) -> GirKernelRRQ:
     """Load a kernel saved by :func:`save_kernel` as zero-copy mmap views.
 
     ``verify="size"`` (default) checks the manifest and per-file byte
     counts without touching array data; ``verify="full"`` additionally
     CRC-checks every byte.  ``mmap=False`` materializes the arrays in
     RAM (useful when the store lives on slow storage and will be hit
-    hard).  Raises :class:`IndexCorruptionError` on damage.
+    hard).  Raises :class:`IndexCorruptionError` on damage, or — when
+    ``expected_digest`` is given — when the store's recorded
+    ``config_digest`` is missing or different (a kernel built under a
+    different grid config; callers refuse it and rebuild).
     """
-    kernel, _ = load_kernel_bundle(directory, mmap=mmap, verify=verify)
+    kernel, _ = load_kernel_bundle(directory, mmap=mmap, verify=verify,
+                                   expected_digest=expected_digest)
     return kernel
 
 
-def load_kernel_bundle(directory, mmap: bool = True, verify: str = "size"):
+def load_kernel_bundle(directory, mmap: bool = True, verify: str = "size",
+                       expected_digest: Optional[str] = None):
     """Like :func:`load_kernel` but also returns the saved extras dict."""
     path = Path(directory)
     meta = _check_store(path, verify)
+    if expected_digest is not None:
+        recorded = meta.get("config_digest")
+        if recorded != expected_digest:
+            raise _corrupt(
+                path,
+                "kernel store was built under a different grid config "
+                f"(recorded digest {recorded!r}, expected "
+                f"{expected_digest!r}) — refusing stale kernel",
+                [_META_NAME],
+            )
     views = _blob_views(path, meta, mmap)
     names = list(CORE_ARRAYS)
     if meta["filter_dtype"] == "float32":

@@ -1,0 +1,150 @@
+"""Chaos: SIGKILL a durable server while a tuner hot-swap is in flight.
+
+The acceptance invariant: no matter where in the tune → seal → manifest
+flip → pointer write sequence the process dies, the on-disk index (WAL
++ segments + kernel cache) reopens cleanly and serves answers identical
+to an exact scan over the acknowledged prefix.  The swap path must be
+crash-atomic the same way mutations are — a half-written tuned kernel
+store or torn ``tuned.json`` may cost a rebuild, never a wrong answer.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.durability import DurableDynamicRRQ
+from repro.service import canonical_json
+
+from .test_kill9_recovery import (
+    ServeProcess,
+    _get,
+    _post,
+    exact_answers,
+    wait_healthy,
+)
+
+
+@pytest.mark.timeout(120)
+class TestTunerSwapKill9:
+    def _seed_workload(self, url, rng, products=40, weights=25):
+        last_lsn = 0
+        for _ in range(products):
+            reply = _post(url + "/insert", {
+                "type": "product",
+                "vector": list(rng.random(3) * 0.95)})
+            last_lsn = reply["lsn"]
+        for _ in range(weights):
+            w = rng.random(3) + 1e-3
+            reply = _post(url + "/insert", {
+                "type": "weight", "vector": list(w / w.sum())})
+            last_lsn = reply["lsn"]
+        return last_lsn
+
+    def test_sigkill_during_tuner_swap_leaves_loadable_index(
+            self, tmp_path, chaos_seed):
+        rng = np.random.default_rng(chaos_seed + 31)
+        wal_dir = tmp_path / "db"
+        cache_dir = tmp_path / "kc"
+        server = ServeProcess(wal_dir, "--dim", "3", "--fsync", "always",
+                              "--kernel-cache", str(cache_dir))
+        tuner_error = []
+        try:
+            wait_healthy(server.url)
+            last_acked_lsn = self._seed_workload(server.url, rng)
+
+            # Fire the tune in the background: it seals a snapshot,
+            # flips CURRENT, and rewrites the kernel cache — then kill
+            # the process while that machinery is running.
+            def fire_tuner():
+                request = urllib.request.Request(
+                    server.url + "/tuner",
+                    data=json.dumps({"force": True}).encode(),
+                    method="POST",
+                    headers={"Content-Type": "application/json"})
+                try:
+                    urllib.request.urlopen(request, timeout=30.0).read()
+                except (urllib.error.URLError, OSError):
+                    pass  # the kill races the response; both fates are fine
+                except Exception as exc:  # pragma: no cover
+                    tuner_error.append(exc)
+
+            tuner_thread = threading.Thread(target=fire_tuner)
+            tuner_thread.start()
+            server.proc.stdout.close()  # nobody drains the pipe past here
+            # No sleep calibration: the probe+rebuild takes long enough
+            # that an immediate SIGKILL lands mid-swap on any machine.
+            server.kill9()
+            tuner_thread.join(timeout=35)
+        finally:
+            server.terminate()
+        assert tuner_error == []
+
+        # The index must reopen and answer exactly, tuned or not.
+        recovered = DurableDynamicRRQ(wal_dir, fsync="always")
+        assert recovered.last_lsn == last_acked_lsn
+        queries = [rng.random(3) * 0.9 for _ in range(4)]
+        expected = exact_answers(recovered, queries)
+        got = [
+            canonical_json(sorted(recovered.reverse_topk(q, 5).weights))
+            for q in queries
+        ]
+        assert got == expected
+        recovered.close()
+
+        # ...and a reborn server (same dir, same kernel cache — possibly
+        # holding a half-written cfg store) serves that same truth.
+        reborn = ServeProcess(wal_dir, "--fsync", "always",
+                              "--kernel-cache", str(cache_dir))
+        try:
+            health = wait_healthy(reborn.url)
+            assert health["last_lsn"] == last_acked_lsn
+            for q, expect in zip(queries, expected):
+                answer = _post(reborn.url + "/query",
+                               {"vector": list(q), "kind": "rtk", "k": 5})
+                assert canonical_json(sorted(answer["weights"])) == expect
+        finally:
+            reborn.terminate()
+
+    def test_completed_swap_survives_sigkill_and_restart(self, tmp_path,
+                                                         chaos_seed):
+        """The other side of the race: the swap *finished* (HTTP 200),
+        then the process dies.  The restarted server must keep serving
+        exact answers from whatever the cache now holds."""
+        rng = np.random.default_rng(chaos_seed + 67)
+        wal_dir = tmp_path / "db"
+        cache_dir = tmp_path / "kc"
+        server = ServeProcess(wal_dir, "--dim", "3", "--fsync", "always",
+                              "--kernel-cache", str(cache_dir))
+        try:
+            wait_healthy(server.url)
+            last_acked_lsn = self._seed_workload(server.url, rng)
+            outcome = _post(server.url + "/tuner", {"force": True},
+                            timeout=60.0)
+            assert outcome["status"] in ("swapped", "rejected")
+            assert outcome["verified"] is True
+            status = _get(server.url + "/tuner")
+            assert status["enabled"] and status["runs"] == 1
+            server.kill9()
+        finally:
+            server.terminate()
+
+        recovered = DurableDynamicRRQ(wal_dir, fsync="always")
+        assert recovered.last_lsn == last_acked_lsn
+        queries = [rng.random(3) * 0.9 for _ in range(3)]
+        expected = exact_answers(recovered, queries)
+        recovered.close()
+
+        reborn = ServeProcess(wal_dir, "--fsync", "always",
+                              "--kernel-cache", str(cache_dir))
+        try:
+            wait_healthy(reborn.url)
+            for q, expect in zip(queries, expected):
+                answer = _post(reborn.url + "/query",
+                               {"vector": list(q), "kind": "rtk", "k": 5})
+                assert canonical_json(sorted(answer["weights"])) == expect
+        finally:
+            reborn.terminate()

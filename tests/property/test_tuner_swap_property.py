@@ -1,0 +1,136 @@
+"""Property test: tuner hot-swaps are invisible to query answers.
+
+A stream of queries runs against a live service while the tuner swaps
+kernels underneath it — repeatedly, alternating configs so every swap
+actually changes the serving index.  Every single answer, before,
+during, and after each flip, must be byte-identical to ``NaiveRRQ``
+over the same data.  The interleaving is driven by ``RRQ_CHAOS_SEED``
+(default 1337) so a failure replays exactly in CI.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algorithms.naive import NaiveRRQ
+from repro.data.synthetic import generate_products, generate_weights
+from repro.service.server import QueryService, ServiceConfig
+from repro.tuning import CandidateConfig, build_tuned_kernel
+
+CHAOS_SEED = int(os.environ.get("RRQ_CHAOS_SEED", "1337"))
+
+#: Alternating swap targets — coarse/fine, equal-width/quantile.
+SWAP_CONFIGS = (
+    CandidateConfig(partitions=8),
+    CandidateConfig(partitions=32, boundaries="quantile"),
+    CandidateConfig(partitions=16, boundaries="quantile"),
+    CandidateConfig(partitions=64),
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    P = generate_products("CL", 90, 3, seed=CHAOS_SEED)
+    W = generate_weights("CL", 150, 3, seed=CHAOS_SEED + 1)
+    return P, W
+
+
+def test_concurrent_queries_survive_repeated_swaps(data):
+    P, W = data
+    naive = NaiveRRQ(P, W)
+    rng = np.random.default_rng(CHAOS_SEED)
+    expected = {}
+    probe = [int(i) for i in rng.choice(P.size, size=12, replace=False)]
+    for i in probe:
+        expected[i] = sorted(naive.reverse_topk(P[i], 5).weights)
+
+    service = QueryService.from_datasets(
+        P, W, method="gir",
+        config=ServiceConfig(batch_window_s=0.0, cache_capacity=32))
+    mismatches = []
+    stop = threading.Event()
+
+    def reader(worker_seed):
+        worker_rng = np.random.default_rng(worker_seed)
+        while not stop.is_set():
+            i = probe[int(worker_rng.integers(len(probe)))]
+            got = service.query(P[i], kind="rtk", k=5)["weights"]
+            if got != expected[i]:
+                mismatches.append((i, got))
+                return
+
+    threads = [threading.Thread(target=reader, args=(CHAOS_SEED + t,))
+               for t in range(3)]
+    try:
+        for t in threads:
+            t.start()
+        for config in SWAP_CONFIGS * 2:
+            kernel = build_tuned_kernel(P, W, config)
+            service.scheduler.swap_kernel(kernel, config)
+            service.cache.invalidate()
+            # Let readers observe this generation before the next flip.
+            for i in probe[:3]:
+                got = service.query(P[i], kind="rtk", k=5)["weights"]
+                assert got == expected[i], (config.label(), i)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        service.close()
+    assert mismatches == []
+
+
+def test_swapped_in_kernels_match_naive_on_both_kinds(data):
+    """Each swap target itself is exact — the stream test above then
+    only needs to prove the *flip* adds no window of wrongness."""
+    P, W = data
+    naive = NaiveRRQ(P, W)
+    rng = np.random.default_rng(CHAOS_SEED + 7)
+    queries = [P[int(i)] for i in rng.choice(P.size, size=6,
+                                             replace=False)]
+    for config in SWAP_CONFIGS:
+        kernel = build_tuned_kernel(P, W, config)
+        for q in queries:
+            assert (kernel.reverse_topk(q, 4).weights
+                    == naive.reverse_topk(q, 4).weights), config.label()
+            assert (kernel.reverse_kranks(q, 4).entries
+                    == naive.reverse_kranks(q, 4).entries), config.label()
+
+
+def test_mvcc_swap_mid_mutation_stream(tmp_path):
+    """Durable engine: mutations and tuner swaps interleave; every
+    answer matches a naive oracle rebuilt from the engine's own state
+    *at read time* (single-threaded here, so the oracle is exact)."""
+    from repro.durability import DurableDynamicRRQ
+    from repro.service.server import DurableQueryService
+    from repro.tuning import ServiceTuner
+
+    rng = np.random.default_rng(CHAOS_SEED + 99)
+    engine = DurableDynamicRRQ(tmp_path / "db", dim=3,
+                               backend="segmented", seal_every=8,
+                               auto_compact=False, fsync="never")
+    for _ in range(40):
+        engine.insert_product(rng.uniform(0, 0.9, 3))
+    for _ in range(30):
+        w = rng.uniform(0.1, 1.0, 3)
+        engine.insert_weight(w / w.sum())
+    service = DurableQueryService(
+        engine, config=ServiceConfig(batch_window_s=0.0,
+                                     cache_capacity=16))
+    tuner = ServiceTuner(service, probe_queries=4, k=4,
+                         min_improvement=-1.0)
+    try:
+        for round_no in range(3):
+            tuner.run_once(force=True)
+            for _ in range(2):
+                w = rng.uniform(0.1, 1.0, 3)
+                service.mutate("insert_weight",
+                               {"vector": (w / w.sum()).tolist()})
+            q = engine.products[int(rng.integers(40))]
+            got = service.query(q, kind="rtk", k=4)["weights"]
+            assert got == sorted(engine.reverse_topk(q, 4).weights), \
+                f"round {round_no}"
+    finally:
+        service.close()

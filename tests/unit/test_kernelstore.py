@@ -182,3 +182,103 @@ class TestLayout:
     def test_store_is_two_artifacts_plus_manifest(self, store):
         names = sorted(f.name for f in store.iterdir())
         assert names == ["MANIFEST.json", "kernel.bin", "kernel.meta"]
+
+
+class TestConfigDigest:
+    """The stale-kernel-after-config-change fix: every store records the
+    digest of the grid/tile/domin config that built it, and loaders can
+    demand a match — a cached kernel built under old boundaries must be
+    refused, never silently served."""
+
+    def test_digest_recorded_and_readable(self, store, kernel):
+        from repro.vectorized.kernelstore import (
+            config_digest_of,
+            store_config_digest,
+        )
+
+        digest = store_config_digest(store)
+        assert digest == config_digest_of(kernel)
+        assert len(digest) == 64
+
+    def test_digest_tracks_every_config_axis(self, kernel):
+        from repro.vectorized.kernelstore import kernel_config_digest
+
+        base_args = (kernel.grid.alpha_p, kernel.grid.alpha_w,
+                     1024, 2048, True, "float32")
+        base = kernel_config_digest(*base_args)
+        moved = np.array(kernel.grid.alpha_p, dtype=np.float64)
+        moved[1] += 1e-9
+        assert kernel_config_digest(moved, *base_args[1:]) != base
+        assert kernel_config_digest(base_args[0], base_args[1],
+                                    512, 2048, True, "float32") != base
+        assert kernel_config_digest(base_args[0], base_args[1],
+                                    1024, 2048, False, "float32") != base
+        assert kernel_config_digest(base_args[0], base_args[1],
+                                    1024, 2048, True, "float64") != base
+
+    def test_expected_digest_mismatch_refused(self, store):
+        with pytest.raises(IndexCorruptionError) as exc:
+            load_kernel(store, expected_digest="0" * 64)
+        assert "kernel.meta" in exc.value.artifacts
+        assert "config" in str(exc.value)
+
+    def test_expected_digest_match_loads(self, store, kernel):
+        from repro.vectorized.kernelstore import config_digest_of
+
+        loaded = load_kernel(store,
+                             expected_digest=config_digest_of(kernel))
+        q = kernel.products[2]
+        assert loaded.reverse_topk(q, 4) == kernel.reverse_topk(q, 4)
+
+    def test_legacy_store_without_digest_refused_when_expected(
+            self, store):
+        meta_path = store / "kernel.meta"
+        meta = json.loads(meta_path.read_text())
+        del meta["config_digest"]
+        from repro.core.storage import write_manifest_dir
+        write_manifest_dir(store, {
+            "kernel.bin": (store / "kernel.bin").read_bytes(),
+            "kernel.meta": json.dumps(meta).encode(),
+        })
+        from repro.vectorized.kernelstore import store_config_digest
+        assert store_config_digest(store) is None
+        with pytest.raises(IndexCorruptionError):
+            load_kernel(store, expected_digest="f" * 64)
+        # Without an expectation the legacy store still loads.
+        load_kernel(store)
+
+
+class TestTunedPointer:
+    def test_round_trip_and_clear(self, tmp_path):
+        from repro.vectorized.kernelstore import (
+            clear_tuned_pointer,
+            config_store_dir,
+            read_tuned_pointer,
+            write_tuned_pointer,
+        )
+
+        assert read_tuned_pointer(tmp_path) is None
+        write_tuned_pointer(tmp_path, "ab" * 32,
+                            config={"partitions": 64})
+        pointer = read_tuned_pointer(tmp_path)
+        assert pointer["digest"] == "ab" * 32
+        assert pointer["config"]["partitions"] == 64
+        assert config_store_dir(tmp_path, pointer["digest"]).endswith(
+            "cfg-abababababab")
+        clear_tuned_pointer(tmp_path)
+        assert read_tuned_pointer(tmp_path) is None
+        clear_tuned_pointer(tmp_path)  # idempotent
+
+    def test_damaged_pointer_treated_as_absent(self, tmp_path):
+        from repro.vectorized.kernelstore import (
+            TUNED_POINTER_NAME,
+            read_tuned_pointer,
+        )
+
+        target = tmp_path / TUNED_POINTER_NAME
+        target.write_text("{torn")
+        assert read_tuned_pointer(tmp_path) is None
+        target.write_text(json.dumps({"no_digest": True}))
+        assert read_tuned_pointer(tmp_path) is None
+        target.write_text(json.dumps({"digest": 7}))
+        assert read_tuned_pointer(tmp_path) is None

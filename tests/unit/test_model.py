@@ -151,3 +151,35 @@ class TestMeasuredFiltering:
         coarse = model.measure_filtering(P, W, 4, 1.0, queries)
         fine = model.measure_filtering(P, W, 64, 1.0, queries)
         assert fine > coarse
+
+
+class TestCeilPartitions:
+    """The single normalization point between Theorem 1's real-valued
+    bound and an integer grid size (regression: callers used to
+    truncate/round the float themselves, inconsistently)."""
+
+    def test_ceil_and_floor_clamp(self):
+        assert model.ceil_partitions(4.001) == 5
+        assert model.ceil_partitions(4.0) == 4
+        assert model.ceil_partitions(0.3) == 1
+        assert model.ceil_partitions(-7.0) == 1
+
+    def test_non_finite_bounds_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(InvalidParameterError):
+                model.ceil_partitions(bad)
+        with pytest.raises(InvalidParameterError):
+            model.ceil_partitions("many")
+
+    def test_non_finite_epsilon_rejected(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(InvalidParameterError):
+                model.required_partitions(8, bad)
+            with pytest.raises(InvalidParameterError):
+                model.recommend_partitions(8, bad)
+
+    def test_recommendation_goes_through_ceil(self):
+        bound = model.required_partitions(20, 0.01)
+        n = model.recommend_partitions(20, 0.01, power_of_two=False)
+        assert n == model.ceil_partitions(bound)
+        assert n >= 1

@@ -174,3 +174,74 @@ class TestHTTPMapping:
         assert body["status"] == status
         assert body["error"] == type(exc).__name__
         assert body["message"]
+
+
+class TestGenerationKeying:
+    """The swap-vs-in-flight race: a put computed against a dead index
+    must never land after the invalidate that retired that index."""
+
+    def test_put_with_stale_generation_is_dropped(self):
+        cache = ResultCache(capacity=8)
+        key = make_key(np.array([1.0]), "rtk", 3, "gir")
+        gen = cache.generation()
+        cache.invalidate()           # the swap lands mid-computation
+        cache.put(key, "stale", generation=gen)
+        assert key not in cache
+
+    def test_put_with_current_generation_lands(self):
+        cache = ResultCache(capacity=8)
+        key = make_key(np.array([1.0]), "rtk", 3, "gir")
+        cache.put(key, "fresh", generation=cache.generation())
+        assert cache.get(key) == "fresh"
+
+    def test_ungated_put_keeps_old_behavior(self):
+        cache = ResultCache(capacity=8)
+        key = make_key(np.array([1.0]), "rtk", 3, "gir")
+        cache.invalidate()
+        cache.put(key, "x")          # no generation -> unconditional
+        assert key in cache
+
+    def test_every_invalidate_bumps_generation(self):
+        cache = ResultCache(capacity=8)
+        gens = [cache.generation()]
+        for _ in range(3):
+            cache.invalidate()
+            gens.append(cache.generation())
+        assert gens == sorted(set(gens))
+
+    def test_mutate_rebuild_serves_fresh_answer(self, tmp_path):
+        """Regression: mutate -> rebuild used to leave a pre-rebuild
+        answer in the cache; a repeated query then returned ranks that
+        ignored the new weight entirely."""
+        import numpy as np
+
+        from repro.durability import DurableDynamicRRQ
+        from repro.service.server import DurableQueryService, ServiceConfig
+
+        rng = np.random.default_rng(13)
+        engine = DurableDynamicRRQ(tmp_path / "db", dim=3,
+                                   backend="segmented", seal_every=8,
+                                   auto_compact=False, fsync="never")
+        for _ in range(20):
+            engine.insert_product(rng.uniform(0, 0.9, 3))
+        for _ in range(10):
+            w = rng.uniform(0.1, 1.0, 3)
+            engine.insert_weight(w / w.sum())
+        service = DurableQueryService(
+            engine, config=ServiceConfig(batch_window_s=0.0,
+                                         cache_capacity=16))
+        try:
+            q = engine.products[4]
+            primed = service.query(q, kind="rtk", k=5)
+            assert primed["weights"], "need a non-empty answer to go stale"
+            # Deleting a weight that is *in* the answer guarantees the
+            # cached entry is now provably wrong.
+            victim = primed["weights"][0]
+            service.mutate("delete_weight", {"index": victim})
+            service.mutate("rebuild")
+            fresh = service.query(q, kind="rtk", k=5)
+            assert victim not in fresh["weights"]
+            assert fresh["weights"] == sorted(
+                engine.reverse_topk(q, 5).weights)
+        finally:
+            service.close()

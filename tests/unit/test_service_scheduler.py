@@ -411,3 +411,125 @@ class TestSnapshotBatchPath:
         assert got.weights == durable.reverse_topk(
             durable.products[3], 5).weights
         assert scheduler.metrics.snapshot()["kernel"]["queries"] == 0
+
+
+class TestKernelHotSwap:
+    """The auto-tuner's flip: one reference assignment swaps the static
+    batch-path kernel, and the persisted cache must never hand back a
+    kernel whose grid config no longer matches the engine's."""
+
+    def _run_batch(self, scheduler, queries, k=6):
+        futures = [scheduler.submit(q, "rtk", k) for q in queries]
+        scheduler.start()
+        return [f.result(timeout=10) for f in futures]
+
+    def test_swap_kernel_flips_the_batch_path(self, engine):
+        from repro.tuning import CandidateConfig, build_tuned_kernel
+
+        scheduler = make_scheduler(
+            engine, batch_window_s=0.1, limits=ServiceLimits(max_batch=8))
+        queries = [engine.products[i] for i in (0, 3, 9)]
+        self._run_batch(scheduler, queries)
+        old = scheduler._get_kernel()
+        tuned = build_tuned_kernel(
+            engine.products, engine.weights,
+            CandidateConfig(partitions=16, boundaries="quantile"))
+        scheduler.swap_kernel(tuned, CandidateConfig(
+            partitions=16, boundaries="quantile"))
+        assert scheduler._get_kernel() is tuned is not old
+        futures = [scheduler.submit(q, "rtk", 6) for q in queries]
+        results = [f.result(timeout=10) for f in futures]
+        scheduler.close()
+        for q, result in zip(queries, results):
+            assert result.weights == engine.reverse_topk(q, 6).weights
+
+    def test_swap_persists_config_store_and_pointer(self, engine,
+                                                    tmp_path):
+        from repro.tuning import CandidateConfig, build_tuned_kernel
+        from repro.vectorized.kernelstore import (
+            config_digest_of,
+            read_tuned_pointer,
+        )
+
+        config = CandidateConfig(partitions=16)
+        tuned = build_tuned_kernel(engine.products, engine.weights, config)
+        scheduler = make_scheduler(engine, batch_window_s=0.0,
+                                   kernel_cache_dir=str(tmp_path))
+        scheduler.swap_kernel(tuned, config)
+        scheduler.close()
+        pointer = read_tuned_pointer(tmp_path)
+        assert pointer["digest"] == config_digest_of(tuned)
+        assert pointer["config"]["partitions"] == 16
+        assert (tmp_path / f"cfg-{pointer['digest'][:12]}").is_dir()
+        # A fresh scheduler warm-starts straight into the tuned config.
+        again = make_scheduler(engine, batch_window_s=0.0,
+                               kernel_cache_dir=str(tmp_path))
+        loaded = again._get_kernel()
+        again.close()
+        assert loaded.partitions == 16
+        assert config_digest_of(loaded) == pointer["digest"]
+
+    def test_stale_cache_refused_after_config_change(self, tmp_path):
+        """Regression: the static/ cache recorded layout but not grid
+        config, so restarting with different partitions silently served
+        a kernel quantized under the old boundaries."""
+        from repro.data.synthetic import uniform_products, uniform_weights
+        from repro.vectorized.kernelstore import store_config_digest
+
+        P = uniform_products(60, 3, seed=921)
+        W = uniform_weights(40, 3, seed=922)
+        coarse = RRQEngine(P, W, method="gir", partitions=8)
+        scheduler = make_scheduler(coarse, batch_window_s=0.0,
+                                   kernel_cache_dir=str(tmp_path))
+        assert scheduler._get_kernel() is not None  # builds + persists
+        scheduler.close()
+        cached_digest = store_config_digest(tmp_path / "static")
+        assert cached_digest is not None
+
+        fine = RRQEngine(P, W, method="gir", partitions=32)
+        scheduler = make_scheduler(fine, batch_window_s=0.0,
+                                   kernel_cache_dir=str(tmp_path))
+        assert scheduler._load_cached_static_kernel() is None  # refused
+        kernel = scheduler._get_kernel()                       # rebuilt
+        scheduler.close()
+        assert kernel.partitions == 32
+        assert store_config_digest(tmp_path / "static") != cached_digest
+
+        # Matching config -> the cache is honored again.
+        same = RRQEngine(P, W, method="gir", partitions=32)
+        scheduler = make_scheduler(same, batch_window_s=0.0,
+                                   kernel_cache_dir=str(tmp_path))
+        assert scheduler._load_cached_static_kernel() is not None
+        scheduler.close()
+
+
+class TestSnapshotTuning:
+    """set_snapshot_tuning retargets the MVCC snapshot-kernel cache at
+    the tuned config (the durable half of the tuner's hot-swap)."""
+
+    durable = TestSnapshotBatchPath.durable
+
+    def test_tuning_change_rebuilds_snapshot_kernel(self, durable):
+        from repro.tuning import CandidateConfig
+
+        scheduler = make_scheduler(
+            durable, batch_window_s=0.1,
+            limits=ServiceLimits(max_batch=16))
+        queries = [durable.products[i] for i in (2, 11, 30)]
+        futures = [scheduler.submit(q, "rtk", 6) for q in queries]
+        scheduler.start()
+        [f.result(timeout=10) for f in futures]
+        default_kernel = scheduler._snap_kernel
+        assert default_kernel is not None
+        assert default_kernel.variant is None
+
+        config = CandidateConfig(partitions=16, boundaries="quantile")
+        scheduler.set_snapshot_tuning(config)
+        futures = [scheduler.submit(q, "rtk", 6) for q in queries]
+        results = [f.result(timeout=10) for f in futures]
+        scheduler.close()
+        tuned_kernel = scheduler._snap_kernel
+        assert tuned_kernel is not default_kernel
+        assert tuned_kernel.variant == config.short()
+        for q, result in zip(queries, results):
+            assert result.weights == durable.reverse_topk(q, 6).weights
